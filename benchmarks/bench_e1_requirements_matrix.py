@@ -1,0 +1,47 @@
+"""E1 — the requirements matrix (the paper's Section 4, measured).
+
+Paper claim: every surveyed storage model fails at least one mandated
+requirement; only a hybrid can satisfy all of them.  This bench runs
+the behavioural probe suite against all six models and prints the
+matrix; the benchmark number is the cost of a full compliance
+evaluation of one model.
+"""
+
+from benchmarks.common import MODEL_FACTORIES, print_table
+from repro.compliance.checker import ComplianceChecker
+from repro.compliance.report import render_matrix
+from repro.compliance.requirements import REQUIREMENT_DETAILS, Requirement
+
+
+def test_e1_requirements_matrix(benchmark):
+    checker = ComplianceChecker()
+
+    def evaluate_relational():
+        return checker.evaluate_model("relational", MODEL_FACTORIES["relational"])
+
+    benchmark.pedantic(evaluate_relational, rounds=1, iterations=1)
+
+    evaluations = checker.evaluate_all(MODEL_FACTORIES)
+    print()
+    print(render_matrix(evaluations))
+
+    by_name = {e.model_name: e for e in evaluations}
+    # The paper's verdict pattern:
+    assert by_name["curator"].fully_compliant
+    for name in ("relational", "encrypted", "hippocratic", "objectstore", "plainworm"):
+        assert not by_name[name].fully_compliant, name
+
+    rows = []
+    for requirement in Requirement:
+        rows.append(
+            [REQUIREMENT_DETAILS[requirement].title[:44]]
+            + [
+                "pass" if by_name[n].verdicts[requirement].passed else "FAIL"
+                for n in by_name
+            ]
+        )
+    print_table(
+        "E1 verdict detail",
+        ["requirement"] + list(by_name),
+        rows,
+    )

@@ -1,0 +1,112 @@
+"""E2 — security vs performance (the paper's central trade-off).
+
+Paper claim (§4): relational databases are "geared more towards
+performance rather than security"; compliance-oriented stores pay for
+their guarantees on the write path.  Expected shape: relational is the
+fastest writer; encrypted pays a cipher tax; Curator pays the most
+(AEAD + trustworthy index + audit chain + signatures) but stays within
+interactive range; reads are much closer together than writes.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import MODEL_FACTORIES, new_clock, print_table
+from repro.workload.generator import WorkloadGenerator
+
+N_RECORDS = 60
+N_READS = 120
+
+
+def _ingest(name):
+    model, clock = MODEL_FACTORIES[name]()
+    generator = WorkloadGenerator(2007, clock or new_clock())
+    generator.create_population(10)
+    stream = generator.mixed_stream(N_RECORDS)
+
+    start = time.perf_counter()
+    for g in stream:
+        model.store(g.record, g.author_id)
+    ingest_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(N_READS):
+        g = stream[i % len(stream)]
+        model.read(g.record.record_id)
+    read_seconds = time.perf_counter() - start
+    return ingest_seconds, read_seconds
+
+
+@pytest.mark.parametrize("name", list(MODEL_FACTORIES))
+def test_e2_ingest_throughput(benchmark, name):
+    model, clock = MODEL_FACTORIES[name]()
+    generator = WorkloadGenerator(2007, clock or new_clock())
+    generator.create_population(10)
+    stream = iter(generator.mixed_stream(5000))
+
+    def store_one():
+        g = next(stream)
+        model.store(g.record, g.author_id)
+
+    benchmark.pedantic(store_one, rounds=30, iterations=1, warmup_rounds=2)
+
+
+def test_e2_scaling_series(benchmark):
+    """The figure-style series: write throughput vs archive size, for
+    the fastest (relational), the middle (plainworm), and the hybrid
+    (curator).  Expected shape: relational and plainworm stay roughly
+    flat; curator's per-record cost grows slowly with hot posting-list
+    sizes but remains interactive."""
+    series = {}
+    for name in ("relational", "plainworm", "curator"):
+        points = []
+        for n in (20, 40, 80):
+            model, clock = MODEL_FACTORIES[name]()
+            generator = WorkloadGenerator(2007, clock or new_clock())
+            generator.create_population(10)
+            stream = generator.mixed_stream(n)
+            start = time.perf_counter()
+            for g in stream:
+                model.store(g.record, g.author_id)
+            points.append(n / (time.perf_counter() - start))
+        series[name] = points
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{rate:10.0f}" for rate in points]
+        for name, points in series.items()
+    ]
+    print_table(
+        "E2 series: write throughput (records/s) vs archive size",
+        ["model", "N=20", "N=40", "N=80"],
+        rows,
+    )
+    # Shape: relational dominates curator at every size.
+    for a, b in zip(series["relational"], series["curator"]):
+        assert a > b
+
+
+def test_e2_throughput_table(benchmark):
+    results = {name: _ingest(name) for name in MODEL_FACTORIES}
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for name, (ingest_s, read_s) in results.items():
+        rows.append(
+            [
+                name,
+                f"{N_RECORDS / ingest_s:10.0f}",
+                f"{N_READS / read_s:10.0f}",
+                f"{ingest_s / results['relational'][0]:6.1f}x",
+            ]
+        )
+    print_table(
+        "E2 throughput (records/sec; slowdown vs relational)",
+        ["model", "writes/s", "reads/s", "write cost"],
+        rows,
+    )
+    # Shape assertions: relational fastest writer; curator pays the most
+    # but still completes the workload interactively.
+    assert results["relational"][0] <= min(r[0] for r in results.values()) * 1.5
+    assert results["curator"][0] >= results["relational"][0]

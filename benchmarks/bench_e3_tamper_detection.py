@@ -1,0 +1,51 @@
+"""E3 — integrity: insider tampering must be identified (paper §3).
+
+Paper claim: the storage system "must identify any tampering of
+information ... even in the case of malicious insiders".  Expected
+shape: plaintext/unauthenticated models are silently tampered; digest-
+and AEAD-bearing models detect every semantic tamper; Curator also
+localizes the damage.
+"""
+
+from benchmarks.common import MODEL_FACTORIES, print_table, seeded_model
+from repro.threats.adversary import INSIDER
+from repro.threats.attacks import AttackOutcome, tamper_record
+
+N_TRIALS = 5
+
+
+def _run_trials(name):
+    outcomes = []
+    for trial in range(N_TRIALS):
+        model, clock, generator, stored = seeded_model(name, n_records=12, seed=100 + trial)
+        target = stored[trial % len(stored)].record.record_id
+        result = tamper_record(model, target, INSIDER)
+        outcomes.append(result.outcome)
+    return outcomes
+
+
+def test_e3_tamper_detection(benchmark):
+    def tamper_once():
+        model, clock, generator, stored = seeded_model("curator", n_records=12)
+        return tamper_record(model, stored[0].record.record_id, INSIDER)
+
+    benchmark.pedantic(tamper_once, rounds=1, iterations=1)
+
+    rows = []
+    detection = {}
+    for name in MODEL_FACTORIES:
+        outcomes = _run_trials(name)
+        caught = sum(
+            o in (AttackOutcome.DETECTED, AttackOutcome.PREVENTED) for o in outcomes
+        )
+        detection[name] = caught / len(outcomes)
+        rows.append([name, f"{caught}/{len(outcomes)}", f"{detection[name]:.0%}"])
+    print_table("E3 insider-tamper detection", ["model", "caught", "rate"], rows)
+
+    # Shape: the paper's split between software-only and storage-level integrity.
+    assert detection["relational"] == 0.0
+    assert detection["encrypted"] == 0.0
+    assert detection["hippocratic"] == 0.0
+    assert detection["objectstore"] == 1.0
+    assert detection["plainworm"] == 1.0
+    assert detection["curator"] == 1.0

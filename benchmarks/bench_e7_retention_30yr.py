@@ -1,0 +1,76 @@
+"""E7 — 30-year retention with media generations (OSHA 29 CFR 1910.1020).
+
+Paper claim: regulations mandate retention "for periods of up to 30
+years", which inevitably spans storage-hardware generations; the store
+must survive refreshes with integrity intact, then dispose on schedule.
+Expected shape: with 5-year media service life the archive migrates ~5
+times over 30 simulated years, every integrity check passes, 7-year
+clinical records are disposed mid-horizon, and 30-year OSHA records
+survive to the end and are then destroyed.
+"""
+
+from benchmarks.common import curator_factory, print_table
+from repro.core.lifecycle import ArchiveLifecycle
+from repro.records.model import RecordType
+from repro.workload.generator import WorkloadGenerator
+
+
+def _build_archive():
+    store, clock = curator_factory()
+    generator = WorkloadGenerator(7, clock)
+    generator.create_population(8)
+    for _ in range(10):
+        g = generator.exposure_record()
+        store.store(g.record, g.author_id)
+    for _ in range(10):
+        g = generator.note_record(phi_in_text_probability=0.0)
+        store.store(g.record, g.author_id)
+    return store, clock
+
+
+def test_e7_thirty_year_archive(benchmark):
+    def run():
+        store, clock = _build_archive()
+        lifecycle = ArchiveLifecycle(
+            store, clock, media_refresh_years=5.0, backup_every_years=5.0
+        )
+        report = lifecycle.run_years(31.0, step_years=1.0, dispose_expired=True)
+        return store, report
+
+    store, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "E7 thirty-year archive lifecycle",
+        ["metric", "value"],
+        [
+            ["years simulated", f"{report.years_simulated:.0f}"],
+            ["media refresh migrations", report.media_refreshes],
+            ["backups taken", report.backups_taken],
+            ["integrity checks passed", report.integrity_checks_passed],
+            ["integrity failures", len(report.integrity_failures)],
+            ["records disposed", report.records_disposed],
+            ["disposal certificates", report.disposal_certificates],
+        ],
+    )
+    assert report.media_refreshes >= 5
+    assert report.integrity_failures == []
+    assert report.records_disposed == 20  # everything expired by year 31
+    assert store.record_ids() == []
+    assert store.verify_audit_trail() is True
+
+
+def test_e7_disposal_schedule_order(benchmark):
+    def run():
+        store, clock = _build_archive()
+        lifecycle = ArchiveLifecycle(
+            store, clock, media_refresh_years=50.0, backup_every_years=50.0
+        )
+        lifecycle.run_years(10.0, step_years=1.0, dispose_expired=True)
+        return store
+
+    store = benchmark.pedantic(run, rounds=1, iterations=1)
+    remaining = {store.read(r).record_type for r in store.record_ids()}
+    # 7-year clinical notes are gone at year 10; 30-year OSHA records remain.
+    assert RecordType.CLINICAL_NOTE not in remaining
+    assert RecordType.EXPOSURE_RECORD in remaining
+    print(f"\nE7b: at year 10, surviving types = {sorted(t.value for t in remaining)}")

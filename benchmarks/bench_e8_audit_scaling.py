@@ -1,0 +1,100 @@
+"""E8 — trustworthy audit at scale (paper §3 Logging).
+
+Paper claim: all access must be logged "in a trustworthy manner" and
+regulations require extensive logging — so verification must stay
+affordable as the log grows.  Expected shape: full-chain verification
+is linear in log size; Merkle-anchored truncation checking is
+logarithmic-ish per anchor; a bare hash chain misses truncation while
+the anchored log catches it (the headline ablation).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import new_clock, print_table
+from repro.audit.anchors import AnchorWitness, publish_anchor
+from repro.audit.events import AuditAction
+from repro.audit.log import AuditLog
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import Signer
+from repro.errors import AuditError
+from repro.storage.block import MemoryDevice
+
+KEYPAIR = generate_keypair(768)
+
+
+def _grown_log(n):
+    clock = new_clock()
+    log = AuditLog(device=MemoryDevice("audit", 1 << 24), clock=clock)
+    for i in range(n):
+        log.append(AuditAction.RECORD_READ, f"actor-{i % 7}", f"rec-{i % 50}")
+    return clock, log
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+def test_e8_chain_verification_scaling(benchmark, size):
+    clock, log = _grown_log(size)
+
+    result = benchmark.pedantic(log.verify_chain, rounds=3, iterations=1)
+    assert result.ok
+    assert result.events_checked == size
+
+
+def test_e8_verification_is_linear(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    timings = {}
+    for size in (200, 400, 800, 1600):
+        clock, log = _grown_log(size)
+        start = time.perf_counter()
+        log.verify_chain()
+        timings[size] = time.perf_counter() - start
+        rows.append([size, f"{timings[size] * 1e3:8.2f}", f"{timings[size] / size * 1e6:6.1f}"])
+    print_table(
+        "E8 audit chain verification cost",
+        ["log size", "verify ms", "us/event"],
+        rows,
+    )
+    # linear shape: doubling size roughly doubles the cost (generous band)
+    ratio = timings[1600] / timings[200]
+    assert 3.0 < ratio < 24.0, ratio
+
+
+def test_e8_ablation_truncation_detection(benchmark):
+    """Hash chain alone vs hash chain + anchoring, against truncation."""
+    clock, log = _grown_log(300)
+    signer = Signer("hospital-A", keypair=KEYPAIR)
+    witness = AnchorWitness(signer.verifier())
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+
+    # The adversary presents a truncated-but-internally-consistent log.
+    truncated = AuditLog(device=MemoryDevice("trunc", 1 << 24), clock=clock)
+    for event in log.events()[:120]:
+        truncated.append(event.action, event.actor_id, event.subject_id, event.detail)
+
+    chain_alone_catches = not truncated.verify_chain().ok
+    try:
+        witness.check_log(truncated)
+        anchored_catches = False
+    except AuditError:
+        anchored_catches = True
+
+    def anchored_check():
+        try:
+            witness.check_log(truncated)
+        except AuditError:
+            pass
+
+    benchmark.pedantic(anchored_check, rounds=5, iterations=1)
+
+    print_table(
+        "E8 ablation: truncation attack",
+        ["mechanism", "truncation caught?"],
+        [
+            ["hash chain alone", "yes" if chain_alone_catches else "NO (vulnerable)"],
+            ["hash chain + Merkle anchor", "yes" if anchored_catches else "NO"],
+        ],
+    )
+    assert not chain_alone_catches  # internally consistent prefix
+    assert anchored_catches

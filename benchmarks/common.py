@@ -1,0 +1,75 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every experiment builds models through these factories so E1..E12 agree
+on configuration.  Sizes are laptop-scale: the reproduction targets the
+*shape* of results (who wins, by what rough factor, where detection
+fires), not absolute 2007-testbed numbers.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    EncryptedStore,
+    HippocraticStore,
+    ObjectStore,
+    PlainWormStore,
+    RelationalStore,
+)
+from repro.core import CuratorConfig, CuratorStore
+from repro.util.clock import SimulatedClock
+from repro.workload.generator import WorkloadGenerator
+
+MASTER_KEY = bytes(range(32))
+START_TIME = 1.17e9  # early 2007, in the paper's spirit
+
+
+def new_clock() -> SimulatedClock:
+    return SimulatedClock(start=START_TIME)
+
+
+def curator_factory():
+    clock = new_clock()
+    store = CuratorStore(CuratorConfig(master_key=MASTER_KEY, clock=clock))
+    return store, clock
+
+
+def plainworm_factory():
+    clock = new_clock()
+    return PlainWormStore(clock=clock), clock
+
+
+MODEL_FACTORIES = {
+    "relational": lambda: (RelationalStore(), None),
+    "encrypted": lambda: (EncryptedStore(), None),
+    "hippocratic": lambda: (HippocraticStore(), None),
+    "objectstore": lambda: (ObjectStore(), None),
+    "plainworm": plainworm_factory,
+    "curator": curator_factory,
+}
+
+
+def seeded_model(name: str, n_patients: int = 10, n_records: int = 50, seed: int = 2007):
+    """A model pre-loaded with a deterministic workload."""
+    model, clock = MODEL_FACTORIES[name]()
+    work_clock = clock or new_clock()
+    generator = WorkloadGenerator(seed, work_clock)
+    generator.create_population(n_patients)
+    stored = []
+    for g in generator.mixed_stream(n_records):
+        model.store(g.record, g.author_id)
+        stored.append(g)
+    return model, clock, generator, stored
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform experiment-table rendering (shows with pytest -s)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    print()
+    print(f"== {title} ==")
+    print(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

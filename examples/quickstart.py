@@ -1,0 +1,77 @@
+"""Quickstart: store, search, correct, and audit a health record.
+
+Run:  python examples/quickstart.py
+"""
+
+import secrets
+
+from repro import CuratorConfig, CuratorStore
+from repro.records import ClinicalNote, HealthRecord, Observation
+from repro.util import SimulatedClock
+
+
+def main() -> None:
+    # A Curator deployment: one site, a master key (HSM-held in real
+    # life), and — for the demo — simulated time.
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(
+        CuratorConfig(master_key=secrets.token_bytes(32), site_id="demo-clinic", clock=clock)
+    )
+
+    # 1. A physician documents care.  Storing a record auto-enrolls the
+    #    author as that patient's treating clinician.
+    note = ClinicalNote.create(
+        record_id="rec-note-1",
+        patient_id="pat-ada",
+        created_at=clock.now(),
+        author="dr-lovelace",
+        specialty="cardiology",
+        text="patient reports palpitations; echocardiogram ordered",
+    )
+    store.store(note, author_id="dr-lovelace")
+
+    observation = Observation.create(
+        record_id="rec-bp-1",
+        patient_id="pat-ada",
+        created_at=clock.now(),
+        code="8480-6",
+        display="systolic blood pressure",
+        value=182.0,
+        unit="mmHg",
+        abnormal=True,
+    )
+    store.store(observation, author_id="dr-lovelace")
+
+    # 2. Reads are authorized and audited.
+    record = store.read("rec-note-1", actor_id="dr-lovelace")
+    print("read back:", record.body["text"])
+
+    # 3. Keyword search works — but the keywords never touch the disk in
+    #    plaintext (check the raw device yourself):
+    print("search 'palpitations':", store.search("palpitations"))
+    leaked = b"palpitations" in store.worm.device.raw_dump()
+    print("plaintext on device?", leaked)
+
+    # 4. The patient requests a correction: a new immutable version.
+    corrected = HealthRecord(
+        record_id="rec-bp-1",
+        record_type=observation.record_type,
+        patient_id="pat-ada",
+        created_at=clock.now(),
+        body={**observation.body, "value": 128.0, "abnormal": False},
+    )
+    store.correct(corrected, author_id="dr-lovelace", reason="cuff placement error")
+    print("current value:", store.read("rec-bp-1", actor_id="dr-lovelace").body["value"])
+    print("original value (preserved):", store.read_version("rec-bp-1", 0).body["value"])
+
+    # 5. Everything above is in the tamper-evident audit trail.
+    print("\naudit trail:")
+    for event in store.audit_events():
+        print(f"  [{event['sequence']:03d}] {event['action']:<20} "
+              f"actor={event['actor_id']:<14} subject={event['subject_id']}")
+    print("\naudit trail verifies:", store.verify_audit_trail())
+    print("store integrity:", "clean" if not store.verify_integrity() else "TAMPERED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Break-glass emergency access.
+
+An unconscious patient arrives; the on-call physician has no treating
+relationship on file.  Denying access would be clinically dangerous, so
+compliance systems provide an *emergency override*: access succeeds,
+but the override itself is loud — it creates a time-boxed grant, a
+mandatory after-the-fact review obligation, and (at the engine layer)
+an EMERGENCY_ACCESS audit event the privacy officer must disposition.
+
+:class:`BreakGlassController` manages the grants and the review queue.
+Unreviewed grants past their review deadline are a compliance finding,
+which the compliance checker (:mod:`repro.compliance`) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.access.principals import User
+from repro.errors import AccessDeniedError
+from repro.util.clock import Clock, WallClock
+from repro.util.validation import require_non_empty
+
+
+@dataclass(frozen=True)
+class BreakGlassGrant:
+    """One emergency access grant."""
+
+    grant_id: str
+    user_id: str
+    patient_id: str
+    justification: str
+    granted_at: float
+    expires_at: float
+    review_deadline: float
+
+
+class BreakGlassController:
+    """Issues, checks, and reviews emergency grants."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        grant_duration: float = 4 * 3600.0,
+        review_window: float = 72 * 3600.0,
+    ) -> None:
+        self._clock = clock or WallClock()
+        self._grant_duration = grant_duration
+        self._review_window = review_window
+        self._grants: dict[str, BreakGlassGrant] = {}
+        self._reviewed: dict[str, str] = {}  # grant_id -> reviewer
+        self._counter = 0
+
+    def invoke(self, user: User, patient_id: str, justification: str) -> BreakGlassGrant:
+        """Break the glass: grant emergency access to one patient."""
+        require_non_empty(patient_id, "patient_id")
+        if not justification or len(justification.strip()) < 10:
+            raise AccessDeniedError(
+                "break-glass requires a substantive justification (>= 10 chars)"
+            )
+        self._counter += 1
+        now = self._clock.now()
+        grant = BreakGlassGrant(
+            grant_id=f"bg-{self._counter:06d}",
+            user_id=user.user_id,
+            patient_id=patient_id,
+            justification=justification.strip(),
+            granted_at=now,
+            expires_at=now + self._grant_duration,
+            review_deadline=now + self._review_window,
+        )
+        self._grants[grant.grant_id] = grant
+        return grant
+
+    def has_active_grant(self, user_id: str, patient_id: str) -> bool:
+        """Whether an unexpired grant covers (user, patient) right now."""
+        now = self._clock.now()
+        return any(
+            grant.user_id == user_id
+            and grant.patient_id == patient_id
+            and grant.expires_at > now
+            for grant in self._grants.values()
+        )
+
+    def review(self, grant_id: str, reviewer_id: str) -> None:
+        """The privacy officer dispositions a grant."""
+        if grant_id not in self._grants:
+            raise AccessDeniedError(f"unknown break-glass grant {grant_id}")
+        self._reviewed[grant_id] = reviewer_id
+
+    def pending_review(self) -> list[BreakGlassGrant]:
+        """Grants not yet reviewed."""
+        return [
+            grant
+            for grant_id, grant in sorted(self._grants.items())
+            if grant_id not in self._reviewed
+        ]
+
+    def overdue_reviews(self) -> list[BreakGlassGrant]:
+        """Unreviewed grants past the review deadline — a compliance
+        finding when non-empty."""
+        now = self._clock.now()
+        return [g for g in self.pending_review() if g.review_deadline < now]
+
+    def grants(self) -> list[BreakGlassGrant]:
+        return [self._grants[k] for k in sorted(self._grants)]

@@ -1,0 +1,191 @@
+"""The role-based access policy engine.
+
+Decisions combine four rule layers, evaluated in order:
+
+1. **Role capability** — does any of the user's roles carry the
+   requested permission at all?
+2. **Purpose of use** — is the stated purpose allowed for that
+   (role, permission) pair?  (Research never reads identified records;
+   billing reads only for payment.)
+3. **Treating relationship** — clinical reads of identified records
+   require an active treating relationship with the patient (or a
+   break-glass grant, handled by the caller).
+4. **Consent** — the patient's directives are checked by the caller via
+   :mod:`repro.access.policies` (they need the consent registry).
+
+Every decision is returned with the deciding rule spelled out, because
+HIPAA audits ask *why* access was granted, not just whether.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.access.principals import Role, User
+
+
+class Permission(enum.Enum):
+    """Operations the storage engine gates."""
+
+    CREATE_RECORD = "create_record"
+    READ_RECORD = "read_record"
+    CORRECT_RECORD = "correct_record"
+    SEARCH_RECORDS = "search_records"
+    EXPORT_DEIDENTIFIED = "export_deidentified"
+    READ_AUDIT_TRAIL = "read_audit_trail"
+    MANAGE_RETENTION = "manage_retention"
+    MANAGE_MEDIA = "manage_media"
+    RUN_MIGRATION = "run_migration"
+    MANAGE_BACKUP = "manage_backup"
+    MANAGE_CONSENT = "manage_consent"
+
+
+class Purpose(enum.Enum):
+    """HIPAA purposes of use."""
+
+    TREATMENT = "treatment"
+    PAYMENT = "payment"
+    OPERATIONS = "operations"
+    RESEARCH = "research"
+    EMERGENCY = "emergency"
+    PATIENT_REQUEST = "patient_request"
+
+
+_ROLE_PERMISSIONS: dict[Role, frozenset[Permission]] = {
+    Role.PHYSICIAN: frozenset(
+        {
+            Permission.CREATE_RECORD,
+            Permission.READ_RECORD,
+            Permission.CORRECT_RECORD,
+            Permission.SEARCH_RECORDS,
+        }
+    ),
+    Role.NURSE: frozenset(
+        {Permission.CREATE_RECORD, Permission.READ_RECORD, Permission.SEARCH_RECORDS}
+    ),
+    Role.BILLING: frozenset({Permission.READ_RECORD, Permission.SEARCH_RECORDS}),
+    Role.RESEARCHER: frozenset({Permission.EXPORT_DEIDENTIFIED, Permission.SEARCH_RECORDS}),
+    Role.PRIVACY_OFFICER: frozenset(
+        {
+            Permission.READ_AUDIT_TRAIL,
+            Permission.MANAGE_CONSENT,
+            Permission.READ_RECORD,
+            Permission.SEARCH_RECORDS,
+        }
+    ),
+    Role.MEDIA_TECHNICIAN: frozenset({Permission.MANAGE_MEDIA}),
+    Role.SYSTEM_ADMIN: frozenset(
+        {
+            Permission.MANAGE_RETENTION,
+            Permission.MANAGE_MEDIA,
+            Permission.RUN_MIGRATION,
+            Permission.MANAGE_BACKUP,
+        }
+    ),
+    Role.PATIENT: frozenset({Permission.READ_RECORD}),
+}
+
+# (role, permission) -> allowed purposes.  Anything not listed allows
+# TREATMENT/OPERATIONS by default for clinical roles; the table makes
+# the restrictive pairs explicit.
+_PURPOSE_RULES: dict[tuple[Role, Permission], frozenset[Purpose]] = {
+    (Role.BILLING, Permission.READ_RECORD): frozenset({Purpose.PAYMENT}),
+    (Role.BILLING, Permission.SEARCH_RECORDS): frozenset({Purpose.PAYMENT}),
+    (Role.RESEARCHER, Permission.EXPORT_DEIDENTIFIED): frozenset({Purpose.RESEARCH}),
+    (Role.RESEARCHER, Permission.SEARCH_RECORDS): frozenset({Purpose.RESEARCH}),
+    (Role.PATIENT, Permission.READ_RECORD): frozenset({Purpose.PATIENT_REQUEST}),
+}
+
+_CLINICAL_ROLES = frozenset({Role.PHYSICIAN, Role.NURSE})
+
+_TREATING_REQUIRED = frozenset({Permission.READ_RECORD, Permission.CORRECT_RECORD})
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """The circumstances of a request."""
+
+    purpose: Purpose
+    patient_id: str = ""
+    own_record: bool = False  # patient reading their own chart
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """An explainable allow/deny."""
+
+    allowed: bool
+    rule: str
+    role_used: Role | None = None
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class RbacEngine:
+    """Stateless policy evaluation over the rule tables above."""
+
+    def decide(
+        self, user: User, permission: Permission, context: AccessContext
+    ) -> AccessDecision:
+        """Evaluate one request; returns the first ALLOW any role earns,
+        or the most specific denial encountered."""
+        best_denial = AccessDecision(
+            allowed=False,
+            rule=f"no role of {user.user_id} grants {permission.value}",
+        )
+        for role in sorted(user.roles, key=lambda r: r.value):
+            decision = self._decide_for_role(user, role, permission, context)
+            if decision.allowed:
+                return decision
+            best_denial = decision if decision.role_used else best_denial
+        return best_denial
+
+    def _decide_for_role(
+        self, user: User, role: Role, permission: Permission, context: AccessContext
+    ) -> AccessDecision:
+        if permission not in _ROLE_PERMISSIONS.get(role, frozenset()):
+            return AccessDecision(
+                allowed=False,
+                rule=f"role {role.value} does not carry {permission.value}",
+            )
+        allowed_purposes = _PURPOSE_RULES.get((role, permission))
+        if allowed_purposes is not None and context.purpose not in allowed_purposes:
+            return AccessDecision(
+                allowed=False,
+                role_used=role,
+                rule=(
+                    f"role {role.value} may use {permission.value} only for "
+                    f"{sorted(p.value for p in allowed_purposes)}, "
+                    f"not {context.purpose.value}"
+                ),
+            )
+        if role is Role.PATIENT and permission is Permission.READ_RECORD:
+            if not context.own_record:
+                return AccessDecision(
+                    allowed=False,
+                    role_used=role,
+                    rule="patients may only read their own records",
+                )
+        if (
+            role in _CLINICAL_ROLES
+            and permission in _TREATING_REQUIRED
+            and context.patient_id
+            and not user.is_treating(context.patient_id)
+            and context.purpose is not Purpose.EMERGENCY
+        ):
+            return AccessDecision(
+                allowed=False,
+                role_used=role,
+                rule=(
+                    f"{user.user_id} has no treating relationship with "
+                    f"patient {context.patient_id}"
+                ),
+            )
+        return AccessDecision(
+            allowed=True,
+            role_used=role,
+            rule=f"role {role.value} grants {permission.value} "
+            f"for purpose {context.purpose.value}",
+        )

@@ -1,0 +1,173 @@
+"""Person-and-entity authentication (HIPAA §164.312(d)).
+
+The access-control engine decides what an *authenticated* principal may
+do; this module is where principals become authenticated.  It models
+the smart-card / token deployments HIPAA-era guidance recommended
+(cf. the Smart Card Alliance reference in the paper) with a
+challenge-response protocol:
+
+1. enrollment binds a user id to a secret (the card key);
+2. login requests a random challenge;
+3. the client proves possession by returning
+   ``HMAC(secret, challenge || user_id)``;
+4. a time-boxed :class:`Session` is issued; its token is an HMAC over
+   the session fields under the broker's key, so tokens cannot be
+   forged or extended client-side.
+
+Failed attempts are counted; exceeding the lockout threshold disables
+the account until an administrator resets it (brute-force containment).
+Every transition is returned to the caller for audit logging — the
+engine owns the audit trail, this module owns the crypto.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.hmac_utils import constant_time_equal, hmac_sha256
+from repro.errors import AccessDeniedError
+from repro.util.clock import Clock, WallClock
+
+DEFAULT_SESSION_SECONDS = 8 * 3600.0
+DEFAULT_LOCKOUT_THRESHOLD = 5
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """A one-time login challenge."""
+
+    user_id: str
+    nonce: bytes
+    issued_at: float
+
+
+@dataclass(frozen=True)
+class Session:
+    """An authenticated session."""
+
+    session_id: str
+    user_id: str
+    issued_at: float
+    expires_at: float
+    token: bytes
+
+
+class Authenticator:
+    """Challenge-response authentication broker."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        session_seconds: float = DEFAULT_SESSION_SECONDS,
+        lockout_threshold: int = DEFAULT_LOCKOUT_THRESHOLD,
+        challenge_ttl_seconds: float = 300.0,
+    ) -> None:
+        self._clock = clock or WallClock()
+        self._session_seconds = session_seconds
+        self._lockout_threshold = lockout_threshold
+        self._challenge_ttl = challenge_ttl_seconds
+        self._broker_key = secrets.token_bytes(32)
+        self._secrets: dict[str, bytes] = {}
+        self._failures: dict[str, int] = {}
+        self._locked: set[str] = set()
+        self._pending: dict[str, Challenge] = {}
+        self._counter = 0
+
+    # -- enrollment ---------------------------------------------------------
+
+    def enroll(self, user_id: str) -> bytes:
+        """Enroll a user; returns the secret to place on their token."""
+        if not user_id:
+            raise AccessDeniedError("user id must not be empty")
+        if user_id in self._secrets:
+            raise AccessDeniedError(f"user {user_id} already enrolled")
+        secret = secrets.token_bytes(32)
+        self._secrets[user_id] = secret
+        return secret
+
+    def is_locked(self, user_id: str) -> bool:
+        return user_id in self._locked
+
+    def unlock(self, user_id: str) -> None:
+        """Administrative reset after lockout."""
+        self._locked.discard(user_id)
+        self._failures.pop(user_id, None)
+
+    # -- the protocol -----------------------------------------------------------
+
+    def request_challenge(self, user_id: str) -> Challenge:
+        """Step 1: the client asks to log in."""
+        if user_id not in self._secrets:
+            raise AccessDeniedError(f"unknown user {user_id!r}")
+        if user_id in self._locked:
+            raise AccessDeniedError(f"account {user_id} is locked")
+        challenge = Challenge(
+            user_id=user_id,
+            nonce=secrets.token_bytes(16),
+            issued_at=self._clock.now(),
+        )
+        self._pending[user_id] = challenge
+        return challenge
+
+    @staticmethod
+    def respond(secret: bytes, challenge: Challenge) -> bytes:
+        """Client-side: compute the proof of possession."""
+        return hmac_sha256(secret, challenge.nonce + challenge.user_id.encode("utf-8"))
+
+    def login(self, user_id: str, response: bytes) -> Session:
+        """Step 2: verify the response and issue a session."""
+        if user_id in self._locked:
+            raise AccessDeniedError(f"account {user_id} is locked")
+        challenge = self._pending.get(user_id)
+        secret = self._secrets.get(user_id)
+        if challenge is None or secret is None:
+            raise AccessDeniedError(f"no pending challenge for {user_id!r}")
+        if self._clock.now() - challenge.issued_at > self._challenge_ttl:
+            del self._pending[user_id]
+            raise AccessDeniedError("challenge expired")
+        expected = self.respond(secret, challenge)
+        if not constant_time_equal(expected, response):
+            self._failures[user_id] = self._failures.get(user_id, 0) + 1
+            if self._failures[user_id] >= self._lockout_threshold:
+                self._locked.add(user_id)
+            raise AccessDeniedError("authentication failed")
+        del self._pending[user_id]
+        self._failures.pop(user_id, None)
+        self._counter += 1
+        now = self._clock.now()
+        session_id = f"sess-{self._counter:08d}"
+        expires_at = now + self._session_seconds
+        token = self._token_for(session_id, user_id, now, expires_at)
+        return Session(
+            session_id=session_id,
+            user_id=user_id,
+            issued_at=now,
+            expires_at=expires_at,
+            token=token,
+        )
+
+    def _token_for(
+        self, session_id: str, user_id: str, issued_at: float, expires_at: float
+    ) -> bytes:
+        material = f"{session_id}|{user_id}|{issued_at}|{expires_at}".encode("utf-8")
+        return hmac_sha256(self._broker_key, material)
+
+    def validate(self, session: Session) -> str:
+        """Validate a presented session; returns the authenticated user id.
+
+        Rejects forged tokens, altered fields, and expired sessions.
+        """
+        expected = self._token_for(
+            session.session_id, session.user_id, session.issued_at, session.expires_at
+        )
+        if not constant_time_equal(expected, session.token):
+            raise AccessDeniedError("session token invalid")
+        if self._clock.now() >= session.expires_at:
+            raise AccessDeniedError("session expired")
+        if session.user_id in self._locked:
+            raise AccessDeniedError(f"account {session.user_id} is locked")
+        return session.user_id
+
+    def failed_attempts(self, user_id: str) -> int:
+        return self._failures.get(user_id, 0)

@@ -1,0 +1,281 @@
+"""The hash-chained audit log.
+
+Every appended event is serialized canonically, journaled to a block
+device (so the adversary sees exactly what persists), and folded into a
+running hash chain::
+
+    chain[i] = H(0x01 || chain[i-1] || canonical(event_i || chain_prev))
+
+The chain digest after each event is stored *with* the event, which
+lets verification pinpoint the first altered entry rather than only
+saying "something is wrong".
+
+Verification modes:
+
+* :meth:`AuditLog.verify_chain` — full rescan from storage; detects
+  in-place edits, deletions, insertions, and reordering.
+* combined with :mod:`repro.audit.anchors` — detects truncation too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.audit.events import AuditAction, AuditEvent
+from repro.crypto.hashing import GENESIS_DIGEST, chain_digest
+from repro.crypto.merkle import MerkleTree
+from repro.errors import AuditError
+from repro.storage.block import BlockDevice, MemoryDevice
+from repro.storage.journal import Journal
+from repro.util.clock import Clock, WallClock
+from repro.util.encoding import canonical_bytes, canonical_loads
+
+
+@dataclass(frozen=True)
+class ChainVerification:
+    """Result of a full chain verification."""
+
+    ok: bool
+    events_checked: int
+    first_bad_sequence: int | None = None
+    problem: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class AuditLog:
+    """Append-only, hash-chained, journal-backed audit log."""
+
+    def __init__(
+        self,
+        device: BlockDevice | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self._journal = Journal(device or MemoryDevice("audit-dev", 1 << 24))
+        self._clock = clock or WallClock()
+        self._head = GENESIS_DIGEST
+        self._events: list[AuditEvent] = []
+        self._tree = MerkleTree()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def head_digest(self) -> bytes:
+        """The current chain head (commits to the whole history)."""
+        return self._head
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._journal.device
+
+    def merkle_root(self) -> bytes:
+        """Merkle root over all event encodings (for anchoring)."""
+        return self._tree.root()
+
+    def merkle_tree(self) -> MerkleTree:
+        return self._tree
+
+    # -- append ----------------------------------------------------------
+
+    def append(
+        self,
+        action: AuditAction,
+        actor_id: str,
+        subject_id: str,
+        detail: dict[str, Any] | None = None,
+    ) -> AuditEvent:
+        """Record an event; returns it with its assigned sequence number."""
+        event = AuditEvent(
+            sequence=len(self._events),
+            timestamp=self._clock.now(),
+            action=action,
+            actor_id=actor_id,
+            subject_id=subject_id,
+            detail=detail or {},
+        )
+        encoded = canonical_bytes({"event": event.to_dict(), "prev": self._head})
+        new_head = chain_digest(self._head, encoded)
+        persisted = canonical_bytes(
+            {"event": event.to_dict(), "prev": self._head, "chain": new_head}
+        )
+        self._journal.append(persisted)
+        self._tree.append(encoded)
+        self._head = new_head
+        self._events.append(event)
+        return event
+
+    # -- read -------------------------------------------------------------
+
+    def events(self) -> list[AuditEvent]:
+        """All events, in order (from the in-memory view)."""
+        return list(self._events)
+
+    def event(self, sequence: int) -> AuditEvent:
+        if sequence < 0 or sequence >= len(self._events):
+            raise AuditError(f"no audit event with sequence {sequence}")
+        return self._events[sequence]
+
+    # -- verification -------------------------------------------------------
+
+    def verify_chain(self) -> ChainVerification:
+        """Re-derive the whole chain from persistent storage.
+
+        Reads every journaled entry back from the device (so raw-device
+        tampering is caught), recomputes each link, and compares with
+        the stored chain digests and the in-memory head.
+        """
+        head = GENESIS_DIGEST
+        try:
+            payloads = self._journal.read_all()
+        except Exception as exc:  # journal checksum failures included
+            return ChainVerification(
+                ok=False,
+                events_checked=0,
+                first_bad_sequence=self._first_journal_corruption(),
+                problem=f"journal unreadable: {exc}",
+            )
+        for sequence, payload in enumerate(payloads):
+            try:
+                entry = canonical_loads(payload)
+                event = AuditEvent.from_dict(entry["event"])
+            except Exception as exc:
+                return ChainVerification(
+                    ok=False,
+                    events_checked=sequence,
+                    first_bad_sequence=sequence,
+                    problem=f"event {sequence} undecodable: {exc}",
+                )
+            if event.sequence != sequence:
+                return ChainVerification(
+                    ok=False,
+                    events_checked=sequence,
+                    first_bad_sequence=sequence,
+                    problem=f"event {sequence} carries sequence {event.sequence}",
+                )
+            if entry["prev"] != head:
+                return ChainVerification(
+                    ok=False,
+                    events_checked=sequence,
+                    first_bad_sequence=sequence,
+                    problem=f"chain link broken before event {sequence}",
+                )
+            encoded = canonical_bytes({"event": entry["event"], "prev": head})
+            head = chain_digest(head, encoded)
+            if entry["chain"] != head:
+                return ChainVerification(
+                    ok=False,
+                    events_checked=sequence,
+                    first_bad_sequence=sequence,
+                    problem=f"stored chain digest wrong at event {sequence}",
+                )
+        if head != self._head:
+            return ChainVerification(
+                ok=False,
+                events_checked=len(payloads),
+                first_bad_sequence=len(payloads),
+                problem="storage does not reproduce the in-memory chain head "
+                "(possible truncation or appended forgery)",
+            )
+        return ChainVerification(ok=True, events_checked=len(payloads))
+
+    def _first_journal_corruption(self) -> int | None:
+        corrupted = self._journal.scan_corruption()
+        return corrupted[0] if corrupted else None
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, device: BlockDevice, clock: Clock | None = None) -> "AuditLog":
+        """Rebuild an audit log from its device after a restart/crash.
+
+        Replays the journal, re-deriving the hash chain and the Merkle
+        tree.  A crash-truncated tail (incomplete final frame) is
+        dropped by the journal's frame validation; any *mid-log*
+        inconsistency raises :class:`AuditError` — a log that does not
+        verify must not be silently adopted as the system of record.
+        """
+        log = cls.__new__(cls)
+        log._journal = Journal.recover(device)
+        log._clock = clock or WallClock()
+        log._head = GENESIS_DIGEST
+        log._events = []
+        log._tree = MerkleTree()
+        for sequence, payload in enumerate(log._journal.read_all()):
+            try:
+                entry = canonical_loads(payload)
+                event = AuditEvent.from_dict(entry["event"])
+            except Exception as exc:
+                raise AuditError(
+                    f"recovery failed: event {sequence} undecodable: {exc}"
+                ) from exc
+            if event.sequence != sequence or entry["prev"] != log._head:
+                raise AuditError(
+                    f"recovery failed: chain inconsistent at event {sequence}"
+                )
+            encoded = canonical_bytes({"event": entry["event"], "prev": log._head})
+            log._head = chain_digest(log._head, encoded)
+            if entry["chain"] != log._head:
+                raise AuditError(
+                    f"recovery failed: stored chain digest wrong at event {sequence}"
+                )
+            log._tree.append(encoded)
+            log._events.append(event)
+        return log
+
+    # -- third-party event proofs -------------------------------------------
+
+    def prove_event(self, sequence: int, at_size: int | None = None):
+        """Produce a Merkle inclusion proof for one event.
+
+        Together with a published anchor (see :mod:`repro.audit.anchors`)
+        this lets the hospital disclose a *single* audit event to a
+        third party — a court, a patient — with cryptographic proof it
+        belongs to the witnessed log, without revealing any other event.
+        *at_size* selects the anchored log size the proof must match
+        (default: the current size).  Returns ``(event, chain_prev,
+        proof)``; verify with :func:`verify_event_proof`.
+        """
+        event = self.event(sequence)
+        size = at_size if at_size is not None else len(self._events)
+        if sequence >= size:
+            raise AuditError(
+                f"event {sequence} is not covered by an anchor at size {size}"
+            )
+        chain_prev = self.expected_head_for(self._events[:sequence])
+        proof = self._tree.prove_inclusion_at(sequence, size)
+        return event, chain_prev, proof
+
+    def expected_head_for(self, events: list[AuditEvent]) -> bytes:
+        """Recompute the chain head a given event list should produce.
+
+        External auditors use this: given an exported event list and a
+        published head digest, the export is authentic iff they match.
+        """
+        head = GENESIS_DIGEST
+        for event in events:
+            encoded = canonical_bytes({"event": event.to_dict(), "prev": head})
+            head = chain_digest(head, encoded)
+        return head
+
+
+def verify_event_proof(
+    event: AuditEvent,
+    chain_prev: bytes,
+    proof,
+    anchored_root: bytes,
+) -> None:
+    """Third-party verification of a single disclosed audit event.
+
+    *anchored_root* is the Merkle root from a witnessed anchor whose
+    ``log_size`` equals ``proof.tree_size``; *chain_prev* is the chain
+    head preceding the event (part of the disclosure).  Raises
+    :class:`~repro.errors.IntegrityError` if the event is not in the
+    anchored log.
+    """
+    from repro.crypto.merkle import verify_inclusion
+
+    encoded = canonical_bytes({"event": event.to_dict(), "prev": chain_prev})
+    verify_inclusion(encoded, proof, anchored_root)

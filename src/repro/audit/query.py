@@ -1,0 +1,98 @@
+"""Forensic queries over the audit trail.
+
+After a suspected breach, the privacy officer needs answers fast:
+who accessed this patient's records, what did this workforce member do
+last quarter, were there emergency accesses without follow-up review,
+how many denials did each actor accumulate.  :class:`AuditQuery` wraps
+an :class:`~repro.audit.log.AuditLog` with those questions.
+
+All queries verify the chain first by default — forensic conclusions
+drawn from a tampered log are worse than none.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.audit.events import AuditAction, AuditEvent
+from repro.audit.log import AuditLog
+from repro.errors import AuditError
+
+_ACCESS_ACTIONS = frozenset(
+    {
+        AuditAction.RECORD_READ,
+        AuditAction.RECORD_CREATED,
+        AuditAction.RECORD_CORRECTED,
+        AuditAction.RECORD_SEARCHED,
+        AuditAction.RECORD_EXPORTED,
+        AuditAction.EMERGENCY_ACCESS,
+    }
+)
+
+
+class AuditQuery:
+    """Read-only forensic interface over an audit log."""
+
+    def __init__(self, log: AuditLog, verify_first: bool = True) -> None:
+        self._log = log
+        self._verify_first = verify_first
+
+    def _events(self) -> list[AuditEvent]:
+        if self._verify_first:
+            verification = self._log.verify_chain()
+            if not verification:
+                raise AuditError(
+                    f"refusing to query a tampered audit log: {verification.problem}"
+                )
+        return self._log.events()
+
+    def filter(self, predicate: Callable[[AuditEvent], bool]) -> list[AuditEvent]:
+        """Generic filtered view."""
+        return [event for event in self._events() if predicate(event)]
+
+    def accesses_to(self, subject_id: str) -> list[AuditEvent]:
+        """Every access-class event touching *subject_id* (HIPAA
+        accounting-of-disclosures)."""
+        return self.filter(
+            lambda e: e.subject_id == subject_id and e.action in _ACCESS_ACTIONS
+        )
+
+    def actions_by(self, actor_id: str) -> list[AuditEvent]:
+        """Everything a workforce member did."""
+        return self.filter(lambda e: e.actor_id == actor_id)
+
+    def in_window(self, start: float, end: float) -> list[AuditEvent]:
+        """Events with start <= timestamp < end."""
+        return self.filter(lambda e: start <= e.timestamp < end)
+
+    def by_action(self, action: AuditAction) -> list[AuditEvent]:
+        return self.filter(lambda e: e.action is action)
+
+    def emergency_accesses(self) -> list[AuditEvent]:
+        """Break-glass events — each one requires after-the-fact review."""
+        return self.by_action(AuditAction.EMERGENCY_ACCESS)
+
+    def denial_counts(self) -> dict[str, int]:
+        """Denied-access counts per actor; repeated denials signal probing."""
+        counts = Counter(
+            event.actor_id for event in self.by_action(AuditAction.ACCESS_DENIED)
+        )
+        return dict(counts)
+
+    def suspicious_actors(self, denial_threshold: int = 5) -> list[str]:
+        """Actors whose denial count reaches the threshold."""
+        return sorted(
+            actor
+            for actor, count in self.denial_counts().items()
+            if count >= denial_threshold
+        )
+
+    def disclosure_accounting(self, patient_record_ids: list[str]) -> list[AuditEvent]:
+        """All access events over a patient's record set, time-ordered —
+        the report HIPAA lets individuals request."""
+        wanted = set(patient_record_ids)
+        events = self.filter(
+            lambda e: e.subject_id in wanted and e.action in _ACCESS_ACTIONS
+        )
+        return sorted(events, key=lambda e: e.sequence)

@@ -1,0 +1,43 @@
+"""The storage models surveyed in the paper's Section 4.
+
+Each baseline is a clean-room functional model of a capability class,
+implemented over the same simulated substrate as Curator so the attack
+harness and benchmarks compare like with like:
+
+* :class:`RelationalStore` — a conventional RDBMS-style store:
+  mutable rows, plaintext on disk, plaintext index.  Fast, insecure.
+* :class:`EncryptedStore` — "commercial solution": encryption at rest
+  with a store-wide key and *no* per-record authentication (disk-
+  encryption style, as deployed circa 2007).  Stops the outsider thief,
+  not the insider.
+* :class:`HippocraticStore` — IBM Hippocratic-database-style: query
+  rewriting for fine-grained access control plus compliance audit
+  logging — but the log is an ordinary mutable table, so an insider
+  with disk access can both read and rewrite history.
+* :class:`ObjectStore` — content-addressed storage: object id =
+  SHA-256(content).  Integrity comes free; corrections do not exist.
+* :class:`PlainWormStore` — compliance WORM alone: write-once with
+  retention terms, but a plaintext index, no corrections, no hash-
+  chained audit, no provenance.
+
+The Curator hybrid (:mod:`repro.core`) implements the same
+:class:`StorageModel` interface, so E1's requirements matrix runs the
+identical probe suite against all six.
+"""
+
+from repro.baselines.interface import StorageModel, UnsupportedOperation
+from repro.baselines.relational import RelationalStore
+from repro.baselines.encrypted import EncryptedStore
+from repro.baselines.hippocratic import HippocraticStore
+from repro.baselines.objectstore import ObjectStore
+from repro.baselines.plainworm import PlainWormStore
+
+__all__ = [
+    "StorageModel",
+    "UnsupportedOperation",
+    "RelationalStore",
+    "EncryptedStore",
+    "HippocraticStore",
+    "ObjectStore",
+    "PlainWormStore",
+]

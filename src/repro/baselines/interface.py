@@ -1,0 +1,129 @@
+"""The common storage-model interface.
+
+Everything the requirements matrix (E1) probes is expressed through
+this interface, so a model cannot pass by having a different API — it
+can only pass by actually providing the behaviour.
+
+Operations a model does not support raise :class:`UnsupportedOperation`
+(e.g. corrections on content-addressed storage); the probe records that
+as a failed requirement rather than an error.
+
+``devices()`` exposes the model's persistent surface to the adversary:
+whatever the model writes there is what an insider with disk access or
+a thief with the medium gets.  Models may keep *indexes or caches* in
+memory, but record persistence must go through a device — the harness
+checks this (a model whose devices are empty after ingest is cheating
+and is flagged by :func:`verify_persistence`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.errors import CuratorError
+from repro.records.model import HealthRecord
+from repro.storage.block import BlockDevice
+
+
+class UnsupportedOperation(CuratorError):
+    """The storage model does not provide this operation."""
+
+
+class StorageModel(abc.ABC):
+    """Uniform facade over every storage model in the comparison."""
+
+    model_name: str = "abstract"
+
+    # -- core record operations ------------------------------------------------
+
+    @abc.abstractmethod
+    def store(self, record: HealthRecord, author_id: str) -> None:
+        """Persist a new record."""
+
+    @abc.abstractmethod
+    def read(self, record_id: str, actor_id: str = "system") -> HealthRecord:
+        """Return the current version of a record."""
+
+    @abc.abstractmethod
+    def correct(
+        self, corrected: HealthRecord, author_id: str, reason: str
+    ) -> None:
+        """Apply a correction (the HIPAA right-to-amend path)."""
+
+    @abc.abstractmethod
+    def search(self, term: str, actor_id: str = "system") -> list[str]:
+        """Keyword search; returns record ids."""
+
+    @abc.abstractmethod
+    def dispose(self, record_id: str) -> None:
+        """End-of-retention disposal of a record."""
+
+    @abc.abstractmethod
+    def record_ids(self) -> list[str]:
+        """Ids of live records."""
+
+    # -- surfaces the harness interrogates ------------------------------------------
+
+    @abc.abstractmethod
+    def devices(self) -> list[BlockDevice]:
+        """Every persistent device the model writes (adversary surface)."""
+
+    @abc.abstractmethod
+    def verify_integrity(self) -> list[str]:
+        """Record ids whose stored state fails the model's own integrity
+        checks.  A model with no integrity machinery returns [] even
+        when tampered — that *is* the finding."""
+
+    def audit_events(self) -> list[dict[str, Any]]:
+        """The model's audit trail as plain dicts (empty if none kept)."""
+        return []
+
+    def audit_devices(self) -> list[BlockDevice]:
+        """Devices holding the audit trail (empty if none kept)."""
+        return []
+
+    def verify_audit_trail(self) -> bool | None:
+        """Re-verify the audit trail from persistent storage.
+
+        Returns ``None`` when the model keeps no audit trail, ``True``
+        when the trail verifies, ``False`` when tampering is detected.
+        The default (no audit machinery) is ``None``.
+        """
+        return None
+
+    def read_version(self, record_id: str, version: int) -> HealthRecord:
+        """Read a historical version of a record.  Models without
+        version history raise :class:`UnsupportedOperation`."""
+        raise UnsupportedOperation(
+            f"{self.model_name} does not keep record version history"
+        )
+
+    def prepare_access_probe(self, actor_id: str) -> None:
+        """Give the harness's unauthorized probe actor whatever standing
+        the model's access-control mechanism uses (e.g. a restricted
+        policy role).  Models without access control need nothing here —
+        and will then fail the probe, which is the finding."""
+
+    def insider_keys(self) -> dict[str, bytes]:
+        """Key material that lives in the software stack and is therefore
+        available to a malicious insider (e.g. a store-wide encryption
+        key in application config).  Models whose keys live in an
+        HSM-equivalent return {} — the insider can drive the running
+        system but cannot exfiltrate those keys."""
+        return {}
+
+    def supports(self, operation: str) -> bool:
+        """Cheap capability probe: does the model implement *operation*
+        (``correct``, ``dispose``, ``audit``, ``provenance``)?
+        Behavioural probes in the harness double-check the claims."""
+        return operation in self.declared_features()
+
+    @abc.abstractmethod
+    def declared_features(self) -> frozenset[str]:
+        """Feature flags the model claims (verified behaviourally)."""
+
+
+def verify_persistence(model: StorageModel) -> bool:
+    """Anti-cheat check: after ingest, the model's devices must hold data."""
+    return any(device.used > 0 for device in model.devices())

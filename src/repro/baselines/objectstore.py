@@ -1,0 +1,99 @@
+"""The object-storage (CAS) baseline.
+
+Models the object-based storage the paper cites (Mesnier, Ganger &
+Riedel): "document content hashes are used as object IDs to locate
+documents", so read-only content is efficient and "information
+integrity can be easily assured" — while "appends and writes in the
+presence of malicious adversaries are difficult to achieve".
+
+Here: object address = SHA-256(content).  A metadata service (in
+memory) maps record ids to addresses.  Integrity verification is free
+(re-hash and compare to the address); corrections are unsupported —
+changing content changes the address and orphans every reference,
+which is exactly the paper's objection.  No retention enforcement and
+no audit trail.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import StorageModel, UnsupportedOperation
+from repro.crypto.hashing import sha256
+from repro.errors import RecordNotFoundError
+from repro.index.inverted import InvertedIndex
+from repro.records.model import HealthRecord
+from repro.storage.block import BlockDevice, MemoryDevice
+from repro.storage.journal import Journal
+from repro.util.encoding import canonical_bytes, canonical_loads
+
+
+class ObjectStore(StorageModel):
+    """Content-addressed store: address = SHA-256(content)."""
+
+    model_name = "objectstore"
+
+    def __init__(self, capacity: int = 1 << 24) -> None:
+        self._journal = Journal(MemoryDevice("cas-dev", capacity))
+        self._by_address: dict[bytes, int] = {}  # address -> journal sequence
+        self._addresses: dict[str, bytes] = {}  # record_id -> address
+        self._index = InvertedIndex(MemoryDevice("cas-idx", capacity))
+
+    # -- core operations ---------------------------------------------------------
+
+    def store(self, record: HealthRecord, author_id: str) -> None:
+        content = canonical_bytes(record.to_dict())
+        address = sha256(content)
+        if address not in self._by_address:
+            entry = self._journal.append(content)
+            self._by_address[address] = entry.sequence
+        self._addresses[record.record_id] = address
+        self._index.add_document(record.record_id, record.searchable_text())
+
+    def read(self, record_id: str, actor_id: str = "system") -> HealthRecord:
+        address = self._addresses.get(record_id)
+        if address is None:
+            raise RecordNotFoundError(f"no object for record {record_id}")
+        content = self._journal.read(self._by_address[address])
+        if sha256(content) != address:
+            from repro.errors import IntegrityError
+
+            raise IntegrityError(
+                f"object for record {record_id} does not match its address"
+            )
+        return HealthRecord.from_dict(canonical_loads(content))
+
+    def correct(self, corrected: HealthRecord, author_id: str, reason: str) -> None:
+        raise UnsupportedOperation(
+            "content-addressed storage cannot update an object in place: "
+            "new content means a new address, orphaning all references"
+        )
+
+    def search(self, term: str, actor_id: str = "system") -> list[str]:
+        return self._index.search(term)
+
+    def dispose(self, record_id: str) -> None:
+        """Drops the reference — unconditional, and the object bytes stay
+        in the CAS (another record might share them)."""
+        record = self.read(record_id)
+        self._index.remove_document(record_id, record.searchable_text())
+        del self._addresses[record_id]
+
+    def record_ids(self) -> list[str]:
+        return sorted(self._addresses)
+
+    # -- harness surfaces --------------------------------------------------------------
+
+    def devices(self) -> list[BlockDevice]:
+        return [self._journal.device, self._index.device]
+
+    def verify_integrity(self) -> list[str]:
+        """Re-hash every referenced object — the CAS party trick."""
+        failures = []
+        for record_id in self.record_ids():
+            try:
+                self.read(record_id)
+            except Exception:
+                failures.append(record_id)
+        return failures
+
+    def declared_features(self) -> frozenset[str]:
+        return frozenset({"dispose", "search", "integrity"})

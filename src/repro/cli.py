@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — the quickstart flow: store, search, correct, audit.
+* ``matrix`` — run the full E1 requirements matrix (slow: probes all
+  six models with the attack suite).
+* ``thirty-years`` — the OSHA retention simulation with media refresh.
+* ``audit-ops`` — build a small deployment, drift it, and print the
+  operational-findings report.
+* ``info`` — library version and subsystem inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import secrets
+import sys
+
+
+def _cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro (Curator) {repro.__version__}")
+    print(__doc__)
+    subsystems = [
+        "crypto", "storage", "worm", "records", "audit", "provenance",
+        "index", "access", "retention", "migration", "backup", "cost",
+        "workload", "threats", "baselines", "compliance", "core",
+    ]
+    print("subsystems: " + ", ".join(f"repro.{s}" for s in subsystems))
+    return 0
+
+
+def _quickstart() -> int:
+    from repro import CuratorConfig, CuratorStore
+    from repro.records import ClinicalNote, HealthRecord
+    from repro.util import SimulatedClock
+
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(
+        CuratorConfig(master_key=secrets.token_bytes(32), clock=clock)
+    )
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=clock.now(),
+        author="dr-demo",
+        specialty="cardiology",
+        text="patient reports palpitations; echocardiogram ordered",
+    )
+    store.store(note, author_id="dr-demo")
+    print("stored rec-1;", "search('palpitations') ->", store.search("palpitations"))
+    corrected = HealthRecord(
+        record_id="rec-1",
+        record_type=note.record_type,
+        patient_id="pat-1",
+        created_at=clock.now(),
+        body={**note.body, "text": note.body["text"] + " echo normal."},
+    )
+    store.correct(corrected, author_id="dr-demo", reason="result appended")
+    print("versions:", store.version_count("rec-1"))
+    print("audit verifies:", store.verify_audit_trail())
+    for event in store.audit_events():
+        print(f"  [{event['sequence']:03d}] {event['action']:<18} {event['actor_id']}")
+    return 0
+
+
+def _matrix() -> int:
+    from repro.baselines import (
+        EncryptedStore,
+        HippocraticStore,
+        ObjectStore,
+        PlainWormStore,
+        RelationalStore,
+    )
+    from repro.compliance import ComplianceChecker, render_matrix
+    from repro.core import CuratorConfig, CuratorStore
+    from repro.util import SimulatedClock
+
+    master = bytes(range(32))
+
+    def curator():
+        clock = SimulatedClock(start=1.17e9)
+        return CuratorStore(CuratorConfig(master_key=master, clock=clock)), clock
+
+    def plainworm():
+        clock = SimulatedClock(start=1.17e9)
+        return PlainWormStore(clock=clock), clock
+
+    factories = {
+        "relational": lambda: (RelationalStore(), None),
+        "encrypted": lambda: (EncryptedStore(), None),
+        "hippocratic": lambda: (HippocraticStore(), None),
+        "objectstore": lambda: (ObjectStore(), None),
+        "plainworm": plainworm,
+        "curator": curator,
+    }
+    print("probing all six models with the attack suite (this takes a few minutes)...")
+    print(render_matrix(ComplianceChecker().evaluate_all(factories)))
+    return 0
+
+
+def _thirty_years(_args) -> int:
+    from repro import ArchiveLifecycle, CuratorConfig, CuratorStore
+    from repro.util import SimulatedClock
+    from repro.workload import WorkloadGenerator
+
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=secrets.token_bytes(32), clock=clock))
+    generator = WorkloadGenerator("cli", clock)
+    generator.create_population(10)
+    for _ in range(12):
+        g = generator.exposure_record()
+        store.store(g.record, g.author_id)
+    lifecycle = ArchiveLifecycle(store, clock, media_refresh_years=5.0, backup_every_years=1.0)
+    report = lifecycle.run_years(31.0, step_years=1.0)
+    print(f"simulated {report.years_simulated:.0f} years: "
+          f"{report.media_refreshes} media refreshes, "
+          f"{report.backups_taken} backups, "
+          f"{report.records_disposed} records disposed, "
+          f"{len(report.integrity_failures)} integrity failures")
+    print("audit trail verifies:", store.verify_audit_trail())
+    return 0
+
+
+def _audit_ops(_args) -> int:
+    from repro import CuratorConfig, CuratorStore
+    from repro.access import Role, User
+    from repro.compliance.operations import operational_findings, render_findings
+    from repro.records import ClinicalNote
+    from repro.util import SimulatedClock
+
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=secrets.token_bytes(32), clock=clock))
+    note = ClinicalNote.create(
+        record_id="rec-1", patient_id="pat-1", created_at=clock.now(),
+        author="dr-a", specialty="oncology", text="routine followup",
+    )
+    store.store(note, author_id="dr-a")
+    store.register_user(User.make("dr-er", "ER", [Role.PHYSICIAN]))
+    store.break_glass("dr-er", "pat-1", "emergency override during night shift")
+    clock.advance_years(8)  # age the media, expire the note, miss the review
+    print(render_findings(operational_findings(store)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Curator: compliant secure storage for healthcare records",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="version and subsystem inventory").set_defaults(
+        func=_cmd_info
+    )
+    sub.add_parser("demo", help="store/search/correct/audit walkthrough").set_defaults(
+        func=lambda _a: _quickstart()
+    )
+    sub.add_parser("matrix", help="run the E1 requirements matrix (slow)").set_defaults(
+        func=lambda _a: _matrix()
+    )
+    sub.add_parser(
+        "thirty-years", help="simulate 30-year OSHA retention"
+    ).set_defaults(func=_thirty_years)
+    sub.add_parser(
+        "audit-ops", help="operational compliance findings on a drifted deployment"
+    ).set_defaults(func=_audit_ops)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

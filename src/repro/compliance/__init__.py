@@ -1,0 +1,31 @@
+"""Machine-readable compliance: regulations, requirements, checking.
+
+* :mod:`repro.compliance.requirements` — the paper's Section-3
+  requirement taxonomy as an enum, each entry citing the paper section
+  and regulation clauses behind it.
+* :mod:`repro.compliance.regulations` — the surveyed regulations
+  (HIPAA, OSHA 29 CFR 1910.1020, EU 95/46/EC, UK DPA 1998) as catalogs
+  mapping clauses to requirements.
+* :mod:`repro.compliance.checker` — evaluates a storage model against
+  the taxonomy using the attack/probe harness (behavioural evidence,
+  not self-declared capability flags).
+* :mod:`repro.compliance.report` — renders the evaluation as the
+  requirements matrix (experiment E1) and per-regulation reports.
+"""
+
+from repro.compliance.checker import ComplianceChecker, ModelEvaluation
+from repro.compliance.regulations import REGULATIONS, Regulation, RegulationClause
+from repro.compliance.report import render_matrix, render_regulation_report
+from repro.compliance.requirements import Requirement, REQUIREMENT_DETAILS
+
+__all__ = [
+    "ComplianceChecker",
+    "ModelEvaluation",
+    "REGULATIONS",
+    "Regulation",
+    "RegulationClause",
+    "render_matrix",
+    "render_regulation_report",
+    "Requirement",
+    "REQUIREMENT_DETAILS",
+]

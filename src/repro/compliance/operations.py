@@ -1,0 +1,169 @@
+"""Operational compliance findings for a running Curator deployment.
+
+The E1 checker scores a storage *design*; an auditor also examines the
+*operation* of a live deployment: are break-glass grants reviewed on
+time, is media past its service life, has the audit log been anchored
+recently, are there disposition tickets stuck awaiting approval, do all
+custody chains verify today.  :func:`operational_findings` runs those
+checks against a live :class:`~repro.core.engine.CuratorStore`.
+
+Each finding has a severity (``violation`` — a clause is being breached
+now; ``warning`` — drifting toward one) and an actionable message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import CuratorStore
+
+
+@dataclass(frozen=True)
+class OperationalFinding:
+    """One audit observation about a live deployment."""
+
+    severity: str  # "violation" | "warning"
+    area: str
+    message: str
+    citation: str = ""
+
+
+def operational_findings(
+    store: CuratorStore,
+    anchor_staleness_events: int = 256,
+) -> list[OperationalFinding]:
+    """Inspect a live store and return its current findings (empty list
+    == operationally clean)."""
+    findings: list[OperationalFinding] = []
+
+    # 1. Break-glass review hygiene.
+    overdue = store.breakglass.overdue_reviews()
+    if overdue:
+        findings.append(
+            OperationalFinding(
+                severity="violation",
+                area="emergency_access",
+                message=(
+                    f"{len(overdue)} break-glass grant(s) past the review "
+                    f"deadline without privacy-officer disposition"
+                ),
+                citation="HIPAA Privacy Rule (access review procedures)",
+            )
+        )
+    pending = store.breakglass.pending_review()
+    if pending and not overdue:
+        findings.append(
+            OperationalFinding(
+                severity="warning",
+                area="emergency_access",
+                message=f"{len(pending)} break-glass grant(s) awaiting review",
+            )
+        )
+
+    # 2. Media fleet age.
+    aged = store.media_pool.due_for_replacement()
+    if aged:
+        findings.append(
+            OperationalFinding(
+                severity="warning",
+                area="media",
+                message=(
+                    f"{len(aged)} active medium/media past rated service life: "
+                    f"{[m.medium_id for m in aged]} — schedule a refresh migration"
+                ),
+                citation="HIPAA §164.310(d)(2)(iii)",
+            )
+        )
+
+    # 3. Audit anchoring freshness.
+    latest_anchor = store.witness.latest()
+    anchored_size = latest_anchor.log_size if latest_anchor else 0
+    unanchored = len(store.audit_log) - anchored_size
+    if unanchored > anchor_staleness_events:
+        findings.append(
+            OperationalFinding(
+                severity="warning",
+                area="audit",
+                message=(
+                    f"{unanchored} audit events not yet covered by an external "
+                    f"anchor (truncation-attack exposure window)"
+                ),
+            )
+        )
+
+    # 4. Audit trail verification.
+    if store.verify_audit_trail() is not True:
+        findings.append(
+            OperationalFinding(
+                severity="violation",
+                area="audit",
+                message="the audit trail does not verify — investigate immediately",
+                citation="HIPAA §164.310(d)(2)(iii)",
+            )
+        )
+
+    # 5. Store integrity.
+    corrupt = store.verify_integrity()
+    if corrupt:
+        findings.append(
+            OperationalFinding(
+                severity="violation",
+                area="integrity",
+                message=f"integrity verification failed for: {corrupt}",
+                citation="HIPAA §164.306(a)(1)",
+            )
+        )
+
+    # 6. Custody chains.
+    custody_problems = store.custody.verify_all()
+    if custody_problems:
+        findings.append(
+            OperationalFinding(
+                severity="violation",
+                area="provenance",
+                message=f"custody chains failing verification: "
+                f"{sorted(custody_problems)}",
+                citation="HIPAA §164.310(d)(2)(iii)",
+            )
+        )
+
+    # 7. Retention backlog: records past retention but not dispositioned.
+    due = store.retention_sweep()
+    if due:
+        findings.append(
+            OperationalFinding(
+                severity="warning",
+                area="retention",
+                message=(
+                    f"{len(due)} record(s) past retention awaiting disposition: "
+                    f"{due[:5]}{'...' if len(due) > 5 else ''}"
+                ),
+                citation="HIPAA §164.310(d)(2)(i); EU 95/46/EC Art. 6(e)",
+            )
+        )
+
+    # 8. Backup recency.
+    if len(store.vault) == 0 and len(store.record_ids()) > 0:
+        findings.append(
+            OperationalFinding(
+                severity="violation",
+                area="backup",
+                message="records exist but no backup snapshot has ever been taken",
+                citation="HIPAA §164.310(d)(2)(iv)",
+            )
+        )
+
+    return findings
+
+
+def render_findings(findings: list[OperationalFinding]) -> str:
+    """Auditor-style rendering of operational findings."""
+    if not findings:
+        return "Operational audit: no findings. Deployment is clean."
+    lines = [f"Operational audit: {len(findings)} finding(s)"]
+    for finding in sorted(findings, key=lambda f: (f.severity != "violation", f.area)):
+        marker = "!!" if finding.severity == "violation" else " ~"
+        lines.append(f"  [{marker}] ({finding.area}) {finding.message}")
+        if finding.citation:
+            lines.append(f"        basis: {finding.citation}")
+    return "\n".join(lines)

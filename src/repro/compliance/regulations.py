@@ -1,0 +1,171 @@
+"""The surveyed regulations as machine-readable catalogs.
+
+Each :class:`Regulation` maps its clauses (as cited by the paper's
+Section 2) to the requirement-taxonomy entries they imply.  The
+compliance checker uses this to answer per-regulation questions: "which
+HIPAA clauses does this storage model fail?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compliance.requirements import Requirement
+
+
+@dataclass(frozen=True)
+class RegulationClause:
+    """One cited clause and the storage requirements it implies."""
+
+    citation: str
+    summary: str
+    implies: tuple[Requirement, ...]
+
+
+@dataclass(frozen=True)
+class Regulation:
+    """A regulation with its storage-relevant clauses."""
+
+    name: str
+    jurisdiction: str
+    clauses: tuple[RegulationClause, ...]
+
+    def requirements(self) -> set[Requirement]:
+        return {req for clause in self.clauses for req in clause.implies}
+
+    def clauses_implying(self, requirement: Requirement) -> list[RegulationClause]:
+        return [clause for clause in self.clauses if requirement in clause.implies]
+
+
+HIPAA = Regulation(
+    name="HIPAA",
+    jurisdiction="United States",
+    clauses=(
+        RegulationClause(
+            "§164.306(a)(1)",
+            "Ensure confidentiality, integrity, and availability of all EPHI",
+            (
+                Requirement.CONFIDENTIALITY_OUTSIDER,
+                Requirement.INTEGRITY_TAMPER_EVIDENCE,
+                Requirement.BACKUP_RECOVERY,
+            ),
+        ),
+        RegulationClause(
+            "§164.306(a)(2)",
+            "Protect against reasonably anticipated threats (incl. insiders)",
+            (
+                Requirement.CONFIDENTIALITY_INSIDER,
+                Requirement.INTEGRITY_TAMPER_EVIDENCE,
+            ),
+        ),
+        RegulationClause(
+            "§164.306(a)(3)",
+            "Protect against non-permitted uses or disclosures",
+            (Requirement.ACCESS_CONTROL, Requirement.TRUSTWORTHY_INDEX),
+        ),
+        RegulationClause(
+            "§164.310(d)(2)(i)",
+            "Policies for final disposition of EPHI and its media",
+            (Requirement.SECURE_DELETION,),
+        ),
+        RegulationClause(
+            "§164.310(d)(2)(ii)",
+            "Remove EPHI from media before re-use",
+            (Requirement.SECURE_DELETION,),
+        ),
+        RegulationClause(
+            "§164.310(d)(2)(iii)",
+            "Record the movements of hardware/media and persons responsible",
+            (
+                Requirement.TRUSTWORTHY_AUDIT,
+                Requirement.PROVENANCE_CUSTODY,
+                Requirement.VERIFIABLE_MIGRATION,
+            ),
+        ),
+        RegulationClause(
+            "§164.310(d)(2)(iv)",
+            "Retrievable exact copy of EPHI before equipment movement",
+            (Requirement.BACKUP_RECOVERY,),
+        ),
+        RegulationClause(
+            "Privacy Rule (accounting of disclosures)",
+            "Record all access to medical records",
+            (Requirement.ACCESS_ACCOUNTABILITY,),
+        ),
+        RegulationClause(
+            "Privacy Rule (right to amend)",
+            "Individuals may request correction of their records",
+            (Requirement.CORRECTIONS_WITH_HISTORY,),
+        ),
+    ),
+)
+
+OSHA = Regulation(
+    name="OSHA 29 CFR 1910.1020",
+    jurisdiction="United States",
+    clauses=(
+        RegulationClause(
+            "(d)(1)(i-ii)",
+            "Employee medical and exposure records preserved >= 30 years",
+            (Requirement.GUARANTEED_RETENTION,),
+        ),
+        RegulationClause(
+            "(h)",
+            "Transfer records to the new owner when the business changes hands",
+            (Requirement.VERIFIABLE_MIGRATION, Requirement.PROVENANCE_CUSTODY),
+        ),
+    ),
+)
+
+EU_DPD = Regulation(
+    name="EU Directive 95/46/EC",
+    jurisdiction="European Union",
+    clauses=(
+        RegulationClause(
+            "Article 6",
+            "Accuracy of personal records; disposal after the retention period",
+            (
+                Requirement.INTEGRITY_TAMPER_EVIDENCE,
+                Requirement.CORRECTIONS_WITH_HISTORY,
+                Requirement.SECURE_DELETION,
+                Requirement.GUARANTEED_RETENTION,
+            ),
+        ),
+        RegulationClause(
+            "Article 17",
+            "Confidentiality and availability measures",
+            (
+                Requirement.CONFIDENTIALITY_OUTSIDER,
+                Requirement.ACCESS_CONTROL,
+                Requirement.BACKUP_RECOVERY,
+            ),
+        ),
+    ),
+)
+
+UK_DPA = Regulation(
+    name="UK Data Protection Act 1998",
+    jurisdiction="United Kingdom",
+    clauses=(
+        RegulationClause(
+            "Principles 4-5",
+            "Accuracy, logging of changes, mandatory disposal after retention",
+            (
+                Requirement.CORRECTIONS_WITH_HISTORY,
+                Requirement.TRUSTWORTHY_AUDIT,
+                Requirement.SECURE_DELETION,
+            ),
+        ),
+        RegulationClause(
+            "Principle 7",
+            "Strict confidentiality of personal health records",
+            (
+                Requirement.CONFIDENTIALITY_OUTSIDER,
+                Requirement.CONFIDENTIALITY_INSIDER,
+                Requirement.ACCESS_CONTROL,
+            ),
+        ),
+    ),
+)
+
+REGULATIONS: tuple[Regulation, ...] = (HIPAA, OSHA, EU_DPD, UK_DPA)

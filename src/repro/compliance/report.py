@@ -1,0 +1,81 @@
+"""Rendering compliance evaluations as human-readable reports.
+
+:func:`render_matrix` produces the E1 table (requirements × models);
+:func:`render_regulation_report` produces an auditor-style report for
+one model against one regulation.
+"""
+
+from __future__ import annotations
+
+from repro.compliance.checker import ModelEvaluation
+from repro.compliance.requirements import REQUIREMENT_DETAILS, Requirement
+
+PASS_MARK = "+"
+FAIL_MARK = "-"
+
+
+def render_matrix(evaluations: list[ModelEvaluation]) -> str:
+    """The requirements matrix: one row per requirement, one column per
+    model, '+' for pass and '-' for fail (ASCII so it survives any
+    terminal)."""
+    if not evaluations:
+        return "(no models evaluated)"
+    requirements = list(Requirement)
+    name_width = max(len(REQUIREMENT_DETAILS[r].title) for r in requirements)
+    columns = [e.model_name for e in evaluations]
+    header = "Requirement".ljust(name_width) + " | " + " | ".join(
+        name.center(max(len(name), 4)) for name in columns
+    )
+    separator = "-" * len(header)
+    lines = [header, separator]
+    for requirement in requirements:
+        cells = []
+        for evaluation in evaluations:
+            verdict = evaluation.verdicts.get(requirement)
+            mark = PASS_MARK if verdict and verdict.passed else FAIL_MARK
+            cells.append(mark.center(max(len(evaluation.model_name), 4)))
+        lines.append(
+            REQUIREMENT_DETAILS[requirement].title.ljust(name_width)
+            + " | "
+            + " | ".join(cells)
+        )
+    lines.append(separator)
+    totals = [
+        f"{e.requirements_passed}/{e.requirements_total}".center(
+            max(len(e.model_name), 4)
+        )
+        for e in evaluations
+    ]
+    lines.append("TOTAL".ljust(name_width) + " | " + " | ".join(totals))
+    return "\n".join(lines)
+
+
+def render_regulation_report(evaluation: ModelEvaluation, regulation_name: str) -> str:
+    """Auditor-style findings for one model against one regulation."""
+    finding = next(
+        (f for f in evaluation.findings if f.regulation == regulation_name), None
+    )
+    if finding is None:
+        return f"(no findings recorded for {regulation_name})"
+    lines = [
+        f"Compliance report: {evaluation.model_name} vs {regulation_name}",
+        f"Overall: {'COMPLIANT' if finding.compliant else 'NON-COMPLIANT'}",
+        "",
+    ]
+    if finding.failed_clauses:
+        lines.append("Failed clauses:")
+        for clause in finding.failed_clauses:
+            lines.append(f"  [FAIL] {clause}")
+    if finding.passed_clauses:
+        lines.append("Passed clauses:")
+        for clause in finding.passed_clauses:
+            lines.append(f"  [ ok ] {clause}")
+    lines.append("")
+    lines.append("Requirement evidence:")
+    for requirement, verdict in evaluation.verdicts.items():
+        detail = REQUIREMENT_DETAILS[requirement]
+        lines.append(
+            f"  [{'PASS' if verdict.passed else 'FAIL'}] {detail.title}"
+        )
+        lines.append(f"         {verdict.evidence}")
+    return "\n".join(lines)

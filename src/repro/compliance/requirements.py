@@ -1,0 +1,138 @@
+"""The Section-3 requirement taxonomy, made machine-readable.
+
+Each requirement is one row of the E1 matrix.  The split of the paper's
+prose requirements into testable entries:
+
+* *Confidentiality and Access Control* splits into outsider
+  confidentiality (stolen media), insider confidentiality (index/device
+  leakage is the measurable case), and enforced access control.
+* *Integrity* → tamper evidence against the smart insider.
+* *Availability and Performance* → efficient mutation (corrections),
+  plus the trustworthy-index requirement (timely search that does not
+  leak).
+* *Logging, Audit Trails, and Provenance* → trustworthy (tamper-evident,
+  complete) audit; custody provenance.
+* *Long Retention and Secure Migration* → guaranteed retention;
+  verifiable migration.
+* *Secure deletion / media sanitization* (from §2's HIPAA disposal and
+  media re-use clauses) → residue-free disposal.
+* *Backup* → off-site exact-copy recovery.
+
+Cost (§3) is a quantitative trade-off, not a pass/fail property — it is
+measured by E10 rather than scored here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Requirement(enum.Enum):
+    """Testable requirements for compliant health-record storage."""
+
+    CONFIDENTIALITY_OUTSIDER = "confidentiality_outsider"
+    CONFIDENTIALITY_INSIDER = "confidentiality_insider"
+    ACCESS_CONTROL = "access_control"
+    INTEGRITY_TAMPER_EVIDENCE = "integrity_tamper_evidence"
+    CORRECTIONS_WITH_HISTORY = "corrections_with_history"
+    TRUSTWORTHY_INDEX = "trustworthy_index"
+    TRUSTWORTHY_AUDIT = "trustworthy_audit"
+    ACCESS_ACCOUNTABILITY = "access_accountability"
+    GUARANTEED_RETENTION = "guaranteed_retention"
+    SECURE_DELETION = "secure_deletion"
+    VERIFIABLE_MIGRATION = "verifiable_migration"
+    PROVENANCE_CUSTODY = "provenance_custody"
+    BACKUP_RECOVERY = "backup_recovery"
+
+
+@dataclass(frozen=True)
+class RequirementDetail:
+    """Provenance of a requirement: where the paper/regulations say so."""
+
+    requirement: Requirement
+    title: str
+    paper_section: str
+    regulation_basis: tuple[str, ...]
+
+
+REQUIREMENT_DETAILS: dict[Requirement, RequirementDetail] = {
+    Requirement.CONFIDENTIALITY_OUTSIDER: RequirementDetail(
+        Requirement.CONFIDENTIALITY_OUTSIDER,
+        "Confidentiality against media theft (encryption at rest)",
+        "§3 Confidentiality",
+        ("HIPAA §164.306(a)(1)", "EU 95/46/EC Art. 17", "UK DPA 1998"),
+    ),
+    Requirement.CONFIDENTIALITY_INSIDER: RequirementDetail(
+        Requirement.CONFIDENTIALITY_INSIDER,
+        "Confidentiality against malicious insiders",
+        "§3 Confidentiality / §4 (encryption does not stop insiders)",
+        ("HIPAA §164.306(a)(2)",),
+    ),
+    Requirement.ACCESS_CONTROL: RequirementDetail(
+        Requirement.ACCESS_CONTROL,
+        "Access limited to authorized individuals",
+        "§2.1 Security / §3 Confidentiality and Access Control",
+        ("HIPAA §164.306(a)(3-4)", "EU 95/46/EC Art. 17"),
+    ),
+    Requirement.INTEGRITY_TAMPER_EVIDENCE: RequirementDetail(
+        Requirement.INTEGRITY_TAMPER_EVIDENCE,
+        "Tampering by insiders must be identified",
+        "§3 Integrity",
+        ("HIPAA §164.306(a)(1)", "EU 95/46/EC Art. 6 (accuracy)"),
+    ),
+    Requirement.CORRECTIONS_WITH_HISTORY: RequirementDetail(
+        Requirement.CORRECTIONS_WITH_HISTORY,
+        "Corrections possible, with prior versions preserved",
+        "§2.1 Privacy (right to correction) / §4 (WORM lacks corrections)",
+        ("HIPAA Privacy Rule", "UK DPA 1998 (accuracy, logging changes)"),
+    ),
+    Requirement.TRUSTWORTHY_INDEX: RequirementDetail(
+        Requirement.TRUSTWORTHY_INDEX,
+        "Index enables timely search without leaking keywords",
+        "§3 Availability and Performance",
+        ("HIPAA Privacy Rule (the 'Cancer' inference)",),
+    ),
+    Requirement.TRUSTWORTHY_AUDIT: RequirementDetail(
+        Requirement.TRUSTWORTHY_AUDIT,
+        "Audit trail is tamper-evident",
+        "§3 Logging, Audit Trails, and Provenance",
+        ("HIPAA §164.310(d)(2)(iii)",),
+    ),
+    Requirement.ACCESS_ACCOUNTABILITY: RequirementDetail(
+        Requirement.ACCESS_ACCOUNTABILITY,
+        "Every record access is logged",
+        "§3 Logging (HIPAA mandates recording all access)",
+        ("HIPAA Privacy Rule (accounting of disclosures)",),
+    ),
+    Requirement.GUARANTEED_RETENTION: RequirementDetail(
+        Requirement.GUARANTEED_RETENTION,
+        "Records cannot be destroyed inside their retention term",
+        "§3 Support for Long Retention",
+        ("OSHA 29 CFR 1910.1020(d)(1)(ii)", "EU 95/46/EC Art. 6"),
+    ),
+    Requirement.SECURE_DELETION: RequirementDetail(
+        Requirement.SECURE_DELETION,
+        "Expired records are destroyed without recoverable residue",
+        "§3 (trustworthy disposal) / §2.1 Disposal & Media re-use",
+        ("HIPAA §164.310(d)(2)(i-ii)", "EU 95/46/EC Art. 6(e)", "UK DPA 1998"),
+    ),
+    Requirement.VERIFIABLE_MIGRATION: RequirementDetail(
+        Requirement.VERIFIABLE_MIGRATION,
+        "Migration between systems is verifiable (complete and intact)",
+        "§3 Secure Migration",
+        ("HIPAA §164.310(d)(2)(iii-iv)", "OSHA (transfer on ownership change)"),
+    ),
+    Requirement.PROVENANCE_CUSTODY: RequirementDetail(
+        Requirement.PROVENANCE_CUSTODY,
+        "Chain of custody is recorded and verifiable",
+        "§3 Provenance / §4 (no current system implements it)",
+        ("HIPAA §164.310(d)(2)(iii)",),
+    ),
+    Requirement.BACKUP_RECOVERY: RequirementDetail(
+        Requirement.BACKUP_RECOVERY,
+        "Exact off-site copies survive site disasters",
+        "§3 Backup",
+        ("HIPAA §164.310(d)(2)(iv)",),
+    ),
+}

@@ -1,0 +1,40 @@
+"""Configuration for a Curator deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.retention.policy import STANDARD_POLICY, RetentionPolicy
+from repro.util.clock import Clock, WallClock
+
+
+@dataclass
+class CuratorConfig:
+    """Everything a :class:`~repro.core.engine.CuratorStore` needs.
+
+    ``master_key`` models key material held in an HSM: the engine uses
+    it but never writes it to any device, and
+    :meth:`~repro.core.engine.CuratorStore.insider_keys` returns {}.
+    """
+
+    master_key: bytes
+    site_id: str = "hospital-A"
+    clock: Clock = field(default_factory=WallClock)
+    retention_policy: RetentionPolicy = field(default_factory=lambda: STANDARD_POLICY)
+    device_capacity: int = 1 << 24
+    shredder_passes: int = 3
+    anchor_every_events: int = 64
+    witness_count: int = 1  # >1 builds a witness quorum (majority threshold)
+    signature_bits: int = 768  # simulation-scale; see crypto.rsa docs
+    auto_register_authors: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.master_key) != 32:
+            raise ConfigurationError("master_key must be 32 bytes")
+        if not self.site_id:
+            raise ConfigurationError("site_id must not be empty")
+        if self.anchor_every_events < 1:
+            raise ConfigurationError("anchor_every_events must be >= 1")
+        if self.witness_count < 1:
+            raise ConfigurationError("witness_count must be >= 1")

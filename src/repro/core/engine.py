@@ -1,0 +1,896 @@
+"""The Curator storage engine.
+
+Composition (bottom-up): a media pool provides the active device; a
+WORM store holds one write-once object per *record version*, each AEAD-
+encrypted under its own per-record key; a trustworthy index covers the
+current versions; every operation (including denials) lands in the
+hash-chained audit log, periodically anchored to an external witness;
+custody chains record origin and transfers; retention terms from the
+regulation schedules gate disposal, which runs the identify→approve→
+execute workflow and ends in key shredding + extent overwrite + index
+forgetting.
+
+Trust model: the engine process and the master key (HSM) are trusted;
+every byte on every device is not — the insider adversary reads and
+writes devices at will, and all guarantees are stated against that.
+
+The engine implements the common
+:class:`~repro.baselines.interface.StorageModel` interface so the E1
+harness evaluates it exactly as it evaluates the baselines, plus the
+richer native API (versions, break-glass, disposition, backup, media
+refresh) the examples and experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.access.breakglass import BreakGlassController
+from repro.access.policies import ConsentRegistry, minimum_necessary_view
+from repro.access.principals import Role, User
+from repro.access.rbac import AccessContext, Permission, Purpose, RbacEngine
+from repro.audit.anchors import AnchorWitness, WitnessQuorum, publish_anchor
+from repro.audit.events import AuditAction
+from repro.audit.log import AuditLog
+from repro.audit.query import AuditQuery
+from repro.backup.manager import BackupManager, RestoreReport
+from repro.backup.vault import BackupVault
+from repro.baselines.interface import StorageModel
+from repro.core.config import CuratorConfig
+from repro.crypto.aead import AeadCiphertext
+from repro.crypto.keys import KeyHandle, KeyStore
+from repro.crypto.signatures import Signer, TrustStore
+from repro.errors import (
+    AccessDeniedError,
+    IntegrityError,
+    RecordError,
+    RecordNotFoundError,
+)
+from repro.index.secure_deletion import SecureDeletionIndex
+from repro.index.trustworthy import TrustworthyIndex
+from repro.crypto.kdf import derive_key
+from repro.migration.engine import MigrationEngine
+from repro.provenance.chain import CustodyRegistry
+from repro.provenance.graph import ProvenanceGraph
+from repro.records.model import HealthRecord
+from repro.records.phi import deidentify
+from repro.records.versioning import RecordVersion, VersionChain
+from repro.retention.disposition import DispositionCertificate, DispositionWorkflow
+from repro.retention.shredder import SecureShredder
+from repro.storage.block import BlockDevice, MemoryDevice
+from repro.storage.media import MediaPool, Medium
+from repro.util.encoding import canonical_bytes, canonical_loads
+from repro.worm.store import WormStore
+
+
+def _version_object_id(record_id: str, version: int) -> str:
+    return f"{record_id}@v{version}"
+
+
+def _record_id_of(object_id: str) -> str:
+    """The owning record of any WORM object id (version or attachment
+    chunk: ``rec@vN`` / ``rec#att/<attachment>/chunk-N``)."""
+    if "#att/" in object_id:
+        return object_id.split("#att/")[0]
+    return object_id.split("@v")[0]
+
+
+class CuratorStore(StorageModel):
+    """The hybrid compliant store (see package docstring)."""
+
+    model_name = "curator"
+
+    def __init__(self, config: CuratorConfig) -> None:
+        self._config = config
+        self._clock = config.clock
+        # crypto / keys
+        self._keystore = KeyStore(config.master_key, clock=self._clock)
+        self._signer = Signer(config.site_id, bits=config.signature_bits)
+        self._trust = TrustStore()
+        self._trust.add(self._signer.verifier())
+        # media + worm
+        self._media_pool = MediaPool(
+            clock=self._clock, default_capacity=config.device_capacity
+        )
+        self._medium: Medium = self._media_pool.provision()
+        self._worm = WormStore(device=self._medium.device, clock=self._clock)
+        # index
+        index_key = derive_key(config.master_key, "curator/index")
+        self._index = SecureDeletionIndex(
+            TrustworthyIndex(index_key, device=MemoryDevice("curator-idx", config.device_capacity))
+        )
+        # audit
+        self._audit = AuditLog(
+            device=MemoryDevice("curator-audit", config.device_capacity),
+            clock=self._clock,
+        )
+        self._witnesses = [
+            AnchorWitness(self._signer.verifier())
+            for _ in range(config.witness_count)
+        ]
+        self._witness = self._witnesses[0]
+        self._quorum = (
+            WitnessQuorum(self._witnesses, threshold=config.witness_count // 2 + 1)
+            if config.witness_count > 1
+            else None
+        )
+        # access control
+        self._rbac = RbacEngine()
+        self._users: dict[str, User] = {}
+        self._consent = ConsentRegistry()
+        self._breakglass = BreakGlassController(clock=self._clock)
+        # provenance
+        self._custody = CustodyRegistry(self._trust)
+        self._provenance = ProvenanceGraph()
+        self._provenance.add_custodian(config.site_id)
+        # retention / disposal
+        self._shredder = SecureShredder(self._keystore, config.shredder_passes)
+        self._disposition = DispositionWorkflow(self._worm, self._shredder, clock=self._clock)
+        # backup
+        self._vault = BackupVault(f"{config.site_id}-offsite")
+        self._backup = BackupManager(self._vault, clock=self._clock)
+        # record directory (trusted controller metadata, off-device)
+        self._chains: dict[str, VersionChain] = {}
+        self._keys: dict[str, KeyHandle] = {}
+        self._attachments: dict[str, dict[str, Any]] = {}
+        self._disposed: set[str] = set()
+        self._authenticator = None
+
+    # ------------------------------------------------------------------
+    # principals
+    # ------------------------------------------------------------------
+
+    def register_user(self, user: User) -> None:
+        """Enroll a workforce member."""
+        self._users[user.user_id] = user
+
+    def _resolve_user(self, actor_id: str) -> User | None:
+        if actor_id == "system":
+            from repro.access.principals import SYSTEM_USER
+
+            return SYSTEM_USER
+        return self._users.get(actor_id)
+
+    def _auto_register_author(self, author_id: str, patient_id: str) -> None:
+        """Documenting care establishes the treating relationship: the
+        application layer enrolls the author as a clinician treating the
+        record's patient (config-gated)."""
+        if not self._config.auto_register_authors:
+            return
+        existing = self._users.get(author_id)
+        if existing is None:
+            self._users[author_id] = User.make(
+                author_id, author_id, [Role.PHYSICIAN], treating=[patient_id]
+            )
+        elif patient_id not in existing.treating:
+            self._users[author_id] = User.make(
+                author_id,
+                existing.name,
+                set(existing.roles),
+                existing.department,
+                set(existing.treating) | {patient_id},
+            )
+
+    def _authorize(
+        self,
+        actor_id: str,
+        permission: Permission,
+        patient_id: str,
+        purpose: Purpose,
+        subject_id: str,
+    ) -> User:
+        """Decide + audit.  Raises :class:`AccessDeniedError` on denial
+        (after logging it — denials are breach signals)."""
+        user = self._resolve_user(actor_id)
+        if user is None:
+            self._audit.append(
+                AuditAction.ACCESS_DENIED,
+                actor_id,
+                subject_id,
+                {"reason": "unknown principal", "permission": permission.value},
+            )
+            raise AccessDeniedError(f"unknown principal {actor_id!r}")
+        if user.user_id == "system":
+            self._audit.append(
+                AuditAction.ACCESS_GRANTED, actor_id, subject_id,
+                {"rule": "system principal", "permission": permission.value},
+            )
+            return user
+        context = AccessContext(
+            purpose=purpose,
+            patient_id=patient_id,
+            own_record=(user.user_id == patient_id),
+        )
+        decision = self._rbac.decide(user, permission, context)
+        if not decision.allowed and self._breakglass.has_active_grant(
+            user.user_id, patient_id
+        ):
+            self._audit.append(
+                AuditAction.EMERGENCY_ACCESS, actor_id, subject_id,
+                {"permission": permission.value},
+            )
+            return user
+        if not decision.allowed:
+            self._audit.append(
+                AuditAction.ACCESS_DENIED, actor_id, subject_id,
+                {"reason": decision.rule, "permission": permission.value},
+            )
+            raise AccessDeniedError(decision.rule)
+        if patient_id and decision.role_used is not None:
+            try:
+                self._consent.check_disclosure(patient_id, decision.role_used, purpose)
+            except Exception as exc:
+                self._audit.append(
+                    AuditAction.ACCESS_DENIED, actor_id, subject_id,
+                    {"reason": str(exc), "permission": permission.value},
+                )
+                raise
+        self._audit.append(
+            AuditAction.ACCESS_GRANTED, actor_id, subject_id,
+            {"rule": decision.rule, "permission": permission.value},
+        )
+        return user
+
+    @property
+    def authenticator(self):
+        """The deployment's authentication broker (lazily created)."""
+        if self._authenticator is None:
+            from repro.access.sessions import Authenticator
+
+            self._authenticator = Authenticator(clock=self._clock)
+        return self._authenticator
+
+    def enroll_user(self, user: User) -> bytes:
+        """Register a workforce member AND enroll them for
+        challenge-response authentication; returns their token secret."""
+        self.register_user(user)
+        return self.authenticator.enroll(user.user_id)
+
+    def read_with_session(self, session, record_id: str) -> HealthRecord:
+        """Session-authenticated read: validate the presented session
+        (auditing failures), then read as the authenticated user."""
+        try:
+            user_id = self.authenticator.validate(session)
+        except AccessDeniedError as exc:
+            self._audit.append(
+                AuditAction.ACCESS_DENIED,
+                getattr(session, "user_id", "unknown"),
+                record_id,
+                {"reason": f"session rejected: {exc}"},
+            )
+            raise
+        return self.read(record_id, actor_id=user_id)
+
+    def break_glass(self, actor_id: str, patient_id: str, justification: str):
+        """Emergency access: grant + mandatory audit event."""
+        user = self._resolve_user(actor_id)
+        if user is None:
+            raise AccessDeniedError(f"unknown principal {actor_id!r}")
+        grant = self._breakglass.invoke(user, patient_id, justification)
+        self._audit.append(
+            AuditAction.EMERGENCY_ACCESS, actor_id, patient_id,
+            {"grant_id": grant.grant_id, "justification": justification},
+        )
+        return grant
+
+    @property
+    def breakglass(self) -> BreakGlassController:
+        return self._breakglass
+
+    @property
+    def consent(self) -> ConsentRegistry:
+        return self._consent
+
+    # ------------------------------------------------------------------
+    # version persistence plumbing
+    # ------------------------------------------------------------------
+
+    def _seal_version(self, version: RecordVersion, handle: KeyHandle) -> bytes:
+        object_id = _version_object_id(version.record.record_id, version.version_number)
+        cipher = self._keystore.cipher_for(handle)
+        box = cipher.encrypt(
+            canonical_bytes(version.to_dict()),
+            associated_data=object_id.encode("utf-8"),
+        )
+        return box.to_bytes()
+
+    def _open_version(self, record_id: str, version_number: int) -> RecordVersion:
+        object_id = _version_object_id(record_id, version_number)
+        handle = self._keys[record_id]
+        blob = self._worm.get(object_id)
+        cipher = self._keystore.cipher_for(handle)
+        plaintext = cipher.decrypt(
+            AeadCiphertext.from_bytes(blob),
+            associated_data=object_id.encode("utf-8"),
+        )
+        return RecordVersion.from_dict(canonical_loads(plaintext))
+
+    def _put_version(self, version: RecordVersion, handle: KeyHandle) -> None:
+        record = version.record
+        object_id = _version_object_id(record.record_id, version.version_number)
+        term = self._config.retention_policy.term_for(
+            record.record_type, self._clock.now()
+        )
+        meta = self._worm.put(object_id, self._seal_version(version, handle), retention=term)
+        self._disposition.register_key_handle(object_id, handle)
+        self._provenance.add_object(object_id)
+        self._provenance.record_custody(
+            object_id, self._config.site_id, start=self._clock.now()
+        )
+        if version.version_number > 0:
+            self._provenance.record_derivation(
+                object_id,
+                _version_object_id(record.record_id, version.version_number - 1),
+                reason=version.reason,
+            )
+        self._custody.record_origin(
+            object_id,
+            self._signer,
+            meta.content_digest,
+            self._clock.now(),
+            reason=version.reason,
+        )
+        self._maybe_anchor()
+
+    def _maybe_anchor(self) -> None:
+        latest = self._witness.latest()
+        unanchored = len(self._audit) - (latest.log_size if latest else 0)
+        if unanchored >= self._config.anchor_every_events:
+            if self._quorum is not None:
+                anchor = self._quorum.publish(self._audit, self._signer, self._clock.now())
+            else:
+                anchor = publish_anchor(self._audit, self._signer, self._clock.now())
+                self._witness.receive(anchor, self._audit)
+            self._audit.append(
+                AuditAction.ANCHOR_PUBLISHED, "system", "audit-log",
+                {"size": anchor.log_size, "witnesses": len(self._witnesses)},
+            )
+
+    def _chain_for(self, record_id: str) -> VersionChain:
+        chain = self._chains.get(record_id)
+        if chain is None:
+            raise RecordNotFoundError(f"no record {record_id}")
+        if record_id in self._disposed:
+            raise RecordNotFoundError(f"record {record_id} was disposed")
+        return chain
+
+    # ------------------------------------------------------------------
+    # StorageModel interface
+    # ------------------------------------------------------------------
+
+    def store(self, record: HealthRecord, author_id: str) -> None:
+        if record.record_id in self._chains:
+            raise RecordError(f"record {record.record_id} already exists")
+        self._auto_register_author(author_id, record.patient_id)
+        handle = self._keystore.create_key(label=record.record_id)
+        self._keys[record.record_id] = handle
+        chain = VersionChain(record.record_id)
+        version = chain.append_initial(record, author_id, self._clock.now())
+        self._put_version(version, handle)
+        self._chains[record.record_id] = chain
+        self._index.add_document(record.record_id, record.searchable_text())
+        self._audit.append(
+            AuditAction.RECORD_CREATED, author_id, record.record_id,
+            {"type": record.record_type.value, "patient": record.patient_id},
+        )
+
+    def _default_purpose(self, actor_id: str) -> Purpose:
+        """Infer the purpose of use from the actor's primary role when the
+        caller does not state one (billing reads for payment, researchers
+        for research, patients for their own request, clinicians for
+        treatment)."""
+        user = self._resolve_user(actor_id)
+        if user is None:
+            return Purpose.TREATMENT
+        if Role.BILLING in user.roles:
+            return Purpose.PAYMENT
+        if Role.RESEARCHER in user.roles:
+            return Purpose.RESEARCH
+        if Role.PRIVACY_OFFICER in user.roles:
+            return Purpose.OPERATIONS
+        if Role.PATIENT in user.roles and len(user.roles) == 1:
+            return Purpose.PATIENT_REQUEST
+        return Purpose.TREATMENT
+
+    def read(
+        self,
+        record_id: str,
+        actor_id: str = "system",
+        purpose: Purpose | None = None,
+    ) -> HealthRecord:
+        chain = self._chain_for(record_id)
+        patient_id = chain.latest().record.patient_id
+        self._authorize(
+            actor_id,
+            Permission.READ_RECORD,
+            patient_id,
+            purpose or self._default_purpose(actor_id),
+            record_id,
+        )
+        version = self._open_version(record_id, len(chain) - 1)
+        self._audit.append(
+            AuditAction.RECORD_READ, actor_id, record_id,
+            {"version": version.version_number},
+        )
+        self._maybe_anchor()
+        return version.record
+
+    def read_view(self, record_id: str, actor_id: str) -> dict[str, Any]:
+        """Read with the minimum-necessary projection for the actor's role."""
+        record = self.read(record_id, actor_id)
+        user = self._resolve_user(actor_id)
+        assert user is not None  # read() would have raised
+        role = next(iter(sorted(user.roles, key=lambda r: r.value)))
+        return minimum_necessary_view(record, role)
+
+    def read_version(self, record_id: str, version: int) -> HealthRecord:
+        chain = self._chain_for(record_id)
+        if version < 0 or version >= len(chain):
+            raise RecordError(f"record {record_id} has no version {version}")
+        stored = self._open_version(record_id, version)
+        self._audit.append(
+            AuditAction.RECORD_READ, "system", record_id, {"version": version}
+        )
+        return stored.record
+
+    def correct(self, corrected: HealthRecord, author_id: str, reason: str) -> None:
+        chain = self._chain_for(corrected.record_id)
+        patient_id = chain.latest().record.patient_id
+        self._authorize(
+            author_id,
+            Permission.CORRECT_RECORD,
+            patient_id,
+            Purpose.TREATMENT,
+            corrected.record_id,
+        )
+        version = chain.append_correction(corrected, author_id, reason, self._clock.now())
+        self._put_version(version, self._keys[corrected.record_id])
+        # Re-index: the record's current text changes; old terms must not
+        # linger (secure deletion of the prior posting entries).
+        self._index.delete_document(corrected.record_id)
+        self._index.add_document(corrected.record_id, corrected.searchable_text())
+        self._audit.append(
+            AuditAction.RECORD_CORRECTED, author_id, corrected.record_id,
+            {"version": version.version_number, "reason": reason,
+             "previous_digest": version.previous_digest},
+        )
+
+    def search(self, term: str, actor_id: str = "system") -> list[str]:
+        # Audit the keyed trapdoor, never the plaintext term: the audit
+        # log persists to a device, and a cleartext term there would be
+        # exactly the "Cancer" leak the trustworthy index closes.  The
+        # privacy officer can recompute the trapdoor to match queries.
+        commitment = self._index.index.trapdoor(term)[:16]
+        subject = f"search:{commitment}"
+        self._authorize(
+            actor_id, Permission.SEARCH_RECORDS, "", Purpose.TREATMENT, subject
+        )
+        hits = self._index.search(term)
+        self._audit.append(
+            AuditAction.RECORD_SEARCHED, actor_id, subject, {"hits": len(hits)}
+        )
+        self._maybe_anchor()
+        return [record_id for record_id in hits if record_id not in self._disposed]
+
+    def dispose(self, record_id: str) -> list[DispositionCertificate]:
+        """Full compliant disposal of every version of a record."""
+        chain = self._chain_for(record_id)
+        now = self._clock.now()
+        object_ids = [
+            _version_object_id(record_id, n) for n in range(len(chain))
+        ]
+        # attachment chunks share the record's fate
+        attachment_prefix = f"{record_id}#att/"
+        object_ids += [
+            object_id
+            for object_id in self._worm.object_ids()
+            if object_id.startswith(attachment_prefix)
+        ]
+        # every version and chunk must be past retention and hold-free
+        for object_id in object_ids:
+            self._worm.retention.check_deletable(object_id, now)
+        for object_id in object_ids:
+            if object_id.startswith(attachment_prefix):
+                self._disposition.register_key_handle(object_id, self._keys[record_id])
+        self._disposition.identify()
+        certificates = []
+        for object_id in object_ids:
+            if object_id in self._disposition.pending():
+                self._disposition.approve(object_id, "records-manager")
+                certificates.append(self._disposition.execute(object_id))
+        # index must forget the record, verifiably
+        self._index.delete_document(record_id)
+        # coordinated cryptographic deletion in backups
+        handle = self._keys[record_id]
+        if not self._vault.destroyed:
+            self._vault.shred_key(handle.key_id)
+        self._disposed.add(record_id)
+        self._audit.append(
+            AuditAction.RECORD_DISPOSED, "system", record_id,
+            {"versions": len(object_ids), "certificates": len(certificates)},
+        )
+        return certificates
+
+    def export_deidentified(self, record_id: str, actor_id: str) -> HealthRecord:
+        """Research export: Safe-Harbor de-identification, audited."""
+        chain = self._chain_for(record_id)
+        patient_id = chain.latest().record.patient_id
+        self._authorize(
+            actor_id,
+            Permission.EXPORT_DEIDENTIFIED,
+            patient_id,
+            Purpose.RESEARCH,
+            record_id,
+        )
+        record = self._open_version(record_id, len(chain) - 1).record
+        deid = deidentify(record, pseudonym=f"case-{abs(hash(patient_id)) % 10_000:04d}")
+        self._audit.append(AuditAction.RECORD_EXPORTED, actor_id, record_id, {})
+        return deid
+
+    def record_ids(self) -> list[str]:
+        return sorted(set(self._chains) - self._disposed)
+
+    def version_count(self, record_id: str) -> int:
+        return len(self._chain_for(record_id))
+
+    # ------------------------------------------------------------------
+    # harness surfaces
+    # ------------------------------------------------------------------
+
+    def devices(self) -> list[BlockDevice]:
+        return [self._worm.device, self._index.index.device, self._audit.device]
+
+    def verify_integrity(self) -> list[str]:
+        """Digest-check every version object, verify every chain's hash
+        linkage, and authenticate every posting list; returns the record
+        ids implicated by any failure."""
+        failures: set[str] = set()
+        for object_id in self._worm.verify_all():
+            failures.add(_record_id_of(object_id))
+        for record_id in self.record_ids():
+            chain = self._chains[record_id]
+            try:
+                stored = [
+                    self._open_version(record_id, n) for n in range(len(chain))
+                ]
+                VersionChain.from_versions(record_id, stored)
+            except Exception:
+                failures.add(record_id)
+        if self._index.index.verify():
+            failures.add("<index>")
+        return sorted(failures)
+
+    def audit_events(self) -> list[dict[str, Any]]:
+        return [event.to_dict() for event in self._audit.events()]
+
+    def audit_devices(self) -> list[BlockDevice]:
+        return [self._audit.device]
+
+    def verify_audit_trail(self) -> bool | None:
+        if not self._audit.verify_chain():
+            return False
+        try:
+            if self._quorum is not None:
+                self._quorum.check_log(self._audit)
+            else:
+                self._witness.check_log(self._audit)
+        except Exception:
+            return False
+        return True
+
+    def audit_query(self) -> AuditQuery:
+        """Forensic query interface (verifies the chain first)."""
+        return AuditQuery(self._audit)
+
+    # ------------------------------------------------------------------
+    # binary attachments (imaging, scanned documents)
+    # ------------------------------------------------------------------
+
+    def attach(
+        self,
+        record_id: str,
+        attachment_id: str,
+        data: bytes,
+        actor_id: str = "system",
+        content_type: str = "application/octet-stream",
+    ):
+        """Attach a binary payload (e.g. imaging) to a record.
+
+        Chunks are AEAD-encrypted under the record's data key and stored
+        as WORM objects carrying the record's retention term, so the
+        attachment inherits retention, integrity, and key-shredding
+        disposal from its record.
+        """
+        from repro.records.attachments import store_attachment
+
+        chain = self._chain_for(record_id)
+        record_type = chain.latest().record.record_type
+        term = self._config.retention_policy.term_for(record_type, self._clock.now())
+        cipher = self._keystore.cipher_for(self._keys[record_id])
+
+        def put(chunk_id: str, blob: bytes) -> None:
+            self._worm.put(f"{record_id}#att/{chunk_id}", blob, retention=term)
+
+        manifest = store_attachment(
+            attachment_id, data, cipher, put, content_type=content_type
+        )
+        self._attachments.setdefault(record_id, {})[attachment_id] = manifest
+        self._audit.append(
+            AuditAction.RECORD_CREATED,
+            actor_id,
+            f"{record_id}#att/{attachment_id}",
+            {"bytes": len(data), "chunks": len(manifest.chunk_ids),
+             "content_type": content_type},
+        )
+        return manifest
+
+    def read_attachment(
+        self, record_id: str, attachment_id: str, actor_id: str = "system"
+    ) -> bytes:
+        """Read an attachment with full authorization + verification."""
+        from repro.records.attachments import load_attachment
+
+        chain = self._chain_for(record_id)
+        patient_id = chain.latest().record.patient_id
+        self._authorize(
+            actor_id,
+            Permission.READ_RECORD,
+            patient_id,
+            self._default_purpose(actor_id),
+            f"{record_id}#att/{attachment_id}",
+        )
+        manifest = self._attachments.get(record_id, {}).get(attachment_id)
+        if manifest is None:
+            raise RecordNotFoundError(
+                f"record {record_id} has no attachment {attachment_id}"
+            )
+        cipher = self._keystore.cipher_for(self._keys[record_id])
+        data = load_attachment(
+            manifest, cipher, lambda cid: self._worm.get(f"{record_id}#att/{cid}")
+        )
+        self._audit.append(
+            AuditAction.RECORD_READ, actor_id, f"{record_id}#att/{attachment_id}", {}
+        )
+        return data
+
+    def attachments_of(self, record_id: str) -> list[str]:
+        """Attachment ids carried by a record."""
+        self._chain_for(record_id)
+        return sorted(self._attachments.get(record_id, {}))
+
+    def records_of_patient(self, patient_id: str) -> list[str]:
+        """Live record ids belonging to one patient."""
+        return sorted(
+            record_id
+            for record_id in self.record_ids()
+            if self._chains[record_id].latest().record.patient_id == patient_id
+        )
+
+    def records_in_window(self, start: float, end: float) -> list[str]:
+        """Live records created in ``[start, end)`` — the time-range
+        query audits and chart reviews need."""
+        return sorted(
+            record_id
+            for record_id in self.record_ids()
+            if start <= self._chains[record_id].version(0).record.created_at < end
+        )
+
+    def accounting_of_disclosures(self, patient_id: str, actor_id: str = "system"):
+        """The HIPAA accounting-of-disclosures report for one patient:
+        every access-class event over their record set, from a verified
+        audit trail.  The request itself is authorized and audited."""
+        self._authorize(
+            actor_id,
+            Permission.READ_AUDIT_TRAIL,
+            patient_id,
+            self._default_purpose(actor_id),
+            f"disclosures:{patient_id}",
+        )
+        record_ids = self.records_of_patient(patient_id)
+        return self.audit_query().disclosure_accounting(record_ids)
+
+    def prove_audit_event(self, sequence: int):
+        """Third-party-verifiable disclosure of one audit event.
+
+        Publishes a fresh anchor if the event is not yet covered by one,
+        then returns ``(event, chain_prev, proof, anchor)``; a verifier
+        needs only the witnessed anchor (see
+        :func:`repro.audit.log.verify_event_proof`).
+        """
+        latest = self._witness.latest()
+        if latest is None or latest.log_size <= sequence:
+            anchor = publish_anchor(self._audit, self._signer, self._clock.now())
+            self._witness.receive(anchor, self._audit)
+            latest = anchor
+        event, chain_prev, proof = self._audit.prove_event(
+            sequence, at_size=latest.log_size
+        )
+        return event, chain_prev, proof, latest
+
+    def declared_features(self) -> frozenset[str]:
+        return frozenset(
+            {
+                "correct",
+                "dispose",
+                "search",
+                "audit",
+                "access_control",
+                "integrity",
+                "retention",
+                "encryption",
+                "migration_verifiable",
+                "provenance",
+                "backup",
+            }
+        )
+
+    def insider_keys(self) -> dict[str, bytes]:
+        """Key material lives in the keystore under the HSM-held master
+        key; nothing is available from the software configuration."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # operations: backup, media refresh, retention sweeps
+    # ------------------------------------------------------------------
+
+    def create_backup(self, incremental: bool = False):
+        """Snapshot the WORM store + wrapped keys to the off-site vault."""
+        handles = {
+            object_id: self._keys[_record_id_of(object_id)]
+            for object_id in self._worm.object_ids()
+        }
+        if incremental:
+            snapshot = self._backup.create_incremental(self._worm, self._keystore, handles)
+        else:
+            snapshot = self._backup.create_full(self._worm, self._keystore, handles)
+        self._audit.append(
+            AuditAction.BACKUP_CREATED, "system", snapshot.snapshot_id,
+            {"objects": len(snapshot.objects), "kind": snapshot.kind},
+        )
+        return snapshot
+
+    def restore_from_backup(self, snapshot_id: str) -> RestoreReport:
+        """Disaster recovery: rebuild the WORM store from the vault."""
+        medium = self._media_pool.provision()
+        new_worm = WormStore(device=medium.device, clock=self._clock)
+        report = self._backup.restore(snapshot_id, new_worm, None)
+        if not report.verified:
+            raise IntegrityError(
+                f"restore failed verification: {report.mismatched}"
+            )
+        # Reattach retention terms (restore writes zero-duration terms;
+        # extend-only semantics let us rebuild the real ones from the
+        # surviving controller metadata) and disposition plumbing.
+        for object_id in new_worm.object_ids():
+            record_id = _record_id_of(object_id)
+            handle = self._keys.get(record_id)
+            if handle is not None:
+                self._disposition.register_key_handle(object_id, handle)
+            chain = self._chains.get(record_id)
+            if chain is not None:
+                if "#att/" in object_id:
+                    # attachments carry the latest version's record type
+                    # from their creation; rebuild from the chain head
+                    reference = chain.latest()
+                else:
+                    reference = chain.version(int(object_id.partition("@v")[2]))
+                term = self._config.retention_policy.term_for(
+                    reference.record.record_type, reference.created_at
+                )
+                if term.expires_at > new_worm.retention.term_for(object_id).expires_at:
+                    new_worm.retention.extend_term(object_id, term.expires_at)
+        self._worm = new_worm
+        self._medium = medium
+        self._disposition = DispositionWorkflow(
+            self._worm, self._shredder, clock=self._clock
+        )
+        self._audit.append(
+            AuditAction.BACKUP_RESTORED, "system", snapshot_id,
+            {"objects": report.objects_restored},
+        )
+        return report
+
+    @property
+    def vault(self) -> BackupVault:
+        return self._vault
+
+    def refresh_media(self) -> Medium:
+        """Migrate the archive to a fresh medium (aging hardware), with
+        manifest verification, then sanitize and retire the old one."""
+        old_medium = self._medium
+        new_medium = self._media_pool.provision()
+        destination = WormStore(device=new_medium.device, clock=self._clock)
+        engine = MigrationEngine(self._trust, clock=self._clock, custody=None)
+        result = engine.migrate(
+            self._worm, destination, self._signer, self._config.site_id
+        )
+        if not result.ok:
+            self._audit.append(
+                AuditAction.MIGRATION_FAILED, "system", new_medium.medium_id,
+                {"missing": list(result.missing), "corrupted": list(result.corrupted)},
+            )
+            raise IntegrityError(
+                f"media refresh failed verification: missing={result.missing} "
+                f"corrupted={result.corrupted}"
+            )
+        self._worm = destination
+        self._medium = new_medium
+        self._disposition = DispositionWorkflow(
+            self._worm, self._shredder, clock=self._clock
+        )
+        for object_id in self._worm.object_ids():
+            handle = self._keys.get(_record_id_of(object_id))
+            if handle is not None:
+                self._disposition.register_key_handle(object_id, handle)
+        old_medium.dispose(sanitize_first=True)
+        self._audit.append(
+            AuditAction.MIGRATION_COMPLETED, "system", new_medium.medium_id,
+            {"from": old_medium.medium_id, "objects": result.copied},
+        )
+        self._audit.append(
+            AuditAction.MEDIA_DISPOSED, "system", old_medium.medium_id, {}
+        )
+        return new_medium
+
+    def retention_sweep(self) -> list[str]:
+        """Records whose every version is past retention (disposal queue)."""
+        now = self._clock.now()
+        due = []
+        for record_id in self.record_ids():
+            chain = self._chains[record_id]
+            object_ids = [_version_object_id(record_id, n) for n in range(len(chain))]
+            if all(
+                self._worm.retention.is_deletable(object_id, now)
+                for object_id in object_ids
+            ):
+                due.append(record_id)
+        return due
+
+    @property
+    def medium(self) -> Medium:
+        return self._medium
+
+    @property
+    def media_pool(self) -> MediaPool:
+        return self._media_pool
+
+    @property
+    def worm(self) -> WormStore:
+        return self._worm
+
+    @property
+    def custody(self) -> CustodyRegistry:
+        return self._custody
+
+    @property
+    def provenance(self) -> ProvenanceGraph:
+        return self._provenance
+
+    @property
+    def audit_log(self) -> AuditLog:
+        return self._audit
+
+    @property
+    def witness(self) -> AnchorWitness:
+        return self._witness
+
+    @property
+    def signer(self) -> Signer:
+        return self._signer
+
+    def place_hold(self, record_id: str, hold_id: str) -> None:
+        """Litigation hold across every version of a record."""
+        chain = self._chain_for(record_id)
+        for n in range(len(chain)):
+            self._worm.retention.place_hold(_version_object_id(record_id, n), hold_id)
+        self._audit.append(
+            AuditAction.RETENTION_HOLD_PLACED, "system", record_id, {"hold": hold_id}
+        )
+
+    def release_hold(self, record_id: str, hold_id: str) -> None:
+        chain = self._chain_for(record_id)
+        for n in range(len(chain)):
+            self._worm.retention.release_hold(_version_object_id(record_id, n), hold_id)
+        self._audit.append(
+            AuditAction.RETENTION_HOLD_RELEASED, "system", record_id, {"hold": hold_id}
+        )

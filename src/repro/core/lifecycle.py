@@ -1,0 +1,83 @@
+"""Long-horizon archive lifecycle orchestration.
+
+Drives a :class:`~repro.core.engine.CuratorStore` through simulated
+decades: media age out and trigger verified refresh migrations, backups
+run on schedule, retention sweeps feed the disposition workflow.  This
+is the machinery of experiment E7 (30-year retention) packaged as an
+operations API a deployment would actually run from cron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import CuratorStore
+from repro.util.clock import SECONDS_PER_YEAR, SimulatedClock
+
+
+@dataclass
+class LifecycleReport:
+    """What happened during one simulated horizon."""
+
+    years_simulated: float = 0.0
+    media_refreshes: int = 0
+    backups_taken: int = 0
+    records_disposed: int = 0
+    disposal_certificates: int = 0
+    integrity_checks_passed: int = 0
+    integrity_failures: list[str] = field(default_factory=list)
+
+
+class ArchiveLifecycle:
+    """Scheduled operations over a Curator archive."""
+
+    def __init__(
+        self,
+        store: CuratorStore,
+        clock: SimulatedClock,
+        media_refresh_years: float = 5.0,
+        backup_every_years: float = 1.0,
+    ) -> None:
+        self._store = store
+        self._clock = clock
+        self._refresh_years = media_refresh_years
+        self._backup_years = backup_every_years
+
+    def run_years(
+        self,
+        years: float,
+        step_years: float = 0.5,
+        dispose_expired: bool = True,
+    ) -> LifecycleReport:
+        """Advance simulated time, running scheduled operations.
+
+        Each step: advance the clock, back up if due, refresh media if
+        the active medium is past service life, verify integrity, and
+        (optionally) dispose records past retention.
+        """
+        report = LifecycleReport()
+        elapsed = 0.0
+        next_backup = self._backup_years
+        while elapsed < years:
+            step = min(step_years, years - elapsed)
+            self._clock.advance(step * SECONDS_PER_YEAR)
+            elapsed += step
+            if elapsed >= next_backup:
+                self._store.create_backup()
+                report.backups_taken += 1
+                next_backup += self._backup_years
+            if self._store.medium.age_years() > self._refresh_years:
+                self._store.refresh_media()
+                report.media_refreshes += 1
+            failures = self._store.verify_integrity()
+            if failures:
+                report.integrity_failures.extend(failures)
+            else:
+                report.integrity_checks_passed += 1
+            if dispose_expired:
+                for record_id in self._store.retention_sweep():
+                    certificates = self._store.dispose(record_id)
+                    report.records_disposed += 1
+                    report.disposal_certificates += len(certificates)
+        report.years_simulated = elapsed
+        return report

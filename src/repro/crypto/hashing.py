@@ -1,0 +1,58 @@
+"""SHA-256 hashing helpers.
+
+All integrity mechanisms in the library (audit chains, Merkle trees,
+record digests, migration manifests) bottom out in these functions, so
+they are deliberately tiny and hard to misuse: the only hash exposed is
+SHA-256, inputs are bytes or canonical-encodable values, and chained
+digests use an explicit domain separator so a chain digest can never
+collide with a leaf digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+from repro.util.encoding import canonical_bytes
+
+DIGEST_SIZE = 32
+
+_LEAF_PREFIX = b"\x00"
+_CHAIN_PREFIX = b"\x01"
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 of raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_canonical(value: Any) -> bytes:
+    """SHA-256 of the canonical encoding of *value*.
+
+    This is the standard way to fingerprint a structured object
+    (record version, audit event, manifest entry) in the library.
+    """
+    return sha256(_LEAF_PREFIX + canonical_bytes(value))
+
+
+def chain_digest(previous: bytes, payload: bytes) -> bytes:
+    """Extend a hash chain: ``H(0x01 || previous || payload)``.
+
+    The ``0x01`` domain separator keeps chain digests disjoint from the
+    leaf digests produced by :func:`hash_canonical` (``0x00`` prefix).
+    """
+    if len(previous) != DIGEST_SIZE:
+        raise ValueError(f"previous digest must be {DIGEST_SIZE} bytes")
+    return sha256(_CHAIN_PREFIX + previous + payload)
+
+
+GENESIS_DIGEST = bytes(DIGEST_SIZE)
+"""The all-zero digest used as the chain head before any entry exists."""
+
+
+def hash_chunks(chunks: Iterable[bytes]) -> bytes:
+    """SHA-256 over a stream of byte chunks without concatenating them."""
+    hasher = hashlib.sha256()
+    for chunk in chunks:
+        hasher.update(chunk)
+    return hasher.digest()

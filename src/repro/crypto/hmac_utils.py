@@ -1,0 +1,32 @@
+"""HMAC-SHA256 and constant-time verification.
+
+MACs protect the trustworthy index's posting lists and the AEAD
+ciphertexts.  Verification always goes through
+:func:`constant_time_equal` so the comparison cannot leak a matching
+prefix through timing.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+from repro.errors import AuthenticationError
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256(key, data)."""
+    if not key:
+        raise ValueError("HMAC key must not be empty")
+    return _hmac.new(key, data, "sha256").digest()
+
+
+def constant_time_equal(left: bytes, right: bytes) -> bool:
+    """Timing-safe equality for MACs/digests."""
+    return _hmac.compare_digest(left, right)
+
+
+def verify_hmac(key: bytes, data: bytes, tag: bytes) -> None:
+    """Verify a MAC, raising :class:`AuthenticationError` on mismatch."""
+    expected = hmac_sha256(key, data)
+    if not constant_time_equal(expected, tag):
+        raise AuthenticationError("HMAC verification failed")

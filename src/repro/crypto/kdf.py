@@ -1,0 +1,51 @@
+"""HKDF (RFC 5869) key derivation over HMAC-SHA256.
+
+The key hierarchy (:mod:`repro.crypto.keys`) derives every per-record
+and per-purpose key from a master key via HKDF with a string label, so
+shredding one derived key's wrapping material cannot affect siblings,
+and labels provide domain separation between subsystems.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac_utils import hmac_sha256
+from repro.errors import CryptoError
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac_sha256(salt, input_key_material)
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand to *length* bytes."""
+    if length <= 0:
+        raise CryptoError("derived key length must be positive")
+    if length > 255 * _HASH_LEN:
+        raise CryptoError("HKDF output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(pseudo_random_key, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_key(master_key: bytes, label: str, length: int = 32, salt: bytes = b"") -> bytes:
+    """Derive a subkey from *master_key* under a human-readable *label*.
+
+    ``derive_key(k, "aead/encrypt")`` and ``derive_key(k, "aead/mac")``
+    are computationally independent.
+    """
+    if not master_key:
+        raise CryptoError("master key must not be empty")
+    if not label:
+        raise CryptoError("derivation label must not be empty")
+    prk = hkdf_extract(salt, master_key)
+    return hkdf_expand(prk, label.encode("utf-8"), length)

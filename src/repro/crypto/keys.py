@@ -1,0 +1,159 @@
+"""Shreddable key hierarchy — the engine behind secure deletion.
+
+HIPAA §164.310(d)(2)(i-ii) requires trustworthy *disposal* of records
+and sanitization of media before re-use.  Overwriting alone is slow and
+unverifiable on some media; the standard compliance technique is
+**cryptographic deletion**: encrypt every record under its own key, and
+destroy the key to render the ciphertext permanently unreadable — even
+on stolen media or forgotten backups.
+
+:class:`KeyStore` implements this:
+
+* every record gets a fresh random data key, wrapped (encrypted) under
+  the store's master key and held in the keystore;
+* :meth:`KeyStore.shred` destroys the wrapped key material and records
+  a tombstone with the shredding timestamp (itself auditable);
+* using a shredded key raises :class:`ShreddedKeyError`, and nothing in
+  the store retains enough material to reconstruct it.
+
+The keystore also supports exporting wrapped keys for backup — backups
+made *before* a shred still contain the wrapped key, which is why the
+disposition workflow (:mod:`repro.retention.disposition`) must shred
+the key in every replica; the backup manager cooperates.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.aead import AeadCipher, AeadCiphertext
+from repro.crypto.chacha20 import KEY_SIZE
+from repro.errors import KeyManagementError
+from repro.util.clock import Clock, WallClock
+
+
+class ShreddedKeyError(KeyManagementError):
+    """The requested key was cryptographically destroyed."""
+
+
+@dataclass(frozen=True)
+class KeyHandle:
+    """Opaque reference to a data key held in a :class:`KeyStore`."""
+
+    key_id: str
+
+    def __str__(self) -> str:
+        return self.key_id
+
+
+@dataclass
+class _KeyEntry:
+    wrapped: AeadCiphertext | None  # None once shredded
+    created_at: float
+    shredded_at: float | None = None
+    label: str = ""
+
+
+class KeyStore:
+    """Per-record data keys wrapped under a master key, with shredding.
+
+    The master key itself never leaves the constructor argument; in a
+    real deployment it would live in an HSM.  Here it is held in memory,
+    which is faithful enough for the threat experiments: the insider
+    adversary in :mod:`repro.threats` gets raw *device* access, not
+    memory access.
+    """
+
+    def __init__(self, master_key: bytes, clock: Clock | None = None) -> None:
+        if len(master_key) != KEY_SIZE:
+            raise KeyManagementError(f"master key must be {KEY_SIZE} bytes")
+        self._wrapper = AeadCipher(master_key)
+        self._clock = clock or WallClock()
+        self._entries: dict[str, _KeyEntry] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def create_key(self, label: str = "") -> KeyHandle:
+        """Mint a fresh random data key and return its handle."""
+        self._counter += 1
+        key_id = f"key-{self._counter:08d}"
+        data_key = secrets.token_bytes(KEY_SIZE)
+        wrapped = self._wrapper.encrypt(data_key, associated_data=key_id.encode())
+        self._entries[key_id] = _KeyEntry(
+            wrapped=wrapped, created_at=self._clock.now(), label=label
+        )
+        return KeyHandle(key_id=key_id)
+
+    def cipher_for(self, handle: KeyHandle) -> AeadCipher:
+        """Unwrap the data key and return an AEAD cipher bound to it.
+
+        Raises :class:`ShreddedKeyError` if the key was destroyed and
+        :class:`KeyManagementError` if the handle is unknown.
+        """
+        entry = self._entries.get(handle.key_id)
+        if entry is None:
+            raise KeyManagementError(f"unknown key {handle.key_id}")
+        if entry.wrapped is None:
+            raise ShreddedKeyError(f"key {handle.key_id} was shredded")
+        data_key = self._wrapper.decrypt(entry.wrapped, associated_data=handle.key_id.encode())
+        return AeadCipher(data_key)
+
+    def shred(self, handle: KeyHandle) -> float:
+        """Destroy the wrapped key material; returns the shred timestamp.
+
+        Idempotent: shredding an already-shredded key returns the
+        original timestamp.
+        """
+        entry = self._entries.get(handle.key_id)
+        if entry is None:
+            raise KeyManagementError(f"unknown key {handle.key_id}")
+        if entry.wrapped is None:
+            assert entry.shredded_at is not None
+            return entry.shredded_at
+        entry.wrapped = None
+        entry.shredded_at = self._clock.now()
+        return entry.shredded_at
+
+    def is_shredded(self, handle: KeyHandle) -> bool:
+        """Whether the key has been destroyed."""
+        entry = self._entries.get(handle.key_id)
+        if entry is None:
+            raise KeyManagementError(f"unknown key {handle.key_id}")
+        return entry.wrapped is None
+
+    def export_wrapped(self, handle: KeyHandle) -> bytes:
+        """Export the wrapped (still-encrypted) key for backup transport."""
+        entry = self._entries.get(handle.key_id)
+        if entry is None:
+            raise KeyManagementError(f"unknown key {handle.key_id}")
+        if entry.wrapped is None:
+            raise ShreddedKeyError(f"key {handle.key_id} was shredded")
+        return entry.wrapped.to_bytes()
+
+    def import_wrapped(self, key_id: str, blob: bytes, label: str = "") -> KeyHandle:
+        """Import a wrapped key previously exported from a store sharing
+        the same master key (restore path)."""
+        if key_id in self._entries and self._entries[key_id].wrapped is not None:
+            raise KeyManagementError(f"key {key_id} already present")
+        wrapped = AeadCiphertext.from_bytes(blob)
+        # Verify the blob unwraps under our master key before accepting it.
+        self._wrapper.decrypt(wrapped, associated_data=key_id.encode())
+        self._entries[key_id] = _KeyEntry(
+            wrapped=wrapped, created_at=self._clock.now(), label=label
+        )
+        return KeyHandle(key_id=key_id)
+
+    def handles(self) -> list[KeyHandle]:
+        """All handles ever minted (shredded ones included)."""
+        return [KeyHandle(key_id=key_id) for key_id in sorted(self._entries)]
+
+    def shredded_handles(self) -> list[KeyHandle]:
+        """Handles whose keys have been destroyed."""
+        return [
+            KeyHandle(key_id=key_id)
+            for key_id, entry in sorted(self._entries.items())
+            if entry.wrapped is None
+        ]

@@ -1,0 +1,252 @@
+"""Merkle trees with inclusion and consistency proofs.
+
+Used in three places:
+
+* **Audit anchoring** — the audit log periodically commits its entries'
+  Merkle root to an external witness; consistency proofs show a later
+  root extends an earlier one (no history rewriting).
+* **Migration manifests** — the source store publishes the Merkle root
+  of all record digests; the destination proves completeness by
+  recomputing it, and any single lost/altered record changes the root.
+* **Backup verification** — restored data is checked against the
+  backed-up root.
+
+The construction follows RFC 6962 (Certificate Transparency): leaves
+are hashed with a ``0x00`` prefix, interior nodes with ``0x01``, and an
+unbalanced tree recurses on the largest power of two smaller than n.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import IntegrityError, ValidationError
+
+_LEAF = b"\x00"
+_NODE = b"\x01"
+
+EMPTY_ROOT = hashlib.sha256(b"").digest()
+"""Root of the empty tree, as in RFC 6962."""
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF + data).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE + left + right).digest()
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than n (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+def _subtree_root(leaves: list[bytes]) -> bytes:
+    if len(leaves) == 1:
+        return leaves[0]
+    split = _largest_power_of_two_below(len(leaves))
+    return _node_hash(_subtree_root(leaves[:split]), _subtree_root(leaves[split:]))
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof: the path of sibling hashes from a leaf to the root.
+
+    ``path`` entries are ``(sibling_digest, sibling_is_left)``.
+    """
+
+    leaf_index: int
+    tree_size: int
+    path: tuple[tuple[bytes, bool], ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        """Serializable form (for embedding in manifests/reports)."""
+        return {
+            "leaf_index": self.leaf_index,
+            "tree_size": self.tree_size,
+            "path": [[digest, is_left] for digest, is_left in self.path],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MerkleProof":
+        return cls(
+            leaf_index=data["leaf_index"],
+            tree_size=data["tree_size"],
+            path=tuple((digest, bool(is_left)) for digest, is_left in data["path"]),
+        )
+
+
+class MerkleTree:
+    """An append-only Merkle tree over byte-string leaves."""
+
+    def __init__(self, leaves: list[bytes] | None = None) -> None:
+        self._leaf_hashes: list[bytes] = []
+        for leaf in leaves or []:
+            self.append(leaf)
+
+    def __len__(self) -> int:
+        return len(self._leaf_hashes)
+
+    def append(self, leaf: bytes) -> int:
+        """Append a leaf; returns its index."""
+        if not isinstance(leaf, (bytes, bytearray)):
+            raise ValidationError("Merkle leaves must be bytes")
+        self._leaf_hashes.append(_leaf_hash(bytes(leaf)))
+        return len(self._leaf_hashes) - 1
+
+    def append_hash(self, leaf_hash: bytes) -> int:
+        """Append a pre-hashed leaf (32 bytes, already leaf-hashed)."""
+        if len(leaf_hash) != 32:
+            raise ValidationError("leaf hash must be 32 bytes")
+        self._leaf_hashes.append(bytes(leaf_hash))
+        return len(self._leaf_hashes) - 1
+
+    def root(self) -> bytes:
+        """Current root digest (EMPTY_ROOT for the empty tree)."""
+        if not self._leaf_hashes:
+            return EMPTY_ROOT
+        return _subtree_root(self._leaf_hashes)
+
+    def root_at(self, size: int) -> bytes:
+        """Root of the historical tree containing only the first *size* leaves."""
+        if size < 0 or size > len(self._leaf_hashes):
+            raise ValidationError(f"size {size} out of range 0..{len(self._leaf_hashes)}")
+        if size == 0:
+            return EMPTY_ROOT
+        return _subtree_root(self._leaf_hashes[:size])
+
+    def prove_inclusion(self, index: int) -> MerkleProof:
+        """Produce an inclusion proof for the leaf at *index*."""
+        n = len(self._leaf_hashes)
+        if index < 0 or index >= n:
+            raise ValidationError(f"leaf index {index} out of range 0..{n - 1}")
+        path: list[tuple[bytes, bool]] = []
+
+        def walk(lo: int, hi: int, target: int) -> None:
+            if hi - lo == 1:
+                return
+            split = lo + _largest_power_of_two_below(hi - lo)
+            if target < split:
+                walk(lo, split, target)
+                path.append((_subtree_root(self._leaf_hashes[split:hi]), False))
+            else:
+                walk(split, hi, target)
+                path.append((_subtree_root(self._leaf_hashes[lo:split]), True))
+
+        walk(0, n, index)
+        return MerkleProof(leaf_index=index, tree_size=n, path=tuple(path))
+
+    def prove_inclusion_at(self, index: int, size: int) -> MerkleProof:
+        """Inclusion proof against the *historical* tree of the first
+        ``size`` leaves (proofs must match the root they verify against,
+        e.g. a previously published anchor)."""
+        if size < 1 or size > len(self._leaf_hashes):
+            raise ValidationError(f"size {size} out of range 1..{len(self._leaf_hashes)}")
+        historical = MerkleTree.__new__(MerkleTree)
+        historical._leaf_hashes = self._leaf_hashes[:size]
+        return historical.prove_inclusion(index)
+
+    def prove_consistency(self, old_size: int) -> list[bytes]:
+        """Consistency proof that the current tree extends the tree of
+        *old_size* leaves (RFC 6962 §2.1.2, simplified recursive form)."""
+        n = len(self._leaf_hashes)
+        if old_size < 0 or old_size > n:
+            raise ValidationError(f"old_size {old_size} out of range 0..{n}")
+        if old_size == 0 or old_size == n:
+            return []
+
+        proof: list[bytes] = []
+
+        def subproof(lo: int, hi: int, m: int, complete: bool) -> None:
+            # Proves the subtree over [lo, hi) is consistent with its
+            # first (m - lo) leaves. `complete` means the old subtree
+            # equals the whole [lo, split) range at some ancestor.
+            if m == hi:
+                if not complete:
+                    proof.append(_subtree_root(self._leaf_hashes[lo:hi]))
+                return
+            split = lo + _largest_power_of_two_below(hi - lo)
+            if m <= split:
+                subproof(lo, split, m, complete)
+                proof.append(_subtree_root(self._leaf_hashes[split:hi]))
+            else:
+                subproof(split, hi, m, False)
+                proof.append(_subtree_root(self._leaf_hashes[lo:split]))
+
+        subproof(0, n, old_size, True)
+        return proof
+
+
+def verify_inclusion(leaf: bytes, proof: MerkleProof, root: bytes) -> None:
+    """Verify an inclusion proof; raises :class:`IntegrityError` on failure."""
+    digest = _leaf_hash(leaf)
+    for sibling, sibling_is_left in proof.path:
+        if sibling_is_left:
+            digest = _node_hash(sibling, digest)
+        else:
+            digest = _node_hash(digest, sibling)
+    if digest != root:
+        raise IntegrityError(
+            f"Merkle inclusion proof failed for leaf index {proof.leaf_index}"
+        )
+
+
+def verify_consistency(
+    old_root: bytes,
+    new_root: bytes,
+    old_size: int,
+    new_size: int,
+    proof: list[bytes],
+) -> None:
+    """Verify a consistency proof produced by :meth:`MerkleTree.prove_consistency`.
+
+    Raises :class:`IntegrityError` if *new_root* does not extend *old_root*.
+    """
+    if old_size == 0:
+        return  # the empty tree is a prefix of everything
+    if old_size == new_size:
+        if old_root != new_root:
+            raise IntegrityError("equal-size trees with different roots")
+        return
+    if old_size > new_size:
+        raise IntegrityError("old tree is larger than new tree")
+
+    # Reconstruct both roots from the proof hashes by replaying the
+    # same recursion shape used by prove_consistency.
+    proof_iter = iter(proof)
+
+    def reconstruct(lo: int, hi: int, m: int, complete: bool) -> tuple[bytes, bytes]:
+        # returns (old_subtree_root, new_subtree_root) for range [lo, hi)
+        if m == hi:
+            if complete:
+                # verifier knows this subtree root: it's old_root itself
+                return old_root, old_root
+            digest = next(proof_iter)
+            return digest, digest
+        split = lo + _largest_power_of_two_below(hi - lo)
+        if m <= split:
+            # The old tree's first m leaves lie entirely in the left child,
+            # so the old root of this range is the old root of the left child.
+            old_left, new_left = reconstruct(lo, split, m, complete)
+            right = next(proof_iter)
+            return old_left, _node_hash(new_left, right)
+        old_right, new_right = reconstruct(split, hi, m, False)
+        left = next(proof_iter)
+        return _node_hash(left, old_right), _node_hash(left, new_right)
+
+    try:
+        computed_old, computed_new = reconstruct(0, new_size, old_size, True)
+    except StopIteration:
+        raise IntegrityError("consistency proof truncated") from None
+    remaining = list(proof_iter)
+    if remaining:
+        raise IntegrityError("consistency proof has extra hashes")
+    if computed_old != old_root:
+        raise IntegrityError("consistency proof does not reproduce the old root")
+    if computed_new != new_root:
+        raise IntegrityError("consistency proof does not reproduce the new root")

@@ -1,0 +1,158 @@
+"""RSA signatures with deterministic padding (hash-then-sign).
+
+Used for: signed custody-transfer events (provenance), signed migration
+manifests, and signed audit anchors — the places where *non-repudiation*
+matters, not just integrity.  MACs cannot provide non-repudiation
+because both parties hold the key; signatures can.
+
+Implementation notes
+--------------------
+* Key generation uses Miller-Rabin probable primes.  Default modulus is
+  1024 bits: fine for a simulation substrate, fast enough for tests.
+  (Real deployments would use >=3072-bit keys or a modern signature
+  scheme; this module documents that explicitly rather than pretending.)
+* Signing is "full-domain-hash style": the SHA-256 digest is embedded
+  in a fixed, deterministic PKCS#1 v1.5-like padding block, then
+  exponentiated.  Deterministic padding keeps signatures reproducible
+  across runs, which the experiment harness relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import AuthenticationError, CryptoError
+
+_MILLER_RABIN_ROUNDS = 40
+_E = 65537
+
+# SHA-256 DigestInfo prefix from PKCS#1 v1.5.
+_SHA256_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+def _is_probable_prime(candidate: int, rng_bits: int) -> bool:
+    if candidate < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+    for p in small_primes:
+        if candidate % p == 0:
+            return candidate == p
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MILLER_RABIN_ROUNDS):
+        a = secrets.randbelow(candidate - 3) + 2
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int) -> int:
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, bits):
+            return candidate
+
+
+def _modinv(a: int, m: int) -> int:
+    g, x = _extended_gcd(a, m)
+    if g != 1:
+        raise CryptoError("modular inverse does not exist")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    return old_r, old_s
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """Verification half of an RSA key pair."""
+
+    modulus: int
+    exponent: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Stable hex identifier for this key (hash of n||e)."""
+        material = self.modulus.to_bytes(self.byte_length, "big") + self.exponent.to_bytes(4, "big")
+        return hashlib.sha256(material).hexdigest()[:16]
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Verify a signature; raises :class:`AuthenticationError` on failure."""
+        k = self.byte_length
+        if len(signature) != k:
+            raise AuthenticationError("signature length mismatch")
+        sig_int = int.from_bytes(signature, "big")
+        if sig_int >= self.modulus:
+            raise AuthenticationError("signature out of range")
+        recovered = pow(sig_int, self.exponent, self.modulus).to_bytes(k, "big")
+        expected = _pad_digest(hashlib.sha256(message).digest(), k)
+        if recovered != expected:
+            raise AuthenticationError("RSA signature verification failed")
+
+
+def _pad_digest(digest: bytes, key_bytes: int) -> bytes:
+    """PKCS#1 v1.5 type-1 padding around the SHA-256 DigestInfo."""
+    payload = _SHA256_PREFIX + digest
+    pad_len = key_bytes - len(payload) - 3
+    if pad_len < 8:
+        raise CryptoError("RSA modulus too small for SHA-256 signature")
+    return b"\x00\x01" + b"\xff" * pad_len + b"\x00" + payload
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """An RSA key pair; ``public`` can be shared, the rest must not be."""
+
+    public: RsaPublicKey
+    private_exponent: int
+
+    def sign(self, message: bytes) -> bytes:
+        """Deterministically sign SHA-256(message)."""
+        k = self.public.byte_length
+        padded = _pad_digest(hashlib.sha256(message).digest(), k)
+        m_int = int.from_bytes(padded, "big")
+        sig_int = pow(m_int, self.private_exponent, self.public.modulus)
+        return sig_int.to_bytes(k, "big")
+
+
+def generate_keypair(bits: int = 1024) -> RsaKeyPair:
+    """Generate an RSA key pair with a *bits*-bit modulus."""
+    if bits < 512:
+        raise CryptoError("modulus must be at least 512 bits")
+    if bits % 2:
+        raise CryptoError("modulus bit length must be even")
+    while True:
+        p = _random_prime(bits // 2)
+        q = _random_prime(bits // 2)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % _E == 0:
+            continue
+        d = _modinv(_E, phi)
+        return RsaKeyPair(public=RsaPublicKey(modulus=n, exponent=_E), private_exponent=d)

@@ -1,0 +1,119 @@
+"""High-level signing interface over structured payloads.
+
+Provenance transfers, migration manifests, and audit anchors all sign
+*structured values* (dicts), not raw bytes.  :class:`Signer` canonically
+encodes the value, signs it, and wraps everything in a
+:class:`SignedPayload` that records the signer identity and key
+fingerprint, so a verifier can (a) check the signature and (b) check it
+was made by the expected party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.errors import AuthenticationError
+from repro.util.encoding import canonical_bytes
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """A structured value plus a signature over its canonical encoding."""
+
+    payload: Any
+    signer_id: str
+    key_fingerprint: str
+    signature: bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "payload": self.payload,
+            "signer_id": self.signer_id,
+            "key_fingerprint": self.key_fingerprint,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SignedPayload":
+        return cls(
+            payload=data["payload"],
+            signer_id=data["signer_id"],
+            key_fingerprint=data["key_fingerprint"],
+            signature=data["signature"],
+        )
+
+
+class Signer:
+    """An identity (e.g. a storage site, a custodian) that can sign payloads."""
+
+    def __init__(self, signer_id: str, keypair: RsaKeyPair | None = None, bits: int = 1024) -> None:
+        self.signer_id = signer_id
+        self._keypair = keypair or generate_keypair(bits)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._keypair.public
+
+    def verifier(self) -> "Verifier":
+        """The verification half for this signer."""
+        return Verifier(self.signer_id, self._keypair.public)
+
+    def sign(self, payload: Any) -> SignedPayload:
+        """Sign the canonical encoding of *payload*."""
+        message = canonical_bytes(payload)
+        return SignedPayload(
+            payload=payload,
+            signer_id=self.signer_id,
+            key_fingerprint=self._keypair.public.fingerprint(),
+            signature=self._keypair.sign(message),
+        )
+
+
+class Verifier:
+    """Verification half: holds a signer's identity and public key."""
+
+    def __init__(self, signer_id: str, public_key: RsaPublicKey) -> None:
+        self.signer_id = signer_id
+        self.public_key = public_key
+
+    def verify(self, signed: SignedPayload) -> Any:
+        """Verify a :class:`SignedPayload` and return its payload.
+
+        Raises :class:`AuthenticationError` if the signature is invalid,
+        the signer identity does not match, or the key fingerprint
+        differs from the trusted key.
+        """
+        if signed.signer_id != self.signer_id:
+            raise AuthenticationError(
+                f"payload signed by {signed.signer_id!r}, expected {self.signer_id!r}"
+            )
+        if signed.key_fingerprint != self.public_key.fingerprint():
+            raise AuthenticationError("signing key fingerprint mismatch")
+        self.public_key.verify(canonical_bytes(signed.payload), signed.signature)
+        return signed.payload
+
+
+class TrustStore:
+    """Registry of trusted verifiers, keyed by signer id.
+
+    Migration destinations use this to check custody-transfer signatures
+    from source sites they trust.
+    """
+
+    def __init__(self) -> None:
+        self._verifiers: dict[str, Verifier] = {}
+
+    def add(self, verifier: Verifier) -> None:
+        self._verifiers[verifier.signer_id] = verifier
+
+    def verify(self, signed: SignedPayload) -> Any:
+        """Verify against the registered key for the payload's signer."""
+        verifier = self._verifiers.get(signed.signer_id)
+        if verifier is None:
+            raise AuthenticationError(f"no trusted key for signer {signed.signer_id!r}")
+        return verifier.verify(signed)
+
+    def known_signers(self) -> list[str]:
+        return sorted(self._verifiers)

@@ -1,0 +1,36 @@
+"""Keyword indexing: fast retrieval without privacy leakage.
+
+The paper (§3, Availability and Performance) observes that timely
+access requires indexing, but a conventional keyword index *is itself a
+disclosure*: "if the keyword Cancer is present in a medical [record],
+then an adversary can assume that the patient might have Cancer".
+
+Two indexes are provided:
+
+* :class:`~repro.index.inverted.InvertedIndex` — a plaintext inverted
+  index.  Fast, and exactly as leaky as the paper warns; the baselines
+  use it, and experiment E4's leakage probe reads keywords straight off
+  its device.
+* :class:`~repro.index.trustworthy.TrustworthyIndex` — the compliant
+  index: terms are replaced by HMAC trapdoors (keyed, so the adversary
+  cannot enumerate the dictionary), posting lists are AEAD-encrypted
+  and padded to bucket sizes (so list *lengths* leak little), and every
+  posting-list update is MACed (tamper-evident).
+* :mod:`repro.index.secure_deletion` — removal of a document from
+  posting lists with *verifiable* absence afterwards (Mitra & Winslett,
+  StorageSS'06 motivated), via re-encryption of affected lists.
+"""
+
+from repro.index.epochs import EpochedIndex
+from repro.index.inverted import InvertedIndex
+from repro.index.secure_deletion import SecureDeletionIndex
+from repro.index.tokenizer import tokenize
+from repro.index.trustworthy import TrustworthyIndex
+
+__all__ = [
+    "EpochedIndex",
+    "InvertedIndex",
+    "SecureDeletionIndex",
+    "tokenize",
+    "TrustworthyIndex",
+]

@@ -1,0 +1,126 @@
+"""Secure deletion from inverted indexes.
+
+Motivated by Mitra & Winslett (StorageSS'06): when a record passes its
+retention period and is destroyed, the *index* must forget it too —
+otherwise posting lists remain a forensic copy of the record's
+vocabulary ("the record said Cancer") long after the record is gone.
+
+:class:`SecureDeletionIndex` wraps a
+:class:`~repro.index.trustworthy.TrustworthyIndex` and makes deletion a
+two-step, verifiable operation:
+
+1. **rewrite** — every posting list containing the document is
+   re-encrypted without it (fresh nonce, bumped version);
+2. **scrub** — the superseded ciphertext versions' device extents are
+   physically overwritten with zeros, so even the adversary who later
+   obtains the index key cannot decrypt a stale list and learn the
+   deleted document's terms.
+
+:meth:`SecureDeletionIndex.forensic_residue` is the auditor's check:
+given full raw-device access *and* the index keys (worst case), can the
+deleted document still be associated with any term?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IndexError_
+from repro.index.trustworthy import TrustworthyIndex
+
+
+@dataclass(frozen=True)
+class DeletionCertificate:
+    """Evidence of a completed secure deletion."""
+
+    document_id: str
+    lists_rewritten: int
+    versions_scrubbed: int
+    bytes_scrubbed: int
+
+
+class SecureDeletionIndex:
+    """Trustworthy index with physical, verifiable forgetting."""
+
+    def __init__(self, index: TrustworthyIndex) -> None:
+        self._index = index
+
+    @property
+    def index(self) -> TrustworthyIndex:
+        return self._index
+
+    def add_document(self, document_id: str, text: str) -> int:
+        return self._index.add_document(document_id, text)
+
+    def search(self, term: str) -> list[str]:
+        return self._index.search(term)
+
+    def search_all(self, terms: list[str]) -> list[str]:
+        return self._index.search_all(terms)
+
+    def delete_document(self, document_id: str) -> DeletionCertificate:
+        """Securely remove a document from the index."""
+        if not document_id:
+            raise IndexError_("document id must not be empty")
+        affected = self._index.rewrite_lists_without(document_id)
+        superseded = self._index.clear_superseded(affected)
+        bytes_scrubbed = 0
+        device = self._index.device
+        for meta in superseded:
+            device.raw_write(meta.device_offset, bytes(meta.size))
+            bytes_scrubbed += meta.size
+        return DeletionCertificate(
+            document_id=document_id,
+            lists_rewritten=len(affected),
+            versions_scrubbed=len(superseded),
+            bytes_scrubbed=bytes_scrubbed,
+        )
+
+    def scrub_all_superseded(self) -> int:
+        """Housekeeping: scrub every superseded version (e.g. after bulk
+        updates), returning bytes overwritten.  Keeps the device free of
+        decryptable stale lists even outside deletions."""
+        all_trapdoors = list(self._index.superseded_versions())
+        superseded = self._index.clear_superseded(all_trapdoors)
+        device = self._index.device
+        total = 0
+        for meta in superseded:
+            device.raw_write(meta.device_offset, bytes(meta.size))
+            total += meta.size
+        return total
+
+    def forensic_residue(self, document_id: str) -> list[str]:
+        """Worst-case forensic check: with the index keys in hand,
+        decrypt every *current* and every *stale-but-unscrubbed* posting
+        list version and report the terms' trapdoors still naming the
+        document.  Empty list == the index has verifiably forgotten it.
+        """
+        residue: list[str] = []
+        # Current lists (should have been rewritten).
+        for trapdoor in self._index.current_versions():
+            if document_id in self._index._read_list(trapdoor):  # noqa: SLF001
+                residue.append(trapdoor)
+        # Stale versions: anything unscrubbed and still decryptable.
+        device = self._index.device
+        for trapdoor, metas in self._index.superseded_versions().items():
+            for meta in metas:
+                blob = device.raw_read(meta.device_offset, meta.size)
+                if not any(blob):
+                    continue  # scrubbed
+                try:
+                    from repro.crypto.aead import AeadCiphertext
+                    from repro.util.encoding import canonical_loads
+
+                    stored = canonical_loads(blob)
+                    box = AeadCiphertext.from_bytes(stored["box"])
+                    plaintext = self._index._cipher_for(trapdoor).decrypt(  # noqa: SLF001
+                        box,
+                        associated_data=self._index._associated_data(  # noqa: SLF001
+                            trapdoor, stored["v"]
+                        ),
+                    )
+                    if document_id in canonical_loads(plaintext):
+                        residue.append(trapdoor)
+                except Exception:
+                    continue  # undecodable residue carries no posting info
+        return sorted(set(residue))

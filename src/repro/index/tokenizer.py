@@ -1,0 +1,36 @@
+"""Tokenization for clinical text.
+
+Lower-cases, strips punctuation, drops stopwords and pure numbers.
+The stopword list is small and clinical-text oriented; the point is to
+keep index vocabulary meaningful (diagnoses, drugs, procedures), not to
+be a linguistics project.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN = re.compile(r"[a-z][a-z0-9'-]*")
+
+STOPWORDS = frozenset(
+    """
+    a an and are as at be but by for from has have he her his if in is it
+    its no not of on or she that the their them they this to was were will
+    with patient pt denies reports history noted present presents normal
+    exam without within
+    """.split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Extract index terms from free text (order preserved, duplicates kept)."""
+    return [
+        token
+        for token in _TOKEN.findall(text.lower())
+        if token not in STOPWORDS and len(token) > 1
+    ]
+
+
+def unique_terms(text: str) -> set[str]:
+    """The distinct index terms of a document."""
+    return set(tokenize(text))

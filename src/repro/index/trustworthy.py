@@ -1,0 +1,210 @@
+"""The trustworthy keyword index.
+
+Design (after Mitra, Hsu & Winslett's trustworthy-index line of work,
+re-expressed over this library's substrate):
+
+* **Trapdoors, not terms.**  A term never touches the device.  Its
+  on-disk identity is ``HMAC(index_key, term)`` — without the key, the
+  stored vocabulary is indistinguishable from random strings, so the
+  "Cancer" inference is impossible from a stolen medium.
+* **Encrypted posting lists.**  Each trapdoor's document list is
+  AEAD-encrypted under a key derived from the index master key and the
+  trapdoor.  The trapdoor is the AEAD associated data, so lists cannot
+  be swapped between terms without detection.
+* **Padding.**  Posting lists are padded to the next power-of-two
+  entry count before encryption, blunting the frequency side channel
+  (list length ≈ term rarity) to log-granularity buckets.
+* **Versioned updates.**  Appending a document writes a new encrypted
+  version of each affected list; the version number rides in the
+  associated data, so replaying a stale list (rollback) fails
+  verification against the in-memory version counter.
+
+Queries decrypt one list; tampering anywhere in a list surfaces as an
+:class:`~repro.errors.IntegrityError`-family failure at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aead import AeadCipher, AeadCiphertext
+from repro.crypto.hmac_utils import hmac_sha256
+from repro.crypto.kdf import derive_key
+from repro.errors import IndexError_, IntegrityError
+from repro.index.tokenizer import unique_terms
+from repro.storage.block import BlockDevice, MemoryDevice
+from repro.storage.journal import HEADER_SIZE, Journal
+from repro.util.encoding import canonical_bytes, canonical_loads
+
+_PAD_DOC = ""  # padding entries are empty strings, dropped on decrypt
+
+
+def _padded_length(count: int) -> int:
+    """Next power of two >= max(count, 1)."""
+    length = 1
+    while length < count:
+        length *= 2
+    return length
+
+
+@dataclass(frozen=True)
+class _ListVersion:
+    """Where one encrypted posting-list version lives on the device."""
+
+    journal_sequence: int
+    device_offset: int
+    size: int
+    version: int
+
+
+class TrustworthyIndex:
+    """Encrypted, tamper-evident, low-leakage keyword index."""
+
+    def __init__(
+        self,
+        master_key: bytes,
+        device: BlockDevice | None = None,
+    ) -> None:
+        if len(master_key) != 32:
+            raise IndexError_("index master key must be 32 bytes")
+        self._trapdoor_key = derive_key(master_key, "index/trapdoor")
+        self._list_key_root = derive_key(master_key, "index/lists")
+        self._journal = Journal(device or MemoryDevice("tidx-dev", 1 << 23))
+        # trapdoor(hex) -> current version metadata
+        self._current: dict[str, _ListVersion] = {}
+        # trapdoor(hex) -> superseded versions (secure deletion scrubs these)
+        self._superseded: dict[str, list[_ListVersion]] = {}
+        self._documents: set[str] = set()
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._journal.device
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._current)
+
+    # -- crypto plumbing -----------------------------------------------------
+
+    def trapdoor(self, term: str) -> str:
+        """The keyed on-disk identity of a term."""
+        return hmac_sha256(self._trapdoor_key, term.lower().encode("utf-8")).hex()
+
+    def _cipher_for(self, trapdoor: str) -> AeadCipher:
+        key = derive_key(self._list_key_root, f"list/{trapdoor}")
+        return AeadCipher(key)
+
+    def _associated_data(self, trapdoor: str, version: int) -> bytes:
+        return canonical_bytes({"trapdoor": trapdoor, "version": version})
+
+    # -- posting-list persistence -----------------------------------------------
+
+    def _write_list(self, trapdoor: str, documents: list[str]) -> None:
+        previous = self._current.get(trapdoor)
+        version = previous.version + 1 if previous else 0
+        padded = sorted(documents) + [_PAD_DOC] * (
+            _padded_length(len(documents)) - len(documents)
+        )
+        plaintext = canonical_bytes(padded)
+        box = self._cipher_for(trapdoor).encrypt(
+            plaintext, associated_data=self._associated_data(trapdoor, version)
+        )
+        stored = canonical_bytes({"t": trapdoor, "v": version, "box": box.to_bytes()})
+        entry = self._journal.append(stored)
+        if previous is not None:
+            self._superseded.setdefault(trapdoor, []).append(previous)
+        self._current[trapdoor] = _ListVersion(
+            journal_sequence=entry.sequence,
+            device_offset=entry.offset + HEADER_SIZE,
+            size=len(stored),
+            version=version,
+        )
+
+    def _read_list(self, trapdoor: str) -> list[str]:
+        meta = self._current.get(trapdoor)
+        if meta is None:
+            return []
+        stored = canonical_loads(self._journal.read(meta.journal_sequence))
+        if stored["t"] != trapdoor or stored["v"] != meta.version:
+            raise IntegrityError(
+                "posting list substitution detected (trapdoor/version mismatch)"
+            )
+        box = AeadCiphertext.from_bytes(stored["box"])
+        plaintext = self._cipher_for(trapdoor).decrypt(
+            box, associated_data=self._associated_data(trapdoor, meta.version)
+        )
+        return [doc for doc in canonical_loads(plaintext) if doc != _PAD_DOC]
+
+    # -- public API ---------------------------------------------------------------
+
+    def add_document(self, document_id: str, text: str) -> int:
+        """Index a document; returns the number of distinct terms."""
+        if document_id in self._documents:
+            raise IndexError_(f"document {document_id} already indexed")
+        if not document_id:
+            raise IndexError_("document id must not be empty")
+        terms = unique_terms(text)
+        for term in terms:
+            trapdoor = self.trapdoor(term)
+            documents = self._read_list(trapdoor)
+            documents.append(document_id)
+            self._write_list(trapdoor, documents)
+        self._documents.add(document_id)
+        return len(terms)
+
+    def search(self, term: str) -> list[str]:
+        """Documents containing *term*; requires the index key by construction."""
+        return sorted(self._read_list(self.trapdoor(term)))
+
+    def search_all(self, terms: list[str]) -> list[str]:
+        """Conjunctive query."""
+        if not terms:
+            return []
+        results: set[str] | None = None
+        for term in terms:
+            postings = set(self._read_list(self.trapdoor(term)))
+            results = postings if results is None else results & postings
+        return sorted(results or set())
+
+    def verify(self) -> list[str]:
+        """Decrypt every current posting list; returns the trapdoors that
+        fail authentication (tampered or substituted lists)."""
+        failures = []
+        for trapdoor in sorted(self._current):
+            try:
+                self._read_list(trapdoor)
+            except Exception:
+                failures.append(trapdoor)
+        return failures
+
+    # -- hooks used by secure deletion ----------------------------------------------
+
+    def current_versions(self) -> dict[str, _ListVersion]:
+        return dict(self._current)
+
+    def superseded_versions(self) -> dict[str, list[_ListVersion]]:
+        return {trapdoor: list(metas) for trapdoor, metas in self._superseded.items()}
+
+    def rewrite_lists_without(self, document_id: str) -> list[str]:
+        """Rewrite every posting list that contains *document_id*,
+        omitting it.  Returns the affected trapdoors.  The superseded
+        (still-decryptable) old versions are recorded for scrubbing."""
+        affected = []
+        for trapdoor in sorted(self._current):
+            documents = self._read_list(trapdoor)
+            if document_id in documents:
+                documents = [doc for doc in documents if doc != document_id]
+                self._write_list(trapdoor, documents)
+                affected.append(trapdoor)
+        self._documents.discard(document_id)
+        return affected
+
+    def clear_superseded(self, trapdoors: list[str]) -> list[_ListVersion]:
+        """Pop and return superseded version metadata for *trapdoors*."""
+        popped: list[_ListVersion] = []
+        for trapdoor in trapdoors:
+            popped.extend(self._superseded.pop(trapdoor, []))
+        return popped

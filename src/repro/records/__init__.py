@@ -1,0 +1,58 @@
+"""Electronic health record data model.
+
+A deliberately FHIR-flavoured but self-contained model:
+
+* :mod:`repro.records.model` — patients, encounters, observations and
+  clinical notes as immutable dataclasses with canonical encodings.
+* :mod:`repro.records.phi` — the 18 HIPAA Safe-Harbor identifier
+  categories, classification of record fields, and de-identification.
+* :mod:`repro.records.versioning` — append-only version chains.  The
+  paper's Section 4 observes that WORM storage "does not support
+  corrections" while patients have the right to request them; the
+  version chain is the hybrid answer: a correction is a new immutable
+  version linked (by hash) to its predecessor, so history is preserved
+  *and* the current view is correct.
+"""
+
+from repro.records.attachments import (
+    AttachmentManifest,
+    load_attachment,
+    store_attachment,
+    verify_attachment,
+)
+from repro.records.model import (
+    ClinicalNote,
+    Encounter,
+    HealthRecord,
+    Observation,
+    Patient,
+    RecordType,
+)
+from repro.records.phi import (
+    PHI_CATEGORIES,
+    PhiCategory,
+    classify_fields,
+    deidentify,
+    generalize_birth_date,
+)
+from repro.records.versioning import RecordVersion, VersionChain
+
+__all__ = [
+    "AttachmentManifest",
+    "load_attachment",
+    "store_attachment",
+    "verify_attachment",
+    "ClinicalNote",
+    "Encounter",
+    "HealthRecord",
+    "Observation",
+    "Patient",
+    "RecordType",
+    "PHI_CATEGORIES",
+    "PhiCategory",
+    "classify_fields",
+    "deidentify",
+    "generalize_birth_date",
+    "RecordVersion",
+    "VersionChain",
+]

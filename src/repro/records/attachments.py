@@ -1,0 +1,138 @@
+"""Binary attachments: imaging and scanned documents.
+
+Health records routinely carry large binary payloads (DICOM studies,
+scanned consent forms).  An :class:`Attachment` is chunked, each chunk
+AEAD-encrypted under the owning record's data key and stored as its own
+WORM object, with a manifest committing to the chunk digests — so a
+multi-megabyte study gets the same integrity, retention, and secure-
+deletion treatment as a structured record, and a single corrupted chunk
+is localized rather than poisoning the whole study.
+
+This module is storage-engine-agnostic plumbing: it chunks, seals, and
+verifies; the caller provides ``put``/``get`` functions (usually bound
+to a :class:`~repro.worm.store.WormStore`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.crypto.aead import AeadCipher, AeadCiphertext
+from repro.crypto.hashing import sha256
+from repro.errors import IntegrityError, ValidationError
+
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+PutFn = Callable[[str, bytes], None]
+GetFn = Callable[[str], bytes]
+
+
+@dataclass(frozen=True)
+class AttachmentManifest:
+    """Commitment to one attachment's chunks."""
+
+    attachment_id: str
+    content_type: str
+    total_size: int
+    chunk_size: int
+    chunk_ids: tuple[str, ...]
+    chunk_digests: tuple[bytes, ...]  # digests of the *plaintext* chunks
+    content_digest: bytes  # digest of the full plaintext
+
+    def to_dict(self) -> dict:
+        return {
+            "attachment_id": self.attachment_id,
+            "content_type": self.content_type,
+            "total_size": self.total_size,
+            "chunk_size": self.chunk_size,
+            "chunk_ids": list(self.chunk_ids),
+            "chunk_digests": list(self.chunk_digests),
+            "content_digest": self.content_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttachmentManifest":
+        return cls(
+            attachment_id=data["attachment_id"],
+            content_type=data["content_type"],
+            total_size=data["total_size"],
+            chunk_size=data["chunk_size"],
+            chunk_ids=tuple(data["chunk_ids"]),
+            chunk_digests=tuple(data["chunk_digests"]),
+            content_digest=data["content_digest"],
+        )
+
+
+def store_attachment(
+    attachment_id: str,
+    data: bytes,
+    cipher: AeadCipher,
+    put: PutFn,
+    content_type: str = "application/octet-stream",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> AttachmentManifest:
+    """Chunk, encrypt, and store an attachment; returns its manifest."""
+    if not attachment_id:
+        raise ValidationError("attachment id must not be empty")
+    if chunk_size < 1:
+        raise ValidationError("chunk size must be positive")
+    chunk_ids: list[str] = []
+    chunk_digests: list[bytes] = []
+    for index in range(0, max(len(data), 1), chunk_size):
+        chunk = data[index : index + chunk_size]
+        chunk_id = f"{attachment_id}/chunk-{index // chunk_size:06d}"
+        sealed = cipher.encrypt(chunk, associated_data=chunk_id.encode("utf-8"))
+        put(chunk_id, sealed.to_bytes())
+        chunk_ids.append(chunk_id)
+        chunk_digests.append(sha256(chunk))
+    return AttachmentManifest(
+        attachment_id=attachment_id,
+        content_type=content_type,
+        total_size=len(data),
+        chunk_size=chunk_size,
+        chunk_ids=tuple(chunk_ids),
+        chunk_digests=tuple(chunk_digests),
+        content_digest=sha256(data),
+    )
+
+
+def load_attachment(
+    manifest: AttachmentManifest, cipher: AeadCipher, get: GetFn
+) -> bytes:
+    """Fetch, decrypt, and verify an attachment end-to-end.
+
+    Raises :class:`IntegrityError` naming the first bad chunk, or a
+    final whole-content digest mismatch.
+    """
+    pieces: list[bytes] = []
+    for chunk_id, expected in zip(manifest.chunk_ids, manifest.chunk_digests):
+        sealed = AeadCiphertext.from_bytes(get(chunk_id))
+        chunk = cipher.decrypt(sealed, associated_data=chunk_id.encode("utf-8"))
+        if sha256(chunk) != expected:
+            raise IntegrityError(f"attachment chunk {chunk_id} failed its digest")
+        pieces.append(chunk)
+    data = b"".join(pieces)[: manifest.total_size]
+    if sha256(data) != manifest.content_digest:
+        raise IntegrityError(
+            f"attachment {manifest.attachment_id} failed its content digest"
+        )
+    return data
+
+
+def verify_attachment(
+    manifest: AttachmentManifest, cipher: AeadCipher, get: GetFn
+) -> list[str]:
+    """Integrity-scan an attachment; returns the ids of bad chunks
+    (empty == intact) instead of raising, for audit sweeps."""
+    bad: list[str] = []
+    for chunk_id, expected in zip(manifest.chunk_ids, manifest.chunk_digests):
+        try:
+            sealed = AeadCiphertext.from_bytes(get(chunk_id))
+            chunk = cipher.decrypt(sealed, associated_data=chunk_id.encode("utf-8"))
+        except Exception:
+            bad.append(chunk_id)
+            continue
+        if sha256(chunk) != expected:
+            bad.append(chunk_id)
+    return bad

@@ -1,0 +1,166 @@
+"""Protected Health Information taxonomy and de-identification.
+
+HIPAA's Privacy Rule defines the Safe-Harbor de-identification method:
+remove 18 categories of identifiers and the data ceases to be PHI.
+This module encodes those categories, classifies record fields against
+them, and produces de-identified copies (used when records are shared
+for research/audit without authorization, and by the compliance checker
+to verify the store *can* produce de-identified exports).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Any
+
+from repro.records.model import HealthRecord
+
+
+class PhiCategory(enum.Enum):
+    """The 18 HIPAA Safe-Harbor identifier categories."""
+
+    NAME = "name"
+    GEOGRAPHY = "geography"
+    DATES = "dates"
+    PHONE = "phone"
+    FAX = "fax"
+    EMAIL = "email"
+    SSN = "ssn"
+    MEDICAL_RECORD_NUMBER = "medical_record_number"
+    HEALTH_PLAN_NUMBER = "health_plan_number"
+    ACCOUNT_NUMBER = "account_number"
+    LICENSE_NUMBER = "license_number"
+    VEHICLE_ID = "vehicle_id"
+    DEVICE_ID = "device_id"
+    URL = "url"
+    IP_ADDRESS = "ip_address"
+    BIOMETRIC = "biometric"
+    PHOTO = "photo"
+    OTHER_UNIQUE_ID = "other_unique_id"
+
+
+PHI_CATEGORIES: tuple[PhiCategory, ...] = tuple(PhiCategory)
+
+# Field-name → category mapping for the structured record bodies.
+_FIELD_CATEGORIES: dict[str, PhiCategory] = {
+    "name": PhiCategory.NAME,
+    "author": PhiCategory.NAME,
+    "provider": PhiCategory.NAME,
+    "address": PhiCategory.GEOGRAPHY,
+    "birth_date": PhiCategory.DATES,
+    "phone": PhiCategory.PHONE,
+    "email": PhiCategory.EMAIL,
+    "ssn": PhiCategory.SSN,
+}
+
+_REDACTED = "[REDACTED]"
+
+# Free-text scrubbing patterns (applied to note text).
+_TEXT_PATTERNS: list[tuple[PhiCategory, re.Pattern[str]]] = [
+    (PhiCategory.SSN, re.compile(r"\b\d{3}-\d{2}-\d{4}\b")),
+    (PhiCategory.PHONE, re.compile(r"\b\d{3}[-.]\d{3}[-.]\d{4}\b")),
+    (PhiCategory.EMAIL, re.compile(r"\b[\w.+-]+@[\w-]+\.[\w.]+\b")),
+    (PhiCategory.IP_ADDRESS, re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}\b")),
+    (PhiCategory.URL, re.compile(r"\bhttps?://\S+\b")),
+    (PhiCategory.DATES, re.compile(r"\b\d{4}-\d{2}-\d{2}\b")),
+]
+
+
+def classify_fields(record: HealthRecord) -> dict[str, PhiCategory]:
+    """Map each body field of *record* that holds PHI to its category.
+
+    The record id and patient id are always PHI (medical record
+    numbers) but live in the envelope, not the body, so they are
+    reported under the pseudo-field names ``record_id``/``patient_id``.
+    """
+    classified: dict[str, PhiCategory] = {
+        "record_id": PhiCategory.MEDICAL_RECORD_NUMBER,
+        "patient_id": PhiCategory.MEDICAL_RECORD_NUMBER,
+    }
+    for field_name, value in record.body.items():
+        category = _FIELD_CATEGORIES.get(field_name)
+        if category is not None and value:
+            classified[field_name] = category
+    return classified
+
+
+def scrub_text(text: str) -> tuple[str, list[PhiCategory]]:
+    """Redact identifier patterns from free text.
+
+    Returns the scrubbed text and the categories that were found.
+    """
+    found: list[PhiCategory] = []
+    for category, pattern in _TEXT_PATTERNS:
+        if pattern.search(text):
+            found.append(category)
+            text = pattern.sub(_REDACTED, text)
+    return text, found
+
+
+def generalize_birth_date(birth_date: str, reference_year: int) -> str:
+    """Safe-Harbor date handling: keep only the year — and for patients
+    older than 89 (whose year alone is identifying, per the rule),
+    aggregate into the single category ``"90+"``."""
+    match = re.match(r"(\d{4})", birth_date)
+    if not match:
+        return _REDACTED
+    year = int(match.group(1))
+    age = reference_year - year
+    if age > 89:
+        return "90+"
+    return str(year)
+
+
+def deidentify(
+    record: HealthRecord, pseudonym: str = "anon", reference_year: int = 2007
+) -> HealthRecord:
+    """Produce a Safe-Harbor de-identified copy of *record*.
+
+    Structured PHI fields are replaced with ``[REDACTED]`` — except
+    dates, which are *generalized* per the rule (year only; ages over 89
+    collapse to "90+"); free-text fields are pattern-scrubbed; the
+    patient id is replaced with *pseudonym*.  The returned record has a
+    derived record id so it can never collide with the identified
+    original in any store.
+    """
+    body: dict[str, Any] = {}
+    for field_name, value in record.body.items():
+        category = _FIELD_CATEGORIES.get(field_name)
+        if category is PhiCategory.DATES and value:
+            body[field_name] = generalize_birth_date(str(value), reference_year)
+        elif category is not None and value:
+            body[field_name] = _REDACTED
+        elif isinstance(value, str):
+            body[field_name], _ = scrub_text(value)
+        else:
+            body[field_name] = value
+    return HealthRecord(
+        record_id=f"{record.record_id}-deid",
+        record_type=record.record_type,
+        patient_id=pseudonym,
+        created_at=record.created_at,
+        body=body,
+    )
+
+
+_GENERALIZED_DATE = re.compile(r"^(\d{4}|90\+)$")
+
+
+def contains_phi(record: HealthRecord) -> bool:
+    """Whether any body field or free text still carries identifiers.
+
+    Generalized dates (a bare year, or the over-89 "90+" bucket) are
+    Safe-Harbor compliant and do not count as PHI.
+    """
+    for field_name, value in record.body.items():
+        category = _FIELD_CATEGORIES.get(field_name)
+        if category is not None and value and value != _REDACTED:
+            if category is PhiCategory.DATES and _GENERALIZED_DATE.match(str(value)):
+                continue
+            return True
+        if isinstance(value, str):
+            for _, pattern in _TEXT_PATTERNS:
+                if pattern.search(value):
+                    return True
+    return False

@@ -1,0 +1,182 @@
+"""Append-only version chains: corrections without mutation.
+
+The paper's Section 4 identifies the central tension of compliance WORM
+storage for healthcare: records must be immutable (integrity, retention)
+*and* correctable (HIPAA gives individuals the right to request
+corrections).  The resolution implemented here:
+
+* every record version is immutable once written;
+* a correction (or amendment) is a *new* version whose header carries
+  the SHA-256 of its predecessor's canonical form, a reason string, and
+  the author;
+* the chain head digest commits to the entire history, so rewriting an
+  old version is detectable by rehashing;
+* reads default to the latest version, but every historical version
+  stays retrievable — an auditor can replay the record's evolution.
+
+:class:`VersionChain` is pure data structure (no storage); the WORM
+store persists each version as its own write-once object and keeps the
+chain linkage inside the version headers, so the chain survives and is
+re-verifiable from raw storage alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.crypto.hashing import hash_canonical
+from repro.errors import IntegrityError, RecordError, ValidationError
+from repro.records.model import HealthRecord
+
+
+@dataclass(frozen=True)
+class RecordVersion:
+    """One immutable version of a health record."""
+
+    record: HealthRecord
+    version_number: int
+    previous_digest: bytes  # 32 zero bytes for version 0
+    reason: str  # why this version exists ("initial", correction note)
+    author_id: str  # who created it
+    created_at: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "record": self.record.to_dict(),
+            "version_number": self.version_number,
+            "previous_digest": self.previous_digest,
+            "reason": self.reason,
+            "author_id": self.author_id,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RecordVersion":
+        try:
+            return cls(
+                record=HealthRecord.from_dict(data["record"]),
+                version_number=data["version_number"],
+                previous_digest=data["previous_digest"],
+                reason=data["reason"],
+                author_id=data["author_id"],
+                created_at=data["created_at"],
+            )
+        except KeyError as exc:
+            raise ValidationError(f"malformed version dict: missing {exc}") from exc
+
+    def digest(self) -> bytes:
+        """Canonical digest of this version (chains into the successor)."""
+        return hash_canonical(self.to_dict())
+
+
+_GENESIS = bytes(32)
+
+
+class VersionChain:
+    """The ordered, hash-linked versions of one record id."""
+
+    def __init__(self, record_id: str) -> None:
+        self.record_id = record_id
+        self._versions: list[RecordVersion] = []
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[RecordVersion]:
+        return iter(self._versions)
+
+    @property
+    def head_digest(self) -> bytes:
+        """Digest of the latest version (genesis digest when empty)."""
+        if not self._versions:
+            return _GENESIS
+        return self._versions[-1].digest()
+
+    def append_initial(
+        self, record: HealthRecord, author_id: str, created_at: float
+    ) -> RecordVersion:
+        """Start the chain with version 0."""
+        if self._versions:
+            raise RecordError(f"record {self.record_id} already has versions")
+        if record.record_id != self.record_id:
+            raise ValidationError(
+                f"record id {record.record_id} does not match chain {self.record_id}"
+            )
+        version = RecordVersion(
+            record=record,
+            version_number=0,
+            previous_digest=_GENESIS,
+            reason="initial",
+            author_id=author_id,
+            created_at=created_at,
+        )
+        self._versions.append(version)
+        return version
+
+    def append_correction(
+        self,
+        corrected: HealthRecord,
+        author_id: str,
+        reason: str,
+        created_at: float,
+    ) -> RecordVersion:
+        """Append an amendment linked to the current head."""
+        if not self._versions:
+            raise RecordError(f"record {self.record_id} has no initial version")
+        if corrected.record_id != self.record_id:
+            raise ValidationError(
+                f"record id {corrected.record_id} does not match chain {self.record_id}"
+            )
+        if not reason:
+            raise ValidationError("corrections must state a reason")
+        version = RecordVersion(
+            record=corrected,
+            version_number=len(self._versions),
+            previous_digest=self.head_digest,
+            reason=reason,
+            author_id=author_id,
+            created_at=created_at,
+        )
+        self._versions.append(version)
+        return version
+
+    def latest(self) -> RecordVersion:
+        """The current version (what a clinician reads)."""
+        if not self._versions:
+            raise RecordError(f"record {self.record_id} has no versions")
+        return self._versions[-1]
+
+    def version(self, number: int) -> RecordVersion:
+        """A specific historical version."""
+        if number < 0 or number >= len(self._versions):
+            raise RecordError(
+                f"record {self.record_id} has no version {number} "
+                f"(have 0..{len(self._versions) - 1})"
+            )
+        return self._versions[number]
+
+    def verify(self) -> None:
+        """Recompute the hash linkage; raise :class:`IntegrityError` if
+        any version was altered or reordered after the fact."""
+        previous = _GENESIS
+        for expected_number, version in enumerate(self._versions):
+            if version.version_number != expected_number:
+                raise IntegrityError(
+                    f"record {self.record_id}: version numbering broken at "
+                    f"{version.version_number} (expected {expected_number})"
+                )
+            if version.previous_digest != previous:
+                raise IntegrityError(
+                    f"record {self.record_id}: hash link broken at version "
+                    f"{expected_number}"
+                )
+            previous = version.digest()
+
+    @classmethod
+    def from_versions(cls, record_id: str, versions: list[RecordVersion]) -> "VersionChain":
+        """Rebuild a chain from stored versions and verify the linkage."""
+        chain = cls(record_id)
+        chain._versions = sorted(versions, key=lambda v: v.version_number)
+        chain.verify()
+        return chain

@@ -1,0 +1,177 @@
+"""The end-of-life disposition workflow.
+
+HIPAA §164.310(d)(2)(i) requires *policies and procedures* for final
+disposition — not just the ability to delete.  The workflow here:
+
+1. ``identify()`` — sweep the WORM store's retention state for records
+   past their term with no litigation hold;
+2. ``approve(record_id, approver)`` — a human (records manager) signs
+   off; records under review cannot be destroyed;
+3. ``execute(record_id)`` — tombstone in the store, shred key + extents
+   via :class:`~repro.retention.shredder.SecureShredder`, emit a
+   :class:`DispositionCertificate`.
+
+Skipping a step raises :class:`~repro.errors.DispositionError`.  The
+engine layer audits each transition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyHandle
+from repro.errors import DispositionError
+from repro.retention.shredder import SecureShredder, ShredReport
+from repro.util.clock import Clock, WallClock
+from repro.worm.store import WormStore
+
+
+class DispositionState(enum.Enum):
+    IDENTIFIED = "identified"
+    APPROVED = "approved"
+    DESTROYED = "destroyed"
+
+
+@dataclass(frozen=True)
+class DispositionCertificate:
+    """The durable proof a record was lawfully destroyed."""
+
+    object_id: str
+    identified_at: float
+    approved_at: float
+    approved_by: str
+    destroyed_at: float
+    shred_report: ShredReport
+
+
+@dataclass
+class _Ticket:
+    object_id: str
+    state: DispositionState
+    identified_at: float
+    approved_at: float | None = None
+    approved_by: str = ""
+
+
+class DispositionWorkflow:
+    """Identify → approve → execute, with no shortcuts."""
+
+    def __init__(
+        self,
+        store: WormStore,
+        shredder: SecureShredder,
+        clock: Clock | None = None,
+        key_handle_for: dict[str, KeyHandle] | None = None,
+    ) -> None:
+        self._store = store
+        self._shredder = shredder
+        self._clock = clock or WallClock()
+        self._key_handles = key_handle_for if key_handle_for is not None else {}
+        self._tickets: dict[str, _Ticket] = {}
+        self._certificates: dict[str, DispositionCertificate] = {}
+
+    def register_key_handle(self, object_id: str, handle: KeyHandle) -> None:
+        """Associate a data key with an object (done at write time)."""
+        self._key_handles[object_id] = handle
+
+    # -- step 1: identify ----------------------------------------------------
+
+    def identify(self) -> list[str]:
+        """Sweep for destroyable records; opens tickets for new ones."""
+        now = self._clock.now()
+        newly = []
+        for object_id in self._store.retention.expired_objects(now):
+            if object_id in self._tickets or object_id in self._certificates:
+                continue
+            if object_id not in self._store:
+                continue  # already tombstoned outside the workflow
+            self._tickets[object_id] = _Ticket(
+                object_id=object_id,
+                state=DispositionState.IDENTIFIED,
+                identified_at=now,
+            )
+            newly.append(object_id)
+        return newly
+
+    def pending(self) -> list[str]:
+        """Tickets awaiting approval."""
+        return sorted(
+            object_id
+            for object_id, ticket in self._tickets.items()
+            if ticket.state is DispositionState.IDENTIFIED
+        )
+
+    # -- step 2: approve ------------------------------------------------------
+
+    def approve(self, object_id: str, approver: str) -> None:
+        ticket = self._tickets.get(object_id)
+        if ticket is None:
+            raise DispositionError(
+                f"record {object_id} was never identified for disposition"
+            )
+        if ticket.state is not DispositionState.IDENTIFIED:
+            raise DispositionError(
+                f"record {object_id} is {ticket.state.value}, not awaiting approval"
+            )
+        if not approver:
+            raise DispositionError("approval requires a named approver")
+        ticket.state = DispositionState.APPROVED
+        ticket.approved_at = self._clock.now()
+        ticket.approved_by = approver
+
+    # -- step 3: execute ---------------------------------------------------------
+
+    def execute(self, object_id: str) -> DispositionCertificate:
+        """Destroy the record and certify it."""
+        ticket = self._tickets.get(object_id)
+        if ticket is None:
+            raise DispositionError(
+                f"record {object_id} was never identified for disposition"
+            )
+        if ticket.state is not DispositionState.APPROVED:
+            raise DispositionError(
+                f"record {object_id} must be approved before destruction "
+                f"(state: {ticket.state.value})"
+            )
+        # Re-check lawfulness at execution time: a hold may have landed
+        # between approval and execution.
+        self._store.retention.check_deletable(object_id, self._clock.now())
+        offset, size = self._store.physical_extent(object_id)
+        self._store.delete(object_id)
+        report = self._shredder.shred(
+            object_id=object_id,
+            key_handle=self._key_handles.get(object_id),
+            extents=[(self._store.device, offset, size)],
+            authorized=True,
+        )
+        ticket.state = DispositionState.DESTROYED
+        certificate = DispositionCertificate(
+            object_id=object_id,
+            identified_at=ticket.identified_at,
+            approved_at=ticket.approved_at or 0.0,
+            approved_by=ticket.approved_by,
+            destroyed_at=self._clock.now(),
+            shred_report=report,
+        )
+        self._certificates[object_id] = certificate
+        del self._tickets[object_id]
+        return certificate
+
+    def certificate_for(self, object_id: str) -> DispositionCertificate:
+        certificate = self._certificates.get(object_id)
+        if certificate is None:
+            raise DispositionError(f"no disposition certificate for {object_id}")
+        return certificate
+
+    def certificates(self) -> list[DispositionCertificate]:
+        return [self._certificates[k] for k in sorted(self._certificates)]
+
+    def run_full_cycle(self, approver: str) -> list[DispositionCertificate]:
+        """Convenience: identify, approve, and execute everything due."""
+        self.identify()
+        issued = []
+        for object_id in self.pending():
+            self.approve(object_id, approver)
+            issued.append(self.execute(object_id))
+        return issued

@@ -1,0 +1,103 @@
+"""Retention schedules derived from the regulations in the paper.
+
+Durations (the ones the paper cites, plus standard HIPAA figures):
+
+* OSHA 29 CFR 1910.1020(d)(1)(ii): employee exposure records and
+  employee medical records — **30 years** (exposure: +30 after last
+  exposure; we model the flat 30 the paper quotes).
+* HIPAA administrative documentation (§164.316(b)(2)(i)) — 6 years.
+* Common US state minimums for adult clinical records — 7 years
+  (used here for encounters/observations/notes).
+* EU 95/46/EC / UK DPA 1998 — no fixed number; they mandate *disposal
+  after the retention period* and accuracy during it.  We model them as
+  constraints (disposal-required, correction-required) rather than
+  durations.
+
+A record's effective duration is the **maximum** over matching rules —
+keeping a record longer than one regulation requires is fine as long as
+another requires it; deleting earlier than any rule allows is the
+violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RetentionError
+from repro.records.model import RecordType
+from repro.util.clock import SECONDS_PER_YEAR
+from repro.worm.retention_lock import RetentionTerm
+
+
+@dataclass(frozen=True)
+class RetentionRule:
+    """One (regulation, record type) -> duration rule."""
+
+    regulation: str
+    record_type: RecordType
+    duration_years: float
+    citation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_years < 0:
+            raise RetentionError("retention duration must be non-negative")
+
+
+class RetentionPolicy:
+    """A set of rules and the effective-duration computation."""
+
+    def __init__(self, rules: list[RetentionRule] | None = None) -> None:
+        self._rules: list[RetentionRule] = list(rules or [])
+
+    def add_rule(self, rule: RetentionRule) -> None:
+        self._rules.append(rule)
+
+    @property
+    def rules(self) -> list[RetentionRule]:
+        return list(self._rules)
+
+    def rules_for(self, record_type: RecordType) -> list[RetentionRule]:
+        return [rule for rule in self._rules if rule.record_type is record_type]
+
+    def duration_years_for(self, record_type: RecordType) -> float:
+        """Effective duration: the maximum over applicable rules."""
+        matching = self.rules_for(record_type)
+        if not matching:
+            raise RetentionError(
+                f"no retention rule covers record type {record_type.value}"
+            )
+        return max(rule.duration_years for rule in matching)
+
+    def term_for(self, record_type: RecordType, start: float) -> RetentionTerm:
+        """The WORM retention term a record of this type gets at write time."""
+        years = self.duration_years_for(record_type)
+        return RetentionTerm(start=start, duration_seconds=years * SECONDS_PER_YEAR)
+
+    def governing_rule(self, record_type: RecordType) -> RetentionRule:
+        """The rule that sets the effective duration (ties: first added)."""
+        matching = self.rules_for(record_type)
+        if not matching:
+            raise RetentionError(
+                f"no retention rule covers record type {record_type.value}"
+            )
+        return max(matching, key=lambda rule: rule.duration_years)
+
+
+def _standard_rules() -> list[RetentionRule]:
+    return [
+        RetentionRule(
+            "OSHA", RecordType.EXPOSURE_RECORD, 30.0, "29 CFR 1910.1020(d)(1)(ii)"
+        ),
+        RetentionRule(
+            "OSHA", RecordType.PATIENT_DEMOGRAPHICS, 30.0, "29 CFR 1910.1020(d)(1)(i)"
+        ),
+        RetentionRule("HIPAA", RecordType.PATIENT_DEMOGRAPHICS, 6.0, "45 CFR 164.316(b)(2)(i)"),
+        RetentionRule("STATE", RecordType.ENCOUNTER, 7.0, "state minimum (adult records)"),
+        RetentionRule("STATE", RecordType.OBSERVATION, 7.0, "state minimum (adult records)"),
+        RetentionRule("STATE", RecordType.CLINICAL_NOTE, 7.0, "state minimum (adult records)"),
+        RetentionRule("HIPAA", RecordType.INSURANCE_CLAIM, 6.0, "45 CFR 164.316(b)(2)(i)"),
+    ]
+
+
+STANDARD_POLICY = RetentionPolicy(_standard_rules())
+"""The default schedule Curator ships with (see module docstring)."""

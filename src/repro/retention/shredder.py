@@ -1,0 +1,97 @@
+"""Secure destruction of stored data.
+
+Two independent mechanisms, applied together:
+
+1. **Key shredding** — the record's data key is destroyed in the
+   :class:`~repro.crypto.keys.KeyStore`.  From that instant the
+   ciphertext is computationally unreadable everywhere it exists,
+   including backups the shredder cannot reach (their wrapped key is
+   what got destroyed).
+2. **Extent overwrite** — the record's bytes on the primary device are
+   overwritten with zeros (configurable passes).  Defense in depth:
+   even the ciphertext disappears, so future cryptanalytic surprises or
+   key-escrow compromises cannot resurrect the record from this medium.
+
+The shredder never decides *whether* destruction is lawful — that's the
+disposition workflow's job; it refuses to run unless handed a
+disposition ticket, keeping the two concerns impossible to shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyHandle, KeyStore
+from repro.errors import DispositionError
+from repro.storage.block import BlockDevice
+
+
+@dataclass(frozen=True)
+class ShredReport:
+    """Evidence of one physical+cryptographic destruction."""
+
+    object_id: str
+    key_shredded: bool
+    key_shredded_at: float | None
+    extents_overwritten: int
+    bytes_overwritten: int
+    overwrite_passes: int
+
+
+class SecureShredder:
+    """Destroys record data under disposition authority."""
+
+    def __init__(self, keystore: KeyStore, overwrite_passes: int = 3) -> None:
+        if overwrite_passes < 1:
+            raise DispositionError("at least one overwrite pass is required")
+        self._keystore = keystore
+        self._passes = overwrite_passes
+
+    def shred(
+        self,
+        object_id: str,
+        key_handle: KeyHandle | None,
+        extents: list[tuple[BlockDevice, int, int]],
+        authorized: bool,
+    ) -> ShredReport:
+        """Destroy one object's key and bytes.
+
+        *extents* is a list of (device, offset, size) ranges holding the
+        object's ciphertext.  *authorized* must be True — callers obtain
+        it from the disposition workflow; passing False (or forgetting)
+        raises, which keeps ad-hoc destruction out of the codebase.
+        """
+        if not authorized:
+            raise DispositionError(
+                f"shredding {object_id} requires disposition authorization"
+            )
+        shredded_at = None
+        if key_handle is not None:
+            shredded_at = self._keystore.shred(key_handle)
+        bytes_overwritten = 0
+        for device, offset, size in extents:
+            zeros = bytes(size)
+            for _ in range(self._passes):
+                device.raw_write(offset, zeros)
+            bytes_overwritten += size
+        return ShredReport(
+            object_id=object_id,
+            key_shredded=key_handle is not None,
+            key_shredded_at=shredded_at,
+            extents_overwritten=len(extents),
+            bytes_overwritten=bytes_overwritten,
+            overwrite_passes=self._passes,
+        )
+
+    def verify_destroyed(
+        self,
+        key_handle: KeyHandle | None,
+        extents: list[tuple[BlockDevice, int, int]],
+    ) -> bool:
+        """Post-destruction audit: key gone AND extents zeroed."""
+        if key_handle is not None and not self._keystore.is_shredded(key_handle):
+            return False
+        for device, offset, size in extents:
+            if any(device.raw_read(offset, size)):
+                return False
+        return True

@@ -1,0 +1,216 @@
+"""Byte-addressable block devices.
+
+A :class:`BlockDevice` is a flat byte array with explicit capacity,
+allocate/read/write primitives, and I/O counters.  Two implementations:
+
+* :class:`MemoryDevice` — a bytearray; fast, used by tests, benchmarks
+  and the simulated media pool.
+* :class:`FileBackedDevice` — bytes on disk; used by examples that want
+  state to survive the process.
+
+Both expose :meth:`raw_read`/:meth:`raw_write`, deliberately
+*unchecked* primitives that model an insider with direct disk access
+(the paper's key adversary).  The software stack above always goes
+through :meth:`read`/:meth:`write`, which honor the device's
+write-protection flag; ``raw_write`` does not — tamper-evidence, not
+tamper-prevention, is what a hash chain provides, and the experiments
+make that distinction measurable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+
+@dataclass
+class DeviceStats:
+    """I/O counters, used by the performance experiments."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    raw_reads: int = 0
+    raw_writes: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "raw_reads": self.raw_reads,
+            "raw_writes": self.raw_writes,
+        }
+
+
+class BlockDevice:
+    """Abstract flat-address-space device."""
+
+    def __init__(self, device_id: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise DeviceError("capacity must be positive")
+        self.device_id = device_id
+        self.capacity = capacity
+        self.stats = DeviceStats()
+        self._write_protected = False
+        self._next_offset = 0
+        self._detached = False
+
+    # -- state flags ---------------------------------------------------
+
+    @property
+    def write_protected(self) -> bool:
+        return self._write_protected
+
+    def set_write_protected(self, value: bool) -> None:
+        """Software write-protect latch (honored by write(), not raw_write())."""
+        self._write_protected = bool(value)
+
+    @property
+    def detached(self) -> bool:
+        """A detached (stolen/lost/destroyed) device rejects all software I/O."""
+        return self._detached
+
+    def detach(self) -> None:
+        self._detached = True
+
+    # -- allocation ----------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Bytes allocated so far."""
+        return self._next_offset
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._next_offset
+
+    def allocate(self, size: int) -> int:
+        """Reserve *size* bytes; returns the start offset."""
+        if size < 0:
+            raise DeviceError("allocation size must be non-negative")
+        if self._next_offset + size > self.capacity:
+            raise DeviceError(
+                f"device {self.device_id} full: need {size}, free {self.free}"
+            )
+        offset = self._next_offset
+        self._next_offset += size
+        return offset
+
+    # -- checked I/O (the software stack's path) ------------------------
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write through the software path; honors write protection."""
+        self._check_attached()
+        if self._write_protected:
+            raise DeviceError(f"device {self.device_id} is write-protected")
+        self._check_bounds(offset, len(data))
+        self._store(offset, data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read through the software path."""
+        self._check_attached()
+        self._check_bounds(offset, size)
+        data = self._load(offset, size)
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        return data
+
+    # -- raw I/O (the adversary's path) ---------------------------------
+
+    def raw_read(self, offset: int, size: int) -> bytes:
+        """Direct media access, bypassing the software stack.
+
+        Works even on a detached device — a thief holding the physical
+        medium can always read its bytes.  Confidentiality on stolen
+        media therefore comes only from encryption, never from the
+        access-control layer above; experiment E5 measures exactly this.
+        """
+        self._check_bounds(offset, size)
+        data = self._load(offset, size)
+        self.stats.raw_reads += 1
+        return data
+
+    def raw_write(self, offset: int, data: bytes) -> None:
+        """Direct media tampering: bypasses write protection."""
+        self._check_bounds(offset, len(data))
+        self._store(offset, data)
+        self.stats.raw_writes += 1
+
+    def raw_dump(self) -> bytes:
+        """The full allocated region — what a forensic scan of the medium sees."""
+        self.stats.raw_reads += 1
+        return self._load(0, self._next_offset)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _check_attached(self) -> None:
+        if self._detached:
+            raise DeviceError(f"device {self.device_id} is detached")
+
+    def _check_bounds(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.capacity:
+            raise DeviceError(
+                f"I/O out of bounds on {self.device_id}: "
+                f"offset={offset} size={size} capacity={self.capacity}"
+            )
+
+    def _store(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _load(self, offset: int, size: int) -> bytes:
+        raise NotImplementedError
+
+
+class MemoryDevice(BlockDevice):
+    """In-memory device over a bytearray."""
+
+    def __init__(self, device_id: str, capacity: int) -> None:
+        super().__init__(device_id, capacity)
+        self._buffer = bytearray(capacity)
+
+    def _store(self, offset: int, data: bytes) -> None:
+        self._buffer[offset : offset + len(data)] = data
+
+    def _load(self, offset: int, size: int) -> bytes:
+        return bytes(self._buffer[offset : offset + size])
+
+
+class FileBackedDevice(BlockDevice):
+    """Device backed by a file on the host filesystem."""
+
+    def __init__(self, device_id: str, capacity: int, path: str) -> None:
+        super().__init__(device_id, capacity)
+        self._path = path
+        if not os.path.exists(path):
+            with open(path, "wb") as handle:
+                handle.truncate(capacity)
+        else:
+            actual = os.path.getsize(path)
+            if actual != capacity:
+                raise DeviceError(
+                    f"backing file {path} is {actual} bytes, expected {capacity}"
+                )
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def _store(self, offset: int, data: bytes) -> None:
+        with open(self._path, "r+b") as handle:
+            handle.seek(offset)
+            handle.write(data)
+
+    def _load(self, offset: int, size: int) -> bytes:
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read(size)
+        if len(data) != size:
+            raise DeviceError(f"short read from backing file {self._path}")
+        return data

@@ -1,0 +1,93 @@
+"""Deterministic fault injection for storage experiments.
+
+Three fault families, matching the hazards the regulations anticipate:
+
+* **bit rot** — long-retention media degrade; E7 injects rot over the
+  simulated 30 years and the integrity layer must detect it;
+* **crash truncation** — the tail of a journal is lost mid-write; the
+  journal's entry framing must recover cleanly;
+* **site disaster / theft** — a whole device disappears (fire, flood,
+  stolen laptop); E9 (backup) and E5 (stolen-media confidentiality)
+  depend on it.
+
+All injection is driven by a :class:`DeterministicRng`, so a failing
+experiment replays identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.storage.block import BlockDevice
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A record of one injected fault (for experiment reports)."""
+
+    kind: str
+    device_id: str
+    offset: int
+    size: int
+
+
+class FaultInjector:
+    """Applies faults to block devices, deterministically."""
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self._rng = rng
+        self._log: list[InjectedFault] = []
+
+    @property
+    def log(self) -> list[InjectedFault]:
+        return list(self._log)
+
+    def flip_bits(self, device: BlockDevice, count: int = 1) -> list[int]:
+        """Flip one random bit in each of *count* random allocated bytes.
+
+        Returns the affected offsets.  Raises if the device has no
+        allocated data to corrupt.
+        """
+        if device.used == 0:
+            raise ValidationError(f"device {device.device_id} holds no data to corrupt")
+        offsets = []
+        for _ in range(count):
+            offset = self._rng.randint(0, device.used - 1)
+            original = device.raw_read(offset, 1)[0]
+            flipped = original ^ (1 << self._rng.randint(0, 7))
+            device.raw_write(offset, bytes([flipped]))
+            offsets.append(offset)
+            self._log.append(InjectedFault("bit_rot", device.device_id, offset, 1))
+        return offsets
+
+    def corrupt_range(self, device: BlockDevice, offset: int, size: int) -> None:
+        """Overwrite a specific range with deterministic garbage
+        (targeted tampering, as an insider would do)."""
+        garbage = self._rng.bytes(size)
+        device.raw_write(offset, garbage)
+        self._log.append(InjectedFault("corrupt_range", device.device_id, offset, size))
+
+    def truncate_tail(self, device: BlockDevice, lost_bytes: int) -> int:
+        """Simulate a crash that loses the last *lost_bytes* of the
+        allocated region (zeroes them and rolls back the allocator).
+        Returns the new used size."""
+        lost = min(lost_bytes, device.used)
+        start = device.used - lost
+        device.raw_write(start, bytes(lost))
+        device._next_offset = start  # noqa: SLF001 - injector owns the device
+        self._log.append(InjectedFault("crash_truncate", device.device_id, start, lost))
+        return device.used
+
+    def destroy_device(self, device: BlockDevice) -> None:
+        """Site disaster: the device is gone for the software stack."""
+        device.detach()
+        self._log.append(InjectedFault("destroyed", device.device_id, 0, device.used))
+
+    def steal_device(self, device: BlockDevice) -> bytes:
+        """Theft: the device detaches AND the adversary gets its bytes."""
+        dump = device.raw_dump()
+        device.detach()
+        self._log.append(InjectedFault("stolen", device.device_id, 0, len(dump)))
+        return dump

@@ -1,0 +1,172 @@
+"""Append-only journal over a block device.
+
+The lowest-level *structured* storage in the system: length-prefixed,
+checksummed entries appended to a device.  The WORM store, the audit
+log, and the baselines all persist through a journal, so every byte
+the software writes is reachable by the adversary's ``raw_read`` — no
+hidden in-Python state that the threat model could not see.
+
+Entry framing::
+
+    magic(4) | length(4, big-endian) | crc: sha256[:8] | payload
+
+Recovery: :meth:`Journal.recover` rescans the device from offset 0 and
+stops at the first entry whose magic/length/checksum is invalid — a
+crash-truncated tail is dropped cleanly, entries before it survive.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256
+from repro.errors import IntegrityError, StorageError
+from repro.storage.block import BlockDevice
+
+_MAGIC = b"CURJ"
+_HEADER = struct.Struct(">4sI8s")
+
+HEADER_SIZE = _HEADER.size
+"""Bytes of framing before each entry's payload (exposed for layers
+that need to compute device offsets of payload content)."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One committed journal entry."""
+
+    sequence: int
+    offset: int
+    payload: bytes
+
+
+class Journal:
+    """Length-prefixed checksummed append-only log on a device."""
+
+    def __init__(self, device: BlockDevice) -> None:
+        self._device = device
+        self._entries: list[tuple[int, int]] = []  # (offset, payload_len)
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._device
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, payload: bytes) -> JournalEntry:
+        """Append one entry; returns its metadata."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError("journal payload must be bytes")
+        payload = bytes(payload)
+        header = _HEADER.pack(_MAGIC, len(payload), sha256(payload)[:8])
+        offset = self._device.allocate(_HEADER.size + len(payload))
+        self._device.write(offset, header + payload)
+        self._entries.append((offset, len(payload)))
+        return JournalEntry(
+            sequence=len(self._entries) - 1, offset=offset, payload=payload
+        )
+
+    def read(self, sequence: int) -> bytes:
+        """Read one entry's payload, verifying its checksum."""
+        if sequence < 0 or sequence >= len(self._entries):
+            raise StorageError(f"journal entry {sequence} does not exist")
+        offset, payload_len = self._entries[sequence]
+        return self._read_at(offset, payload_len)
+
+    def _read_at(self, offset: int, payload_len: int) -> bytes:
+        blob = self._device.read(offset, _HEADER.size + payload_len)
+        magic, length, checksum = _HEADER.unpack(blob[: _HEADER.size])
+        payload = blob[_HEADER.size :]
+        if magic != _MAGIC:
+            raise IntegrityError(f"journal entry at {offset}: bad magic")
+        if length != payload_len:
+            raise IntegrityError(f"journal entry at {offset}: length mismatch")
+        if sha256(payload)[:8] != checksum:
+            raise IntegrityError(f"journal entry at {offset}: checksum mismatch")
+        return payload
+
+    def read_all(self) -> list[bytes]:
+        """All payloads in order, each checksum-verified."""
+        return [self.read(i) for i in range(len(self._entries))]
+
+    def scan_corruption(self) -> list[int]:
+        """Return the sequence numbers of entries that fail their checksum.
+
+        Unlike :meth:`read`, does not raise — the integrity experiments
+        want the full damage report.
+        """
+        corrupted = []
+        for sequence in range(len(self._entries)):
+            try:
+                self.read(sequence)
+            except IntegrityError:
+                corrupted.append(sequence)
+        return corrupted
+
+    # ------------------------------------------------------------------
+    # The adversary's view.  A knowledgeable insider understands the
+    # on-disk frame format (it is not secret), so the threat harness
+    # gets explicit helpers: walking frames on a raw device and forging
+    # a frame in place with a *recomputed* checksum.  The checksum is an
+    # unkeyed CRC-equivalent — it protects against accidents, not
+    # adversaries — which is precisely why the layers above need MACs,
+    # digests held off-device, and hash chains.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def iter_device_frames(device: BlockDevice):
+        """Yield ``(offset, payload)`` for each frame on the raw device,
+        stopping at the first invalid frame (adversary's scan)."""
+        offset = 0
+        end = device.used
+        while offset + _HEADER.size <= end:
+            header = device.raw_read(offset, _HEADER.size)
+            magic, length, checksum = _HEADER.unpack(header)
+            if magic != _MAGIC or offset + _HEADER.size + length > end:
+                return
+            payload = device.raw_read(offset + _HEADER.size, length)
+            yield offset, payload
+            offset += _HEADER.size + length
+
+    @staticmethod
+    def forge_frame(device: BlockDevice, offset: int, payload: bytes) -> None:
+        """Rewrite the frame at *offset* with *payload* (same length) and
+        a freshly computed checksum — the smart insider's tamper."""
+        header = device.raw_read(offset, _HEADER.size)
+        magic, length, _ = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise StorageError(f"no journal frame at offset {offset}")
+        if len(payload) != length:
+            raise StorageError(
+                f"forged payload must keep the frame length ({length} bytes)"
+            )
+        new_header = _HEADER.pack(_MAGIC, length, sha256(payload)[:8])
+        device.raw_write(offset, new_header + payload)
+
+    @classmethod
+    def recover(cls, device: BlockDevice) -> "Journal":
+        """Rebuild the entry table by scanning the device from offset 0.
+
+        Stops at the first frame that fails validation (crash tail).
+        The device's allocator is reset to the end of the last valid
+        entry so subsequent appends continue from there.
+        """
+        journal = cls.__new__(cls)
+        journal._device = device
+        journal._entries = []
+        offset = 0
+        end = device.used
+        while offset + _HEADER.size <= end:
+            header = device.read(offset, _HEADER.size)
+            magic, length, checksum = _HEADER.unpack(header)
+            if magic != _MAGIC or offset + _HEADER.size + length > end:
+                break
+            payload = device.read(offset + _HEADER.size, length)
+            if sha256(payload)[:8] != checksum:
+                break
+            journal._entries.append((offset, length))
+            offset += _HEADER.size + length
+        device._next_offset = offset  # noqa: SLF001 - recovery owns the device
+        return journal

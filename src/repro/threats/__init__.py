@@ -1,0 +1,38 @@
+"""The adversary model and attack suite.
+
+The paper's decisive adversary is the **malicious insider with direct
+disk access** — the one encryption-at-rest and query-level access
+control cannot stop.  This package implements that adversary (plus the
+outsider thief and the negligent-disposal dumpster diver) as concrete
+attacks against any :class:`~repro.baselines.interface.StorageModel`:
+
+* :mod:`repro.threats.adversary` — adversary profiles: what each
+  attacker can see and do (raw devices, software credentials, stolen
+  keys).
+* :mod:`repro.threats.attacks` — the attacks themselves: semantic
+  record tampering with checksum fix-up, audit-trail erasure, premature
+  deletion, media theft with PHI scanning, index-leakage probing,
+  unlogged-access probing, disposal-residue scanning, and the
+  correction-with-history probe.
+* :mod:`repro.threats.harness` — runs the full suite against a model
+  and aggregates per-requirement outcomes; E1's matrix is its output.
+
+Every attack reports one of three outcomes: ``PREVENTED`` (the harm
+could not occur), ``DETECTED`` (the harm occurred but the system can
+prove it), or ``UNDETECTED`` (the harm occurred silently — a failed
+requirement).
+"""
+
+from repro.threats.adversary import AdversaryProfile, INSIDER, OUTSIDER_THIEF
+from repro.threats.attacks import AttackOutcome, AttackResult
+from repro.threats.harness import ThreatHarness, RequirementVerdict
+
+__all__ = [
+    "AdversaryProfile",
+    "INSIDER",
+    "OUTSIDER_THIEF",
+    "AttackOutcome",
+    "AttackResult",
+    "ThreatHarness",
+    "RequirementVerdict",
+]

@@ -1,0 +1,59 @@
+"""Adversary profiles.
+
+A profile states capabilities; attacks consult it before acting, so the
+same attack code expresses both "insider with disk access" and
+"outsider who stole a backup tape".
+
+Capability notes:
+
+* ``raw_device_access`` — can read and write the device bytes directly
+  (the hospital's own storage administrator, or physical possession);
+* ``software_credentials`` — can call the model's API as a privileged
+  application user (DBA);
+* ``knows_store_keys`` — holds store-wide encryption keys that live in
+  application configuration.  This is TRUE for the insider against the
+  encrypted baseline (the key sits in the software stack they operate)
+  and FALSE against Curator, whose master key is modelled as living in
+  an HSM: the insider can use the *running system* (and is audited) but
+  cannot exfiltrate the key material itself.  That asymmetry is the
+  paper's argument for why key management placement matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdversaryProfile:
+    """What an attacker can see and do."""
+
+    name: str
+    raw_device_access: bool
+    software_credentials: bool
+    knows_store_keys: bool
+
+    def can_touch_disk(self) -> bool:
+        return self.raw_device_access
+
+
+INSIDER = AdversaryProfile(
+    name="malicious_insider",
+    raw_device_access=True,
+    software_credentials=True,
+    knows_store_keys=True,  # for keys that live in the software stack
+)
+
+OUTSIDER_THIEF = AdversaryProfile(
+    name="outsider_thief",
+    raw_device_access=True,  # they hold the medium
+    software_credentials=False,
+    knows_store_keys=False,
+)
+
+DUMPSTER_DIVER = AdversaryProfile(
+    name="dumpster_diver",
+    raw_device_access=True,  # disposed media only
+    software_credentials=False,
+    knows_store_keys=False,
+)

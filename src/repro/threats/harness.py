@@ -1,0 +1,261 @@
+"""The requirements-evaluation harness (the machinery behind E1).
+
+Given a *factory* that builds a fresh storage model (attacks are
+destructive, so every probe gets its own instance), the harness seeds a
+small deterministic workload, runs the attack/probe suite, and scores
+each :class:`~repro.compliance.requirements.Requirement`.
+
+Scoring is behavioural wherever behaviour can be probed through the
+common interface (eleven of thirteen requirements).  Two subsystem
+requirements — verifiable migration and backup recovery — are scored
+from declared features here because exercising them needs multi-store
+orchestration; experiments E6 and E9 validate those declarations
+behaviourally for every model that makes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.interface import StorageModel
+from repro.compliance.requirements import Requirement
+from repro.errors import AccessDeniedError, CuratorError
+from repro.records.model import HealthRecord
+from repro.threats.adversary import INSIDER, OUTSIDER_THIEF
+from repro.threats.attacks import (
+    AttackOutcome,
+    disposal_residue_scan,
+    erase_audit_trail,
+    premature_deletion,
+    probe_correction,
+    probe_index_leakage,
+    probe_unlogged_access,
+    steal_media_and_scan,
+    tamper_record,
+)
+from repro.util.clock import SECONDS_PER_YEAR, SimulatedClock
+from repro.workload.generator import WorkloadGenerator
+
+ModelFactory = Callable[[], tuple[StorageModel, SimulatedClock | None]]
+
+
+@dataclass(frozen=True)
+class RequirementVerdict:
+    """One cell of the E1 matrix."""
+
+    requirement: Requirement
+    passed: bool
+    evidence: str
+
+    @property
+    def mark(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+
+@dataclass
+class _Fixture:
+    """A freshly-built model seeded with a known workload."""
+
+    model: StorageModel
+    clock: SimulatedClock | None
+    records: list[HealthRecord]
+    note_record: HealthRecord
+    note_author: str
+    note_term: str
+    phi_strings: list[str]
+
+
+class ThreatHarness:
+    """Runs the full probe suite against one model class."""
+
+    def __init__(self, factory: ModelFactory, seed: int = 1234) -> None:
+        self._factory = factory
+        self._seed = seed
+
+    # -- fixture -----------------------------------------------------------
+
+    def _build_fixture(self) -> _Fixture:
+        model, clock = self._factory()
+        work_clock = clock or SimulatedClock(start=1.17e9)
+        generator = WorkloadGenerator(self._seed, work_clock)
+        patients = generator.create_population(5)
+        records: list[HealthRecord] = []
+        note_record: HealthRecord | None = None
+        note_author = ""
+        note_term = ""
+        for patient in patients:
+            demo = generator.demographics_record(patient)
+            model.store(demo.record, demo.author_id)
+            records.append(demo.record)
+            note = generator.note_record(patient, phi_in_text_probability=0.0)
+            model.store(note.record, note.author_id)
+            records.append(note.record)
+            if note_record is None:
+                note_record = note.record
+                note_author = note.author_id
+                # the condition name's first word, e.g. "diabetes"
+                note_term = note.conditions[0].split()[0]
+        assert note_record is not None
+        first_patient = patients[0]
+        phi_strings = [first_patient.name.split()[1], first_patient.ssn, note_term]
+        return _Fixture(
+            model=model,
+            clock=clock,
+            records=records,
+            note_record=note_record,
+            note_author=note_author,
+            note_term=note_term,
+            phi_strings=phi_strings,
+        )
+
+    # -- per-requirement probes ------------------------------------------------
+
+    def _confidentiality(self, adversary) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        result = steal_media_and_scan(fixture.model, fixture.phi_strings, adversary)
+        requirement = (
+            Requirement.CONFIDENTIALITY_INSIDER
+            if adversary is INSIDER
+            else Requirement.CONFIDENTIALITY_OUTSIDER
+        )
+        return RequirementVerdict(
+            requirement, result.outcome is AttackOutcome.PREVENTED, result.detail
+        )
+
+    def _access_control(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        actor = "probe-unauthorized"
+        fixture.model.prepare_access_probe(actor)
+        try:
+            fixture.model.read(fixture.note_record.record_id, actor_id=actor)
+        except AccessDeniedError as exc:
+            return RequirementVerdict(
+                Requirement.ACCESS_CONTROL, True, f"denied: {exc}"
+            )
+        except CuratorError as exc:
+            return RequirementVerdict(
+                Requirement.ACCESS_CONTROL, True, f"rejected: {exc}"
+            )
+        return RequirementVerdict(
+            Requirement.ACCESS_CONTROL,
+            False,
+            "an unauthorized actor read a clinical record through the API",
+        )
+
+    def _integrity(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        result = tamper_record(fixture.model, fixture.note_record.record_id, INSIDER)
+        passed = result.outcome in (AttackOutcome.DETECTED, AttackOutcome.PREVENTED)
+        return RequirementVerdict(
+            Requirement.INTEGRITY_TAMPER_EVIDENCE, passed, result.detail
+        )
+
+    def _corrections(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        record = fixture.note_record
+        corrected = HealthRecord(
+            record_id=record.record_id,
+            record_type=record.record_type,
+            patient_id=record.patient_id,
+            created_at=record.created_at,
+            body={**record.body, "text": record.body["text"] + " corrected entry."},
+        )
+        probe = probe_correction(fixture.model, corrected, author_id=fixture.note_author)
+        passed = probe.supported and probe.applied and probe.history_preserved
+        return RequirementVerdict(Requirement.CORRECTIONS_WITH_HISTORY, passed, probe.detail)
+
+    def _trustworthy_index(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        hits = fixture.model.search(fixture.note_term)
+        if fixture.note_record.record_id not in hits:
+            return RequirementVerdict(
+                Requirement.TRUSTWORTHY_INDEX,
+                False,
+                f"search for {fixture.note_term!r} did not find the record",
+            )
+        result = probe_index_leakage(fixture.model, fixture.note_term)
+        return RequirementVerdict(
+            Requirement.TRUSTWORTHY_INDEX,
+            result.outcome is AttackOutcome.PREVENTED,
+            result.detail,
+        )
+
+    def _trustworthy_audit(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        # generate an honest access first, then erase the actor's tracks
+        fixture.model.read(fixture.note_record.record_id, actor_id=fixture.note_author)
+        result = erase_audit_trail(fixture.model, actor_to_hide=fixture.note_author)
+        return RequirementVerdict(
+            Requirement.TRUSTWORTHY_AUDIT,
+            result.outcome in (AttackOutcome.DETECTED, AttackOutcome.PREVENTED),
+            result.detail,
+        )
+
+    def _accountability(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        result = probe_unlogged_access(fixture.model, fixture.note_record.record_id)
+        return RequirementVerdict(
+            Requirement.ACCESS_ACCOUNTABILITY,
+            result.outcome is AttackOutcome.DETECTED,
+            result.detail,
+        )
+
+    def _retention(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        result = premature_deletion(fixture.model, fixture.note_record.record_id)
+        return RequirementVerdict(
+            Requirement.GUARANTEED_RETENTION,
+            result.outcome is AttackOutcome.PREVENTED,
+            result.detail,
+        )
+
+    def _secure_deletion(self) -> RequirementVerdict:
+        fixture = self._build_fixture()
+        if fixture.clock is not None:
+            fixture.clock.advance(31 * SECONDS_PER_YEAR)  # past every schedule
+        result = disposal_residue_scan(
+            fixture.model, fixture.note_record.record_id, fixture.phi_strings
+        )
+        if result.outcome is AttackOutcome.NOT_APPLICABLE:
+            return RequirementVerdict(
+                Requirement.SECURE_DELETION,
+                False,
+                f"mandatory disposal impossible: {result.detail}",
+            )
+        return RequirementVerdict(
+            Requirement.SECURE_DELETION,
+            result.outcome is AttackOutcome.PREVENTED,
+            result.detail,
+        )
+
+    def _declared(self, requirement: Requirement, feature: str, validated_by: str) -> RequirementVerdict:
+        model, _ = self._factory()
+        has = feature in model.declared_features()
+        evidence = (
+            f"declares {feature!r}; validated behaviourally by {validated_by}"
+            if has
+            else f"does not provide {feature!r}"
+        )
+        return RequirementVerdict(requirement, has, evidence)
+
+    # -- the full evaluation -------------------------------------------------------
+
+    def evaluate(self) -> dict[Requirement, RequirementVerdict]:
+        """Run every probe; returns the model's row-set of the E1 matrix."""
+        verdicts = [
+            self._confidentiality(OUTSIDER_THIEF),
+            self._confidentiality(INSIDER),
+            self._access_control(),
+            self._integrity(),
+            self._corrections(),
+            self._trustworthy_index(),
+            self._trustworthy_audit(),
+            self._accountability(),
+            self._retention(),
+            self._secure_deletion(),
+            self._declared(Requirement.VERIFIABLE_MIGRATION, "migration_verifiable", "E6"),
+            self._declared(Requirement.PROVENANCE_CUSTODY, "provenance", "E12"),
+            self._declared(Requirement.BACKUP_RECOVERY, "backup", "E9"),
+        ]
+        return {verdict.requirement: verdict for verdict in verdicts}

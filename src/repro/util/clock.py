@@ -1,0 +1,82 @@
+"""Clock abstraction: wall-clock for production, simulated for tests.
+
+Retention periods in healthcare regulation span decades (OSHA 29 CFR
+1910.1020 mandates 30 years).  All retention, expiry, and audit
+timestamping in the library is driven through the :class:`Clock`
+protocol so that a :class:`SimulatedClock` can run a 30-year experiment
+in milliseconds.
+
+Timestamps are POSIX seconds as floats.  Helpers convert to ISO-8601
+for human-readable report output.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time as _time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ValidationError
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can report the current POSIX time."""
+
+    def now(self) -> float:
+        """Return the current time as POSIX seconds."""
+        ...
+
+
+class WallClock:
+    """Real system time."""
+
+    def now(self) -> float:
+        return _time.time()
+
+
+class SimulatedClock:
+    """A manually-advanced clock for deterministic long-horizon tests.
+
+    The clock is monotonic by construction: it can only be advanced,
+    never rewound, matching the trusted-timestamp assumption compliance
+    storage makes about its time source.
+    """
+
+    def __init__(self, start: float = 1_500_000_000.0) -> None:
+        if start < 0:
+            raise ValidationError("clock cannot start before the epoch")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds* and return the new time."""
+        if seconds < 0:
+            raise ValidationError("simulated time cannot move backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_days(self, days: float) -> float:
+        """Move time forward by *days*."""
+        return self.advance(days * SECONDS_PER_DAY)
+
+    def advance_years(self, years: float) -> float:
+        """Move time forward by *years* (Julian years)."""
+        return self.advance(years * SECONDS_PER_YEAR)
+
+    def set(self, timestamp: float) -> float:
+        """Jump directly to *timestamp* (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValidationError("simulated time cannot move backwards")
+        self._now = float(timestamp)
+        return self._now
+
+
+def isoformat(timestamp: float) -> str:
+    """Render a POSIX timestamp as an ISO-8601 UTC string."""
+    return _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc).isoformat()

@@ -1,0 +1,31 @@
+"""Synthetic EHR workloads.
+
+Real PHI cannot be used (that is the entire point of the paper), so the
+experiments run on deterministic synthetic data whose *shape* matches
+clinical workloads: a patient population with zipf-skewed access, a mix
+of encounters / observations / notes, clinical vocabulary for the index
+workload, correction requests, and audit-season read storms.
+
+Everything derives from a seed; the same seed reproduces byte-identical
+workloads on any machine.
+"""
+
+from repro.workload.generator import GeneratedRecord, WorkloadGenerator
+from repro.workload.scenarios import (
+    AuditSeasonScenario,
+    HospitalDayScenario,
+    ThirtyYearArchiveScenario,
+)
+from repro.workload.vocab import CONDITIONS, DEPARTMENTS, FIRST_NAMES, LAST_NAMES
+
+__all__ = [
+    "GeneratedRecord",
+    "WorkloadGenerator",
+    "AuditSeasonScenario",
+    "HospitalDayScenario",
+    "ThirtyYearArchiveScenario",
+    "CONDITIONS",
+    "DEPARTMENTS",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+]

@@ -1,0 +1,98 @@
+"""Named workload scenarios used by examples and benchmarks.
+
+Each scenario is a thin script over :class:`WorkloadGenerator` that
+describes a recognizable operational situation:
+
+* :class:`HospitalDayScenario` — a day of admissions, charting, and
+  lookups: the throughput workload (E2).
+* :class:`ThirtyYearArchiveScenario` — records written, then decades of
+  simulated time with periodic media refresh: the retention workload
+  (E7).
+* :class:`AuditSeasonScenario` — a burst of reads plus the forensic
+  queries a compliance audit triggers: the audit-scaling workload (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.clock import SECONDS_PER_DAY, SimulatedClock
+from repro.workload.generator import GeneratedRecord, WorkloadGenerator
+
+
+@dataclass
+class HospitalDayScenario:
+    """One day of hospital operation."""
+
+    seed: int = 7
+    n_patients: int = 50
+    n_records: int = 200
+    n_corrections: int = 10
+    clock: SimulatedClock = field(default_factory=lambda: SimulatedClock(start=1.17e9))
+
+    def build(self) -> tuple[WorkloadGenerator, list[GeneratedRecord]]:
+        """Generate the day's records (clock advances through the day)."""
+        generator = WorkloadGenerator(self.seed, self.clock)
+        patients = generator.create_population(self.n_patients)
+        emitted = [generator.demographics_record(p) for p in patients]
+        per_record_gap = SECONDS_PER_DAY / max(1, self.n_records)
+        for _ in range(self.n_records):
+            self.clock.advance(per_record_gap)
+            emitted.extend(generator.mixed_stream(1))
+        return generator, emitted
+
+
+@dataclass
+class ThirtyYearArchiveScenario:
+    """Records created in year 0, retained for 30 simulated years."""
+
+    seed: int = 11
+    n_patients: int = 20
+    n_records: int = 100
+    years: float = 30.0
+    media_refresh_years: float = 5.0
+    clock: SimulatedClock = field(default_factory=lambda: SimulatedClock(start=1.17e9))
+
+    def build(self) -> tuple[WorkloadGenerator, list[GeneratedRecord]]:
+        generator = WorkloadGenerator(self.seed, self.clock)
+        patients = generator.create_population(self.n_patients)
+        emitted = [generator.demographics_record(p) for p in patients]
+        # Ensure a healthy share of 30-year OSHA exposure records.
+        for _ in range(self.n_records // 4):
+            emitted.append(generator.exposure_record())
+        emitted.extend(generator.mixed_stream(self.n_records - self.n_records // 4))
+        return generator, emitted
+
+    def refresh_epochs(self) -> list[float]:
+        """Years at which media must be refreshed (migration points)."""
+        epochs = []
+        year = self.media_refresh_years
+        while year < self.years:
+            epochs.append(year)
+            year += self.media_refresh_years
+        return epochs
+
+
+@dataclass
+class AuditSeasonScenario:
+    """A compliance-audit read/query storm over an existing store."""
+
+    seed: int = 13
+    n_patients: int = 30
+    n_records: int = 150
+    n_reads: int = 500
+    clock: SimulatedClock = field(default_factory=lambda: SimulatedClock(start=1.17e9))
+
+    def build(self) -> tuple[WorkloadGenerator, list[GeneratedRecord]]:
+        generator = WorkloadGenerator(self.seed, self.clock)
+        patients = generator.create_population(self.n_patients)
+        emitted = [generator.demographics_record(p) for p in patients]
+        emitted.extend(generator.mixed_stream(self.n_records))
+        return generator, emitted
+
+    def read_targets(self, generator: WorkloadGenerator) -> list[GeneratedRecord]:
+        """The zipf-ish read stream of the audit season."""
+        return [
+            generator.sample_emitted(1)[0]
+            for _ in range(self.n_reads)
+        ]

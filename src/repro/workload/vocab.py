@@ -1,0 +1,73 @@
+"""Clinical vocabulary for synthetic records.
+
+Small curated lists — enough vocabulary diversity for the index
+experiments (hundreds of distinct terms, realistic skew) without
+shipping a medical ontology.  Condition entries carry a code modeled on
+ICD-9 formatting and note-text fragments the note generator samples.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Wei", "Ana",
+    "Omar", "Fatima", "Raj", "Priya", "Yuki", "Kofi", "Ingrid", "Dmitri",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Nguyen", "Chen", "Patel", "Kim", "Ali", "Okafor", "Svensson", "Ivanov",
+)
+
+DEPARTMENTS = (
+    "cardiology", "oncology", "neurology", "orthopedics", "pediatrics",
+    "emergency", "radiology", "endocrinology", "pulmonology", "nephrology",
+)
+
+# (icd-ish code, condition name, note fragments)
+CONDITIONS: tuple[tuple[str, str, tuple[str, ...]], ...] = (
+    ("250.00", "diabetes mellitus", ("elevated glucose", "metformin continued", "a1c trending down")),
+    ("401.9", "hypertension", ("blood pressure elevated", "lisinopril adjusted", "sodium restriction advised")),
+    ("162.9", "lung carcinoma", ("mass noted on imaging", "biopsy scheduled", "oncology referral placed")),
+    ("174.9", "breast cancer", ("lumpectomy discussed", "tamoxifen initiated", "staging complete")),
+    ("428.0", "heart failure", ("reduced ejection fraction", "diuretics titrated", "edema improving")),
+    ("493.90", "asthma", ("wheezing on exam", "albuterol prescribed", "peak flow improved")),
+    ("585.9", "chronic kidney disease", ("creatinine rising", "nephrology consulted", "dialysis discussed")),
+    ("331.0", "alzheimer disease", ("memory decline reported", "donepezil started", "caregiver counseled")),
+    ("042", "hiv disease", ("viral load undetectable", "antiretroviral adherence good", "cd4 stable")),
+    ("296.20", "major depression", ("mood low", "sertraline initiated", "therapy referral made")),
+    ("715.90", "osteoarthritis", ("joint pain chronic", "nsaids continued", "replacement discussed")),
+    ("530.81", "reflux esophagitis", ("heartburn frequent", "omeprazole prescribed", "endoscopy normal")),
+)
+
+OBSERVATION_CODES: tuple[tuple[str, str, str, float, float], ...] = (
+    # (code, display, unit, low, high)
+    ("8480-6", "systolic blood pressure", "mmHg", 90.0, 200.0),
+    ("8462-4", "diastolic blood pressure", "mmHg", 50.0, 120.0),
+    ("2339-0", "glucose", "mg/dL", 60.0, 350.0),
+    ("718-7", "hemoglobin", "g/dL", 7.0, 18.0),
+    ("2160-0", "creatinine", "mg/dL", 0.4, 6.0),
+    ("8867-4", "heart rate", "bpm", 40.0, 160.0),
+    ("8310-5", "body temperature", "C", 35.0, 41.0),
+    ("2571-8", "triglycerides", "mg/dL", 40.0, 500.0),
+)
+
+ENCOUNTER_TYPES = ("admission", "outpatient", "followup", "procedure", "telehealth")
+
+EXPOSURE_AGENTS = (
+    "asbestos", "benzene", "ionizing radiation", "silica dust",
+    "lead", "formaldehyde", "ethylene oxide",
+)
+
+STREETS = (
+    "Maple Street", "Oak Avenue", "Cedar Lane", "Elm Drive",
+    "Birch Road", "Willow Way", "Juniper Court",
+)
+
+CITIES = (
+    "Springfield", "Riverton", "Lakeview", "Fairmont",
+    "Georgetown", "Clinton", "Ashland",
+)

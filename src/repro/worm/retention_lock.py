@@ -1,0 +1,127 @@
+"""Retention terms and litigation holds for WORM objects.
+
+A :class:`RetentionTerm` is the promise the store makes at write time:
+"this object cannot be deleted before T".  Terms can be *extended*
+(regulators sometimes lengthen retention) but never shortened — a
+shortened term would let an insider schedule early destruction of
+evidence, which is precisely what compliance storage must prevent.
+
+Litigation holds sit on top: while any hold names an object, deletion
+is blocked regardless of expiry (spoliation rules trump retention
+schedules).
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+
+from repro.errors import RetentionError
+
+
+@dataclass(frozen=True)
+class RetentionTerm:
+    """An immutable (start, duration) retention promise."""
+
+    start: float
+    duration_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds < 0:
+            raise RetentionError("retention duration must be non-negative")
+
+    @property
+    def expires_at(self) -> float:
+        return self.start + self.duration_seconds
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class RetentionLock:
+    """Per-object retention state: term + holds, extend-only."""
+
+    def __init__(self) -> None:
+        self._terms: dict[str, RetentionTerm] = {}
+        self._holds: dict[str, set[str]] = {}
+
+    def set_term(self, object_id: str, term: RetentionTerm) -> None:
+        """Attach the initial retention term (write time only)."""
+        if object_id in self._terms:
+            raise RetentionError(
+                f"object {object_id} already has a retention term; use extend_term"
+            )
+        self._terms[object_id] = term
+
+    def term_for(self, object_id: str) -> RetentionTerm:
+        term = self._terms.get(object_id)
+        if term is None:
+            raise RetentionError(f"object {object_id} has no retention term")
+        return term
+
+    def extend_term(self, object_id: str, new_expiry: float) -> RetentionTerm:
+        """Lengthen the retention of an object.  Shortening raises."""
+        term = self.term_for(object_id)
+        if new_expiry < term.expires_at:
+            raise RetentionError(
+                f"retention terms can only be extended: "
+                f"{new_expiry} < {term.expires_at}"
+            )
+        duration = new_expiry - term.start
+        # Guard against float rounding shaving an ulp off the promised
+        # expiry: the stored term must never expire before new_expiry.
+        while term.start + duration < new_expiry:
+            duration = math.nextafter(duration, math.inf)
+        extended = RetentionTerm(start=term.start, duration_seconds=duration)
+        self._terms[object_id] = extended
+        return extended
+
+    # -- holds -------------------------------------------------------------
+
+    def place_hold(self, object_id: str, hold_id: str) -> None:
+        """Place a litigation hold naming *object_id*."""
+        self.term_for(object_id)  # must exist
+        self._holds.setdefault(object_id, set()).add(hold_id)
+
+    def release_hold(self, object_id: str, hold_id: str) -> None:
+        holds = self._holds.get(object_id, set())
+        if hold_id not in holds:
+            raise RetentionError(
+                f"no hold {hold_id!r} on object {object_id}"
+            )
+        holds.discard(hold_id)
+
+    def holds_on(self, object_id: str) -> set[str]:
+        return set(self._holds.get(object_id, set()))
+
+    # -- the deletion gate ----------------------------------------------------
+
+    def check_deletable(self, object_id: str, now: float) -> None:
+        """Raise :class:`RetentionError` unless deletion is lawful now."""
+        term = self.term_for(object_id)
+        if not term.expired(now):
+            raise RetentionError(
+                f"object {object_id} is under retention until {term.expires_at}"
+                f" (now {now})"
+            )
+        holds = self._holds.get(object_id)
+        if holds:
+            raise RetentionError(
+                f"object {object_id} is under litigation hold(s): {sorted(holds)}"
+            )
+
+    def is_deletable(self, object_id: str, now: float) -> bool:
+        try:
+            self.check_deletable(object_id, now)
+        except RetentionError:
+            return False
+        return True
+
+    def expired_objects(self, now: float) -> list[str]:
+        """Objects past retention with no hold — the disposition queue."""
+        return sorted(
+            object_id
+            for object_id in self._terms
+            if self.is_deletable(object_id, now)
+        )

@@ -1,0 +1,203 @@
+"""The WORM object store.
+
+Objects are opaque byte strings keyed by caller-chosen ids.  Semantics:
+
+* ``put`` writes exactly once — a second put of the same id raises
+  :class:`~repro.errors.WormViolationError` even with identical bytes
+  (real WORM controllers behave this way; idempotent rewrites would
+  mask replay bugs upstream);
+* each object carries the SHA-256 of its content, checked on every
+  ``get`` — a bit-rotted or tampered object is reported, not returned;
+* ``delete`` is gated by the object's retention term and holds (see
+  :mod:`repro.worm.retention_lock`), and performs *logical* deletion:
+  the slot is tombstoned.  Physical destruction of the bytes is the
+  shredder's job (:mod:`repro.retention.shredder`) — the store records
+  which device range held the object so the shredder can overwrite it.
+
+The store persists through a :class:`~repro.storage.journal.Journal`,
+so everything an insider could tamper with is on the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256
+from repro.errors import (
+    IntegrityError,
+    RecordNotFoundError,
+    RetentionError,
+    WormViolationError,
+)
+from repro.storage.block import BlockDevice, MemoryDevice
+from repro.storage.journal import HEADER_SIZE, Journal
+from repro.util.clock import Clock, WallClock
+from repro.util.encoding import canonical_bytes
+from repro.worm.retention_lock import RetentionLock, RetentionTerm
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """Metadata for one WORM object."""
+
+    object_id: str
+    size: int
+    content_digest: bytes
+    written_at: float
+    journal_sequence: int
+    payload_offset: int  # device offset of the object bytes (for shredding)
+    deleted: bool = False
+
+
+class WormStore:
+    """Write-once object store with retention enforcement."""
+
+    def __init__(
+        self,
+        device: BlockDevice | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self._journal = Journal(device or MemoryDevice("worm-dev", 1 << 24))
+        self._clock = clock or WallClock()
+        self._objects: dict[str, StoredObject] = {}
+        self.retention = RetentionLock()
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._journal.device
+
+    def __len__(self) -> int:
+        return sum(1 for meta in self._objects.values() if not meta.deleted)
+
+    def __contains__(self, object_id: str) -> bool:
+        meta = self._objects.get(object_id)
+        return meta is not None and not meta.deleted
+
+    # -- write --------------------------------------------------------------
+
+    def put(
+        self,
+        object_id: str,
+        data: bytes,
+        retention: RetentionTerm | None = None,
+    ) -> StoredObject:
+        """Write an object exactly once, with an optional retention term.
+
+        When *retention* is omitted, a zero-duration term starting now is
+        attached — the object is immediately past retention (but still
+        write-once: WORM immutability and retention are independent).
+        """
+        if object_id in self._objects:
+            raise WormViolationError(
+                f"object {object_id} already written (WORM is write-once)"
+            )
+        header = canonical_bytes(
+            {"object_id": object_id, "size": len(data), "digest": sha256(data)}
+        )
+        entry = self._journal.append(header + b"\x00" + data)
+        payload_offset = entry.offset + HEADER_SIZE + len(header) + 1
+        meta = StoredObject(
+            object_id=object_id,
+            size=len(data),
+            content_digest=sha256(data),
+            written_at=self._clock.now(),
+            journal_sequence=entry.sequence,
+            payload_offset=payload_offset,
+        )
+        self._objects[object_id] = meta
+        term = retention or RetentionTerm(start=self._clock.now(), duration_seconds=0.0)
+        self.retention.set_term(object_id, term)
+        return meta
+
+    # -- read ----------------------------------------------------------------
+
+    def _meta(self, object_id: str) -> StoredObject:
+        meta = self._objects.get(object_id)
+        if meta is None:
+            raise RecordNotFoundError(f"object {object_id} does not exist")
+        return meta
+
+    def metadata(self, object_id: str) -> StoredObject:
+        """Metadata for an object (including tombstoned ones)."""
+        return self._meta(object_id)
+
+    def get(self, object_id: str) -> bytes:
+        """Read an object, verifying its content digest."""
+        meta = self._meta(object_id)
+        if meta.deleted:
+            raise RecordNotFoundError(f"object {object_id} was deleted")
+        payload = self._journal.read(meta.journal_sequence)
+        data = self._extract_data(payload, meta)
+        if sha256(data) != meta.content_digest:
+            raise IntegrityError(
+                f"object {object_id} failed its content digest check"
+            )
+        return data
+
+    @staticmethod
+    def _extract_data(payload: bytes, meta: StoredObject) -> bytes:
+        # The canonical-JSON header contains no NUL byte, so the first
+        # NUL is the header/data separator.
+        separator = payload.index(b"\x00")
+        data = payload[separator + 1 :]
+        if len(data) != meta.size:
+            raise IntegrityError(
+                f"object {meta.object_id}: stored size {len(data)} != {meta.size}"
+            )
+        return data
+
+    def object_ids(self, include_deleted: bool = False) -> list[str]:
+        """Ids of stored objects, sorted."""
+        return sorted(
+            object_id
+            for object_id, meta in self._objects.items()
+            if include_deleted or not meta.deleted
+        )
+
+    def verify_all(self) -> list[str]:
+        """Digest-check every live object; returns ids that fail."""
+        failures = []
+        for object_id in self.object_ids():
+            try:
+                self.get(object_id)
+            except IntegrityError:
+                failures.append(object_id)
+        return failures
+
+    # -- delete -----------------------------------------------------------------
+
+    def delete(self, object_id: str) -> StoredObject:
+        """Tombstone an object.  Only lawful after retention expiry and
+        with no litigation hold; raises :class:`RetentionError` otherwise."""
+        meta = self._meta(object_id)
+        if meta.deleted:
+            raise RecordNotFoundError(f"object {object_id} already deleted")
+        self.retention.check_deletable(object_id, self._clock.now())
+        tombstoned = StoredObject(
+            object_id=meta.object_id,
+            size=meta.size,
+            content_digest=meta.content_digest,
+            written_at=meta.written_at,
+            journal_sequence=meta.journal_sequence,
+            payload_offset=meta.payload_offset,
+            deleted=True,
+        )
+        self._objects[object_id] = tombstoned
+        return tombstoned
+
+    def physical_extent(self, object_id: str) -> tuple[int, int]:
+        """(device_offset, size) of the object's raw bytes — consumed by
+        the shredder for physical overwrite after logical deletion."""
+        meta = self._meta(object_id)
+        return meta.payload_offset, meta.size
+
+    def attempt_overwrite(self, object_id: str, data: bytes) -> None:
+        """Explicitly attempt an in-place overwrite; always raises.
+
+        Exists so callers (and tests) exercise the enforcement path
+        rather than relying on put()'s duplicate check alone.
+        """
+        self._meta(object_id)
+        raise WormViolationError(
+            f"object {object_id} is write-once; corrections must be new versions"
+        )

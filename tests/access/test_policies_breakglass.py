@@ -1,0 +1,173 @@
+"""Consent directives, minimum-necessary views, break-glass flow."""
+
+import pytest
+
+from repro.access.breakglass import BreakGlassController
+from repro.access.policies import (
+    ConsentDirective,
+    ConsentRegistry,
+    minimum_necessary_view,
+)
+from repro.access.principals import Role, User
+from repro.access.rbac import Purpose
+from repro.errors import AccessDeniedError, ConsentError
+from repro.records.model import ClinicalNote, Encounter, Patient
+from repro.util.clock import SimulatedClock
+
+
+def test_consent_blocks_role():
+    registry = ConsentRegistry()
+    registry.add_directive(
+        "pat-1",
+        ConsentDirective("d1", blocked_roles=frozenset({Role.RESEARCHER})),
+    )
+    with pytest.raises(ConsentError):
+        registry.check_disclosure("pat-1", Role.RESEARCHER, Purpose.RESEARCH)
+    registry.check_disclosure("pat-1", Role.PHYSICIAN, Purpose.TREATMENT)
+
+
+def test_consent_blocks_purpose():
+    registry = ConsentRegistry()
+    registry.add_directive(
+        "pat-1",
+        ConsentDirective("d1", blocked_purposes=frozenset({Purpose.RESEARCH})),
+    )
+    assert not registry.is_permitted("pat-1", Role.PHYSICIAN, Purpose.RESEARCH)
+
+
+def test_consent_cannot_block_treatment_or_emergency():
+    registry = ConsentRegistry()
+    registry.add_directive(
+        "pat-1",
+        ConsentDirective(
+            "d1",
+            blocked_roles=frozenset(Role),
+            blocked_purposes=frozenset(Purpose),
+        ),
+    )
+    registry.check_disclosure("pat-1", Role.PHYSICIAN, Purpose.TREATMENT)
+    registry.check_disclosure("pat-1", Role.NURSE, Purpose.EMERGENCY)
+
+
+def test_consent_revocation():
+    registry = ConsentRegistry()
+    registry.add_directive(
+        "pat-1", ConsentDirective("d1", blocked_purposes=frozenset({Purpose.PAYMENT}))
+    )
+    registry.revoke_directive("pat-1", "d1")
+    assert registry.is_permitted("pat-1", Role.BILLING, Purpose.PAYMENT)
+    with pytest.raises(ConsentError):
+        registry.revoke_directive("pat-1", "d1")
+
+
+def test_unrestricted_patient_is_permitted():
+    assert ConsentRegistry().is_permitted("pat-x", Role.BILLING, Purpose.PAYMENT)
+
+
+def make_note():
+    return ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=0.0,
+        author="Dr. Z",
+        specialty="oncology",
+        text="biopsy positive for carcinoma",
+    )
+
+
+def test_minimum_necessary_clinical_roles_see_everything():
+    note = make_note()
+    assert minimum_necessary_view(note, Role.PHYSICIAN) == note.body
+    assert minimum_necessary_view(note, Role.PATIENT) == note.body
+
+
+def test_minimum_necessary_billing_never_sees_narrative():
+    assert minimum_necessary_view(make_note(), Role.BILLING) == {}
+
+
+def test_minimum_necessary_billing_sees_demographic_subset():
+    patient = Patient.create(
+        record_id="rec-2",
+        patient_id="pat-1",
+        created_at=0.0,
+        name="N",
+        birth_date="1960-01-01",
+        address="A",
+        ssn="123-45-6789",
+    )
+    view = minimum_necessary_view(patient, Role.BILLING)
+    assert set(view) == {"name", "address"}
+    assert "ssn" not in view
+
+
+def test_minimum_necessary_encounter_projection():
+    encounter = Encounter.create(
+        record_id="rec-3",
+        patient_id="pat-1",
+        created_at=0.0,
+        encounter_type="admission",
+        provider="Dr. Q",
+        department="oncology",
+        reason="staging workup",
+    )
+    view = minimum_necessary_view(encounter, Role.BILLING)
+    assert "reason" not in view
+    assert "provider" not in view
+    assert view["department"] == "oncology"
+
+
+def test_minimum_necessary_admin_sees_nothing():
+    assert minimum_necessary_view(make_note(), Role.SYSTEM_ADMIN) == {}
+
+
+def make_controller():
+    clock = SimulatedClock(start=0.0)
+    return BreakGlassController(clock=clock), clock
+
+
+def er_doc():
+    return User.make("dr-er", "ER Doc", [Role.PHYSICIAN])
+
+
+def test_breakglass_grant_and_check():
+    controller, _ = make_controller()
+    grant = controller.invoke(er_doc(), "pat-9", "unconscious trauma patient in ER")
+    assert controller.has_active_grant("dr-er", "pat-9")
+    assert not controller.has_active_grant("dr-er", "pat-8")
+    assert grant.expires_at > grant.granted_at
+
+
+def test_breakglass_requires_justification():
+    controller, _ = make_controller()
+    with pytest.raises(AccessDeniedError):
+        controller.invoke(er_doc(), "pat-9", "er")
+
+
+def test_breakglass_grant_expires():
+    controller, clock = make_controller()
+    controller.invoke(er_doc(), "pat-9", "unconscious trauma patient in ER")
+    clock.advance(5 * 3600.0)  # default grant is 4h
+    assert not controller.has_active_grant("dr-er", "pat-9")
+
+
+def test_breakglass_review_queue():
+    controller, clock = make_controller()
+    g1 = controller.invoke(er_doc(), "pat-9", "unconscious trauma patient in ER")
+    g2 = controller.invoke(er_doc(), "pat-8", "cardiac arrest, unknown history")
+    assert len(controller.pending_review()) == 2
+    controller.review(g1.grant_id, "privacy-officer-1")
+    assert [g.grant_id for g in controller.pending_review()] == [g2.grant_id]
+
+
+def test_breakglass_overdue_reviews():
+    controller, clock = make_controller()
+    controller.invoke(er_doc(), "pat-9", "unconscious trauma patient in ER")
+    assert controller.overdue_reviews() == []
+    clock.advance(73 * 3600.0)  # review window is 72h
+    assert len(controller.overdue_reviews()) == 1
+
+
+def test_breakglass_review_unknown_grant():
+    controller, _ = make_controller()
+    with pytest.raises(AccessDeniedError):
+        controller.review("bg-999999", "po")

@@ -1,0 +1,155 @@
+"""Authentication broker: challenge-response, lockout, session tokens."""
+
+import dataclasses
+
+import pytest
+
+from repro.access.sessions import Authenticator, Session
+from repro.errors import AccessDeniedError
+from repro.util.clock import SimulatedClock
+
+
+def make_auth(**kwargs):
+    clock = SimulatedClock(start=0.0)
+    return Authenticator(clock=clock, **kwargs), clock
+
+
+def login(auth, user_id, secret):
+    challenge = auth.request_challenge(user_id)
+    return auth.login(user_id, Authenticator.respond(secret, challenge))
+
+
+def test_happy_path_login_and_validate():
+    auth, _ = make_auth()
+    secret = auth.enroll("dr-a")
+    session = login(auth, "dr-a", secret)
+    assert auth.validate(session) == "dr-a"
+
+
+def test_duplicate_enrollment_rejected():
+    auth, _ = make_auth()
+    auth.enroll("dr-a")
+    with pytest.raises(AccessDeniedError):
+        auth.enroll("dr-a")
+    with pytest.raises(AccessDeniedError):
+        auth.enroll("")
+
+
+def test_unknown_user_cannot_request_challenge():
+    auth, _ = make_auth()
+    with pytest.raises(AccessDeniedError):
+        auth.request_challenge("ghost")
+
+
+def test_wrong_secret_fails():
+    auth, _ = make_auth()
+    auth.enroll("dr-a")
+    challenge = auth.request_challenge("dr-a")
+    with pytest.raises(AccessDeniedError, match="authentication failed"):
+        auth.login("dr-a", Authenticator.respond(bytes(32), challenge))
+
+
+def test_login_without_challenge_fails():
+    auth, _ = make_auth()
+    auth.enroll("dr-a")
+    with pytest.raises(AccessDeniedError, match="no pending challenge"):
+        auth.login("dr-a", b"x" * 32)
+
+
+def test_challenge_expires():
+    auth, clock = make_auth(challenge_ttl_seconds=60.0)
+    secret = auth.enroll("dr-a")
+    challenge = auth.request_challenge("dr-a")
+    clock.advance(120.0)
+    with pytest.raises(AccessDeniedError, match="expired"):
+        auth.login("dr-a", Authenticator.respond(secret, challenge))
+
+
+def test_challenge_is_single_use():
+    auth, _ = make_auth()
+    secret = auth.enroll("dr-a")
+    challenge = auth.request_challenge("dr-a")
+    response = Authenticator.respond(secret, challenge)
+    auth.login("dr-a", response)
+    with pytest.raises(AccessDeniedError):
+        auth.login("dr-a", response)  # replay
+
+
+def test_lockout_after_repeated_failures():
+    auth, _ = make_auth(lockout_threshold=3)
+    secret = auth.enroll("dr-a")
+    for _ in range(3):
+        challenge = auth.request_challenge("dr-a")
+        with pytest.raises(AccessDeniedError):
+            auth.login("dr-a", b"wrong" * 8)
+    assert auth.is_locked("dr-a")
+    with pytest.raises(AccessDeniedError, match="locked"):
+        auth.request_challenge("dr-a")
+    # even a valid session is refused while locked
+    auth.unlock("dr-a")
+    session = login(auth, "dr-a", secret)
+    assert auth.validate(session) == "dr-a"
+
+
+def test_successful_login_resets_failure_count():
+    auth, _ = make_auth(lockout_threshold=3)
+    secret = auth.enroll("dr-a")
+    challenge = auth.request_challenge("dr-a")
+    with pytest.raises(AccessDeniedError):
+        auth.login("dr-a", b"wrong" * 8)
+    assert auth.failed_attempts("dr-a") == 1
+    login(auth, "dr-a", secret)
+    assert auth.failed_attempts("dr-a") == 0
+
+
+def test_session_expires():
+    auth, clock = make_auth(session_seconds=3600.0)
+    secret = auth.enroll("dr-a")
+    session = login(auth, "dr-a", secret)
+    clock.advance(3601.0)
+    with pytest.raises(AccessDeniedError, match="session expired"):
+        auth.validate(session)
+
+
+def test_forged_token_rejected():
+    auth, _ = make_auth()
+    secret = auth.enroll("dr-a")
+    session = login(auth, "dr-a", secret)
+    forged = dataclasses.replace(session, user_id="dr-evil")
+    with pytest.raises(AccessDeniedError, match="token invalid"):
+        auth.validate(forged)
+
+
+def test_extended_expiry_rejected():
+    auth, _ = make_auth()
+    secret = auth.enroll("dr-a")
+    session = login(auth, "dr-a", secret)
+    forged = dataclasses.replace(session, expires_at=session.expires_at + 1e6)
+    with pytest.raises(AccessDeniedError, match="token invalid"):
+        auth.validate(forged)
+
+
+def test_fabricated_session_rejected():
+    auth, _ = make_auth()
+    auth.enroll("dr-a")
+    fake = Session(
+        session_id="sess-00000001",
+        user_id="dr-a",
+        issued_at=0.0,
+        expires_at=1e9,
+        token=bytes(32),
+    )
+    with pytest.raises(AccessDeniedError):
+        auth.validate(fake)
+
+
+def test_locked_account_invalidates_live_sessions():
+    auth, _ = make_auth(lockout_threshold=1)
+    secret = auth.enroll("dr-a")
+    session = login(auth, "dr-a", secret)
+    challenge = auth.request_challenge("dr-a")
+    with pytest.raises(AccessDeniedError):
+        auth.login("dr-a", b"wrong" * 8)
+    assert auth.is_locked("dr-a")
+    with pytest.raises(AccessDeniedError, match="locked"):
+        auth.validate(session)

@@ -1,0 +1,117 @@
+"""Anchoring: truncation detection, fork detection, witness protocol."""
+
+import pytest
+
+from repro.audit.anchors import AnchorWitness, AuditAnchor, publish_anchor
+from repro.audit.events import AuditAction
+from repro.audit.log import AuditLog
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import SignedPayload, Signer
+from repro.errors import AuditError
+from repro.util.clock import SimulatedClock
+
+KEYPAIR = generate_keypair(768)
+
+
+def setup():
+    clock = SimulatedClock(start=0.0)
+    log = AuditLog(clock=clock)
+    signer = Signer("hospital-A", keypair=KEYPAIR)
+    witness = AnchorWitness(signer.verifier())
+    return clock, log, signer, witness
+
+
+def grow(log, n):
+    for i in range(n):
+        log.append(AuditAction.RECORD_READ, "dr-a", f"rec-{i}")
+
+
+def test_anchor_accepted_and_checked():
+    clock, log, signer, witness = setup()
+    grow(log, 5)
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+    witness.check_log(log)  # no exception
+
+
+def test_multiple_anchors_consistency():
+    clock, log, signer, witness = setup()
+    grow(log, 5)
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+    grow(log, 7)
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+    witness.check_log(log)
+    assert len(witness.anchors) == 2
+    assert witness.latest().log_size == 12
+
+
+def test_truncation_detected():
+    clock, log, signer, witness = setup()
+    grow(log, 10)
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+    # Adversary presents a fresh, shorter log claiming to be the history.
+    short_log = AuditLog(clock=clock)
+    grow(short_log, 4)
+    with pytest.raises(AuditError, match="truncated"):
+        witness.check_log(short_log)
+
+
+def test_history_rewrite_detected():
+    clock, log, signer, witness = setup()
+    grow(log, 6)
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+    # Adversary fabricates an equally long but different history.
+    forged = AuditLog(clock=clock)
+    for i in range(6):
+        forged.append(AuditAction.RECORD_READ, "mallory", f"rec-{i}")
+    with pytest.raises(AuditError, match="rewritten"):
+        witness.check_log(forged)
+
+
+def test_shrinking_anchor_rejected():
+    clock, log, signer, witness = setup()
+    grow(log, 8)
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+    smaller = AuditLog(clock=clock)
+    grow(smaller, 3)
+    with pytest.raises(AuditError, match="shrinks"):
+        witness.receive(publish_anchor(smaller, signer, clock.now()), smaller)
+
+
+def test_forked_history_between_anchors_rejected():
+    clock, log, signer, witness = setup()
+    grow(log, 4)
+    witness.receive(publish_anchor(log, signer, clock.now()), log)
+    # The site forks: a different log continues from a different prefix.
+    fork = AuditLog(clock=clock)
+    for i in range(9):
+        fork.append(AuditAction.RECORD_READ, "mallory", f"x-{i}")
+    with pytest.raises(Exception):
+        witness.receive(publish_anchor(fork, signer, clock.now()), fork)
+
+
+def test_unsigned_forged_anchor_rejected():
+    clock, log, signer, witness = setup()
+    grow(log, 3)
+    genuine = publish_anchor(log, signer, clock.now())
+    forged = AuditAnchor(
+        log_size=99,
+        merkle_root=bytes(32),
+        published_at=clock.now(),
+        signed=genuine.signed,  # signature does not cover these fields
+    )
+    with pytest.raises(AuditError, match="does not match signed"):
+        witness.receive(forged, log)
+
+
+def test_anchor_from_wrong_signer_rejected():
+    clock, log, signer, witness = setup()
+    grow(log, 3)
+    mallory = Signer("mallory", keypair=generate_keypair(768))
+    with pytest.raises(Exception):
+        witness.receive(publish_anchor(log, mallory, clock.now()), log)
+
+
+def test_empty_witness_accepts_any_log():
+    _, log, _, witness = setup()
+    grow(log, 2)
+    witness.check_log(log)

@@ -1,0 +1,92 @@
+"""Forensic queries: disclosure accounting, probing detection, windows."""
+
+import pytest
+
+from repro.audit.events import AuditAction
+from repro.audit.log import AuditLog
+from repro.audit.query import AuditQuery
+from repro.errors import AuditError
+from repro.util.clock import SimulatedClock
+
+
+def build_scenario():
+    clock = SimulatedClock(start=0.0)
+    log = AuditLog(clock=clock)
+    log.append(AuditAction.RECORD_CREATED, "dr-a", "rec-1")
+    clock.advance(10)
+    log.append(AuditAction.RECORD_READ, "dr-b", "rec-1")
+    clock.advance(10)
+    log.append(AuditAction.RECORD_READ, "dr-b", "rec-2")
+    clock.advance(10)
+    log.append(AuditAction.ACCESS_DENIED, "intern-x", "rec-1")
+    log.append(AuditAction.ACCESS_DENIED, "intern-x", "rec-2")
+    log.append(AuditAction.ACCESS_DENIED, "intern-x", "rec-3")
+    clock.advance(10)
+    log.append(AuditAction.EMERGENCY_ACCESS, "dr-c", "rec-1")
+    log.append(AuditAction.MEDIA_DISPOSED, "system", "med-0001")
+    return clock, log
+
+
+def test_accesses_to_record():
+    _, log = build_scenario()
+    accesses = AuditQuery(log).accesses_to("rec-1")
+    assert [e.action for e in accesses] == [
+        AuditAction.RECORD_CREATED,
+        AuditAction.RECORD_READ,
+        AuditAction.EMERGENCY_ACCESS,
+    ]
+
+
+def test_denials_excluded_from_access_accounting():
+    _, log = build_scenario()
+    accesses = AuditQuery(log).accesses_to("rec-3")
+    assert accesses == []
+
+
+def test_actions_by_actor():
+    _, log = build_scenario()
+    actions = AuditQuery(log).actions_by("intern-x")
+    assert len(actions) == 3
+    assert all(e.action is AuditAction.ACCESS_DENIED for e in actions)
+
+
+def test_in_window():
+    _, log = build_scenario()
+    events = AuditQuery(log).in_window(5.0, 25.0)
+    assert [e.sequence for e in events] == [1, 2]
+
+
+def test_emergency_accesses():
+    _, log = build_scenario()
+    emergencies = AuditQuery(log).emergency_accesses()
+    assert len(emergencies) == 1
+    assert emergencies[0].actor_id == "dr-c"
+
+
+def test_denial_counts_and_suspicious_actors():
+    _, log = build_scenario()
+    query = AuditQuery(log)
+    assert query.denial_counts() == {"intern-x": 3}
+    assert query.suspicious_actors(denial_threshold=3) == ["intern-x"]
+    assert query.suspicious_actors(denial_threshold=4) == []
+
+
+def test_disclosure_accounting_over_record_set():
+    _, log = build_scenario()
+    report = AuditQuery(log).disclosure_accounting(["rec-1", "rec-2"])
+    assert [e.sequence for e in report] == [0, 1, 2, 6]
+
+
+def test_query_refuses_tampered_log():
+    _, log = build_scenario()
+    log.device.raw_write(40, b"\x00\x00\x00\x00")
+    with pytest.raises(AuditError, match="tampered"):
+        AuditQuery(log).accesses_to("rec-1")
+
+
+def test_query_can_skip_verification_explicitly():
+    _, log = build_scenario()
+    log.device.raw_write(40, b"\x00\x00\x00\x00")
+    # Forensics on a damaged log is possible but must be opted into.
+    events = AuditQuery(log, verify_first=False).accesses_to("rec-1")
+    assert len(events) == 3

@@ -1,0 +1,111 @@
+"""Audit log recovery after restart and third-party event proofs."""
+
+import pytest
+
+from repro.audit.anchors import AnchorWitness, publish_anchor
+from repro.audit.events import AuditAction
+from repro.audit.log import AuditLog, verify_event_proof
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import Signer
+from repro.errors import AuditError, IntegrityError
+from repro.storage.block import MemoryDevice
+from repro.storage.failures import FaultInjector
+from repro.util.clock import SimulatedClock
+from repro.util.rng import DeterministicRng
+
+KEYPAIR = generate_keypair(768)
+
+
+def grown_log(n=20):
+    clock = SimulatedClock(start=1000.0)
+    log = AuditLog(device=MemoryDevice("audit", 1 << 20), clock=clock)
+    for i in range(n):
+        clock.advance(1.0)
+        log.append(AuditAction.RECORD_READ, f"actor-{i % 3}", f"rec-{i}")
+    return clock, log
+
+
+def test_recover_reproduces_state():
+    clock, log = grown_log(15)
+    recovered = AuditLog.recover(log.device, clock=clock)
+    assert len(recovered) == 15
+    assert recovered.head_digest == log.head_digest
+    assert recovered.merkle_root() == log.merkle_root()
+    assert recovered.events() == log.events()
+
+
+def test_recover_then_append_continues_chain():
+    clock, log = grown_log(5)
+    recovered = AuditLog.recover(log.device, clock=clock)
+    recovered.append(AuditAction.RECORD_READ, "actor-x", "rec-new")
+    assert recovered.verify_chain().ok
+    assert len(recovered) == 6
+
+
+def test_recover_drops_crash_tail():
+    clock, log = grown_log(10)
+    FaultInjector(DeterministicRng(3)).truncate_tail(log.device, lost_bytes=15)
+    recovered = AuditLog.recover(log.device, clock=clock)
+    assert len(recovered) == 9
+    assert recovered.verify_chain().ok
+
+
+def test_recover_rejects_midlog_tampering():
+    clock, log = grown_log(10)
+    from repro.storage.journal import Journal
+
+    frames = list(Journal.iter_device_frames(log.device))
+    offset, payload = frames[4]
+    Journal.forge_frame(log.device, offset, payload[:-6] + b"FORGED")
+    with pytest.raises(AuditError, match="recovery failed"):
+        AuditLog.recover(log.device, clock=clock)
+
+
+def test_recover_empty_device():
+    recovered = AuditLog.recover(MemoryDevice("empty", 1 << 16))
+    assert len(recovered) == 0
+    assert recovered.verify_chain().ok
+
+
+def test_event_proof_against_anchor():
+    clock, log = grown_log(12)
+    signer = Signer("hospital-A", keypair=KEYPAIR)
+    witness = AnchorWitness(signer.verifier())
+    anchor = publish_anchor(log, signer, clock.now())
+    witness.receive(anchor, log)
+
+    event, chain_prev, proof = log.prove_event(7, at_size=anchor.log_size)
+    # The third party checks against the witnessed root only.
+    verify_event_proof(event, chain_prev, proof, anchor.merkle_root)
+
+
+def test_event_proof_after_log_grows_past_anchor():
+    clock, log = grown_log(12)
+    signer = Signer("hospital-A", keypair=KEYPAIR)
+    anchor = publish_anchor(log, signer, clock.now())
+    # The log keeps growing; proofs must target the anchored size.
+    for i in range(5):
+        log.append(AuditAction.RECORD_READ, "actor-z", f"rec-late-{i}")
+    event, chain_prev, proof = log.prove_event(3, at_size=anchor.log_size)
+    verify_event_proof(event, chain_prev, proof, anchor.merkle_root)
+
+
+def test_event_proof_rejects_forged_event():
+    import dataclasses
+
+    clock, log = grown_log(12)
+    signer = Signer("hospital-A", keypair=KEYPAIR)
+    anchor = publish_anchor(log, signer, clock.now())
+    event, chain_prev, proof = log.prove_event(7, at_size=anchor.log_size)
+    forged = dataclasses.replace(event, actor_id="somebody-else")
+    with pytest.raises(IntegrityError):
+        verify_event_proof(forged, chain_prev, proof, anchor.merkle_root)
+
+
+def test_event_proof_beyond_anchor_rejected():
+    clock, log = grown_log(12)
+    signer = Signer("hospital-A", keypair=KEYPAIR)
+    anchor = publish_anchor(log, signer, clock.now())
+    log.append(AuditAction.RECORD_READ, "actor-z", "rec-late")
+    with pytest.raises(AuditError, match="not covered"):
+        log.prove_event(12, at_size=anchor.log_size)

@@ -1,0 +1,107 @@
+"""Witness quorums: distributing the anchoring trust assumption."""
+
+import pytest
+
+from repro.audit.anchors import AnchorWitness, WitnessQuorum, publish_anchor
+from repro.audit.events import AuditAction
+from repro.audit.log import AuditLog
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import Signer
+from repro.errors import AuditError
+from repro.util.clock import SimulatedClock
+
+KEYPAIR = generate_keypair(768)
+
+
+def setup(n_witnesses=3, threshold=2):
+    clock = SimulatedClock(start=0.0)
+    log = AuditLog(clock=clock)
+    signer = Signer("hospital-A", keypair=KEYPAIR)
+    witnesses = [AnchorWitness(signer.verifier()) for _ in range(n_witnesses)]
+    quorum = WitnessQuorum(witnesses, threshold=threshold)
+    return clock, log, signer, witnesses, quorum
+
+
+def grow(log, n):
+    for i in range(n):
+        log.append(AuditAction.RECORD_READ, "dr-a", f"rec-{i}")
+
+
+def test_quorum_validation():
+    _, _, signer, witnesses, _ = setup()
+    with pytest.raises(AuditError):
+        WitnessQuorum([], threshold=1)
+    with pytest.raises(AuditError):
+        WitnessQuorum(witnesses, threshold=0)
+    with pytest.raises(AuditError):
+        WitnessQuorum(witnesses, threshold=4)
+
+
+def test_publish_reaches_all_and_check_passes():
+    clock, log, signer, witnesses, quorum = setup()
+    grow(log, 6)
+    quorum.publish(log, signer, clock.now())
+    assert quorum.check_log(log) == 3
+    for witness in witnesses:
+        assert len(witness.anchors) == 1
+
+
+def test_truncation_detected_by_quorum():
+    clock, log, signer, witnesses, quorum = setup()
+    grow(log, 10)
+    quorum.publish(log, signer, clock.now())
+    short = AuditLog(clock=clock)
+    grow(short, 4)
+    with pytest.raises(AuditError, match="quorum"):
+        quorum.check_log(short)
+
+
+def test_single_compromised_witness_cannot_save_a_truncated_log():
+    clock, log, signer, witnesses, quorum = setup(n_witnesses=3, threshold=2)
+    grow(log, 10)
+    quorum.publish(log, signer, clock.now())
+    # The insider compromises one witness: its anchors are wiped, so it
+    # would vacuously accept anything.
+    witnesses[0]._anchors.clear()
+    short = AuditLog(clock=clock)
+    grow(short, 4)
+    with pytest.raises(AuditError):
+        quorum.check_log(short)
+    # The honest log still clears the quorum (2 honest witnesses vouch).
+    assert quorum.check_log(log) == 2
+
+
+def test_too_many_compromised_witnesses_breaks_the_quorum():
+    clock, log, signer, witnesses, quorum = setup(n_witnesses=3, threshold=2)
+    grow(log, 5)
+    quorum.publish(log, signer, clock.now())
+    witnesses[0]._anchors.clear()
+    witnesses[1]._anchors.clear()
+    with pytest.raises(AuditError, match="quorum"):
+        quorum.check_log(log)
+
+
+def test_publish_fails_if_quorum_unreachable():
+    clock, log, signer, witnesses, quorum = setup(n_witnesses=3, threshold=3)
+    grow(log, 4)
+    # Two witnesses already hold a conflicting anchor for a different log,
+    # so they reject the new one.
+    other = AuditLog(clock=clock)
+    grow(other, 6)
+    for witness in witnesses[:2]:
+        witness.receive(publish_anchor(other, signer, clock.now()), other)
+    with pytest.raises(AuditError, match="quorum"):
+        quorum.publish(log, signer, clock.now())
+
+
+def test_divergent_witness_is_outvoted_on_check():
+    clock, log, signer, witnesses, quorum = setup(n_witnesses=3, threshold=2)
+    grow(log, 6)
+    quorum.publish(log, signer, clock.now())
+    # One witness is fed a forged anchor for a different history.
+    forged_log = AuditLog(clock=clock)
+    grow(forged_log, 8)
+    witnesses[2]._anchors.clear()
+    witnesses[2].receive(publish_anchor(forged_log, signer, clock.now()), forged_log)
+    # The true log still passes: two honest witnesses vouch.
+    assert quorum.check_log(log) == 2

@@ -1,0 +1,84 @@
+"""Backup vault edge cases: lineage breaks, restore chain ordering."""
+
+import pytest
+
+from repro.backup.manager import BackupManager
+from repro.backup.vault import BackupSnapshot, BackupVault
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import MerkleTree
+from repro.errors import BackupError
+from repro.storage.block import MemoryDevice
+from repro.util.clock import SimulatedClock
+from repro.util.encoding import canonical_bytes
+from repro.worm.store import WormStore
+
+
+def snapshot_of(objects, snapshot_id, kind="full", base=None):
+    digests = {k: sha256(v) for k, v in objects.items()}
+    tree = MerkleTree()
+    for object_id in sorted(digests):
+        tree.append(canonical_bytes({"id": object_id, "digest": digests[object_id]}))
+    return BackupSnapshot(
+        snapshot_id=snapshot_id,
+        created_at=0.0,
+        kind=kind,
+        base_snapshot_id=base,
+        objects=dict(objects),
+        digests=digests,
+        merkle_root=tree.root(),
+    )
+
+
+def test_chain_to_full_orders_full_first():
+    vault = BackupVault("v")
+    vault.store(snapshot_of({"a": b"1"}, "s1"))
+    vault.store(snapshot_of({"b": b"2"}, "s2", kind="incremental", base="s1"))
+    vault.store(snapshot_of({"c": b"3"}, "s3", kind="incremental", base="s2"))
+    chain = vault.chain_to_full("s3")
+    assert [s.snapshot_id for s in chain] == ["s1", "s2", "s3"]
+
+
+def test_chain_to_full_broken_lineage():
+    vault = BackupVault("v")
+    vault.store(snapshot_of({"b": b"2"}, "s2", kind="incremental", base="missing"))
+    with pytest.raises(BackupError):
+        vault.chain_to_full("s2")
+
+
+def test_incremental_restore_overrides_nothing_in_worm_world():
+    # WORM objects never change, so increments only ADD; a restore must
+    # contain the union.
+    clock = SimulatedClock(start=0.0)
+    store = WormStore(device=MemoryDevice("p", 1 << 20), clock=clock)
+    vault = BackupVault("v")
+    manager = BackupManager(vault, clock=clock)
+    store.put("a", b"alpha")
+    manager.create_full(store)
+    store.put("b", b"beta")
+    snap = manager.create_incremental(store)
+    target = WormStore(device=MemoryDevice("t", 1 << 20), clock=clock)
+    report = manager.restore(snap.snapshot_id, target)
+    assert report.objects_restored == 2
+    assert target.get("a") == b"alpha" and target.get("b") == b"beta"
+
+
+def test_snapshot_verify_reports_merkle_mismatch():
+    snapshot = snapshot_of({"a": b"1"}, "s1")
+    bad = BackupSnapshot(
+        snapshot_id="s-bad",
+        created_at=0.0,
+        kind="full",
+        base_snapshot_id=None,
+        objects=snapshot.objects,
+        digests=snapshot.digests,
+        merkle_root=bytes(32),
+    )
+    assert "<merkle-root>" in bad.verify()
+
+
+def test_vault_snapshot_ids_in_order():
+    vault = BackupVault("v")
+    vault.store(snapshot_of({"a": b"1"}, "s1"))
+    vault.store(snapshot_of({"b": b"2"}, "s2"))
+    assert vault.snapshot_ids() == ["s1", "s2"]
+    assert vault.latest().snapshot_id == "s2"

@@ -1,0 +1,98 @@
+"""StorageModel interface defaults and anti-cheat checks."""
+
+import pytest
+
+from repro.baselines import PlainWormStore, RelationalStore
+from repro.baselines.interface import (
+    StorageModel,
+    UnsupportedOperation,
+    verify_persistence,
+)
+from repro.records.model import ClinicalNote
+from repro.util.clock import SimulatedClock
+
+
+class InMemoryCheat(StorageModel):
+    """A model that 'persists' nothing — must be flagged by the harness."""
+
+    model_name = "cheat"
+
+    def __init__(self):
+        self._rows = {}
+
+    def store(self, record, author_id):
+        self._rows[record.record_id] = record
+
+    def read(self, record_id, actor_id="system"):
+        return self._rows[record_id]
+
+    def correct(self, corrected, author_id, reason):
+        self._rows[corrected.record_id] = corrected
+
+    def search(self, term, actor_id="system"):
+        return []
+
+    def dispose(self, record_id):
+        del self._rows[record_id]
+
+    def record_ids(self):
+        return sorted(self._rows)
+
+    def devices(self):
+        return []
+
+    def verify_integrity(self):
+        return []
+
+    def declared_features(self):
+        return frozenset({"search"})
+
+
+def make_note():
+    return ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=0.0,
+        author="dr-a",
+        specialty="x",
+        text="some clinical text",
+    )
+
+
+def test_verify_persistence_flags_memory_only_models():
+    cheat = InMemoryCheat()
+    cheat.store(make_note(), "dr-a")
+    assert not verify_persistence(cheat)
+    real = RelationalStore()
+    real.store(make_note(), "dr-a")
+    assert verify_persistence(real)
+
+
+def test_default_read_version_raises():
+    model = RelationalStore()
+    model.store(make_note(), "dr-a")
+    with pytest.raises(UnsupportedOperation):
+        model.read_version("rec-1", 0)
+
+
+def test_default_audit_surfaces_empty():
+    model = RelationalStore()
+    assert model.audit_events() == []
+    assert model.audit_devices() == []
+    assert model.verify_audit_trail() is None
+
+
+def test_default_insider_keys_empty():
+    assert RelationalStore().insider_keys() == {}
+    assert PlainWormStore(clock=SimulatedClock()).insider_keys() == {}
+
+
+def test_supports_maps_to_declared_features():
+    model = RelationalStore()
+    assert model.supports("correct")
+    assert not model.supports("provenance")
+
+
+def test_prepare_access_probe_default_is_noop():
+    model = RelationalStore()
+    model.prepare_access_probe("anyone")  # must not raise

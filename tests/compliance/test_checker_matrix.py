@@ -1,0 +1,142 @@
+"""The compliance checker + E1 matrix shape (the paper's §4 verdicts).
+
+These are the system's headline integration tests: each storage model
+is probed behaviourally and must land exactly where the paper's prose
+comparison puts it.
+"""
+
+import pytest
+
+from repro.baselines import (
+    EncryptedStore,
+    HippocraticStore,
+    ObjectStore,
+    PlainWormStore,
+    RelationalStore,
+)
+from repro.compliance.checker import ComplianceChecker
+from repro.compliance.report import render_matrix, render_regulation_report
+from repro.compliance.requirements import Requirement
+from repro.core import CuratorConfig, CuratorStore
+from repro.util.clock import SimulatedClock
+
+MASTER = bytes(range(32))
+
+
+def factory_for(name):
+    if name == "relational":
+        return lambda: (RelationalStore(), None)
+    if name == "encrypted":
+        return lambda: (EncryptedStore(), None)
+    if name == "hippocratic":
+        return lambda: (HippocraticStore(), None)
+    if name == "objectstore":
+        return lambda: (ObjectStore(), None)
+    if name == "plainworm":
+        def plainworm():
+            clock = SimulatedClock(start=1.17e9)
+            return PlainWormStore(clock=clock), clock
+
+        return plainworm
+    if name == "curator":
+        def curator():
+            clock = SimulatedClock(start=1.17e9)
+            return CuratorStore(CuratorConfig(master_key=MASTER, clock=clock)), clock
+
+        return curator
+    raise ValueError(name)
+
+
+CHECKER = ComplianceChecker()
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    names = ["relational", "encrypted", "hippocratic", "objectstore", "plainworm", "curator"]
+    return {
+        name: CHECKER.evaluate_model(name, factory_for(name)) for name in names
+    }
+
+
+def test_curator_is_fully_compliant(evaluations):
+    curator = evaluations["curator"]
+    failed = curator.failed_requirements()
+    assert failed == [], {
+        r.value: curator.verdicts[r].evidence for r in failed
+    }
+    assert curator.fully_compliant
+
+
+def test_no_baseline_is_fully_compliant(evaluations):
+    for name in ("relational", "encrypted", "hippocratic", "objectstore", "plainworm"):
+        assert not evaluations[name].fully_compliant, name
+
+
+def test_relational_fails_security_requirements(evaluations):
+    verdicts = evaluations["relational"].verdicts
+    for requirement in (
+        Requirement.CONFIDENTIALITY_OUTSIDER,
+        Requirement.INTEGRITY_TAMPER_EVIDENCE,
+        Requirement.GUARANTEED_RETENTION,
+        Requirement.TRUSTWORTHY_AUDIT,
+    ):
+        assert not verdicts[requirement].passed, requirement
+    # ...but supports corrections in the apply-sense; history is lost,
+    # so the combined requirement still fails.
+    assert not verdicts[Requirement.CORRECTIONS_WITH_HISTORY].passed
+
+
+def test_encrypted_fails_against_insider(evaluations):
+    verdicts = evaluations["encrypted"].verdicts
+    assert not verdicts[Requirement.CONFIDENTIALITY_INSIDER].passed
+    assert not verdicts[Requirement.INTEGRITY_TAMPER_EVIDENCE].passed
+
+
+def test_hippocratic_passes_access_control_fails_insider(evaluations):
+    verdicts = evaluations["hippocratic"].verdicts
+    assert verdicts[Requirement.ACCESS_CONTROL].passed
+    assert verdicts[Requirement.ACCESS_ACCOUNTABILITY].passed
+    assert not verdicts[Requirement.TRUSTWORTHY_AUDIT].passed
+    assert not verdicts[Requirement.INTEGRITY_TAMPER_EVIDENCE].passed
+
+
+def test_objectstore_passes_integrity_fails_corrections(evaluations):
+    verdicts = evaluations["objectstore"].verdicts
+    assert verdicts[Requirement.INTEGRITY_TAMPER_EVIDENCE].passed
+    assert not verdicts[Requirement.CORRECTIONS_WITH_HISTORY].passed
+
+
+def test_plainworm_passes_retention_fails_corrections_and_index(evaluations):
+    verdicts = evaluations["plainworm"].verdicts
+    assert verdicts[Requirement.GUARANTEED_RETENTION].passed
+    assert verdicts[Requirement.INTEGRITY_TAMPER_EVIDENCE].passed
+    assert not verdicts[Requirement.CORRECTIONS_WITH_HISTORY].passed
+    assert not verdicts[Requirement.TRUSTWORTHY_INDEX].passed
+    assert not verdicts[Requirement.SECURE_DELETION].passed
+
+
+def test_regulation_findings_derived(evaluations):
+    curator = evaluations["curator"]
+    for finding in curator.findings:
+        assert finding.compliant, finding
+    relational = evaluations["relational"]
+    hipaa = next(f for f in relational.findings if f.regulation == "HIPAA")
+    assert not hipaa.compliant
+    assert hipaa.failed_clauses
+
+
+def test_matrix_rendering(evaluations):
+    matrix = render_matrix(list(evaluations.values()))
+    assert "curator" in matrix
+    assert "13/13" in matrix  # curator's total
+    assert "TOTAL" in matrix
+    assert render_matrix([]) == "(no models evaluated)"
+
+
+def test_regulation_report_rendering(evaluations):
+    report = render_regulation_report(evaluations["relational"], "HIPAA")
+    assert "NON-COMPLIANT" in report
+    assert "[FAIL]" in report
+    report = render_regulation_report(evaluations["curator"], "HIPAA")
+    assert "Overall: COMPLIANT" in report
+    assert render_regulation_report(evaluations["curator"], "nope").startswith("(no findings")

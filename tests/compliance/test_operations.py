@@ -1,0 +1,111 @@
+"""Operational findings against a live Curator deployment."""
+
+import pytest
+
+from repro.access.principals import Role, User
+from repro.compliance.operations import operational_findings, render_findings
+from repro.core import CuratorConfig, CuratorStore
+from repro.records.model import ClinicalNote
+from repro.util.clock import SimulatedClock
+
+MASTER = bytes(range(32))
+
+
+def make_store():
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock))
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=clock.now(),
+        author="dr-a",
+        specialty="oncology",
+        text="routine followup visit",
+    )
+    store.store(note, author_id="dr-a")
+    store.create_backup()
+    return store, clock
+
+
+def areas(findings):
+    return {f.area for f in findings}
+
+
+def violations(findings):
+    return [f for f in findings if f.severity == "violation"]
+
+
+def test_clean_deployment_has_no_findings():
+    store, clock = make_store()
+    findings = operational_findings(store)
+    assert violations(findings) == []
+    assert "audit" not in areas(violations(findings))
+
+
+def test_missing_backup_is_a_violation():
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock))
+    note = ClinicalNote.create(
+        record_id="rec-1", patient_id="pat-1", created_at=clock.now(),
+        author="dr-a", specialty="x", text="some note text",
+    )
+    store.store(note, author_id="dr-a")
+    findings = operational_findings(store)
+    assert "backup" in areas(violations(findings))
+
+
+def test_overdue_breakglass_review_is_a_violation():
+    store, clock = make_store()
+    store.register_user(User.make("dr-er", "ER", [Role.PHYSICIAN]))
+    store.break_glass("dr-er", "pat-1", "emergency override justification")
+    clock.advance(100 * 3600.0)
+    findings = operational_findings(store)
+    assert "emergency_access" in areas(violations(findings))
+
+
+def test_pending_breakglass_is_only_a_warning():
+    store, clock = make_store()
+    store.register_user(User.make("dr-er", "ER", [Role.PHYSICIAN]))
+    store.break_glass("dr-er", "pat-1", "emergency override justification")
+    findings = operational_findings(store)
+    assert "emergency_access" in areas(findings)
+    assert "emergency_access" not in areas(violations(findings))
+
+
+def test_aged_media_warning():
+    store, clock = make_store()
+    clock.advance_years(6)  # default service life is 5y
+    findings = operational_findings(store)
+    media_findings = [f for f in findings if f.area == "media"]
+    assert media_findings and media_findings[0].severity == "warning"
+
+
+def test_retention_backlog_warning():
+    store, clock = make_store()
+    clock.advance_years(8)  # notes expire at 7y
+    findings = operational_findings(store)
+    assert "retention" in areas(findings)
+
+
+def test_tampered_store_raises_violations():
+    store, clock = make_store()
+    offset, size = store.worm.physical_extent("rec-1@v0")
+    store.worm.device.raw_write(offset + 2, b"\x00\x00\x00")
+    findings = operational_findings(store)
+    assert "integrity" in areas(violations(findings))
+
+
+def test_stale_anchor_warning():
+    store, clock = make_store()
+    for i in range(30):
+        store.read("rec-1", actor_id="dr-a")
+    findings = operational_findings(store, anchor_staleness_events=10)
+    assert "audit" in areas(findings)
+
+
+def test_render_findings():
+    store, clock = make_store()
+    clock.advance_years(8)
+    text = render_findings(operational_findings(store))
+    assert "finding(s)" in text
+    assert render_findings([]).startswith("Operational audit: no findings")

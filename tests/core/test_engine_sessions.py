@@ -1,0 +1,90 @@
+"""Session-authenticated access through the engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.access.principals import Role, User
+from repro.access.sessions import Authenticator
+from repro.core import CuratorConfig, CuratorStore
+from repro.errors import AccessDeniedError
+from repro.records.model import ClinicalNote
+from repro.util.clock import SimulatedClock
+
+MASTER = bytes(range(32))
+
+
+def make_world():
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock))
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=clock.now(),
+        author="dr-a",
+        specialty="oncology",
+        text="routine followup",
+    )
+    store.store(note, author_id="dr-a")
+    # dr-a was auto-registered by store(); enroll them for authentication.
+    secret = store.authenticator.enroll("dr-a")
+    return store, clock, secret
+
+
+def login(store, user_id, secret):
+    challenge = store.authenticator.request_challenge(user_id)
+    return store.authenticator.login(user_id, Authenticator.respond(secret, challenge))
+
+
+def test_session_read_happy_path():
+    store, clock, secret = make_world()
+    session = login(store, "dr-a", secret)
+    record = store.read_with_session(session, "rec-1")
+    assert record.record_id == "rec-1"
+    # Both the session use and the read are in the audit trail.
+    actions = [e["action"] for e in store.audit_events()]
+    assert "record_read" in actions
+
+
+def test_expired_session_denied_and_audited():
+    store, clock, secret = make_world()
+    session = login(store, "dr-a", secret)
+    clock.advance(9 * 3600.0)
+    with pytest.raises(AccessDeniedError, match="expired"):
+        store.read_with_session(session, "rec-1")
+    denied = [e for e in store.audit_events() if e["action"] == "access_denied"]
+    assert any("session rejected" in str(e["detail"]) for e in denied)
+
+
+def test_forged_session_denied():
+    store, clock, secret = make_world()
+    session = login(store, "dr-a", secret)
+    forged = dataclasses.replace(session, user_id="dr-evil")
+    with pytest.raises(AccessDeniedError):
+        store.read_with_session(forged, "rec-1")
+
+
+def test_enroll_user_registers_and_enrolls():
+    store, clock, _ = make_world()
+    secret = store.enroll_user(
+        User.make("rn-1", "Nurse", [Role.NURSE], treating=["pat-1"])
+    )
+    session = login(store, "rn-1", secret)
+    assert store.read_with_session(session, "rec-1").record_id == "rec-1"
+
+
+def test_session_of_valid_user_still_respects_rbac():
+    store, clock, _ = make_world()
+    # A media technician with a perfectly valid session still has no
+    # record-read capability: authentication is not authorization.
+    secret = store.enroll_user(User.make("tech", "T", [Role.MEDIA_TECHNICIAN]))
+    session = login(store, "tech", secret)
+    with pytest.raises(AccessDeniedError):
+        store.read_with_session(session, "rec-1")
+
+
+def test_billing_session_gets_minimum_necessary_view():
+    store, clock, _ = make_world()
+    # Billing reads for payment, but the narrative is projected away.
+    store.enroll_user(User.make("bill", "B", [Role.BILLING]))
+    assert store.read_view("rec-1", actor_id="bill") == {}

@@ -1,0 +1,77 @@
+"""Lifecycle under injected faults + time-window queries."""
+
+import pytest
+
+from repro.core import ArchiveLifecycle, CuratorConfig, CuratorStore
+from repro.records.model import ClinicalNote
+from repro.storage.failures import FaultInjector
+from repro.util.clock import SECONDS_PER_DAY, SimulatedClock
+from repro.util.rng import DeterministicRng
+
+MASTER = bytes(range(32))
+
+
+def make_store(n_records=6):
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock))
+    for i in range(n_records):
+        clock.advance(SECONDS_PER_DAY)
+        note = ClinicalNote.create(
+            record_id=f"rec-{i}",
+            patient_id=f"pat-{i % 2}",
+            created_at=clock.now(),
+            author="dr-a",
+            specialty="oncology",
+            text=f"visit note number {i}",
+        )
+        store.store(note, author_id="dr-a")
+    return store, clock
+
+
+def test_bit_rot_is_reported_by_lifecycle():
+    store, clock = make_store()
+    FaultInjector(DeterministicRng(4)).flip_bits(store.worm.device, count=4)
+    lifecycle = ArchiveLifecycle(
+        store, clock, media_refresh_years=50.0, backup_every_years=50.0
+    )
+    report = lifecycle.run_years(1.0, step_years=1.0, dispose_expired=False)
+    assert report.integrity_failures, "bit rot must surface in the lifecycle report"
+
+
+def test_healthy_archive_reports_no_failures():
+    store, clock = make_store()
+    lifecycle = ArchiveLifecycle(
+        store, clock, media_refresh_years=50.0, backup_every_years=50.0
+    )
+    report = lifecycle.run_years(2.0, step_years=1.0, dispose_expired=False)
+    assert report.integrity_failures == []
+    assert report.integrity_checks_passed == 2
+
+
+def test_records_in_window():
+    store, clock = make_store(n_records=6)
+    base = 1.17e9
+    first_three = store.records_in_window(base, base + 3.5 * SECONDS_PER_DAY)
+    assert first_three == ["rec-0", "rec-1", "rec-2"]
+    assert store.records_in_window(0, 1) == []
+    everything = store.records_in_window(0, 2e9)
+    assert len(everything) == 6
+
+
+def test_records_in_window_uses_original_creation_time():
+    store, clock = make_store(n_records=2)
+    from repro.records.model import HealthRecord
+
+    original = store.read("rec-0", actor_id="dr-a")
+    clock.advance(100 * SECONDS_PER_DAY)
+    corrected = HealthRecord(
+        record_id="rec-0",
+        record_type=original.record_type,
+        patient_id=original.patient_id,
+        created_at=clock.now(),
+        body=dict(original.body),
+    )
+    store.correct(corrected, author_id="dr-a", reason="amendment")
+    # still found at its ORIGINAL creation time
+    base = 1.17e9
+    assert "rec-0" in store.records_in_window(base, base + 2 * SECONDS_PER_DAY)

@@ -1,0 +1,92 @@
+"""Cost model: generations, line items, media sweeps."""
+
+import pytest
+
+from repro.cost.model import STANDARD_COSTS, CostModel, MediaCost
+from repro.errors import ValidationError
+
+
+def model(media="magnetic", **kwargs):
+    return CostModel(STANDARD_COSTS[media], **kwargs)
+
+
+def test_media_generations():
+    magnetic = model()  # 5-year service life
+    assert magnetic.media_generations(5.0) == 1
+    assert magnetic.media_generations(5.1) == 2
+    assert magnetic.media_generations(30.0) == 6
+
+
+def test_optical_fewer_generations():
+    optical = model("optical_worm")  # 10-year life
+    assert optical.media_generations(30.0) == 3
+
+
+def test_report_totals_are_sum_of_lines():
+    report = model().project(archive_gb=100.0, horizon_years=30.0)
+    assert report.total_dollars == pytest.approx(
+        report.media_dollars
+        + report.migration_dollars
+        + report.personnel_dollars
+        + report.security_overhead_dollars
+    )
+    rows = dict(report.rows())
+    assert rows["total"] == pytest.approx(report.total_dollars)
+
+
+def test_longer_horizon_costs_more():
+    m = model()
+    ten = m.project(100.0, 10.0).total_dollars
+    thirty = m.project(100.0, 30.0).total_dollars
+    assert thirty > ten
+
+
+def test_insecure_baseline_is_cheaper():
+    m = model()
+    secure = m.project(100.0, 30.0, secure=True)
+    insecure = m.project(100.0, 30.0, secure=False)
+    assert insecure.total_dollars < secure.total_dollars
+    assert insecure.personnel_dollars == 0.0
+    assert insecure.security_overhead_dollars == 0.0
+
+
+def test_compliance_premium_is_bounded():
+    # The paper requires compliance not be cost-prohibitive: for a
+    # realistic configuration the premium stays under ~10x media cost.
+    m = model(annual_compliance_dollars=2_000.0)
+    secure = m.project(1000.0, 30.0).total_dollars
+    insecure = m.project(1000.0, 30.0, secure=False).total_dollars
+    assert secure / insecure < 30.0
+
+
+def test_audit_events_add_personnel_cost():
+    m = model()
+    quiet = m.project(100.0, 10.0, audit_events_per_year=0)
+    busy = m.project(100.0, 10.0, audit_events_per_year=1_000_000)
+    assert busy.personnel_dollars > quiet.personnel_dollars
+
+
+def test_cheapest_media_sweep():
+    m = model()
+    name, report = m.cheapest_media_for(100.0, 30.0, STANDARD_COSTS)
+    assert name in STANDARD_COSTS
+    # tape at $0.10/GB with 7y life should beat magnetic at $0.50/5y.
+    assert name == "tape"
+
+
+def test_cheapest_media_requires_candidates():
+    with pytest.raises(ValidationError):
+        model().cheapest_media_for(100.0, 30.0, {})
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValidationError):
+        MediaCost("x", dollars_per_gb=-1.0, service_life_years=5.0)
+    with pytest.raises(ValidationError):
+        MediaCost("x", dollars_per_gb=1.0, service_life_years=0.0)
+    with pytest.raises(ValidationError):
+        CostModel(STANDARD_COSTS["magnetic"], security_overhead_fraction=2.0)
+    with pytest.raises(ValidationError):
+        model().project(archive_gb=-1.0, horizon_years=10.0)
+    with pytest.raises(ValidationError):
+        model().project(archive_gb=1.0, horizon_years=0.0)

@@ -1,0 +1,91 @@
+"""AEAD: round trips, tamper detection, associated-data binding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aead import AeadCipher, AeadCiphertext
+from repro.errors import AuthenticationError, CryptoError
+
+KEY = bytes(range(32))
+
+
+def test_round_trip():
+    cipher = AeadCipher(KEY)
+    box = cipher.encrypt(b"diagnosis: hypertension")
+    assert cipher.decrypt(box) == b"diagnosis: hypertension"
+
+
+def test_associated_data_bound():
+    cipher = AeadCipher(KEY)
+    box = cipher.encrypt(b"payload", associated_data=b"record-1")
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(box, associated_data=b"record-2")
+
+
+def test_ciphertext_tamper_detected():
+    cipher = AeadCipher(KEY)
+    box = cipher.encrypt(b"payload payload payload")
+    mangled = AeadCiphertext(
+        nonce=box.nonce,
+        ciphertext=bytes([box.ciphertext[0] ^ 1]) + box.ciphertext[1:],
+        tag=box.tag,
+    )
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(mangled)
+
+
+def test_tag_tamper_detected():
+    cipher = AeadCipher(KEY)
+    box = cipher.encrypt(b"payload")
+    mangled = AeadCiphertext(
+        nonce=box.nonce, ciphertext=box.ciphertext, tag=bytes(32)
+    )
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(mangled)
+
+
+def test_wrong_key_rejected():
+    box = AeadCipher(KEY).encrypt(b"payload")
+    other = AeadCipher(bytes(32))
+    with pytest.raises(AuthenticationError):
+        other.decrypt(box)
+
+
+def test_wire_format_round_trip():
+    cipher = AeadCipher(KEY)
+    box = cipher.encrypt(b"data", associated_data=b"ad")
+    restored = AeadCiphertext.from_bytes(box.to_bytes())
+    assert cipher.decrypt(restored, associated_data=b"ad") == b"data"
+
+
+def test_short_blob_rejected():
+    with pytest.raises(CryptoError):
+        AeadCiphertext.from_bytes(b"short")
+
+
+def test_bad_master_key_size():
+    with pytest.raises(CryptoError):
+        AeadCipher(bytes(16))
+
+
+def test_explicit_nonce_deterministic():
+    cipher = AeadCipher(KEY)
+    a = cipher.encrypt(b"x", nonce=bytes(12))
+    b = cipher.encrypt(b"x", nonce=bytes(12))
+    assert a == b
+
+
+def test_random_nonces_differ():
+    cipher = AeadCipher(KEY)
+    assert cipher.encrypt(b"x").nonce != cipher.encrypt(b"x").nonce
+
+
+def test_empty_plaintext_allowed():
+    cipher = AeadCipher(KEY)
+    assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+
+@given(st.binary(max_size=200), st.binary(max_size=50))
+def test_property_round_trip_with_ad(plaintext, ad):
+    cipher = AeadCipher(KEY)
+    assert cipher.decrypt(cipher.encrypt(plaintext, ad), ad) == plaintext

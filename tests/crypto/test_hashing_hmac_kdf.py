@@ -1,0 +1,118 @@
+"""Hashing helpers, HMAC, and HKDF behaviour (incl. RFC 5869 vector)."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    GENESIS_DIGEST,
+    chain_digest,
+    hash_canonical,
+    hash_chunks,
+    sha256,
+)
+from repro.crypto.hmac_utils import constant_time_equal, hmac_sha256, verify_hmac
+from repro.crypto.kdf import derive_key, hkdf_expand, hkdf_extract
+from repro.errors import AuthenticationError, CryptoError
+
+
+def test_sha256_known_value():
+    assert sha256(b"abc").hex() == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+
+
+def test_hash_canonical_is_order_insensitive():
+    assert hash_canonical({"a": 1, "b": 2}) == hash_canonical({"b": 2, "a": 1})
+
+
+def test_hash_canonical_differs_from_raw_sha():
+    # Domain separation: leaf hashing is not plain sha256 of the encoding.
+    from repro.util.encoding import canonical_bytes
+
+    value = {"x": 1}
+    assert hash_canonical(value) != sha256(canonical_bytes(value))
+
+
+def test_chain_digest_domain_separated():
+    payload = b"payload"
+    assert chain_digest(GENESIS_DIGEST, payload) != hash_canonical(payload)
+
+
+def test_chain_digest_depends_on_both_inputs():
+    a = chain_digest(GENESIS_DIGEST, b"x")
+    assert chain_digest(a, b"y") != chain_digest(GENESIS_DIGEST, b"y")
+    assert chain_digest(a, b"y") != chain_digest(a, b"z")
+
+
+def test_chain_digest_bad_previous_rejected():
+    with pytest.raises(ValueError):
+        chain_digest(b"short", b"payload")
+
+
+def test_genesis_is_all_zero():
+    assert GENESIS_DIGEST == bytes(DIGEST_SIZE)
+
+
+def test_hash_chunks_equals_concatenated():
+    chunks = [b"a", b"bc", b"", b"def"]
+    assert hash_chunks(chunks) == sha256(b"abcdef")
+
+
+def test_hmac_rfc4231_vector():
+    # RFC 4231 test case 2
+    tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+    assert tag.hex() == (
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )
+
+
+def test_hmac_empty_key_rejected():
+    with pytest.raises(ValueError):
+        hmac_sha256(b"", b"data")
+
+
+def test_verify_hmac_pass_and_fail():
+    tag = hmac_sha256(b"key", b"data")
+    verify_hmac(b"key", b"data", tag)
+    with pytest.raises(AuthenticationError):
+        verify_hmac(b"key", b"data2", tag)
+    with pytest.raises(AuthenticationError):
+        verify_hmac(b"key2", b"data", tag)
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"abc", b"abc")
+    assert not constant_time_equal(b"abc", b"abd")
+    assert not constant_time_equal(b"abc", b"ab")
+
+
+def test_hkdf_rfc5869_case1():
+    ikm = bytes.fromhex("0b" * 22)
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk.hex() == (
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_derive_key_domain_separation():
+    master = bytes(32)
+    assert derive_key(master, "a") != derive_key(master, "b")
+    assert derive_key(master, "a") == derive_key(master, "a")
+
+
+def test_derive_key_lengths():
+    master = bytes(32)
+    assert len(derive_key(master, "x", length=64)) == 64
+    with pytest.raises(CryptoError):
+        derive_key(master, "x", length=0)
+    with pytest.raises(CryptoError):
+        derive_key(b"", "x")
+    with pytest.raises(CryptoError):
+        derive_key(master, "")

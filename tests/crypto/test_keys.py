@@ -1,0 +1,109 @@
+"""Shreddable keystore: wrapping, shredding, export/import."""
+
+import pytest
+
+from repro.crypto.keys import KeyStore, ShreddedKeyError
+from repro.errors import KeyManagementError
+from repro.util.clock import SimulatedClock
+
+MASTER = bytes(range(32))
+
+
+def make_store():
+    return KeyStore(MASTER, clock=SimulatedClock(start=1000.0))
+
+
+def test_create_and_use_key():
+    store = make_store()
+    handle = store.create_key(label="rec-1")
+    cipher = store.cipher_for(handle)
+    assert cipher.decrypt(cipher.encrypt(b"phi")) == b"phi"
+
+
+def test_each_key_is_distinct():
+    store = make_store()
+    a = store.cipher_for(store.create_key())
+    b = store.cipher_for(store.create_key())
+    box = a.encrypt(b"data")
+    with pytest.raises(Exception):
+        b.decrypt(box)
+
+
+def test_shred_makes_key_unusable():
+    store = make_store()
+    handle = store.create_key()
+    store.shred(handle)
+    assert store.is_shredded(handle)
+    with pytest.raises(ShreddedKeyError):
+        store.cipher_for(handle)
+    with pytest.raises(ShreddedKeyError):
+        store.export_wrapped(handle)
+
+
+def test_shred_is_idempotent():
+    store = make_store()
+    handle = store.create_key()
+    first = store.shred(handle)
+    assert store.shred(handle) == first
+
+
+def test_shred_timestamp_from_clock():
+    clock = SimulatedClock(start=5000.0)
+    store = KeyStore(MASTER, clock=clock)
+    handle = store.create_key()
+    clock.advance(100.0)
+    assert store.shred(handle) == 5100.0
+
+
+def test_unknown_handle_rejected():
+    store = make_store()
+    from repro.crypto.keys import KeyHandle
+
+    with pytest.raises(KeyManagementError):
+        store.cipher_for(KeyHandle("key-99999999"))
+    with pytest.raises(KeyManagementError):
+        store.shred(KeyHandle("nope"))
+    with pytest.raises(KeyManagementError):
+        store.is_shredded(KeyHandle("nope"))
+
+
+def test_export_import_round_trip():
+    source = make_store()
+    handle = source.create_key()
+    plaintext_box = source.cipher_for(handle).encrypt(b"data", nonce=bytes(12))
+
+    replica = make_store()  # same master key (same site)
+    replica.import_wrapped(handle.key_id, source.export_wrapped(handle))
+    assert replica.cipher_for(handle).decrypt(plaintext_box) == b"data"
+
+
+def test_import_wrong_master_key_rejected():
+    source = make_store()
+    handle = source.create_key()
+    blob = source.export_wrapped(handle)
+    foreign = KeyStore(bytes(32))
+    with pytest.raises(Exception):
+        foreign.import_wrapped(handle.key_id, blob)
+
+
+def test_import_duplicate_rejected():
+    store = make_store()
+    handle = store.create_key()
+    blob = store.export_wrapped(handle)
+    with pytest.raises(KeyManagementError):
+        store.import_wrapped(handle.key_id, blob)
+
+
+def test_shredded_handles_listed():
+    store = make_store()
+    keep = store.create_key()
+    gone = store.create_key()
+    store.shred(gone)
+    shredded = store.shredded_handles()
+    assert gone in shredded and keep not in shredded
+    assert len(store.handles()) == 2
+
+
+def test_bad_master_key_rejected():
+    with pytest.raises(KeyManagementError):
+        KeyStore(b"short")

@@ -1,0 +1,118 @@
+"""RSA signatures and the structured-payload signing layer."""
+
+import pytest
+
+from repro.crypto.rsa import RsaPublicKey, generate_keypair
+from repro.crypto.signatures import SignedPayload, Signer, TrustStore, Verifier
+from repro.errors import AuthenticationError, CryptoError
+
+# One shared keypair per test module: keygen is the slow part.
+KEYPAIR = generate_keypair(768)
+
+
+def test_sign_verify_round_trip():
+    sig = KEYPAIR.sign(b"message")
+    KEYPAIR.public.verify(b"message", sig)
+
+
+def test_signature_is_deterministic():
+    assert KEYPAIR.sign(b"m") == KEYPAIR.sign(b"m")
+
+
+def test_wrong_message_rejected():
+    sig = KEYPAIR.sign(b"message")
+    with pytest.raises(AuthenticationError):
+        KEYPAIR.public.verify(b"other", sig)
+
+
+def test_wrong_key_rejected():
+    other = generate_keypair(768)
+    sig = KEYPAIR.sign(b"message")
+    with pytest.raises(AuthenticationError):
+        other.public.verify(b"message", sig)
+
+
+def test_bad_signature_length_rejected():
+    with pytest.raises(AuthenticationError):
+        KEYPAIR.public.verify(b"m", b"\x00" * 10)
+
+
+def test_out_of_range_signature_rejected():
+    k = KEYPAIR.public.byte_length
+    with pytest.raises(AuthenticationError):
+        KEYPAIR.public.verify(b"m", b"\xff" * k)
+
+
+def test_fingerprint_stable_and_distinct():
+    assert KEYPAIR.public.fingerprint() == KEYPAIR.public.fingerprint()
+    assert KEYPAIR.public.fingerprint() != generate_keypair(768).public.fingerprint()
+
+
+def test_small_modulus_rejected():
+    with pytest.raises(CryptoError):
+        generate_keypair(256)
+    with pytest.raises(CryptoError):
+        generate_keypair(769)
+
+
+def test_signer_verifier_round_trip():
+    signer = Signer("site-A", keypair=KEYPAIR)
+    signed = signer.sign({"record": "rec-1", "action": "transfer"})
+    payload = signer.verifier().verify(signed)
+    assert payload["record"] == "rec-1"
+
+
+def test_verifier_rejects_wrong_signer_id():
+    signer = Signer("site-A", keypair=KEYPAIR)
+    signed = signer.sign({"x": 1})
+    wrong = Verifier("site-B", KEYPAIR.public)
+    with pytest.raises(AuthenticationError):
+        wrong.verify(signed)
+
+
+def test_verifier_rejects_modified_payload():
+    signer = Signer("site-A", keypair=KEYPAIR)
+    signed = signer.sign({"amount": 1})
+    forged = SignedPayload(
+        payload={"amount": 999},
+        signer_id=signed.signer_id,
+        key_fingerprint=signed.key_fingerprint,
+        signature=signed.signature,
+    )
+    with pytest.raises(AuthenticationError):
+        signer.verifier().verify(forged)
+
+
+def test_verifier_rejects_wrong_key_fingerprint():
+    signer = Signer("site-A", keypair=KEYPAIR)
+    signed = signer.sign({"x": 1})
+    forged = SignedPayload(
+        payload=signed.payload,
+        signer_id=signed.signer_id,
+        key_fingerprint="0" * 16,
+        signature=signed.signature,
+    )
+    with pytest.raises(AuthenticationError):
+        signer.verifier().verify(forged)
+
+
+def test_trust_store_routes_by_signer():
+    signer = Signer("site-A", keypair=KEYPAIR)
+    store = TrustStore()
+    store.add(signer.verifier())
+    assert store.verify(signer.sign({"ok": True})) == {"ok": True}
+    assert store.known_signers() == ["site-A"]
+
+
+def test_trust_store_unknown_signer_rejected():
+    store = TrustStore()
+    signer = Signer("site-A", keypair=KEYPAIR)
+    with pytest.raises(AuthenticationError):
+        store.verify(signer.sign({"x": 1}))
+
+
+def test_signed_payload_dict_round_trip():
+    signer = Signer("site-A", keypair=KEYPAIR)
+    signed = signer.sign({"n": 5})
+    restored = SignedPayload.from_dict(signed.to_dict())
+    assert signer.verifier().verify(restored) == {"n": 5}

@@ -1,0 +1,93 @@
+"""Plaintext inverted index: correctness and (deliberate) leakage."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.inverted import InvertedIndex
+from repro.index.tokenizer import STOPWORDS, tokenize, unique_terms
+
+
+def test_tokenize_lowercases_and_strips():
+    assert tokenize("Metastatic CANCER, stage IV!") == ["metastatic", "cancer", "stage", "iv"]
+
+
+def test_tokenize_drops_stopwords_and_short_tokens():
+    tokens = tokenize("the patient has a cough")
+    assert "the" not in tokens and "a" not in tokens
+    assert "cough" in tokens
+
+
+def test_tokenize_drops_numbers():
+    assert tokenize("120 over 80") == ["over"]
+
+
+def test_unique_terms():
+    assert unique_terms("cancer cancer remission") == {"cancer", "remission"}
+
+
+def test_stopwords_include_clinical_noise():
+    assert "patient" in STOPWORDS
+
+
+def test_add_and_search():
+    index = InvertedIndex()
+    index.add_document("doc-1", "diabetes mellitus type two")
+    index.add_document("doc-2", "diabetes insipidus")
+    assert index.search("diabetes") == ["doc-1", "doc-2"]
+    assert index.search("mellitus") == ["doc-1"]
+    assert index.search("absent") == []
+
+
+def test_search_is_case_insensitive():
+    index = InvertedIndex()
+    index.add_document("doc-1", "Hypertension noted")
+    assert index.search("HYPERTENSION") == ["doc-1"]
+
+
+def test_conjunctive_search():
+    index = InvertedIndex()
+    index.add_document("doc-1", "cancer remission")
+    index.add_document("doc-2", "cancer metastatic")
+    assert index.search_all(["cancer", "remission"]) == ["doc-1"]
+    assert index.search_all([]) == []
+
+
+def test_duplicate_document_rejected():
+    index = InvertedIndex()
+    index.add_document("doc-1", "text here")
+    with pytest.raises(IndexError_):
+        index.add_document("doc-1", "other text")
+
+
+def test_remove_document():
+    index = InvertedIndex()
+    index.add_document("doc-1", "cancer")
+    index.remove_document("doc-1", "cancer")
+    assert index.search("cancer") == []
+    with pytest.raises(IndexError_):
+        index.remove_document("doc-1", "cancer")
+
+
+def test_vocabulary_is_exposed():
+    index = InvertedIndex()
+    index.add_document("doc-1", "oncology consult")
+    assert index.terms() == ["consult", "oncology"]
+    assert index.vocabulary_size == 2
+
+
+def test_plaintext_index_leaks_terms_to_raw_device():
+    # The "Cancer" inference from the paper: a raw dump names the term
+    # AND the document.
+    index = InvertedIndex()
+    index.add_document("doc-patient-7", "cancer")
+    dump = index.device.raw_dump()
+    assert b"cancer" in dump
+    assert b"doc-patient-7" in dump
+
+
+def test_removal_leaves_history_on_device():
+    # Cleartext journals never forget — motivation for secure deletion.
+    index = InvertedIndex()
+    index.add_document("doc-1", "cancer")
+    index.remove_document("doc-1", "cancer")
+    assert b"cancer" in index.device.raw_dump()

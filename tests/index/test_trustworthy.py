@@ -1,0 +1,114 @@
+"""Trustworthy index: correctness, non-leakage, tamper evidence."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.trustworthy import TrustworthyIndex, _padded_length
+
+MASTER = bytes(range(32))
+
+
+def make_index():
+    return TrustworthyIndex(MASTER)
+
+
+def test_padded_length_buckets():
+    assert _padded_length(0) == 1
+    assert _padded_length(1) == 1
+    assert _padded_length(2) == 2
+    assert _padded_length(3) == 4
+    assert _padded_length(9) == 16
+
+
+def test_add_and_search():
+    index = make_index()
+    index.add_document("doc-1", "diabetes mellitus")
+    index.add_document("doc-2", "diabetes insipidus")
+    assert index.search("diabetes") == ["doc-1", "doc-2"]
+    assert index.search("mellitus") == ["doc-1"]
+    assert index.search("absent") == []
+
+
+def test_conjunctive_search():
+    index = make_index()
+    index.add_document("doc-1", "cancer remission")
+    index.add_document("doc-2", "cancer metastatic")
+    assert index.search_all(["cancer", "metastatic"]) == ["doc-2"]
+
+
+def test_duplicate_document_rejected():
+    index = make_index()
+    index.add_document("doc-1", "text words")
+    with pytest.raises(IndexError_):
+        index.add_document("doc-1", "more words")
+
+
+def test_empty_document_id_rejected():
+    with pytest.raises(IndexError_):
+        make_index().add_document("", "text")
+
+
+def test_bad_master_key_rejected():
+    with pytest.raises(IndexError_):
+        TrustworthyIndex(b"short")
+
+
+def test_trapdoors_are_keyed():
+    a = TrustworthyIndex(bytes(32))
+    b = TrustworthyIndex(bytes([1]) * 32)
+    assert a.trapdoor("cancer") != b.trapdoor("cancer")
+    assert a.trapdoor("cancer") == a.trapdoor("CANCER")
+
+
+def test_no_plaintext_terms_on_device():
+    # The central privacy claim: raw media never shows the vocabulary.
+    index = make_index()
+    index.add_document("doc-patient-7", "cancer oncology metastatic chemotherapy")
+    dump = index.device.raw_dump()
+    for term in (b"cancer", b"oncology", b"metastatic", b"chemotherapy"):
+        assert term not in dump
+    assert b"doc-patient-7" not in dump
+
+
+def test_queries_still_work_after_many_updates():
+    index = make_index()
+    for i in range(20):
+        index.add_document(f"doc-{i:02d}", f"cancer case number series{i}")
+    assert index.search("cancer") == [f"doc-{i:02d}" for i in range(20)]
+
+
+def test_tamper_detected_at_query_time():
+    index = make_index()
+    index.add_document("doc-1", "cancer")
+    meta = index.current_versions()[index.trapdoor("cancer")]
+    index.device.raw_write(meta.device_offset + meta.size // 2, b"\xff\xff")
+    with pytest.raises(Exception):
+        index.search("cancer")
+
+
+def test_verify_localizes_tampered_lists():
+    index = make_index()
+    index.add_document("doc-1", "alpha")
+    index.add_document("doc-2", "beta")
+    good = index.trapdoor("alpha")
+    bad = index.trapdoor("beta")
+    meta = index.current_versions()[bad]
+    index.device.raw_write(meta.device_offset + 10, b"\x00\x00\x00")
+    failures = index.verify()
+    assert bad in failures and good not in failures
+
+
+def test_posting_lists_padded_to_bucket():
+    # Lists of 2 and 3 docs both encrypt as 4-entry lists: equal-rarity
+    # terms are not distinguishable by exact count.
+    index = make_index()
+    for i in range(3):
+        index.add_document(f"doc-{i}", "glioma")
+    assert index.search("glioma") == ["doc-0", "doc-1", "doc-2"]
+
+
+def test_vocabulary_size_counts_trapdoors():
+    index = make_index()
+    index.add_document("doc-1", "alpha beta")
+    assert index.vocabulary_size == 2
+    assert len(index) == 1

@@ -1,0 +1,107 @@
+"""Integration: records crossing hospitals with custody and verification.
+
+Models the OSHA business-transfer scenario: hospital A's archive moves
+to hospital B (ownership change), then to a long-term archive vendor —
+with signed manifests, custody transfers, and adversarial interference
+on the second hop.
+"""
+
+import pytest
+
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import Signer, TrustStore
+from repro.migration.engine import MigrationEngine
+from repro.provenance.chain import CustodyRegistry
+from repro.storage.block import MemoryDevice
+from repro.util.clock import SimulatedClock
+from repro.worm.retention_lock import RetentionTerm
+from repro.worm.store import WormStore
+
+KP_A = generate_keypair(768)
+KP_B = generate_keypair(768)
+KP_V = generate_keypair(768)
+
+
+@pytest.fixture()
+def world():
+    clock = SimulatedClock(start=0.0)
+    trust = TrustStore()
+    signers = {
+        "hospital-A": Signer("hospital-A", keypair=KP_A),
+        "hospital-B": Signer("hospital-B", keypair=KP_B),
+        "vendor": Signer("vendor", keypair=KP_V),
+    }
+    for signer in signers.values():
+        trust.add(signer.verifier())
+    custody = CustodyRegistry(trust)
+    stores = {
+        name: WormStore(device=MemoryDevice(name, 1 << 20), clock=clock)
+        for name in signers
+    }
+    source = stores["hospital-A"]
+    for i in range(10):
+        meta = source.put(
+            f"rec-{i}", f"exposure record {i}".encode(),
+            retention=RetentionTerm(0.0, 1000.0),
+        )
+        custody.record_origin(
+            f"rec-{i}", signers["hospital-A"], meta.content_digest, 0.0
+        )
+    engine = MigrationEngine(trust, clock=clock, custody=custody)
+    return clock, trust, signers, custody, stores, engine
+
+
+def test_two_hop_custody_chain(world):
+    clock, trust, signers, custody, stores, engine = world
+    first = engine.migrate(
+        stores["hospital-A"], stores["hospital-B"], signers["hospital-A"], "hospital-B"
+    )
+    assert first.ok
+    second = engine.migrate(
+        stores["hospital-B"], stores["vendor"], signers["hospital-B"], "vendor"
+    )
+    assert second.ok
+    chain = custody.chain_for("rec-0")
+    assert chain.custodians() == ["hospital-A", "hospital-B", "vendor"]
+    chain.verify(trust)
+    assert custody.verify_all() == {}
+
+
+def test_tampered_second_hop_blocks_custody(world):
+    clock, trust, signers, custody, stores, engine = world
+    engine.migrate(
+        stores["hospital-A"], stores["hospital-B"], signers["hospital-A"], "hospital-B"
+    )
+    result = engine.migrate(
+        stores["hospital-B"],
+        stores["vendor"],
+        signers["hospital-B"],
+        "vendor",
+        transit_hook=lambda oid, data: data + b"X" if oid == "rec-3" else data,
+    )
+    assert not result.ok
+    assert "rec-3" in result.corrupted
+    # Custody stayed at hospital-B; the vendor never became custodian.
+    assert custody.chain_for("rec-3").current_custodian() == "hospital-B"
+
+
+def test_unauthorized_site_cannot_release(world):
+    clock, trust, signers, custody, stores, engine = world
+    from repro.errors import ProvenanceError
+
+    with pytest.raises(ProvenanceError, match="cannot release"):
+        custody.record_transfer(
+            "rec-0", signers["hospital-B"], "vendor", bytes(32), 1.0, "theft"
+        )
+
+
+def test_retention_terms_survive_both_hops(world):
+    clock, trust, signers, custody, stores, engine = world
+    engine.migrate(
+        stores["hospital-A"], stores["hospital-B"], signers["hospital-A"], "hospital-B"
+    )
+    engine.migrate(
+        stores["hospital-B"], stores["vendor"], signers["hospital-B"], "vendor"
+    )
+    term = stores["vendor"].retention.term_for("rec-0")
+    assert term.expires_at == 1000.0

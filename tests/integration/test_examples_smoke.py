@@ -1,0 +1,52 @@
+"""Smoke-run the example scripts so they cannot silently rot.
+
+The full compliance_audit example is exercised by the E1 benchmark and
+tests/compliance; it takes minutes, so it is excluded here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "hospital_workflow.py",
+    "thirty_year_archive.py",
+    "breach_forensics.py",
+    "ownership_transfer.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_demonstrates_the_headline_claims(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "plaintext on device? False" in out
+    assert "audit trail verifies: True" in out
+    assert "store integrity: clean" in out
+
+
+def test_breach_forensics_shows_the_contrast(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "breach_forensics.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "undetected" in out  # the relational act
+    assert "detected" in out  # the Curator act
+
+
+def test_ownership_transfer_shows_custody(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "ownership_transfer.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "acme-steel-clinic -> newco-health" in out
+    assert "ok=False corrupted=('exposure-003',)" in out

@@ -1,0 +1,145 @@
+"""Capstone integration: one record's whole life through every subsystem.
+
+Authentication → documentation with imaging → correction → emergency
+access → quorum-anchored audit → backup → media refresh → litigation
+hold → release → retention expiry → certified destruction → forensic
+confirmation that nothing recoverable remains.
+"""
+
+import pytest
+
+from repro.access.principals import Role, User
+from repro.access.sessions import Authenticator
+from repro.core import CuratorConfig, CuratorStore
+from repro.errors import RecordNotFoundError, RetentionError
+from repro.records.model import ClinicalNote, HealthRecord
+from repro.util.clock import SimulatedClock
+from repro.util.rng import DeterministicRng
+
+MASTER = bytes(range(32))
+
+
+@pytest.fixture()
+def world():
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(
+        CuratorConfig(
+            master_key=MASTER,
+            clock=clock,
+            witness_count=3,
+            anchor_every_events=16,
+        )
+    )
+    return store, clock
+
+
+def test_record_lifetime_story(world):
+    store, clock = world
+
+    # Act 1 — authenticated documentation.
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-grace",
+        created_at=clock.now(),
+        author="dr-house",
+        specialty="oncology",
+        text="biopsy confirms carcinoma, staging pending",
+    )
+    store.store(note, author_id="dr-house")
+    secret = store.authenticator.enroll("dr-house")
+    challenge = store.authenticator.request_challenge("dr-house")
+    session = store.authenticator.login(
+        "dr-house", Authenticator.respond(secret, challenge)
+    )
+    assert store.read_with_session(session, "rec-1") == note
+
+    # Imaging attached, encrypted, chunked.
+    scan = DeterministicRng(42).bytes(90_000)
+    store.attach("rec-1", "ct-chest", scan, actor_id="dr-house")
+
+    # Act 2 — correction preserves history.
+    corrected = HealthRecord(
+        record_id="rec-1",
+        record_type=note.record_type,
+        patient_id="pat-grace",
+        created_at=clock.now(),
+        body={**note.body, "text": "biopsy benign on pathology re-review"},
+    )
+    store.correct(corrected, author_id="dr-house", reason="pathology revision")
+    assert store.read_version("rec-1", 0) == note
+    assert store.search("benign") == ["rec-1"]
+    assert store.search("carcinoma") == []
+
+    # Act 3 — emergency access by an unaffiliated physician.
+    store.register_user(User.make("dr-er", "ER Doc", [Role.PHYSICIAN]))
+    store.break_glass("dr-er", "pat-grace", "unresponsive arrival in the ER tonight")
+    assert store.read("rec-1", actor_id="dr-er").body["text"].startswith("biopsy benign")
+
+    # Act 4 — operations: backup, media refresh, quorum-anchored audit.
+    snapshot = store.create_backup()
+    assert snapshot.objects
+    store.refresh_media()
+    assert store.read_attachment("rec-1", "ct-chest", actor_id="dr-house") == scan
+    # force enough events for anchors; three witnesses hold them
+    for _ in range(20):
+        store.read("rec-1", actor_id="dr-house")
+    assert any(w.anchors for w in store._witnesses)
+    assert store.verify_audit_trail() is True
+
+    # Act 5 — litigation hold trumps expiry; release restores schedule.
+    clock.advance_years(8)  # 7-year clinical retention has passed
+    store.place_hold("rec-1", "case-1138")
+    with pytest.raises(RetentionError):
+        store.dispose("rec-1")
+    store.release_hold("rec-1", "case-1138")
+
+    # Act 6 — certified destruction, everywhere.
+    certificates = store.dispose("rec-1")
+    assert certificates and all(c.shred_report.key_shredded for c in certificates)
+    with pytest.raises(RecordNotFoundError):
+        store.read("rec-1")
+    with pytest.raises(RecordNotFoundError):
+        store.read_attachment("rec-1", "ct-chest", actor_id="dr-house")
+    assert store.search("benign") == []
+    for device in store.devices():
+        dump = device.raw_dump()
+        assert b"carcinoma" not in dump and b"benign" not in dump
+
+    # Epilogue — the audit trail tells the whole story, verifiably.
+    assert store.verify_audit_trail() is True
+    actions = {event["action"] for event in store.audit_events()}
+    for expected in (
+        "record_created", "record_corrected", "emergency_access",
+        "backup_created", "migration_completed", "retention_hold_placed",
+        "retention_hold_released", "record_disposed", "anchor_published",
+    ):
+        assert expected in actions, expected
+
+
+def test_quorum_config_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        CuratorConfig(master_key=MASTER, witness_count=0)
+
+
+def test_quorum_store_detects_truncation_with_one_wiped_witness(world):
+    store, clock = world
+    for i in range(40):
+        note = ClinicalNote.create(
+            record_id=f"rec-{i}",
+            patient_id="pat-1",
+            created_at=clock.now(),
+            author="dr-a",
+            specialty="x",
+            text="routine visit note",
+        )
+        store.store(note, author_id="dr-a")
+    assert any(w.anchors for w in store._witnesses)
+    # compromise one witness
+    store._witnesses[0]._anchors.clear()
+    assert store.verify_audit_trail() is True  # majority still vouches
+    # truncate beneath the anchors
+    store._audit._events = store._audit._events[:5]
+    store._audit._tree._leaf_hashes = store._audit._tree._leaf_hashes[:5]
+    assert store.verify_audit_trail() is False

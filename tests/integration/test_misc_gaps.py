@@ -1,0 +1,134 @@
+"""Cross-cutting gap coverage: purposes, residue, media re-use, misc."""
+
+import pytest
+
+from repro.access.principals import Role, User
+from repro.access.rbac import Purpose
+from repro.baselines import EncryptedStore
+from repro.core import CuratorConfig, CuratorStore
+from repro.errors import AccessDeniedError
+from repro.records.model import ClinicalNote, Patient
+from repro.records.phi import PhiCategory, classify_fields
+from repro.storage.block import MemoryDevice
+from repro.storage.media import Medium
+from repro.util.clock import SimulatedClock
+
+MASTER = bytes(range(32))
+
+
+def make_store():
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock))
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=clock.now(),
+        author="dr-a",
+        specialty="oncology",
+        text="routine followup visit",
+    )
+    store.store(note, author_id="dr-a")
+    return store, clock
+
+
+def test_explicit_purpose_overrides_default():
+    store, _ = make_store()
+    store.register_user(User.make("bill", "B", [Role.BILLING]))
+    # Billing's default purpose is PAYMENT (allowed)...
+    assert store.read("rec-1", actor_id="bill")
+    # ...but explicitly claiming RESEARCH purpose is denied.
+    with pytest.raises(AccessDeniedError):
+        store.read("rec-1", actor_id="bill", purpose=Purpose.RESEARCH)
+
+
+def test_encrypted_store_dispose_leaves_ciphertext_residue():
+    model = EncryptedStore()
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=0.0,
+        author="dr-a",
+        specialty="x",
+        text="sensitive diagnosis text",
+    )
+    model.store(note, author_id="dr-a")
+    used_before = model.devices()[0].used
+    model.dispose("rec-1")
+    # The row's ciphertext bytes remain on the device after DELETE —
+    # with the store key (insider), the 'deleted' record is recoverable.
+    assert model.devices()[0].used >= used_before
+
+
+def test_reused_medium_only_exposes_new_data():
+    clock = SimulatedClock(start=0.0)
+    medium = Medium(MemoryDevice("m", 4096), clock=clock)
+    secret = b"OLD-PATIENT-SECRET"
+    offset = medium.device.allocate(len(secret))
+    medium.device.write(offset, secret)
+    medium.retire()
+    medium.sanitize()
+    medium.recommission()
+    fresh = b"NEW-TENANT-DATA"
+    offset = medium.device.allocate(len(fresh))
+    medium.device.write(offset, fresh)
+    dump = medium.forensic_scan()
+    assert secret not in dump
+    assert fresh in dump
+
+
+def test_phi_classification_of_clinical_roles_fields():
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=0.0,
+        author="Dr. Strange",
+        specialty="neuro",
+        text="text body",
+    )
+    classified = classify_fields(note)
+    assert classified["author"] is PhiCategory.NAME
+
+
+def test_patient_reads_own_chart_via_patient_role():
+    store, clock = make_store()
+    demo = Patient.create(
+        record_id="rec-demo",
+        patient_id="pat-1",
+        created_at=clock.now(),
+        name="P One",
+        birth_date="1970-01-01",
+        address="addr",
+    )
+    store.store(demo, author_id="dr-a")
+    # The patient portal registers the patient with user_id == patient_id.
+    store.register_user(User.make("pat-1", "Patient One", [Role.PATIENT]))
+    record = store.read("rec-demo", actor_id="pat-1")
+    assert record.body["name"] == "P One"
+    # ...and cannot read another patient's chart.
+    other = ClinicalNote.create(
+        record_id="rec-other",
+        patient_id="pat-2",
+        created_at=clock.now(),
+        author="dr-a",
+        specialty="x",
+        text="other chart",
+    )
+    store.store(other, author_id="dr-a")
+    with pytest.raises(AccessDeniedError):
+        store.read("rec-other", actor_id="pat-1")
+
+
+def test_cost_report_rows_render():
+    from repro.cost.model import STANDARD_COSTS, CostModel
+
+    report = CostModel(STANDARD_COSTS["tape"]).project(10.0, 30.0)
+    rows = dict(report.rows())
+    assert set(rows) == {"media", "migration", "personnel", "security_overhead", "total"}
+
+
+def test_engine_insider_keys_empty_and_features_complete():
+    store, _ = make_store()
+    assert store.insider_keys() == {}
+    features = store.declared_features()
+    for feature in ("audit", "provenance", "backup", "migration_verifiable"):
+        assert feature in features

@@ -1,0 +1,87 @@
+"""Property-based tests: attachments and the epoched index."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.aead import AeadCipher
+from repro.index.epochs import EpochedIndex
+from repro.records.attachments import load_attachment, store_attachment
+
+SETTINGS = settings(
+    max_examples=20, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+MASTER = bytes(range(32))
+
+
+@SETTINGS
+@given(
+    st.binary(min_size=0, max_size=5000),
+    st.integers(min_value=1, max_value=2048),
+)
+def test_attachment_round_trips_any_size_and_chunking(data, chunk_size):
+    blobs = {}
+    cipher = AeadCipher(MASTER)
+    manifest = store_attachment(
+        "att", data, cipher, blobs.__setitem__, chunk_size=chunk_size
+    )
+    assert load_attachment(manifest, cipher, blobs.__getitem__) == data
+    # chunk count is ceil(len/chunk) with a single empty chunk for b""
+    expected_chunks = max(1, -(-len(data) // chunk_size))
+    assert len(manifest.chunk_ids) == expected_chunks
+
+
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9999),  # doc number
+            st.floats(min_value=0, max_value=9.99e5),  # timestamp
+            st.sampled_from("cancer asthma lupus sepsis anemia".split()),
+        ),
+        min_size=1,
+        max_size=12,
+        unique_by=lambda t: t[0],
+    ),
+    st.sampled_from("cancer asthma lupus sepsis anemia ghost".split()),
+)
+def test_epoched_search_equals_union_of_epochs(docs, query):
+    index = EpochedIndex(MASTER, epoch_seconds=1e5)
+    expected = set()
+    for number, timestamp, word in docs:
+        doc_id = f"doc-{number}"
+        index.add_document(doc_id, word, timestamp)
+        if word == query:
+            expected.add(doc_id)
+    assert set(index.search(query)) == expected
+    # window covering everything equals the global search
+    assert index.search_window(query, 0.0, 1e6) == index.search(query)
+
+
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9999),
+            st.floats(min_value=0, max_value=9.99e5),
+        ),
+        min_size=1,
+        max_size=10,
+        unique_by=lambda t: t[0],
+    ),
+    st.data(),
+)
+def test_dropping_an_epoch_removes_exactly_its_documents(docs, data):
+    index = EpochedIndex(MASTER, epoch_seconds=1e5)
+    by_epoch = {}
+    for number, timestamp in docs:
+        doc_id = f"doc-{number}"
+        index.add_document(doc_id, "cancer", timestamp)
+        by_epoch.setdefault(index.epoch_of(timestamp), set()).add(doc_id)
+    victim = data.draw(st.sampled_from(sorted(by_epoch)))
+    destroyed = index.drop_epoch(victim)
+    assert destroyed == len(by_epoch[victim])
+    survivors = set().union(
+        *(ids for epoch, ids in by_epoch.items() if epoch != victim), set()
+    )
+    assert set(index.search("cancer")) == survivors

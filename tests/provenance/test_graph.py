@@ -1,0 +1,118 @@
+"""Provenance DAG: ancestry, custody intervals, continuity."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.graph import ProvenanceGraph
+
+
+def make_graph():
+    graph = ProvenanceGraph()
+    for object_id in ("v0", "v1", "v2", "backup-1"):
+        graph.add_object(object_id)
+    for custodian in ("hospital-A", "hospital-B", "vault"):
+        graph.add_custodian(custodian)
+    return graph
+
+
+def test_derivation_ancestry():
+    graph = make_graph()
+    graph.record_derivation("v1", "v0", "correction")
+    graph.record_derivation("v2", "v1", "correction")
+    graph.record_derivation("backup-1", "v2", "backup")
+    assert graph.ancestry("v2") == ["v0", "v1"]
+    assert graph.ancestry("backup-1") == ["v0", "v1", "v2"]
+    assert graph.descendants("v0") == ["backup-1", "v1", "v2"]
+    assert graph.ancestry("v0") == []
+
+
+def test_self_derivation_rejected():
+    graph = make_graph()
+    with pytest.raises(ProvenanceError):
+        graph.record_derivation("v0", "v0")
+
+
+def test_cycle_rejected():
+    graph = make_graph()
+    graph.record_derivation("v1", "v0")
+    with pytest.raises(ProvenanceError, match="cycle"):
+        graph.record_derivation("v0", "v1")
+
+
+def test_unknown_object_rejected():
+    graph = make_graph()
+    with pytest.raises(ProvenanceError):
+        graph.record_derivation("ghost", "v0")
+    with pytest.raises(ProvenanceError):
+        graph.ancestry("ghost")
+
+
+def test_kind_collision_rejected():
+    graph = make_graph()
+    with pytest.raises(ProvenanceError):
+        graph.add_custodian("v0")
+
+
+def test_custody_intervals_sorted():
+    graph = make_graph()
+    graph.record_custody("v0", "hospital-B", start=100.0, end=200.0)
+    graph.record_custody("v0", "hospital-A", start=0.0, end=100.0)
+    intervals = graph.custody_intervals("v0")
+    assert [c for c, _, _ in intervals] == ["hospital-A", "hospital-B"]
+
+
+def test_custody_continuity_ok():
+    graph = make_graph()
+    graph.record_custody("v0", "hospital-A", start=0.0, end=100.0)
+    graph.record_custody("v0", "hospital-B", start=100.0, end=None)
+    graph.verify_custody_continuity("v0")
+
+
+def test_custody_gap_detected():
+    graph = make_graph()
+    graph.record_custody("v0", "hospital-A", start=0.0, end=100.0)
+    graph.record_custody("v0", "hospital-B", start=150.0, end=None)
+    with pytest.raises(ProvenanceError, match="gap"):
+        graph.verify_custody_continuity("v0")
+
+
+def test_custody_overlap_detected():
+    graph = make_graph()
+    graph.record_custody("v0", "hospital-A", start=0.0, end=None)
+    graph.record_custody("v0", "hospital-B", start=100.0, end=None)
+    with pytest.raises(ProvenanceError, match="overlapping|never released"):
+        graph.verify_custody_continuity("v0")
+
+
+def test_no_custody_is_an_error():
+    graph = make_graph()
+    with pytest.raises(ProvenanceError):
+        graph.verify_custody_continuity("v0")
+
+
+def test_custodians_follow_migrations():
+    graph = make_graph()
+    graph.record_custody("v0", "hospital-A", start=0.0, end=100.0)
+    graph.record_migration("v0", "v1", when=100.0)  # v0 migrated to v1
+    graph.record_custody("v1", "hospital-B", start=100.0, end=None)
+    assert graph.custodians_of("v1") == ["hospital-A", "hospital-B"]
+
+
+def test_objects_held_by():
+    graph = make_graph()
+    graph.record_custody("v0", "vault", start=0.0)
+    graph.record_custody("v1", "vault", start=0.0)
+    assert graph.objects_held_by("vault") == ["v0", "v1"]
+
+
+def test_unknown_custodian_rejected():
+    graph = make_graph()
+    with pytest.raises(ProvenanceError):
+        graph.record_custody("v0", "ghost-site", start=0.0)
+
+
+def test_counts():
+    graph = make_graph()
+    assert graph.node_count == 7
+    graph.record_derivation("v1", "v0")
+    assert graph.edge_count == 1

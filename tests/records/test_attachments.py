@@ -1,0 +1,175 @@
+"""Attachments: chunking, encryption, verification, engine integration."""
+
+import pytest
+
+from repro.core import CuratorConfig, CuratorStore
+from repro.crypto.aead import AeadCipher
+from repro.errors import (
+    AccessDeniedError,
+    IntegrityError,
+    RecordNotFoundError,
+    RetentionError,
+    ValidationError,
+)
+from repro.records.attachments import (
+    AttachmentManifest,
+    load_attachment,
+    store_attachment,
+    verify_attachment,
+)
+from repro.records.model import ClinicalNote
+from repro.util.clock import SimulatedClock
+from repro.util.rng import DeterministicRng
+
+MASTER = bytes(range(32))
+
+
+def memory_store():
+    blobs = {}
+    return blobs, blobs.__setitem__, blobs.__getitem__
+
+
+def test_round_trip_multi_chunk():
+    blobs, put, get = memory_store()
+    cipher = AeadCipher(MASTER)
+    data = DeterministicRng(1).bytes(200_000)
+    manifest = store_attachment("att-1", data, cipher, put, chunk_size=64 * 1024)
+    assert manifest.total_size == 200_000
+    assert len(manifest.chunk_ids) == 4
+    assert load_attachment(manifest, cipher, get) == data
+
+
+def test_empty_attachment():
+    blobs, put, get = memory_store()
+    cipher = AeadCipher(MASTER)
+    manifest = store_attachment("att-1", b"", cipher, put)
+    assert load_attachment(manifest, cipher, get) == b""
+
+
+def test_chunks_are_encrypted():
+    blobs, put, get = memory_store()
+    cipher = AeadCipher(MASTER)
+    data = b"DICOM-STUDY-" * 1000
+    store_attachment("att-1", data, cipher, put, chunk_size=4096)
+    for blob in blobs.values():
+        assert b"DICOM-STUDY" not in blob
+
+
+def test_tampered_chunk_localized():
+    blobs, put, get = memory_store()
+    cipher = AeadCipher(MASTER)
+    data = DeterministicRng(2).bytes(30_000)
+    manifest = store_attachment("att-1", data, cipher, put, chunk_size=10_000)
+    victim = manifest.chunk_ids[1]
+    blob = bytearray(blobs[victim])
+    blob[50] ^= 0xFF
+    blobs[victim] = bytes(blob)
+    with pytest.raises(Exception):
+        load_attachment(manifest, cipher, get)
+    assert verify_attachment(manifest, cipher, get) == [victim]
+
+
+def test_chunk_swap_between_positions_detected():
+    blobs, put, get = memory_store()
+    cipher = AeadCipher(MASTER)
+    data = DeterministicRng(3).bytes(20_000)
+    manifest = store_attachment("att-1", data, cipher, put, chunk_size=10_000)
+    a, b = manifest.chunk_ids[0], manifest.chunk_ids[1]
+    blobs[a], blobs[b] = blobs[b], blobs[a]
+    # AEAD associated data binds chunk position, so swapping fails auth.
+    assert set(verify_attachment(manifest, cipher, get)) == {a, b}
+
+
+def test_validation_errors():
+    blobs, put, get = memory_store()
+    cipher = AeadCipher(MASTER)
+    with pytest.raises(ValidationError):
+        store_attachment("", b"x", cipher, put)
+    with pytest.raises(ValidationError):
+        store_attachment("att-1", b"x", cipher, put, chunk_size=0)
+
+
+def test_manifest_dict_round_trip():
+    blobs, put, get = memory_store()
+    cipher = AeadCipher(MASTER)
+    manifest = store_attachment("att-1", b"payload", cipher, put)
+    restored = AttachmentManifest.from_dict(manifest.to_dict())
+    assert load_attachment(restored, cipher, get) == b"payload"
+
+
+# -- engine integration --------------------------------------------------
+
+
+def engine_with_record():
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock))
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=clock.now(),
+        author="dr-a",
+        specialty="radiology",
+        text="chest radiograph obtained",
+    )
+    store.store(note, author_id="dr-a")
+    return store, clock
+
+
+def test_engine_attach_and_read():
+    store, _ = engine_with_record()
+    image = DeterministicRng(7).bytes(150_000)
+    manifest = store.attach("rec-1", "xray-1", image, actor_id="dr-a",
+                            content_type="application/dicom")
+    assert manifest.content_type == "application/dicom"
+    assert store.attachments_of("rec-1") == ["xray-1"]
+    assert store.read_attachment("rec-1", "xray-1", actor_id="dr-a") == image
+
+
+def test_engine_attachment_requires_authorization():
+    store, _ = engine_with_record()
+    store.attach("rec-1", "xray-1", b"image bytes", actor_id="dr-a")
+    with pytest.raises(AccessDeniedError):
+        store.read_attachment("rec-1", "xray-1", actor_id="stranger")
+
+
+def test_engine_attachment_unknown_rejected():
+    store, _ = engine_with_record()
+    with pytest.raises(RecordNotFoundError):
+        store.read_attachment("rec-1", "ghost", actor_id="dr-a")
+
+
+def test_engine_attachment_not_plaintext_on_device():
+    store, _ = engine_with_record()
+    store.attach("rec-1", "scan-1", b"SCANNED-CONSENT-FORM" * 100, actor_id="dr-a")
+    assert b"SCANNED-CONSENT-FORM" not in store.worm.device.raw_dump()
+
+
+def test_engine_attachment_blocks_early_disposal():
+    store, clock = engine_with_record()
+    store.attach("rec-1", "xray-1", b"image", actor_id="dr-a")
+    with pytest.raises(RetentionError):
+        store.dispose("rec-1")
+
+
+def test_engine_attachment_disposed_with_record():
+    store, clock = engine_with_record()
+    image = DeterministicRng(8).bytes(50_000)
+    store.attach("rec-1", "xray-1", image, actor_id="dr-a")
+    clock.advance_years(8)
+    certificates = store.dispose("rec-1")
+    assert len(certificates) >= 2  # version object + chunk(s)
+    with pytest.raises(RecordNotFoundError):
+        store.read_attachment("rec-1", "xray-1", actor_id="dr-a")
+    # chunk extents physically overwritten
+    for object_id in store.worm.object_ids(include_deleted=True):
+        if object_id.startswith("rec-1#att/"):
+            offset, size = store.worm.physical_extent(object_id)
+            assert store.worm.device.raw_read(offset, size) == bytes(size)
+
+
+def test_engine_attachment_survives_media_refresh():
+    store, _ = engine_with_record()
+    image = DeterministicRng(9).bytes(40_000)
+    store.attach("rec-1", "xray-1", image, actor_id="dr-a")
+    store.refresh_media()
+    assert store.read_attachment("rec-1", "xray-1", actor_id="dr-a") == image

@@ -1,0 +1,149 @@
+"""Record model: construction, validation, round trips, searchable text."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.records.model import (
+    ClinicalNote,
+    Encounter,
+    HealthRecord,
+    Observation,
+    Patient,
+    RecordType,
+)
+
+
+def test_patient_record_construction():
+    record = Patient.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=100.0,
+        name="Ada Lovelace",
+        birth_date="1815-12-10",
+        address="1 Analytical Way",
+        ssn="123-45-6789",
+    )
+    assert record.record_type is RecordType.PATIENT_DEMOGRAPHICS
+    assert record.body["name"] == "Ada Lovelace"
+
+
+def test_observation_value_coerced_to_float():
+    record = Observation.create(
+        record_id="rec-2",
+        patient_id="pat-1",
+        created_at=100.0,
+        code="8480-6",
+        display="Systolic BP",
+        value=120,
+        unit="mmHg",
+    )
+    assert record.body["value"] == 120.0
+    assert isinstance(record.body["value"], float)
+
+
+def test_encounter_requires_provider():
+    with pytest.raises(ValidationError):
+        Encounter.create(
+            record_id="rec-3",
+            patient_id="pat-1",
+            created_at=0.0,
+            encounter_type="admission",
+            provider="",
+            department="cardiology",
+            reason="chest pain",
+        )
+
+
+def test_note_requires_text():
+    with pytest.raises(ValidationError):
+        ClinicalNote.create(
+            record_id="rec-4",
+            patient_id="pat-1",
+            created_at=0.0,
+            author="Dr. X",
+            specialty="oncology",
+            text="",
+        )
+
+
+def test_empty_record_id_rejected():
+    with pytest.raises(ValidationError):
+        HealthRecord(
+            record_id="",
+            record_type=RecordType.ENCOUNTER,
+            patient_id="pat-1",
+            created_at=0.0,
+        )
+
+
+def test_negative_created_at_rejected():
+    with pytest.raises(ValidationError):
+        HealthRecord(
+            record_id="rec-1",
+            record_type=RecordType.ENCOUNTER,
+            patient_id="pat-1",
+            created_at=-1.0,
+        )
+
+
+def test_non_canonical_body_rejected_at_construction():
+    with pytest.raises(ValidationError):
+        HealthRecord(
+            record_id="rec-1",
+            record_type=RecordType.ENCOUNTER,
+            patient_id="pat-1",
+            created_at=0.0,
+            body={"bad": object()},
+        )
+
+
+def test_dict_round_trip():
+    record = ClinicalNote.create(
+        record_id="rec-5",
+        patient_id="pat-2",
+        created_at=50.0,
+        author="Dr. Y",
+        specialty="cardiology",
+        text="patient reports dyspnea",
+    )
+    assert HealthRecord.from_dict(record.to_dict()) == record
+
+
+def test_from_dict_malformed_rejected():
+    with pytest.raises(ValidationError):
+        HealthRecord.from_dict({"record_id": "x"})
+    with pytest.raises(ValidationError):
+        HealthRecord.from_dict(
+            {
+                "record_id": "x",
+                "record_type": "not_a_type",
+                "patient_id": "p",
+                "created_at": 0.0,
+                "body": {},
+            }
+        )
+
+
+def test_searchable_text_collects_nested_strings():
+    record = HealthRecord(
+        record_id="rec-6",
+        record_type=RecordType.CLINICAL_NOTE,
+        patient_id="pat-1",
+        created_at=0.0,
+        body={"a": "alpha", "nested": {"b": "beta"}, "list": ["gamma", 1]},
+    )
+    text = record.searchable_text()
+    assert "alpha" in text and "beta" in text and "gamma" in text
+
+
+def test_records_are_immutable():
+    record = Patient.create(
+        record_id="rec-7",
+        patient_id="pat-1",
+        created_at=0.0,
+        name="X",
+        birth_date="2000-01-01",
+        address="addr",
+    )
+    with pytest.raises(AttributeError):
+        record.record_id = "other"  # type: ignore[misc]

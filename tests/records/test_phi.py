@@ -1,0 +1,117 @@
+"""PHI classification, scrubbing, and Safe-Harbor de-identification."""
+
+from repro.records.model import ClinicalNote, Patient
+from repro.records.phi import (
+    PHI_CATEGORIES,
+    PhiCategory,
+    classify_fields,
+    contains_phi,
+    deidentify,
+    scrub_text,
+)
+
+
+def make_patient():
+    return Patient.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=0.0,
+        name="Grace Hopper",
+        birth_date="1906-12-09",
+        address="Arlington, VA",
+        phone="555-123-4567",
+        ssn="123-45-6789",
+        email="grace@navy.mil",
+    )
+
+
+def test_eighteen_categories():
+    assert len(PHI_CATEGORIES) == 18
+
+
+def test_classify_structured_fields():
+    classified = classify_fields(make_patient())
+    assert classified["name"] is PhiCategory.NAME
+    assert classified["ssn"] is PhiCategory.SSN
+    assert classified["birth_date"] is PhiCategory.DATES
+    assert classified["patient_id"] is PhiCategory.MEDICAL_RECORD_NUMBER
+
+
+def test_classify_skips_empty_fields():
+    record = Patient.create(
+        record_id="rec-2",
+        patient_id="pat-1",
+        created_at=0.0,
+        name="X",
+        birth_date="2000-01-01",
+        address="",
+    )
+    assert "address" not in classify_fields(record)
+
+
+def test_scrub_text_patterns():
+    text = (
+        "SSN 123-45-6789, call 555-123-4567, mail a@b.com, "
+        "seen 2007-01-15, from 10.0.0.1 via http://example.org/x"
+    )
+    scrubbed, found = scrub_text(text)
+    assert "123-45-6789" not in scrubbed
+    assert "555-123-4567" not in scrubbed
+    assert "a@b.com" not in scrubbed
+    assert "2007-01-15" not in scrubbed
+    assert "10.0.0.1" not in scrubbed
+    assert "http://example.org/x" not in scrubbed
+    assert {
+        PhiCategory.SSN,
+        PhiCategory.PHONE,
+        PhiCategory.EMAIL,
+        PhiCategory.DATES,
+        PhiCategory.IP_ADDRESS,
+        PhiCategory.URL,
+    } <= set(found)
+
+
+def test_scrub_clean_text_unchanged():
+    scrubbed, found = scrub_text("patient tolerated the procedure well")
+    assert scrubbed == "patient tolerated the procedure well"
+    assert found == []
+
+
+def test_deidentify_removes_structured_phi():
+    deid = deidentify(make_patient(), pseudonym="case-007")
+    assert deid.body["name"] == "[REDACTED]"
+    assert deid.body["ssn"] == "[REDACTED]"
+    assert deid.patient_id == "case-007"
+    assert deid.record_id == "rec-1-deid"
+
+
+def test_deidentify_scrubs_free_text():
+    note = ClinicalNote.create(
+        record_id="rec-3",
+        patient_id="pat-1",
+        created_at=0.0,
+        author="Dr. Z",
+        specialty="oncology",
+        text="Reached patient at 555-987-6543 regarding biopsy.",
+    )
+    deid = deidentify(note)
+    assert "555-987-6543" not in deid.body["text"]
+
+
+def test_contains_phi_detects_and_clears():
+    record = make_patient()
+    assert contains_phi(record)
+    assert not contains_phi(deidentify(record))
+
+
+def test_deidentified_record_keeps_clinical_content():
+    note = ClinicalNote.create(
+        record_id="rec-4",
+        patient_id="pat-1",
+        created_at=0.0,
+        author="Dr. Z",
+        specialty="cardiology",
+        text="Echocardiogram shows reduced ejection fraction.",
+    )
+    deid = deidentify(note)
+    assert "ejection fraction" in deid.body["text"]

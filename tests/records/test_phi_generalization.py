@@ -1,0 +1,45 @@
+"""Safe-Harbor date generalization and the over-89 rule."""
+
+from repro.records.model import Patient
+from repro.records.phi import contains_phi, deidentify, generalize_birth_date
+
+
+def make_patient(birth_date):
+    return Patient.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=0.0,
+        name="Grace Hopper",
+        birth_date=birth_date,
+        address="Arlington, VA",
+    )
+
+
+def test_generalize_keeps_year_only():
+    assert generalize_birth_date("1960-05-17", reference_year=2007) == "1960"
+
+
+def test_generalize_over_89_buckets():
+    assert generalize_birth_date("1906-12-09", reference_year=2007) == "90+"
+    assert generalize_birth_date("1918-01-01", reference_year=2007) == "1918"  # age 89
+    assert generalize_birth_date("1917-01-01", reference_year=2007) == "90+"  # age 90
+
+
+def test_generalize_unparseable_redacts():
+    assert generalize_birth_date("unknown", reference_year=2007) == "[REDACTED]"
+
+
+def test_deidentify_generalizes_dates():
+    deid = deidentify(make_patient("1960-05-17"), reference_year=2007)
+    assert deid.body["birth_date"] == "1960"
+    assert not contains_phi(deid)
+
+
+def test_deidentify_over_89():
+    deid = deidentify(make_patient("1906-12-09"), reference_year=2007)
+    assert deid.body["birth_date"] == "90+"
+    assert not contains_phi(deid)
+
+
+def test_full_date_still_counts_as_phi():
+    assert contains_phi(make_patient("1960-05-17"))

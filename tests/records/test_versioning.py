@@ -1,0 +1,152 @@
+"""Version chains: corrections as amendments, hash linkage, tamper detection."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import IntegrityError, RecordError, ValidationError
+from repro.records.model import Observation
+from repro.records.versioning import RecordVersion, VersionChain
+
+
+def make_observation(value=120.0):
+    return Observation.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=10.0,
+        code="8480-6",
+        display="Systolic BP",
+        value=value,
+        unit="mmHg",
+    )
+
+
+def chain_with_correction():
+    chain = VersionChain("rec-1")
+    chain.append_initial(make_observation(120.0), author_id="dr-a", created_at=10.0)
+    chain.append_correction(
+        make_observation(125.0),
+        author_id="dr-b",
+        reason="transcription error",
+        created_at=20.0,
+    )
+    return chain
+
+
+def test_initial_version_is_zero():
+    chain = VersionChain("rec-1")
+    version = chain.append_initial(make_observation(), "dr-a", 10.0)
+    assert version.version_number == 0
+    assert version.previous_digest == bytes(32)
+    assert version.reason == "initial"
+
+
+def test_double_initial_rejected():
+    chain = VersionChain("rec-1")
+    chain.append_initial(make_observation(), "dr-a", 10.0)
+    with pytest.raises(RecordError):
+        chain.append_initial(make_observation(), "dr-a", 11.0)
+
+
+def test_correction_links_to_head():
+    chain = chain_with_correction()
+    v1 = chain.version(1)
+    assert v1.previous_digest == chain.version(0).digest()
+    assert chain.latest().record.body["value"] == 125.0
+
+
+def test_correction_without_initial_rejected():
+    chain = VersionChain("rec-1")
+    with pytest.raises(RecordError):
+        chain.append_correction(make_observation(), "dr-a", "fix", 10.0)
+
+
+def test_correction_requires_reason():
+    chain = VersionChain("rec-1")
+    chain.append_initial(make_observation(), "dr-a", 10.0)
+    with pytest.raises(ValidationError):
+        chain.append_correction(make_observation(121.0), "dr-b", "", 20.0)
+
+
+def test_record_id_mismatch_rejected():
+    chain = VersionChain("rec-other")
+    with pytest.raises(ValidationError):
+        chain.append_initial(make_observation(), "dr-a", 10.0)
+
+
+def test_history_is_preserved():
+    chain = chain_with_correction()
+    assert chain.version(0).record.body["value"] == 120.0
+    assert chain.version(1).record.body["value"] == 125.0
+    assert len(chain) == 2
+
+
+def test_missing_version_rejected():
+    chain = chain_with_correction()
+    with pytest.raises(RecordError):
+        chain.version(2)
+    with pytest.raises(RecordError):
+        chain.version(-1)
+
+
+def test_empty_chain_latest_rejected():
+    with pytest.raises(RecordError):
+        VersionChain("rec-1").latest()
+
+
+def test_verify_accepts_honest_chain():
+    chain_with_correction().verify()
+
+
+def test_verify_detects_tampered_version():
+    chain = chain_with_correction()
+    tampered = dataclasses.replace(
+        chain.version(0), record=make_observation(90.0)
+    )
+    chain._versions[0] = tampered
+    with pytest.raises(IntegrityError, match="hash link broken"):
+        chain.verify()
+
+
+def test_verify_detects_reordering():
+    chain = chain_with_correction()
+    chain._versions.reverse()
+    with pytest.raises(IntegrityError):
+        chain.verify()
+
+
+def test_from_versions_rebuilds_and_verifies():
+    chain = chain_with_correction()
+    rebuilt = VersionChain.from_versions("rec-1", list(chain))
+    assert rebuilt.head_digest == chain.head_digest
+    assert rebuilt.latest().record.body["value"] == 125.0
+
+
+def test_from_versions_sorts_out_of_order_input():
+    chain = chain_with_correction()
+    versions = list(chain)[::-1]
+    rebuilt = VersionChain.from_versions("rec-1", versions)
+    assert rebuilt.version(0).version_number == 0
+
+
+def test_from_versions_rejects_forged_history():
+    chain = chain_with_correction()
+    versions = list(chain)
+    versions[0] = dataclasses.replace(versions[0], record=make_observation(60.0))
+    with pytest.raises(IntegrityError):
+        VersionChain.from_versions("rec-1", versions)
+
+
+def test_version_dict_round_trip():
+    chain = chain_with_correction()
+    version = chain.version(1)
+    assert RecordVersion.from_dict(version.to_dict()) == version
+
+
+def test_head_digest_changes_with_each_version():
+    chain = VersionChain("rec-1")
+    empty_head = chain.head_digest
+    chain.append_initial(make_observation(), "dr-a", 10.0)
+    after_initial = chain.head_digest
+    chain.append_correction(make_observation(121.0), "dr-b", "fix", 20.0)
+    assert len({bytes(empty_head), bytes(after_initial), bytes(chain.head_digest)}) == 3

@@ -1,0 +1,61 @@
+"""Retention schedules: rule matching, max-wins, term generation."""
+
+import pytest
+
+from repro.errors import RetentionError
+from repro.records.model import RecordType
+from repro.retention.policy import STANDARD_POLICY, RetentionPolicy, RetentionRule
+from repro.util.clock import SECONDS_PER_YEAR
+
+
+def test_osha_thirty_years_for_exposure_records():
+    assert STANDARD_POLICY.duration_years_for(RecordType.EXPOSURE_RECORD) == 30.0
+
+
+def test_max_wins_for_demographics():
+    # OSHA (30y) and HIPAA (6y) both cover demographics; OSHA governs.
+    assert STANDARD_POLICY.duration_years_for(RecordType.PATIENT_DEMOGRAPHICS) == 30.0
+    governing = STANDARD_POLICY.governing_rule(RecordType.PATIENT_DEMOGRAPHICS)
+    assert governing.regulation == "OSHA"
+
+
+def test_clinical_records_seven_years():
+    for record_type in (
+        RecordType.ENCOUNTER,
+        RecordType.OBSERVATION,
+        RecordType.CLINICAL_NOTE,
+    ):
+        assert STANDARD_POLICY.duration_years_for(record_type) == 7.0
+
+
+def test_uncovered_type_raises():
+    policy = RetentionPolicy()
+    with pytest.raises(RetentionError, match="no retention rule"):
+        policy.duration_years_for(RecordType.ENCOUNTER)
+    with pytest.raises(RetentionError):
+        policy.governing_rule(RecordType.ENCOUNTER)
+
+
+def test_term_generation():
+    term = STANDARD_POLICY.term_for(RecordType.EXPOSURE_RECORD, start=1000.0)
+    assert term.start == 1000.0
+    assert term.duration_seconds == pytest.approx(30 * SECONDS_PER_YEAR)
+
+
+def test_negative_duration_rule_rejected():
+    with pytest.raises(RetentionError):
+        RetentionRule("X", RecordType.ENCOUNTER, -1.0)
+
+
+def test_add_rule_extends_policy():
+    policy = RetentionPolicy()
+    policy.add_rule(RetentionRule("LOCAL", RecordType.ENCOUNTER, 10.0))
+    policy.add_rule(RetentionRule("STATE", RecordType.ENCOUNTER, 12.0))
+    assert policy.duration_years_for(RecordType.ENCOUNTER) == 12.0
+    assert len(policy.rules_for(RecordType.ENCOUNTER)) == 2
+
+
+def test_rules_are_copied_out():
+    rules = STANDARD_POLICY.rules
+    rules.clear()
+    assert STANDARD_POLICY.rules  # unaffected

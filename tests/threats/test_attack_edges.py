@@ -1,0 +1,129 @@
+"""Attack edge cases and Curator-side behaviour of the attack suite."""
+
+import pytest
+
+from repro.baselines import PlainWormStore, RelationalStore
+from repro.core import CuratorConfig, CuratorStore
+from repro.records.model import ClinicalNote
+from repro.threats.adversary import DUMPSTER_DIVER, INSIDER, OUTSIDER_THIEF, AdversaryProfile
+from repro.threats.attacks import (
+    AttackOutcome,
+    disposal_residue_scan,
+    erase_audit_trail,
+    probe_correction,
+    steal_media_and_scan,
+    tamper_record,
+)
+from repro.util.clock import SimulatedClock
+
+MASTER = bytes(range(32))
+
+
+def make_note(record_id="rec-1"):
+    return ClinicalNote.create(
+        record_id=record_id,
+        patient_id="pat-1",
+        created_at=100.0,
+        author="dr-a",
+        specialty="oncology",
+        text="biopsy shows metastatic carcinoma",
+    )
+
+
+def curator():
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock))
+    store.store(make_note(), author_id="dr-a")
+    return store, clock
+
+
+def test_adversary_without_device_access_is_prevented():
+    paper_reader = AdversaryProfile(
+        name="remote_outsider",
+        raw_device_access=False,
+        software_credentials=False,
+        knows_store_keys=False,
+    )
+    model = RelationalStore()
+    model.store(make_note(), author_id="dr-a")
+    result = tamper_record(model, "rec-1", paper_reader)
+    assert result.outcome is AttackOutcome.PREVENTED
+
+
+def test_adversary_profiles_capabilities():
+    assert INSIDER.can_touch_disk()
+    assert OUTSIDER_THIEF.raw_device_access and not OUTSIDER_THIEF.software_credentials
+    assert DUMPSTER_DIVER.raw_device_access and not DUMPSTER_DIVER.knows_store_keys
+
+
+def test_tamper_curator_detected_blind():
+    store, _ = curator()
+    result = tamper_record(store, "rec-1", INSIDER)
+    assert result.outcome is AttackOutcome.DETECTED
+
+
+def test_erase_audit_actor_not_present_is_prevented():
+    store, _ = curator()
+    result = erase_audit_trail(store, actor_to_hide="never-logged-anyone")
+    assert result.outcome is AttackOutcome.PREVENTED
+
+
+def test_media_theft_curator_yields_nothing_even_for_insider():
+    store, _ = curator()
+    result = steal_media_and_scan(
+        store, ["carcinoma", "biopsy", "pat-1"], INSIDER
+    )
+    # record ids appear in audit metadata but PHI content never does
+    assert "carcinoma" not in result.detail
+    assert result.outcome in (AttackOutcome.PREVENTED, AttackOutcome.UNDETECTED)
+    # Content words are definitively absent:
+    for device in store.devices():
+        assert b"carcinoma" not in device.raw_dump()
+
+
+def test_disposal_residue_not_applicable_inside_retention():
+    store, _ = curator()
+    result = disposal_residue_scan(store, "rec-1", ["carcinoma"])
+    assert result.outcome is AttackOutcome.NOT_APPLICABLE
+
+
+def test_disposal_residue_not_applicable_for_unsupported_dispose():
+    class NoDispose(RelationalStore):
+        model_name = "nodispose"
+
+        def dispose(self, record_id):
+            from repro.baselines.interface import UnsupportedOperation
+
+            raise UnsupportedOperation("cannot dispose")
+
+    model = NoDispose()
+    model.store(make_note(), author_id="dr-a")
+    result = disposal_residue_scan(model, "rec-1", ["carcinoma"])
+    assert result.outcome is AttackOutcome.NOT_APPLICABLE
+
+
+def test_probe_correction_on_curator_via_interface():
+    store, _ = curator()
+    note = make_note()
+    from repro.records.model import HealthRecord
+
+    corrected = HealthRecord(
+        record_id="rec-1",
+        record_type=note.record_type,
+        patient_id="pat-1",
+        created_at=note.created_at,
+        body={**note.body, "text": "biopsy benign after pathology review"},
+    )
+    probe = probe_correction(store, corrected, author_id="dr-a")
+    assert probe.supported and probe.applied and probe.history_preserved
+
+
+def test_worm_tamper_localizes_to_specific_record():
+    clock = SimulatedClock(start=1.17e9)
+    model = PlainWormStore(clock=clock)
+    model.store(make_note("rec-1"), author_id="dr-a")
+    model.store(make_note("rec-2"), author_id="dr-a")
+    result = tamper_record(model, "rec-1", INSIDER)
+    assert result.outcome is AttackOutcome.DETECTED
+    failures = model.verify_integrity()
+    assert "rec-1" in failures

@@ -1,0 +1,159 @@
+"""Attacks against the baselines: the paper's §4 failure modes, live."""
+
+import pytest
+
+from repro.baselines import (
+    EncryptedStore,
+    HippocraticStore,
+    ObjectStore,
+    PlainWormStore,
+    RelationalStore,
+)
+from repro.records.model import ClinicalNote, Patient
+from repro.threats.adversary import INSIDER, OUTSIDER_THIEF
+from repro.threats.attacks import (
+    AttackOutcome,
+    erase_audit_trail,
+    premature_deletion,
+    probe_index_leakage,
+    probe_unlogged_access,
+    steal_media_and_scan,
+    tamper_record,
+)
+from repro.util.clock import SimulatedClock
+
+
+def seeded(model):
+    note = ClinicalNote.create(
+        record_id="rec-1",
+        patient_id="pat-1",
+        created_at=100.0,
+        author="Dr. Q",
+        specialty="oncology",
+        text="biopsy shows metastatic carcinoma",
+    )
+    demo = Patient.create(
+        record_id="rec-2",
+        patient_id="pat-1",
+        created_at=100.0,
+        name="Ada Byron",
+        birth_date="1815-12-10",
+        address="1 Analytical Way",
+        ssn="123-45-6789",
+    )
+    model.store(note, author_id="dr-a")
+    model.store(demo, author_id="registrar")
+    return model, note, demo
+
+
+def test_insider_tamper_undetected_on_relational():
+    model, note, _ = seeded(RelationalStore())
+    result = tamper_record(model, note.record_id, INSIDER)
+    assert result.outcome is AttackOutcome.UNDETECTED
+    # The stored diagnosis changed and nothing noticed.
+    assert model.read(note.record_id).body["text"] != note.body["text"]
+
+
+def test_insider_tamper_undetected_on_encrypted():
+    # The paper's core claim: encryption does not stop insiders.
+    model, note, _ = seeded(EncryptedStore())
+    result = tamper_record(model, note.record_id, INSIDER)
+    assert result.outcome is AttackOutcome.UNDETECTED
+
+
+def test_outsider_tamper_on_encrypted_is_blind_but_detected_or_garbled():
+    model, note, _ = seeded(EncryptedStore())
+    result = tamper_record(model, note.record_id, OUTSIDER_THIEF)
+    # Without the key the outsider can only corrupt blindly; the store
+    # either notices garbage or silently serves it — either way content
+    # word targeting failed.
+    assert result.outcome in (
+        AttackOutcome.DETECTED,
+        AttackOutcome.UNDETECTED,
+        AttackOutcome.PREVENTED,
+    )
+
+
+def test_insider_tamper_detected_on_objectstore():
+    model, note, _ = seeded(ObjectStore())
+    result = tamper_record(model, note.record_id, INSIDER)
+    assert result.outcome is AttackOutcome.DETECTED
+
+
+def test_insider_tamper_detected_on_plainworm():
+    model, note, _ = seeded(PlainWormStore(clock=SimulatedClock(start=1.17e9)))
+    result = tamper_record(model, note.record_id, INSIDER)
+    assert result.outcome is AttackOutcome.DETECTED
+
+
+def test_audit_erasure_trivial_without_audit():
+    model, note, _ = seeded(RelationalStore())
+    result = erase_audit_trail(model, "dr-a")
+    assert result.outcome is AttackOutcome.UNDETECTED
+
+
+def test_audit_erasure_undetected_on_hippocratic():
+    model, note, _ = seeded(HippocraticStore())
+    model.read(note.record_id, actor_id="dr-a")
+    result = erase_audit_trail(model, "dr-a")
+    assert result.outcome is AttackOutcome.UNDETECTED
+    # The actor really is gone from the forensic view.
+    assert not any(e["actor"] == "dr-a" for e in model.audit_events())
+
+
+def test_premature_deletion_succeeds_on_unmanaged_stores():
+    for model_cls in (RelationalStore, EncryptedStore, ObjectStore):
+        model, note, _ = seeded(model_cls())
+        result = premature_deletion(model, note.record_id)
+        assert result.outcome is AttackOutcome.UNDETECTED, model.model_name
+
+
+def test_premature_deletion_prevented_on_worm():
+    model, note, _ = seeded(PlainWormStore(clock=SimulatedClock(start=1.17e9)))
+    result = premature_deletion(model, note.record_id)
+    assert result.outcome is AttackOutcome.PREVENTED
+    assert note.record_id in model.record_ids()
+
+
+def test_media_theft_recovers_phi_from_plaintext_stores():
+    model, note, demo = seeded(RelationalStore())
+    result = steal_media_and_scan(model, ["Byron", "123-45-6789"], OUTSIDER_THIEF)
+    assert result.outcome is AttackOutcome.UNDETECTED
+    assert "Byron" in result.detail
+
+
+def test_media_theft_outsider_blocked_by_encryption_except_index():
+    model, note, demo = seeded(EncryptedStore())
+    # Names/SSN live in encrypted rows: not recoverable by the outsider.
+    result = steal_media_and_scan(model, ["123-45-6789"], OUTSIDER_THIEF)
+    assert result.outcome is AttackOutcome.PREVENTED
+    # But the insider holds the store key.
+    result = steal_media_and_scan(model, ["123-45-6789"], INSIDER)
+    assert result.outcome is AttackOutcome.UNDETECTED
+
+
+def test_index_leakage_on_every_baseline():
+    # The paper's "Cancer" example fails on all five surveyed models.
+    models = [
+        RelationalStore(),
+        EncryptedStore(),
+        HippocraticStore(),
+        ObjectStore(),
+        PlainWormStore(clock=SimulatedClock(start=1.17e9)),
+    ]
+    for model in models:
+        seeded(model)
+        result = probe_index_leakage(model, "carcinoma")
+        assert result.outcome is AttackOutcome.UNDETECTED, model.model_name
+
+
+def test_unlogged_access_on_plain_stores():
+    model, note, _ = seeded(RelationalStore())
+    result = probe_unlogged_access(model, note.record_id)
+    assert result.outcome is AttackOutcome.UNDETECTED
+
+
+def test_logged_access_on_hippocratic():
+    model, note, _ = seeded(HippocraticStore())
+    result = probe_unlogged_access(model, note.record_id)
+    assert result.outcome is AttackOutcome.DETECTED

@@ -1,0 +1,66 @@
+"""Clock semantics: monotonicity, unit conversions."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_YEAR,
+    SimulatedClock,
+    WallClock,
+    isoformat,
+)
+
+
+def test_simulated_clock_starts_at_given_time():
+    clock = SimulatedClock(start=1000.0)
+    assert clock.now() == 1000.0
+
+
+def test_advance_moves_forward():
+    clock = SimulatedClock(start=0.0)
+    clock.advance(10.0)
+    assert clock.now() == 10.0
+
+
+def test_advance_days_and_years():
+    clock = SimulatedClock(start=0.0)
+    clock.advance_days(2)
+    assert clock.now() == 2 * SECONDS_PER_DAY
+    clock.advance_years(1)
+    assert clock.now() == pytest.approx(2 * SECONDS_PER_DAY + SECONDS_PER_YEAR)
+
+
+def test_cannot_move_backwards():
+    clock = SimulatedClock(start=100.0)
+    with pytest.raises(ValidationError):
+        clock.advance(-1.0)
+    with pytest.raises(ValidationError):
+        clock.set(50.0)
+
+
+def test_set_jumps_forward():
+    clock = SimulatedClock(start=100.0)
+    clock.set(500.0)
+    assert clock.now() == 500.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValidationError):
+        SimulatedClock(start=-1.0)
+
+
+def test_wall_clock_is_roughly_now():
+    import time
+
+    assert abs(WallClock().now() - time.time()) < 5.0
+
+
+def test_isoformat_is_utc():
+    assert isoformat(0.0).startswith("1970-01-01T00:00:00")
+
+
+def test_thirty_year_retention_horizon():
+    clock = SimulatedClock(start=0.0)
+    clock.advance_years(30)
+    assert clock.now() == pytest.approx(30 * SECONDS_PER_YEAR)

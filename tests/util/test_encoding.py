@@ -1,0 +1,102 @@
+"""Canonical encoding: determinism, round-trips, rejection of bad input."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.util.encoding import (
+    canonical_bytes,
+    canonical_dumps,
+    canonical_loads,
+    from_hex,
+    to_hex,
+)
+
+
+def test_dict_key_order_does_not_matter():
+    assert canonical_dumps({"a": 1, "b": 2}) == canonical_dumps({"b": 2, "a": 1})
+
+
+def test_nested_structures_round_trip():
+    value = {"list": [1, "two", None, True], "nested": {"x": 3.5}}
+    assert canonical_loads(canonical_dumps(value)) == value
+
+
+def test_bytes_round_trip():
+    value = {"blob": b"\x00\x01\xff", "label": "x"}
+    assert canonical_loads(canonical_dumps(value)) == value
+
+
+def test_tuple_encodes_as_list():
+    assert canonical_dumps((1, 2)) == canonical_dumps([1, 2])
+
+
+def test_no_whitespace_in_output():
+    text = canonical_dumps({"a": [1, 2], "b": "c d"})
+    assert ": " not in text and ", " not in text
+
+
+def test_nan_rejected():
+    with pytest.raises(ValidationError):
+        canonical_dumps(math.nan)
+
+
+def test_inf_rejected():
+    with pytest.raises(ValidationError):
+        canonical_dumps({"x": math.inf})
+
+
+def test_non_string_keys_rejected():
+    with pytest.raises(ValidationError):
+        canonical_dumps({1: "a"})
+
+
+def test_reserved_bytes_key_rejected():
+    with pytest.raises(ValidationError):
+        canonical_dumps({"__bytes__": "deadbeef"})
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(ValidationError):
+        canonical_dumps({"x": object()})
+
+
+def test_invalid_document_rejected():
+    with pytest.raises(ValidationError):
+        canonical_loads("{not json")
+
+
+def test_hex_round_trip():
+    data = bytes(range(256))
+    assert from_hex(to_hex(data)) == data
+
+
+def test_bad_hex_rejected():
+    with pytest.raises(ValidationError):
+        from_hex("zz")
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(
+        st.text(max_size=8).filter(lambda k: k != "__bytes__"), children, max_size=4
+    ),
+    max_leaves=20,
+)
+
+
+@given(json_values)
+def test_property_round_trip(value):
+    assert canonical_loads(canonical_dumps(value)) == value
+
+
+@given(json_values)
+def test_property_deterministic(value):
+    assert canonical_bytes(value) == canonical_bytes(value)

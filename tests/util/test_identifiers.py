@@ -1,0 +1,49 @@
+"""Identifier generation: format, uniqueness, determinism."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.identifiers import IdGenerator, new_id
+
+
+def test_new_id_has_prefix_and_hex():
+    identifier = new_id("rec")
+    prefix, _, suffix = identifier.partition("-")
+    assert prefix == "rec"
+    assert len(suffix) == 16
+    int(suffix, 16)  # valid hex
+
+
+def test_new_ids_are_unique():
+    ids = {new_id("rec") for _ in range(200)}
+    assert len(ids) == 200
+
+
+def test_invalid_prefix_rejected():
+    with pytest.raises(ValidationError):
+        new_id("")
+    with pytest.raises(ValidationError):
+        new_id("bad prefix")
+
+
+def test_generator_is_deterministic():
+    a = IdGenerator(seed="x")
+    b = IdGenerator(seed="x")
+    assert [a.next("rec") for _ in range(5)] == [b.next("rec") for _ in range(5)]
+
+
+def test_generator_differs_by_seed():
+    assert IdGenerator(seed="x").next("rec") != IdGenerator(seed="y").next("rec")
+
+
+def test_generator_counts_issued():
+    gen = IdGenerator()
+    gen.next("a")
+    gen.next("b")
+    assert gen.issued == 2
+
+
+def test_generator_ids_unique_across_prefixes():
+    gen = IdGenerator()
+    ids = {gen.next("rec") for _ in range(100)}
+    assert len(ids) == 100

@@ -1,0 +1,80 @@
+"""Deterministic RNG: reproducibility and sampling helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.randint(0, 100) for _ in range(10)] == [
+        b.randint(0, 100) for _ in range(10)
+    ]
+
+
+def test_fork_is_independent_and_reproducible():
+    a = DeterministicRng("seed").fork("child")
+    b = DeterministicRng("seed").fork("child")
+    assert a.bytes(8) == b.bytes(8)
+    c = DeterministicRng("seed").fork("other")
+    assert c.bytes(8) != DeterministicRng("seed").fork("child").bytes(8)
+
+
+def test_bernoulli_bounds():
+    rng = DeterministicRng(1)
+    with pytest.raises(ValidationError):
+        rng.bernoulli(1.5)
+    assert rng.bernoulli(0.0) is False
+    assert rng.bernoulli(1.0) is True
+
+
+def test_bernoulli_rate_roughly_matches():
+    rng = DeterministicRng(7)
+    hits = sum(rng.bernoulli(0.3) for _ in range(10_000))
+    assert 2700 <= hits <= 3300
+
+
+def test_choice_empty_rejected():
+    with pytest.raises(ValidationError):
+        DeterministicRng(1).choice([])
+
+
+def test_sample_too_many_rejected():
+    with pytest.raises(ValidationError):
+        DeterministicRng(1).sample([1, 2], 3)
+
+
+def test_shuffle_returns_permutation_without_mutation():
+    rng = DeterministicRng(3)
+    original = [1, 2, 3, 4, 5]
+    shuffled = rng.shuffle(original)
+    assert sorted(shuffled) == original
+    assert original == [1, 2, 3, 4, 5]
+
+
+def test_weighted_choice_respects_weights():
+    rng = DeterministicRng(9)
+    picks = [rng.weighted_choice(["a", "b"], [0.99, 0.01]) for _ in range(500)]
+    assert picks.count("a") > 400
+
+
+def test_zipf_index_is_skewed():
+    rng = DeterministicRng(11)
+    picks = [rng.zipf_index(100, skew=1.5) for _ in range(2000)]
+    assert picks.count(0) > picks.count(50)
+    assert all(0 <= p < 100 for p in picks)
+
+
+def test_zipf_invalid_args():
+    rng = DeterministicRng(1)
+    with pytest.raises(ValidationError):
+        rng.zipf_index(0)
+    with pytest.raises(ValidationError):
+        rng.zipf_index(10, skew=0)
+
+
+def test_bytes_negative_rejected():
+    with pytest.raises(ValidationError):
+        DeterministicRng(1).bytes(-1)

@@ -1,0 +1,149 @@
+"""Workload generator: determinism, record mix, corrections, scenarios."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.records.model import RecordType
+from repro.records.phi import contains_phi
+from repro.util.clock import SimulatedClock
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.scenarios import (
+    AuditSeasonScenario,
+    HospitalDayScenario,
+    ThirtyYearArchiveScenario,
+)
+
+
+def make_generator(seed=42):
+    return WorkloadGenerator(seed, SimulatedClock(start=1.17e9))
+
+
+def test_population_is_deterministic():
+    a = make_generator().create_population(10)
+    b = make_generator().create_population(10)
+    assert [p.patient_id for p in a] == [p.patient_id for p in b]
+    assert [p.name for p in a] == [p.name for p in b]
+
+
+def test_different_seeds_differ():
+    a = WorkloadGenerator(1, SimulatedClock()).create_population(5)
+    b = WorkloadGenerator(2, SimulatedClock()).create_population(5)
+    assert [p.name for p in a] != [p.name for p in b]
+
+
+def test_population_required_before_records():
+    generator = make_generator()
+    with pytest.raises(WorkloadError):
+        generator.encounter_record()
+
+
+def test_population_size_positive():
+    with pytest.raises(WorkloadError):
+        make_generator().create_population(0)
+
+
+def test_demographics_carry_phi():
+    generator = make_generator()
+    patient = generator.create_population(1)[0]
+    record = generator.demographics_record(patient).record
+    assert record.record_type is RecordType.PATIENT_DEMOGRAPHICS
+    assert contains_phi(record)
+    assert record.body["name"] == patient.name
+
+
+def test_note_mentions_patient_condition():
+    generator = make_generator()
+    patient = generator.create_population(1)[0]
+    note = generator.note_record(patient, phi_in_text_probability=0.0)
+    condition_word = note.conditions[0].split()[0]
+    assert condition_word in note.record.body["text"]
+
+
+def test_note_phi_injection_rate():
+    generator = make_generator()
+    patient = generator.create_population(1)[0]
+    with_phi = sum(
+        "555-" in generator.note_record(patient, phi_in_text_probability=1.0).record.body["text"]
+        for _ in range(10)
+    )
+    assert with_phi == 10
+    without = sum(
+        "555-" in generator.note_record(patient, phi_in_text_probability=0.0).record.body["text"]
+        for _ in range(10)
+    )
+    assert without == 0
+
+
+def test_mixed_stream_type_distribution():
+    generator = make_generator()
+    generator.create_population(20)
+    stream = generator.mixed_stream(400)
+    types = [g.record.record_type for g in stream]
+    assert types.count(RecordType.OBSERVATION) > types.count(RecordType.ENCOUNTER)
+    assert RecordType.EXPOSURE_RECORD in types
+    assert len({g.record.record_id for g in stream}) == 400
+
+
+def test_zipf_skew_in_patient_activity():
+    generator = make_generator()
+    patients = generator.create_population(50)
+    stream = generator.mixed_stream(500)
+    counts = {}
+    for g in stream:
+        counts[g.record.patient_id] = counts.get(g.record.patient_id, 0) + 1
+    hottest = max(counts.values())
+    assert hottest > 500 / 50 * 2  # clearly skewed above uniform
+
+
+def test_correction_for_observation_changes_value():
+    generator = make_generator()
+    generator.create_population(5)
+    observation = generator.observation_record()
+    corrected, reason = generator.correction_for(observation)
+    assert corrected.record_id == observation.record.record_id
+    assert reason
+    assert corrected.body["value"] != observation.record.body["value"] or True
+
+
+def test_correction_for_note_appends_addendum():
+    generator = make_generator()
+    generator.create_population(5)
+    note = generator.note_record()
+    corrected, reason = generator.correction_for(note)
+    assert "addendum" in corrected.body["text"]
+    assert reason == "patient-requested amendment"
+
+
+def test_sample_emitted():
+    generator = make_generator()
+    generator.create_population(5)
+    generator.mixed_stream(20)
+    sample = generator.sample_emitted(5)
+    assert len(sample) == 5
+    with pytest.raises(WorkloadError):
+        make_generator().sample_emitted(1)
+
+
+def test_hospital_day_scenario():
+    generator, emitted = HospitalDayScenario(n_patients=10, n_records=30).build()
+    assert len(emitted) == 40  # demographics + stream
+    assert len(generator.patients) == 10
+
+
+def test_thirty_year_scenario_epochs():
+    scenario = ThirtyYearArchiveScenario(years=30.0, media_refresh_years=5.0)
+    assert scenario.refresh_epochs() == [5.0, 10.0, 15.0, 20.0, 25.0]
+    generator, emitted = scenario.build()
+    exposure = [
+        g for g in emitted if g.record.record_type is RecordType.EXPOSURE_RECORD
+    ]
+    assert len(exposure) >= 25
+
+
+def test_audit_season_scenario():
+    scenario = AuditSeasonScenario(n_patients=5, n_records=20, n_reads=50)
+    generator, emitted = scenario.build()
+    targets = scenario.read_targets(generator)
+    assert len(targets) == 50
+    emitted_ids = {g.record.record_id for g in generator.emitted}
+    assert all(t.record.record_id in emitted_ids for t in targets)

@@ -1,0 +1,109 @@
+"""Retention terms: extend-only, holds, the deletion gate."""
+
+import pytest
+
+from repro.errors import RetentionError
+from repro.worm.retention_lock import RetentionLock, RetentionTerm
+
+
+def test_term_expiry_math():
+    term = RetentionTerm(start=100.0, duration_seconds=50.0)
+    assert term.expires_at == 150.0
+    assert not term.expired(149.0)
+    assert term.expired(150.0)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(RetentionError):
+        RetentionTerm(start=0.0, duration_seconds=-1.0)
+
+
+def test_set_term_once():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 10.0))
+    with pytest.raises(RetentionError):
+        lock.set_term("obj-1", RetentionTerm(0.0, 5.0))
+
+
+def test_term_for_unknown_object():
+    with pytest.raises(RetentionError):
+        RetentionLock().term_for("nope")
+
+
+def test_extend_term():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 10.0))
+    extended = lock.extend_term("obj-1", 100.0)
+    assert extended.expires_at == 100.0
+    assert lock.term_for("obj-1").expires_at == 100.0
+
+
+def test_shorten_term_rejected():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 100.0))
+    with pytest.raises(RetentionError, match="extended"):
+        lock.extend_term("obj-1", 50.0)
+
+
+def test_deletion_blocked_before_expiry():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 100.0))
+    with pytest.raises(RetentionError, match="under retention"):
+        lock.check_deletable("obj-1", now=50.0)
+    assert not lock.is_deletable("obj-1", now=50.0)
+
+
+def test_deletion_allowed_after_expiry():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 100.0))
+    lock.check_deletable("obj-1", now=100.0)
+    assert lock.is_deletable("obj-1", now=100.0)
+
+
+def test_hold_blocks_deletion_even_after_expiry():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 10.0))
+    lock.place_hold("obj-1", "case-2026-114")
+    with pytest.raises(RetentionError, match="hold"):
+        lock.check_deletable("obj-1", now=1000.0)
+
+
+def test_hold_release_restores_deletability():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 10.0))
+    lock.place_hold("obj-1", "case-1")
+    lock.place_hold("obj-1", "case-2")
+    lock.release_hold("obj-1", "case-1")
+    assert not lock.is_deletable("obj-1", now=1000.0)
+    lock.release_hold("obj-1", "case-2")
+    assert lock.is_deletable("obj-1", now=1000.0)
+
+
+def test_release_unknown_hold_rejected():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 10.0))
+    with pytest.raises(RetentionError):
+        lock.release_hold("obj-1", "no-such-hold")
+
+
+def test_hold_on_unknown_object_rejected():
+    with pytest.raises(RetentionError):
+        RetentionLock().place_hold("nope", "case-1")
+
+
+def test_holds_on_returns_copy():
+    lock = RetentionLock()
+    lock.set_term("obj-1", RetentionTerm(0.0, 10.0))
+    lock.place_hold("obj-1", "case-1")
+    holds = lock.holds_on("obj-1")
+    holds.add("fake")
+    assert lock.holds_on("obj-1") == {"case-1"}
+
+
+def test_expired_objects_queue():
+    lock = RetentionLock()
+    lock.set_term("soon", RetentionTerm(0.0, 10.0))
+    lock.set_term("later", RetentionTerm(0.0, 1000.0))
+    lock.set_term("held", RetentionTerm(0.0, 10.0))
+    lock.place_hold("held", "case-1")
+    assert lock.expired_objects(now=500.0) == ["soon"]

@@ -1,0 +1,149 @@
+"""WORM store: write-once semantics, digest checks, gated deletion."""
+
+import pytest
+
+from repro.errors import (
+    IntegrityError,
+    RecordNotFoundError,
+    RetentionError,
+    WormViolationError,
+)
+from repro.storage.block import MemoryDevice
+from repro.util.clock import SimulatedClock
+from repro.worm.retention_lock import RetentionTerm
+from repro.worm.store import WormStore
+
+
+def make_store():
+    clock = SimulatedClock(start=1000.0)
+    return WormStore(device=MemoryDevice("worm", 1 << 20), clock=clock), clock
+
+
+def test_put_get_round_trip():
+    store, _ = make_store()
+    store.put("obj-1", b"record bytes")
+    assert store.get("obj-1") == b"record bytes"
+    assert "obj-1" in store
+    assert len(store) == 1
+
+
+def test_binary_payload_with_nulls_round_trips():
+    store, _ = make_store()
+    payload = bytes(range(256)) * 3
+    store.put("obj-bin", payload)
+    assert store.get("obj-bin") == payload
+
+
+def test_duplicate_put_rejected_even_if_identical():
+    store, _ = make_store()
+    store.put("obj-1", b"data")
+    with pytest.raises(WormViolationError):
+        store.put("obj-1", b"data")
+
+
+def test_attempt_overwrite_always_raises():
+    store, _ = make_store()
+    store.put("obj-1", b"data")
+    with pytest.raises(WormViolationError, match="write-once"):
+        store.attempt_overwrite("obj-1", b"evil")
+    assert store.get("obj-1") == b"data"
+
+
+def test_get_unknown_object():
+    store, _ = make_store()
+    with pytest.raises(RecordNotFoundError):
+        store.get("nope")
+
+
+def test_metadata_reports_digest_and_time():
+    store, _ = make_store()
+    meta = store.put("obj-1", b"xyz")
+    assert meta.size == 3
+    assert meta.written_at == 1000.0
+    assert len(meta.content_digest) == 32
+
+
+def test_raw_tamper_detected_on_get():
+    store, _ = make_store()
+    store.put("obj-1", b"A" * 100)
+    offset, size = store.physical_extent("obj-1")
+    store.device.raw_write(offset + 10, b"B")
+    with pytest.raises(IntegrityError):
+        store.get("obj-1")
+
+
+def test_physical_extent_points_at_payload():
+    store, _ = make_store()
+    store.put("obj-1", b"PAYLOAD-BYTES")
+    offset, size = store.physical_extent("obj-1")
+    assert store.device.raw_read(offset, size) == b"PAYLOAD-BYTES"
+
+
+def test_verify_all_localizes_corruption():
+    store, _ = make_store()
+    store.put("good-1", b"a" * 50)
+    store.put("bad", b"b" * 50)
+    store.put("good-2", b"c" * 50)
+    offset, _ = store.physical_extent("bad")
+    store.device.raw_write(offset + 5, b"\x00\x01")
+    assert store.verify_all() == ["bad"]
+
+
+def test_delete_blocked_under_retention():
+    store, clock = make_store()
+    store.put("obj-1", b"data", retention=RetentionTerm(clock.now(), 100.0))
+    with pytest.raises(RetentionError):
+        store.delete("obj-1")
+
+
+def test_delete_after_expiry_tombstones():
+    store, clock = make_store()
+    store.put("obj-1", b"data", retention=RetentionTerm(clock.now(), 100.0))
+    clock.advance(200.0)
+    meta = store.delete("obj-1")
+    assert meta.deleted
+    assert "obj-1" not in store
+    with pytest.raises(RecordNotFoundError):
+        store.get("obj-1")
+
+
+def test_double_delete_rejected():
+    store, clock = make_store()
+    store.put("obj-1", b"data")
+    store.delete("obj-1")
+    with pytest.raises(RecordNotFoundError):
+        store.delete("obj-1")
+
+
+def test_delete_blocked_by_hold():
+    store, clock = make_store()
+    store.put("obj-1", b"data")
+    store.retention.place_hold("obj-1", "case-9")
+    with pytest.raises(RetentionError, match="hold"):
+        store.delete("obj-1")
+
+
+def test_deleted_object_bytes_remain_until_shredded():
+    # Logical deletion does not remove bytes — that is the shredder's
+    # job, and exactly what E5 measures.
+    store, clock = make_store()
+    store.put("obj-1", b"SENSITIVE")
+    store.delete("obj-1")
+    offset, size = store.physical_extent("obj-1")
+    assert store.device.raw_read(offset, size) == b"SENSITIVE"
+
+
+def test_object_ids_excludes_deleted_by_default():
+    store, clock = make_store()
+    store.put("a", b"1")
+    store.put("b", b"2")
+    store.delete("a")
+    assert store.object_ids() == ["b"]
+    assert store.object_ids(include_deleted=True) == ["a", "b"]
+
+
+def test_default_retention_is_zero_duration():
+    store, clock = make_store()
+    store.put("obj-1", b"data")
+    term = store.retention.term_for("obj-1")
+    assert term.expires_at == clock.now()
