@@ -8,7 +8,9 @@ fastest writer; encrypted pays a cipher tax; Curator pays the most
 interactive range; reads are much closer together than writes.
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +19,9 @@ from repro.workload.generator import WorkloadGenerator
 
 N_RECORDS = 60
 N_READS = 120
+N_BATCH = 150  # batched-ingest arm; amortization grows with batch size
+
+BENCH_JSON = Path(__file__).parent / "BENCH_e2.json"
 
 
 def _ingest(name):
@@ -110,3 +115,68 @@ def test_e2_throughput_table(benchmark):
     # but still completes the workload interactively.
     assert results["relational"][0] <= min(r[0] for r in results.values()) * 1.5
     assert results["curator"][0] >= results["relational"][0]
+
+
+def _fresh_stream(n=N_BATCH):
+    clock_holder = {}
+
+    def build(name):
+        model, clock = MODEL_FACTORIES[name]()
+        generator = WorkloadGenerator(2007, clock or new_clock())
+        generator.create_population(10)
+        clock_holder[name] = clock
+        return model, [g.record for g in generator.mixed_stream(n)]
+
+    return build
+
+
+def test_e2_batched_ingest(benchmark):
+    """The fast-path measurement: looped ``store`` vs ``store_many``
+    per model, written to ``BENCH_e2.json`` for the regression checker.
+
+    Baselines inherit the default (looping) ``store_many``, so their
+    two arms are near-equal — the point of the table is Curator, whose
+    batched arm amortizes journal flushes and posting-list commits and
+    must come in at >= 2x the single-record arm while every security
+    property still holds.
+    """
+    build = _fresh_stream()
+    results = {}
+    for name in MODEL_FACTORIES:
+        model, records = build(name)
+        start = time.perf_counter()
+        for record in records:
+            model.store(record, "batch-loader")
+        single_s = time.perf_counter() - start
+
+        model, records = build(name)
+        start = time.perf_counter()
+        stored = model.store_many(records, "batch-loader")
+        batched_s = time.perf_counter() - start
+        assert stored == len(records)
+
+        results[name] = {
+            "single_rps": round(N_BATCH / single_s, 1),
+            "batched_rps": round(N_BATCH / batched_s, 1),
+            "speedup": round(single_s / batched_s, 2),
+        }
+        # Security properties survive the fast path.
+        assert sorted(model.record_ids()) == sorted(r.record_id for r in records)
+        if model.verify_audit_trail() is not None:
+            assert model.verify_audit_trail() is True
+        assert model.verify_integrity() == []
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "E2 batched ingest (records/s)",
+        ["model", "single", "batched", "speedup"],
+        [
+            [name, r["single_rps"], r["batched_rps"], f'{r["speedup"]:.2f}x']
+            for name, r in results.items()
+        ],
+    )
+    BENCH_JSON.write_text(
+        json.dumps({"n_records": N_BATCH, "models": results}, indent=2) + "\n"
+    )
+    # The acceptance bar: batched Curator ingest at >= 2x single-record.
+    assert results["curator"]["speedup"] >= 2.0, results["curator"]

@@ -1,0 +1,112 @@
+"""Throughput regression gate for the E2 write-path benchmark.
+
+Compares a freshly generated ``BENCH_e2.json`` (run
+``pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest``
+first) against a baseline — by default the copy committed at git HEAD —
+and exits non-zero if any model's single or batched ingest throughput
+dropped by more than the tolerance (30%).
+
+Usage::
+
+    python benchmarks/check_regression.py                 # vs git HEAD
+    python benchmarks/check_regression.py --baseline old.json
+    python benchmarks/check_regression.py --tolerance 0.2
+
+Throughput on shared machines is noisy; 30% is deliberately loose — the
+gate exists to catch algorithmic regressions (a cache dropped, a batch
+path quietly falling back to the loop), not scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_JSON = Path(__file__).parent / "BENCH_e2.json"
+DEFAULT_TOLERANCE = 0.30
+_METRICS = ("single_rps", "batched_rps")
+
+
+def load_baseline(path: str | None) -> dict:
+    """The committed (or explicitly given) benchmark numbers."""
+    if path is not None:
+        return json.loads(Path(path).read_text())
+    repo_root = Path(__file__).parent.parent
+    blob = subprocess.run(
+        ["git", "show", "HEAD:benchmarks/BENCH_e2.json"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    return json.loads(blob)
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty when everything is within tolerance)."""
+    problems = []
+    for model, base in baseline.get("models", {}).items():
+        cur = current.get("models", {}).get(model)
+        if cur is None:
+            problems.append(f"{model}: missing from current results")
+            continue
+        for metric in _METRICS:
+            if base.get(metric, 0) <= 0:
+                continue
+            ratio = cur.get(metric, 0) / base[metric]
+            if ratio < 1.0 - tolerance:
+                problems.append(
+                    f"{model}.{metric}: {cur.get(metric, 0):.1f} vs baseline "
+                    f"{base[metric]:.1f} ({(1.0 - ratio) * 100:.0f}% drop, "
+                    f"tolerance {tolerance * 100:.0f}%)"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default: benchmarks/BENCH_e2.json at git HEAD)",
+    )
+    parser.add_argument(
+        "--current", default=str(BENCH_JSON), help="fresh results JSON path"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional throughput drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    current_path = Path(args.current)
+    if not current_path.exists():
+        print(f"no current results at {current_path}; run the E2 benchmark first")
+        return 2
+    current = json.loads(current_path.read_text())
+    try:
+        baseline = load_baseline(args.baseline)
+    except subprocess.CalledProcessError:
+        print("no committed baseline at HEAD; nothing to compare against")
+        return 0
+
+    problems = compare(current, baseline, args.tolerance)
+    if problems:
+        print("THROUGHPUT REGRESSION:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"ok: all models within {args.tolerance * 100:.0f}% of baseline "
+        f"({len(baseline.get('models', {}))} models checked)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

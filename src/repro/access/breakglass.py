@@ -14,7 +14,7 @@ which the compliance checker (:mod:`repro.compliance`) reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.access.principals import User
 from repro.errors import AccessDeniedError
@@ -81,6 +81,20 @@ class BreakGlassController:
             and grant.expires_at > now
             for grant in self._grants.values()
         )
+
+    def revoke(self, grant_id: str) -> BreakGlassGrant:
+        """Cut a grant short (e.g. the review found it unjustified).
+
+        The grant stays on the books — its issuance is history the
+        review queue must still disposition — but it stops authorizing
+        access immediately.  Returns the revoked grant.
+        """
+        grant = self._grants.get(grant_id)
+        if grant is None:
+            raise AccessDeniedError(f"unknown break-glass grant {grant_id}")
+        revoked = replace(grant, expires_at=self._clock.now())
+        self._grants[grant_id] = revoked
+        return revoked
 
     def review(self, grant_id: str, reviewer_id: str) -> None:
         """The privacy officer dispositions a grant."""

@@ -29,7 +29,7 @@ from repro.errors import AuditError
 from repro.storage.block import BlockDevice, MemoryDevice
 from repro.storage.journal import Journal
 from repro.util.clock import Clock, WallClock
-from repro.util.encoding import canonical_bytes, canonical_loads
+from repro.util.encoding import canonical_bytes, canonical_dumps, canonical_loads
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,8 @@ class AuditLog:
         self._head = GENESIS_DIGEST
         self._events: list[AuditEvent] = []
         self._tree = MerkleTree()
+        # Open batch: buffered journal payloads, or None outside a batch.
+        self._pending: list[bytes] | None = None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -87,7 +89,13 @@ class AuditLog:
         subject_id: str,
         detail: dict[str, Any] | None = None,
     ) -> AuditEvent:
-        """Record an event; returns it with its assigned sequence number."""
+        """Record an event; returns it with its assigned sequence number.
+
+        Inside an open batch (:meth:`begin_batch`) the chain, Merkle
+        tree, and in-memory event list advance immediately but the
+        journal write is deferred to :meth:`commit` — one device flush
+        covers the whole batch.
+        """
         event = AuditEvent(
             sequence=len(self._events),
             timestamp=self._clock.now(),
@@ -96,16 +104,56 @@ class AuditLog:
             subject_id=subject_id,
             detail=detail or {},
         )
-        encoded = canonical_bytes({"event": event.to_dict(), "prev": self._head})
+        # The chain input and the persisted entry share the event and
+        # prev encodings; splicing pre-encoded fragments (keys in sorted
+        # order: chain < event < prev) halves the canonical-JSON work
+        # while producing bytes identical to canonical_bytes() of the
+        # equivalent dicts — verify_chain recomputes and must agree.
+        event_json = canonical_dumps(event.to_dict())
+        prev_json = canonical_dumps(self._head)
+        encoded = f'{{"event":{event_json},"prev":{prev_json}}}'.encode("utf-8")
         new_head = chain_digest(self._head, encoded)
-        persisted = canonical_bytes(
-            {"event": event.to_dict(), "prev": self._head, "chain": new_head}
-        )
-        self._journal.append(persisted)
+        chain_json = canonical_dumps(new_head)
+        persisted = (
+            f'{{"chain":{chain_json},"event":{event_json},"prev":{prev_json}}}'
+        ).encode("utf-8")
+        if self._pending is not None:
+            self._pending.append(persisted)
+        else:
+            self._journal.append(persisted)
         self._tree.append(encoded)
         self._head = new_head
         self._events.append(event)
         return event
+
+    # -- batch commit boundary -----------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Start deferring journal writes; pair with :meth:`commit`.
+
+        Chain semantics are untouched — every event still gets its own
+        chain digest and Merkle leaf at append time; only the device
+        flush is grouped.  Until commit, :meth:`verify_chain` will see
+        storage lagging the in-memory head, so callers must commit
+        before verifying (the engine wraps batches in try/finally).
+        """
+        if self._pending is not None:
+            raise AuditError("an audit batch is already open")
+        self._pending = []
+
+    def commit(self) -> int:
+        """Flush buffered events in ONE journal device write; returns
+        how many were flushed.  No-op (returns 0) when no batch is open.
+        """
+        pending, self._pending = self._pending, None
+        if not pending:
+            return 0
+        self._journal.append_many(pending)
+        return len(pending)
+
+    @property
+    def in_batch(self) -> bool:
+        return self._pending is not None
 
     # -- read -------------------------------------------------------------
 
@@ -203,6 +251,7 @@ class AuditLog:
         log._head = GENESIS_DIGEST
         log._events = []
         log._tree = MerkleTree()
+        log._pending = None
         for sequence, payload in enumerate(log._journal.read_all()):
             try:
                 entry = canonical_loads(payload)

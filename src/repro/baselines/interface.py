@@ -41,6 +41,21 @@ class StorageModel(abc.ABC):
     def store(self, record: HealthRecord, author_id: str) -> None:
         """Persist a new record."""
 
+    def store_many(
+        self, records: list[HealthRecord], author_id: str
+    ) -> int:
+        """Persist a batch of new records; returns how many were stored.
+
+        The default just loops :meth:`store` — semantically the
+        baseline every batched implementation must match.  Models with
+        a fast path (see ``CuratorStore``) override this to amortize
+        journal flushes and integrity commits across the batch while
+        producing the *same* audit chain and index state.
+        """
+        for record in records:
+            self.store(record, author_id)
+        return len(records)
+
     @abc.abstractmethod
     def read(self, record_id: str, actor_id: str = "system") -> HealthRecord:
         """Return the current version of a record."""

@@ -8,6 +8,8 @@ Commands:
 * ``thirty-years`` — the OSHA retention simulation with media refresh.
 * ``audit-ops`` — build a small deployment, drift it, and print the
   operational-findings report.
+* ``metrics`` — ingest a small workload both ways (looped vs batched)
+  and print the performance counters.
 * ``info`` — library version and subsystem inventory.
 """
 
@@ -145,6 +147,41 @@ def _audit_ops(_args) -> int:
     return 0
 
 
+def _metrics(_args) -> int:
+    from repro import CuratorConfig, CuratorStore
+    from repro.util import SimulatedClock
+    from repro.util.metrics import METRICS
+    from repro.workload import WorkloadGenerator
+
+    def build():
+        clock = SimulatedClock(start=1.17e9)
+        store = CuratorStore(CuratorConfig(master_key=bytes(range(32)), clock=clock))
+        generator = WorkloadGenerator("cli-metrics", clock)
+        generator.create_population(8)
+        return store, [generator.encounter_record() for _ in range(16)]
+
+    METRICS.reset()
+    store, batch = build()
+    for generated in batch:
+        store.store(generated.record, generated.author_id)
+    for record_id in store.record_ids()[:4]:
+        store.read(record_id)
+        store.read(record_id)  # second read exercises the LRU
+    looped = METRICS.snapshot()
+
+    METRICS.reset()
+    store, batch = build()
+    store.store_many([g.record for g in batch], batch[0].author_id)
+    batched = METRICS.snapshot()
+
+    names = sorted(set(looped) | set(batched))
+    width = max(len(n) for n in names)
+    print(f"{'counter':<{width}}  {'looped':>12}  {'batched':>12}")
+    for name in names:
+        print(f"{name:<{width}}  {looped.get(name, 0):>12}  {batched.get(name, 0):>12}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,6 +203,9 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "audit-ops", help="operational compliance findings on a drifted deployment"
     ).set_defaults(func=_audit_ops)
+    sub.add_parser(
+        "metrics", help="performance counters for looped vs batched ingest"
+    ).set_defaults(func=_metrics)
     args = parser.parse_args(argv)
     return args.func(args)
 

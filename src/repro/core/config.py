@@ -28,6 +28,7 @@ class CuratorConfig:
     witness_count: int = 1  # >1 builds a witness quorum (majority threshold)
     signature_bits: int = 768  # simulation-scale; see crypto.rsa docs
     auto_register_authors: bool = True
+    read_cache_size: int = 128  # decrypted-read LRU entries; 0 disables
 
     def __post_init__(self) -> None:
         if len(self.master_key) != 32:
@@ -38,3 +39,5 @@ class CuratorConfig:
             raise ConfigurationError("anchor_every_events must be >= 1")
         if self.witness_count < 1:
             raise ConfigurationError("witness_count must be >= 1")
+        if self.read_cache_size < 0:
+            raise ConfigurationError("read_cache_size must be >= 0")

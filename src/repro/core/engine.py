@@ -23,6 +23,7 @@ refresh) the examples and experiments use.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any
 
 from repro.access.breakglass import BreakGlassController
@@ -60,6 +61,7 @@ from repro.retention.shredder import SecureShredder
 from repro.storage.block import BlockDevice, MemoryDevice
 from repro.storage.media import MediaPool, Medium
 from repro.util.encoding import canonical_bytes, canonical_loads
+from repro.util.metrics import METRICS
 from repro.worm.store import WormStore
 
 
@@ -135,6 +137,12 @@ class CuratorStore(StorageModel):
         self._attachments: dict[str, dict[str, Any]] = {}
         self._disposed: set[str] = set()
         self._authenticator = None
+        # Decrypted-and-verified current versions (record_id -> (version
+        # number, record)).  Authorization and audit always run; only
+        # the WORM fetch + AEAD decrypt are skipped on a hit, and every
+        # path that changes or destroys a record's current version
+        # purges its entry.
+        self._read_cache: OrderedDict[str, tuple[int, HealthRecord]] = OrderedDict()
 
     # ------------------------------------------------------------------
     # principals
@@ -273,6 +281,20 @@ class CuratorStore(StorageModel):
         )
         return grant
 
+    def revoke_break_glass(self, grant_id: str):
+        """Revoke an emergency grant and drop any cached plaintext the
+        grantee's reads pinned in memory — after revocation, reaching a
+        record again must run the full decrypt-under-authorization path.
+        """
+        grant = self._breakglass.revoke(grant_id)
+        for record_id in self.records_of_patient(grant.patient_id):
+            self._read_cache.pop(record_id, None)
+        self._audit.append(
+            AuditAction.EMERGENCY_ACCESS, grant.user_id, grant.patient_id,
+            {"grant_id": grant.grant_id, "revoked": True},
+        )
+        return grant
+
     @property
     def breakglass(self) -> BreakGlassController:
         return self._breakglass
@@ -374,6 +396,51 @@ class CuratorStore(StorageModel):
             {"type": record.record_type.value, "patient": record.patient_id},
         )
 
+    def store_many(self, records: list[HealthRecord], author_id: str) -> int:
+        """Batched ingest: same records, same audit chain, same index
+        state as N :meth:`store` calls — but journal writes and index
+        posting-list commits are amortized over the batch.
+
+        Per record the chain digest, Merkle leaf, custody signature,
+        and anchor cadence are computed exactly as in the single path
+        (RECORD_CREATED events are byte-identical); what is batched is
+        purely I/O: the audit journal flushes once (``begin_batch`` /
+        ``commit``) and the index re-encrypts each affected posting
+        list once for the whole batch.  Validation is all-or-nothing
+        before any state changes.
+        """
+        seen: set[str] = set()
+        for record in records:
+            if record.record_id in self._chains:
+                raise RecordError(f"record {record.record_id} already exists")
+            if record.record_id in seen:
+                raise RecordError(f"record {record.record_id} duplicated in batch")
+            seen.add(record.record_id)
+        if not records:
+            return 0
+        documents: list[tuple[str, str]] = []
+        self._audit.begin_batch()
+        try:
+            for record in records:
+                self._auto_register_author(author_id, record.patient_id)
+                handle = self._keystore.create_key(label=record.record_id)
+                self._keys[record.record_id] = handle
+                chain = VersionChain(record.record_id)
+                version = chain.append_initial(record, author_id, self._clock.now())
+                self._put_version(version, handle)
+                self._chains[record.record_id] = chain
+                documents.append((record.record_id, record.searchable_text()))
+                self._audit.append(
+                    AuditAction.RECORD_CREATED, author_id, record.record_id,
+                    {"type": record.record_type.value, "patient": record.patient_id},
+                )
+            self._index.add_documents(documents)
+        finally:
+            self._audit.commit()
+        METRICS.incr("store_many_batches")
+        METRICS.incr("store_many_records", len(records))
+        return len(records)
+
     def _default_purpose(self, actor_id: str) -> Purpose:
         """Infer the purpose of use from the actor's primary role when the
         caller does not state one (billing reads for payment, researchers
@@ -407,13 +474,25 @@ class CuratorStore(StorageModel):
             purpose or self._default_purpose(actor_id),
             record_id,
         )
-        version = self._open_version(record_id, len(chain) - 1)
+        current = len(chain) - 1
+        cached = self._read_cache.get(record_id)
+        if cached is not None and cached[0] == current:
+            self._read_cache.move_to_end(record_id)
+            METRICS.incr("read_cache_hits")
+            record = cached[1]
+        else:
+            METRICS.incr("read_cache_misses")
+            record = self._open_version(record_id, current).record
+            if self._config.read_cache_size > 0:
+                self._read_cache[record_id] = (current, record)
+                if len(self._read_cache) > self._config.read_cache_size:
+                    self._read_cache.popitem(last=False)
         self._audit.append(
             AuditAction.RECORD_READ, actor_id, record_id,
-            {"version": version.version_number},
+            {"version": current},
         )
         self._maybe_anchor()
-        return version.record
+        return record
 
     def read_view(self, record_id: str, actor_id: str) -> dict[str, Any]:
         """Read with the minimum-necessary projection for the actor's role."""
@@ -445,6 +524,8 @@ class CuratorStore(StorageModel):
         )
         version = chain.append_correction(corrected, author_id, reason, self._clock.now())
         self._put_version(version, self._keys[corrected.record_id])
+        # The cached entry is now a superseded version — purge it.
+        self._read_cache.pop(corrected.record_id, None)
         # Re-index: the record's current text changes; old terms must not
         # linger (secure deletion of the prior posting entries).
         self._index.delete_document(corrected.record_id)
@@ -498,7 +579,10 @@ class CuratorStore(StorageModel):
             if object_id in self._disposition.pending():
                 self._disposition.approve(object_id, "records-manager")
                 certificates.append(self._disposition.execute(object_id))
-        # index must forget the record, verifiably
+        # index must forget the record, verifiably — and so must the
+        # read cache: a disposed record served from memory would defeat
+        # the key shredding below.
+        self._read_cache.pop(record_id, None)
         self._index.delete_document(record_id)
         # coordinated cryptographic deletion in backups
         handle = self._keys[record_id]

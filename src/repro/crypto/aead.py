@@ -20,7 +20,12 @@ import secrets
 import struct
 from dataclasses import dataclass
 
-from repro.crypto.chacha20 import KEY_SIZE, NONCE_SIZE, chacha20_xor
+from repro.crypto.chacha20 import (
+    KEY_SIZE,
+    NONCE_SIZE,
+    chacha20_xor,
+    purge_keystream_for_key,
+)
 from repro.crypto.hmac_utils import constant_time_equal, hmac_sha256
 from repro.crypto.kdf import derive_key
 from repro.errors import AuthenticationError, CryptoError
@@ -87,6 +92,12 @@ class AeadCipher:
         ciphertext = chacha20_xor(self._enc_key, nonce, plaintext)
         tag = hmac_sha256(self._mac_key, self._mac_input(nonce, associated_data, ciphertext))
         return AeadCiphertext(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+    def purge_keystream(self) -> int:
+        """Drop all cached keystream generated under this cipher's
+        encryption key (called when the owning data key is shredded, so
+        no key-equivalent material outlives the key in process memory)."""
+        return purge_keystream_for_key(self._enc_key)
 
     def decrypt(self, box: AeadCiphertext, associated_data: bytes = b"") -> bytes:
         """Open a sealed box; raises :class:`AuthenticationError` if the

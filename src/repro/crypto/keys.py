@@ -25,12 +25,16 @@ the key in every replica; the backup manager cooperates.
 from __future__ import annotations
 
 import secrets
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.crypto.aead import AeadCipher, AeadCiphertext
 from repro.crypto.chacha20 import KEY_SIZE
 from repro.errors import KeyManagementError
 from repro.util.clock import Clock, WallClock
+from repro.util.metrics import METRICS
+
+_CIPHER_CACHE_CAPACITY = 4096
 
 
 class ShreddedKeyError(KeyManagementError):
@@ -72,6 +76,10 @@ class KeyStore:
         self._clock = clock or WallClock()
         self._entries: dict[str, _KeyEntry] = {}
         self._counter = 0
+        # Unwrap + HKDF memo: key_id -> ready AeadCipher.  Shredding
+        # MUST invalidate (see shred/invalidate_cached) — a hit after a
+        # shred would resurrect a destroyed key.
+        self._cipher_cache: OrderedDict[str, AeadCipher] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,14 +106,36 @@ class KeyStore:
             raise KeyManagementError(f"unknown key {handle.key_id}")
         if entry.wrapped is None:
             raise ShreddedKeyError(f"key {handle.key_id} was shredded")
+        cached = self._cipher_cache.get(handle.key_id)
+        if cached is not None:
+            METRICS.incr("kdf_cache_hits")
+            self._cipher_cache.move_to_end(handle.key_id)
+            return cached
+        METRICS.incr("kdf_cache_misses")
         data_key = self._wrapper.decrypt(entry.wrapped, associated_data=handle.key_id.encode())
-        return AeadCipher(data_key)
+        cipher = AeadCipher(data_key)
+        self._cipher_cache[handle.key_id] = cipher
+        while len(self._cipher_cache) > _CIPHER_CACHE_CAPACITY:
+            self._cipher_cache.popitem(last=False)
+        return cipher
+
+    def invalidate_cached(self, handle: KeyHandle) -> None:
+        """Drop any memoized cipher (and its cached keystream) for
+        *handle*.  The shredder calls this; :meth:`shred` also calls it
+        internally, so destroyed keys can never be served from a cache.
+        """
+        cached = self._cipher_cache.pop(handle.key_id, None)
+        if cached is not None:
+            cached.purge_keystream()
+            METRICS.incr("kdf_cache_invalidations")
 
     def shred(self, handle: KeyHandle) -> float:
         """Destroy the wrapped key material; returns the shred timestamp.
 
         Idempotent: shredding an already-shredded key returns the
-        original timestamp.
+        original timestamp.  Every derived-material cache (cipher memo,
+        keystream prefixes) is purged first — after this returns, no
+        path through the keystore can decrypt the key's ciphertexts.
         """
         entry = self._entries.get(handle.key_id)
         if entry is None:
@@ -113,6 +143,15 @@ class KeyStore:
         if entry.wrapped is None:
             assert entry.shredded_at is not None
             return entry.shredded_at
+        # Purge caches while the key still unwraps (the keystream cache
+        # is keyed by the derived encryption key, which we can only
+        # recompute before the wrapped material is destroyed).
+        if handle.key_id not in self._cipher_cache:
+            data_key = self._wrapper.decrypt(
+                entry.wrapped, associated_data=handle.key_id.encode()
+            )
+            self._cipher_cache[handle.key_id] = AeadCipher(data_key)
+        self.invalidate_cached(handle)
         entry.wrapped = None
         entry.shredded_at = self._clock.now()
         return entry.shredded_at

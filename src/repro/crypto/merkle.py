@@ -82,35 +82,62 @@ class MerkleProof:
 
 
 class MerkleTree:
-    """An append-only Merkle tree over byte-string leaves."""
+    """An append-only Merkle tree over byte-string leaves.
+
+    Appends maintain an incremental *forest* of perfect-subtree roots
+    (the binary-counter construction used by CT log servers), so
+    :meth:`root` is O(log n) hashing instead of a full O(n) rebuild —
+    the audit log reads the root on every anchor, and the engine's
+    batch commits read it once per batch.
+    """
 
     def __init__(self, leaves: list[bytes] | None = None) -> None:
         self._leaf_hashes: list[bytes] = []
+        # (size, subtree_root) with sizes strictly decreasing powers of
+        # two; together they cover all leaves left to right.
+        self._forest: list[tuple[int, bytes]] = []
         for leaf in leaves or []:
             self.append(leaf)
 
     def __len__(self) -> int:
         return len(self._leaf_hashes)
 
+    def _push_leaf(self, leaf_hash: bytes) -> int:
+        self._leaf_hashes.append(leaf_hash)
+        self._forest.append((1, leaf_hash))
+        # Merge equal-size perfect subtrees (binary-counter carry).
+        while len(self._forest) >= 2 and self._forest[-1][0] == self._forest[-2][0]:
+            right_size, right = self._forest.pop()
+            left_size, left = self._forest.pop()
+            self._forest.append((left_size + right_size, _node_hash(left, right)))
+        return len(self._leaf_hashes) - 1
+
     def append(self, leaf: bytes) -> int:
         """Append a leaf; returns its index."""
         if not isinstance(leaf, (bytes, bytearray)):
             raise ValidationError("Merkle leaves must be bytes")
-        self._leaf_hashes.append(_leaf_hash(bytes(leaf)))
-        return len(self._leaf_hashes) - 1
+        return self._push_leaf(_leaf_hash(bytes(leaf)))
 
     def append_hash(self, leaf_hash: bytes) -> int:
         """Append a pre-hashed leaf (32 bytes, already leaf-hashed)."""
         if len(leaf_hash) != 32:
             raise ValidationError("leaf hash must be 32 bytes")
-        self._leaf_hashes.append(bytes(leaf_hash))
-        return len(self._leaf_hashes) - 1
+        return self._push_leaf(bytes(leaf_hash))
 
     def root(self) -> bytes:
-        """Current root digest (EMPTY_ROOT for the empty tree)."""
-        if not self._leaf_hashes:
+        """Current root digest (EMPTY_ROOT for the empty tree).
+
+        Folds the incremental forest right-to-left, which reproduces
+        the RFC 6962 recursion: the split point is always the largest
+        power of two below the range size, i.e. the leftmost forest
+        entry at every level.
+        """
+        if not self._forest:
             return EMPTY_ROOT
-        return _subtree_root(self._leaf_hashes)
+        acc = self._forest[-1][1]
+        for _, subtree in reversed(self._forest[:-1]):
+            acc = _node_hash(subtree, acc)
+        return acc
 
     def root_at(self, size: int) -> bytes:
         """Root of the historical tree containing only the first *size* leaves."""
@@ -149,6 +176,7 @@ class MerkleTree:
             raise ValidationError(f"size {size} out of range 1..{len(self._leaf_hashes)}")
         historical = MerkleTree.__new__(MerkleTree)
         historical._leaf_hashes = self._leaf_hashes[:size]
+        historical._forest = []  # proofs recurse over leaf hashes only
         return historical.prove_inclusion(index)
 
     def prove_consistency(self, old_size: int) -> list[bytes]:

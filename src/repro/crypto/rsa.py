@@ -123,17 +123,41 @@ def _pad_digest(digest: bytes, key_bytes: int) -> bytes:
 
 @dataclass(frozen=True)
 class RsaKeyPair:
-    """An RSA key pair; ``public`` can be shared, the rest must not be."""
+    """An RSA key pair; ``public`` can be shared, the rest must not be.
+
+    When the prime factors are retained (the normal case from
+    :func:`generate_keypair`), signing uses the Chinese Remainder
+    Theorem: two half-size exponentiations plus a recombination, ~4x
+    faster than ``pow(m, d, n)`` and producing the identical signature.
+    Pairs built without factors (``p``/``q`` of 0) fall back to the
+    direct form.
+    """
 
     public: RsaPublicKey
     private_exponent: int
+    p: int = 0
+    q: int = 0
+
+    def __post_init__(self) -> None:
+        # Precompute the CRT constants once; frozen dataclass, so set
+        # through object.__setattr__.
+        if self.p and self.q:
+            object.__setattr__(self, "_d_p", self.private_exponent % (self.p - 1))
+            object.__setattr__(self, "_d_q", self.private_exponent % (self.q - 1))
+            object.__setattr__(self, "_q_inv", _modinv(self.q, self.p))
 
     def sign(self, message: bytes) -> bytes:
         """Deterministically sign SHA-256(message)."""
         k = self.public.byte_length
         padded = _pad_digest(hashlib.sha256(message).digest(), k)
         m_int = int.from_bytes(padded, "big")
-        sig_int = pow(m_int, self.private_exponent, self.public.modulus)
+        if self.p and self.q:
+            s_p = pow(m_int % self.p, self._d_p, self.p)
+            s_q = pow(m_int % self.q, self._d_q, self.q)
+            h = (self._q_inv * (s_p - s_q)) % self.p
+            sig_int = (s_q + h * self.q) % self.public.modulus
+        else:
+            sig_int = pow(m_int, self.private_exponent, self.public.modulus)
         return sig_int.to_bytes(k, "big")
 
 
@@ -155,4 +179,9 @@ def generate_keypair(bits: int = 1024) -> RsaKeyPair:
         if phi % _E == 0:
             continue
         d = _modinv(_E, phi)
-        return RsaKeyPair(public=RsaPublicKey(modulus=n, exponent=_E), private_exponent=d)
+        return RsaKeyPair(
+            public=RsaPublicKey(modulus=n, exponent=_E),
+            private_exponent=d,
+            p=p,
+            q=q,
+        )

@@ -65,17 +65,21 @@ class InvertedIndex:
         return sorted(results or set())
 
     def remove_document(self, document_id: str, text: str) -> None:
-        """Best-effort removal.  NOTE: the cleartext journal retains the
-        historical (term, doc) pairs — deletion here is not secure, which
-        is exactly what :mod:`repro.index.secure_deletion` fixes."""
+        """Best-effort, idempotent removal.  Unknown documents and terms
+        never indexed (or already removed) are no-ops — retry-safe, and
+        only actual removals are journaled.  NOTE: the cleartext journal
+        retains the historical (term, doc) pairs — deletion here is not
+        secure, which is exactly what :mod:`repro.index.secure_deletion`
+        fixes."""
         if document_id not in self._documents:
-            raise IndexError_(f"document {document_id} not indexed")
+            return
         for term in unique_terms(text):
             postings = self._postings.get(term)
-            if postings:
-                postings.discard(document_id)
-                if not postings:
-                    del self._postings[term]
+            if postings is None or document_id not in postings:
+                continue
+            postings.discard(document_id)
+            if not postings:
+                del self._postings[term]
             self._journal.append(
                 canonical_bytes({"op": "del", "term": term, "doc": document_id})
             )

@@ -52,6 +52,9 @@ class SecureDeletionIndex:
     def add_document(self, document_id: str, text: str) -> int:
         return self._index.add_document(document_id, text)
 
+    def add_documents(self, documents: list[tuple[str, str]]) -> list[int]:
+        return self._index.add_documents(documents)
+
     def search(self, term: str) -> list[str]:
         return self._index.search(term)
 

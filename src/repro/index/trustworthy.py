@@ -25,6 +25,7 @@ Queries decrypt one list; tampering anywhere in a list surfaces as an
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.crypto.aead import AeadCipher, AeadCiphertext
@@ -35,6 +36,9 @@ from repro.index.tokenizer import unique_terms
 from repro.storage.block import BlockDevice, MemoryDevice
 from repro.storage.journal import HEADER_SIZE, Journal
 from repro.util.encoding import canonical_bytes, canonical_loads
+from repro.util.metrics import METRICS
+
+_CIPHER_CACHE_CAPACITY = 4096
 
 _PAD_DOC = ""  # padding entries are empty strings, dropped on decrypt
 
@@ -75,6 +79,11 @@ class TrustworthyIndex:
         # trapdoor(hex) -> superseded versions (secure deletion scrubs these)
         self._superseded: dict[str, list[_ListVersion]] = {}
         self._documents: set[str] = set()
+        # trapdoor(hex) -> AeadCipher memo.  Per-list keys are a pure
+        # KDF of the master key and the trapdoor, so caching is safe;
+        # it turns the dominant ingest cost (one KDF + cipher setup per
+        # touched list) into a dictionary hit.
+        self._cipher_cache: OrderedDict[str, AeadCipher] = OrderedDict()
 
     @property
     def device(self) -> BlockDevice:
@@ -94,15 +103,27 @@ class TrustworthyIndex:
         return hmac_sha256(self._trapdoor_key, term.lower().encode("utf-8")).hex()
 
     def _cipher_for(self, trapdoor: str) -> AeadCipher:
+        cached = self._cipher_cache.get(trapdoor)
+        if cached is not None:
+            self._cipher_cache.move_to_end(trapdoor)
+            METRICS.incr("index_cipher_cache_hits")
+            return cached
+        METRICS.incr("index_cipher_cache_misses")
         key = derive_key(self._list_key_root, f"list/{trapdoor}")
-        return AeadCipher(key)
+        cipher = AeadCipher(key)
+        self._cipher_cache[trapdoor] = cipher
+        if len(self._cipher_cache) > _CIPHER_CACHE_CAPACITY:
+            self._cipher_cache.popitem(last=False)
+        return cipher
 
     def _associated_data(self, trapdoor: str, version: int) -> bytes:
         return canonical_bytes({"trapdoor": trapdoor, "version": version})
 
     # -- posting-list persistence -----------------------------------------------
 
-    def _write_list(self, trapdoor: str, documents: list[str]) -> None:
+    def _prepare_list(self, trapdoor: str, documents: list[str]) -> tuple[str, int, bytes]:
+        """Encrypt one posting-list version; returns ``(trapdoor,
+        version, stored_bytes)`` without touching the journal."""
         previous = self._current.get(trapdoor)
         version = previous.version + 1 if previous else 0
         padded = sorted(documents) + [_PAD_DOC] * (
@@ -113,15 +134,25 @@ class TrustworthyIndex:
             plaintext, associated_data=self._associated_data(trapdoor, version)
         )
         stored = canonical_bytes({"t": trapdoor, "v": version, "box": box.to_bytes()})
-        entry = self._journal.append(stored)
-        if previous is not None:
-            self._superseded.setdefault(trapdoor, []).append(previous)
-        self._current[trapdoor] = _ListVersion(
-            journal_sequence=entry.sequence,
-            device_offset=entry.offset + HEADER_SIZE,
-            size=len(stored),
-            version=version,
-        )
+        return trapdoor, version, stored
+
+    def _commit_prepared(self, prepared: list[tuple[str, int, bytes]]) -> None:
+        """Journal prepared list versions under ONE device write and
+        update the version tables."""
+        entries = self._journal.append_many([stored for _, _, stored in prepared])
+        for (trapdoor, version, stored), entry in zip(prepared, entries):
+            previous = self._current.get(trapdoor)
+            if previous is not None:
+                self._superseded.setdefault(trapdoor, []).append(previous)
+            self._current[trapdoor] = _ListVersion(
+                journal_sequence=entry.sequence,
+                device_offset=entry.offset + HEADER_SIZE,
+                size=len(stored),
+                version=version,
+            )
+
+    def _write_list(self, trapdoor: str, documents: list[str]) -> None:
+        self._commit_prepared([self._prepare_list(trapdoor, documents)])
 
     def _read_list(self, trapdoor: str) -> list[str]:
         meta = self._current.get(trapdoor)
@@ -154,6 +185,46 @@ class TrustworthyIndex:
             self._write_list(trapdoor, documents)
         self._documents.add(document_id)
         return len(terms)
+
+    def add_documents(self, documents: list[tuple[str, str]]) -> list[int]:
+        """Index a batch of ``(document_id, text)`` pairs.
+
+        Each affected posting list is read and re-encrypted ONCE for
+        the whole batch (instead of once per containing document), and
+        all new list versions land in a single journal device write.
+        Returns the per-document distinct-term counts, in input order.
+
+        Validation is all-or-nothing up front; the batch is rejected
+        before any state changes if any id is empty, already indexed,
+        or duplicated within the batch.
+        """
+        seen: set[str] = set()
+        for document_id, _ in documents:
+            if not document_id:
+                raise IndexError_("document id must not be empty")
+            if document_id in self._documents:
+                raise IndexError_(f"document {document_id} already indexed")
+            if document_id in seen:
+                raise IndexError_(f"document {document_id} duplicated in batch")
+            seen.add(document_id)
+        # trapdoor -> new document ids, preserving batch order
+        additions: dict[str, list[str]] = {}
+        term_counts: list[int] = []
+        for document_id, text in documents:
+            terms = unique_terms(text)
+            term_counts.append(len(terms))
+            for term in terms:
+                additions.setdefault(self.trapdoor(term), []).append(document_id)
+        prepared = []
+        for trapdoor, new_ids in additions.items():
+            posting = self._read_list(trapdoor)
+            posting.extend(new_ids)
+            prepared.append(self._prepare_list(trapdoor, posting))
+        if prepared:
+            self._commit_prepared(prepared)
+        self._documents.update(seen)
+        METRICS.incr("index_batched_documents", len(documents))
+        return term_counts
 
     def search(self, term: str) -> list[str]:
         """Documents containing *term*; requires the index key by construction."""

@@ -28,6 +28,12 @@ from typing import Any, Iterator
 from repro.crypto.hashing import hash_canonical
 from repro.errors import IntegrityError, RecordError, ValidationError
 from repro.records.model import HealthRecord
+from repro.util.encoding import IdentityMemo
+
+# Versions are frozen once constructed, so their canonical digest is a
+# pure function of identity — memoized so chain verification and head
+# digests never re-encode an unchanged version.
+_DIGEST_MEMO = IdentityMemo(capacity=4096)
 
 
 @dataclass(frozen=True)
@@ -66,8 +72,12 @@ class RecordVersion:
             raise ValidationError(f"malformed version dict: missing {exc}") from exc
 
     def digest(self) -> bytes:
-        """Canonical digest of this version (chains into the successor)."""
-        return hash_canonical(self.to_dict())
+        """Canonical digest of this version (chains into the successor).
+
+        Memoized on this (frozen) instance — repeated chain walks and
+        head-digest reads encode each version at most once.
+        """
+        return _DIGEST_MEMO.get(self, lambda v: hash_canonical(v.to_dict()))
 
 
 _GENESIS = bytes(32)

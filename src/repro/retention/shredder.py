@@ -68,6 +68,10 @@ class SecureShredder:
         shredded_at = None
         if key_handle is not None:
             shredded_at = self._keystore.shred(key_handle)
+            # Belt and braces: shred() already purges the cipher memo
+            # and cached keystream, but destruction must never depend on
+            # one call site remembering to — invalidate explicitly.
+            self._keystore.invalidate_cached(key_handle)
         bytes_overwritten = 0
         for device, offset, size in extents:
             zeros = bytes(size)

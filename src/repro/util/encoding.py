@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Callable
 
 from repro.errors import ValidationError
+from repro.util.metrics import METRICS
 
 _BYTES_KEY = "__bytes__"
 
@@ -92,6 +94,52 @@ def canonical_loads(data: str | bytes) -> Any:
     except json.JSONDecodeError as exc:
         raise ValidationError(f"invalid canonical document: {exc}") from exc
     return _decode_value(raw)
+
+
+class IdentityMemo:
+    """Memo of derived bytes (canonical encodings, digests) keyed on
+    the *identity* of a carrier object.
+
+    Structures that get re-encoded while unchanged — a version chain's
+    head re-digested on every correction, a record re-hashed during
+    verification — pay full canonical-JSON cost each time.  This memo
+    caches the derived bytes per carrier **object**, holding a strong
+    reference to pin its ``id()`` (so a recycled id can never alias a
+    dead object; entries are also identity-checked on lookup).
+
+    Correctness contract: only use carriers that are immutable for
+    their cached lifetime (frozen dataclasses such as
+    :class:`~repro.records.versioning.RecordVersion`).  Mutating a
+    cached carrier yields stale bytes — the same contract ``dict``
+    keys place on ``__hash__``.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValidationError("memo capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, tuple[Any, bytes]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, carrier: Any, compute: Callable[[Any], bytes]) -> bytes:
+        """Bytes for *carrier*, computing via ``compute(carrier)`` once."""
+        key = id(carrier)
+        hit = self._entries.get(key)
+        if hit is not None and hit[0] is carrier:
+            METRICS.incr("encoding_memo_hits")
+            self._entries.move_to_end(key)
+            return hit[1]
+        METRICS.incr("encoding_memo_misses")
+        data = compute(carrier)
+        self._entries[key] = (carrier, data)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return data
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 def to_hex(data: bytes) -> str:

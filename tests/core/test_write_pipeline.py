@@ -1,0 +1,308 @@
+"""The fast write path: batched ingest, read LRU, cache-vs-shred.
+
+The performance machinery must be *invisible* to every security
+property: batched ingest has to produce the same audit chain (to the
+byte) as the looped path, the read cache must never serve a disposed or
+superseded version, and no cache may outlive a shredded key.  These
+tests attack exactly those seams.
+"""
+
+import pytest
+
+from repro.audit.events import AuditAction
+from repro.core import CuratorConfig, CuratorStore
+from repro.crypto import chacha20
+from repro.errors import (
+    AccessDeniedError,
+    AuditError,
+    RecordError,
+    RecordNotFoundError,
+)
+from repro.records.model import ClinicalNote, HealthRecord
+from repro.util.clock import SimulatedClock
+from repro.util.metrics import METRICS
+from repro.workload.generator import WorkloadGenerator
+
+MASTER = bytes(range(32))
+
+
+def make_store(**overrides):
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(CuratorConfig(master_key=MASTER, clock=clock, **overrides))
+    return store, clock
+
+
+def make_note(record_id="rec-1", text="biopsy shows metastatic carcinoma"):
+    return ClinicalNote.create(
+        record_id=record_id,
+        patient_id="pat-1",
+        created_at=100.0,
+        author="dr-a",
+        specialty="oncology",
+        text=text,
+    )
+
+
+def _workload(n):
+    """One deterministic record stream, shared by both ingest paths."""
+    clock = SimulatedClock(start=1.17e9)
+    generator = WorkloadGenerator(2007, clock)
+    generator.create_population(10)
+    return [g.record for g in generator.mixed_stream(n)]
+
+
+# ---------------------------------------------------------------------------
+# store_many == N x store, to the byte
+# ---------------------------------------------------------------------------
+
+
+def test_store_many_matches_looped_audit_chain_exactly():
+    # 70 records crosses the anchor_every_events=64 boundary, so the
+    # mid-batch ANCHOR_PUBLISHED event must also land identically.
+    records = _workload(70)
+    looped, _ = make_store()
+    for record in records:
+        looped.store(record, "dr-batch")
+    batched, _ = make_store()
+    assert batched.store_many(records, "dr-batch") == len(records)
+
+    assert looped.audit_log.head_digest == batched.audit_log.head_digest
+    assert [e.to_dict() for e in looped.audit_log.events()] == [
+        e.to_dict() for e in batched.audit_log.events()
+    ]
+    # Even the *persisted* audit bytes are identical: append_many frames
+    # entries exactly as N single appends would.
+    assert looped.audit_log.device.raw_dump() == batched.audit_log.device.raw_dump()
+    assert any(
+        e.action == AuditAction.ANCHOR_PUBLISHED for e in batched.audit_log.events()
+    )
+
+
+def test_store_many_matches_looped_index_state():
+    records = _workload(40)
+    looped, _ = make_store()
+    for record in records:
+        looped.store(record, "dr-batch")
+    batched, _ = make_store()
+    batched.store_many(records, "dr-batch")
+
+    assert looped.record_ids() == batched.record_ids()
+    # Same logical index: every term that hits in one hits identically
+    # in the other, and both indexes authenticate cleanly.
+    probe_terms = set()
+    for record in records:
+        probe_terms.update(record.searchable_text().split()[:3])
+    for term in sorted(probe_terms):
+        assert looped.search(term) == batched.search(term), term
+    assert batched._index.index.verify() == []  # noqa: SLF001
+    assert len(batched._index.index) == len(records)  # noqa: SLF001
+
+
+def test_store_many_security_properties_hold():
+    records = _workload(30)
+    store, _ = make_store()
+    store.store_many(records, "dr-batch")
+    assert store.verify_audit_trail() is True
+    assert store.verify_integrity() == []
+    assert store.audit_log.verify_chain().ok
+    # every record readable and correct
+    for record in records:
+        assert store.read(record.record_id, actor_id="dr-batch") == record
+
+
+def test_store_many_amortizes_journal_flushes():
+    records = _workload(20)
+    looped, _ = make_store()
+    for record in records:
+        looped.store(record, "dr-batch")
+    batched, _ = make_store()
+    batched.store_many(records, "dr-batch")
+    looped_flushes = (
+        looped.audit_log._journal.flush_count  # noqa: SLF001
+        + looped._index.index._journal.flush_count  # noqa: SLF001
+    )
+    batched_flushes = (
+        batched.audit_log._journal.flush_count  # noqa: SLF001
+        + batched._index.index._journal.flush_count  # noqa: SLF001
+    )
+    assert batched_flushes < looped_flushes / 3
+
+
+def test_store_many_validation_is_atomic():
+    store, _ = make_store()
+    good = make_note("rec-ok")
+    dup = make_note("rec-ok", text="duplicate id in same batch")
+    with pytest.raises(RecordError, match="duplicated"):
+        store.store_many([good, dup], "dr-a")
+    # nothing stored, nothing audited, no key minted
+    assert store.record_ids() == []
+    assert len(store.audit_log) == 0
+    store.store(good, "dr-a")  # id still free
+
+    with pytest.raises(RecordError, match="already exists"):
+        store.store_many([make_note("rec-ok")], "dr-a")
+    assert not store.audit_log.in_batch  # batch closed on the error path
+
+
+def test_store_many_empty_batch_is_noop():
+    store, _ = make_store()
+    assert store.store_many([], "dr-a") == 0
+    assert len(store.audit_log) == 0
+
+
+def test_audit_batch_cannot_nest():
+    store, _ = make_store()
+    store.audit_log.begin_batch()
+    with pytest.raises(AuditError, match="already open"):
+        store.audit_log.begin_batch()
+    assert store.audit_log.commit() == 0
+
+
+# ---------------------------------------------------------------------------
+# read LRU: purges on every state change that invalidates plaintext
+# ---------------------------------------------------------------------------
+
+
+def test_read_cache_serves_hits_and_still_audits():
+    store, _ = make_store()
+    note = make_note()
+    store.store(note, author_id="dr-a")
+    METRICS.reset()
+    assert store.read("rec-1", actor_id="dr-a") == note
+    events_before = len(store.audit_log)
+    assert store.read("rec-1", actor_id="dr-a") == note
+    assert METRICS.get("read_cache_hits") == 1
+    # the cached read is still fully audited (grant + read events)
+    reads = [
+        e for e in store.audit_log.events()[events_before:]
+        if e.action == AuditAction.RECORD_READ
+    ]
+    assert len(reads) == 1
+
+
+def test_read_cache_never_serves_superseded_version():
+    store, _ = make_store()
+    note = make_note()
+    store.store(note, author_id="dr-a")
+    store.read("rec-1", actor_id="dr-a")  # cache v0
+    corrected = HealthRecord(
+        record_id="rec-1",
+        record_type=note.record_type,
+        patient_id="pat-1",
+        created_at=100.0,
+        body={**note.body, "text": "amended: margins clear"},
+    )
+    store.correct(corrected, author_id="dr-a", reason="pathology addendum")
+    got = store.read("rec-1", actor_id="dr-a")
+    assert got == corrected
+    assert got.body["text"] == "amended: margins clear"
+
+
+def test_read_cache_never_serves_disposed_record():
+    store, clock = make_store()
+    store.store(make_note(), author_id="dr-a")
+    store.read("rec-1", actor_id="dr-a")  # pin plaintext in the LRU
+    clock.advance_years(8)
+    store.dispose("rec-1")
+    # the attack: a cached copy surviving disposal would defeat key
+    # shredding — the read path must refuse, and the cache must be empty
+    with pytest.raises(RecordNotFoundError):
+        store.read("rec-1", actor_id="dr-a")
+    assert "rec-1" not in store._read_cache  # noqa: SLF001
+
+
+def test_read_cache_disabled_by_config():
+    store, _ = make_store(read_cache_size=0)
+    note = make_note()
+    store.store(note, author_id="dr-a")
+    METRICS.reset()
+    store.read("rec-1", actor_id="dr-a")
+    store.read("rec-1", actor_id="dr-a")
+    assert METRICS.get("read_cache_hits") == 0
+    assert len(store._read_cache) == 0  # noqa: SLF001
+
+
+def test_read_cache_evicts_least_recent():
+    store, _ = make_store(read_cache_size=2)
+    for i in range(3):
+        store.store(make_note(f"rec-{i}"), author_id="dr-a")
+        store.read(f"rec-{i}", actor_id="dr-a")
+    assert "rec-0" not in store._read_cache  # noqa: SLF001
+    assert {"rec-1", "rec-2"} <= set(store._read_cache)  # noqa: SLF001
+
+
+# ---------------------------------------------------------------------------
+# break-glass revocation purges the cache
+# ---------------------------------------------------------------------------
+
+
+def test_break_glass_revocation_cuts_access_and_purges_cache():
+    from repro.access.principals import Role, User
+
+    store, _ = make_store()
+    store.store(make_note(), author_id="dr-a")
+    store.register_user(User.make("dr-er", "ER", [Role.PHYSICIAN]))
+    with pytest.raises(AccessDeniedError):
+        store.read("rec-1", actor_id="dr-er")
+    grant = store.break_glass("dr-er", "pat-1", "unconscious patient in ER")
+    store.read("rec-1", actor_id="dr-er")  # emergency read caches plaintext
+    assert "rec-1" in store._read_cache  # noqa: SLF001
+
+    store.revoke_break_glass(grant.grant_id)
+    assert "rec-1" not in store._read_cache  # noqa: SLF001
+    with pytest.raises(AccessDeniedError):
+        store.read("rec-1", actor_id="dr-er")
+    # revocation is itself audited
+    revocations = [
+        e for e in store.audit_log.events()
+        if e.action == AuditAction.EMERGENCY_ACCESS and e.detail.get("revoked")
+    ]
+    assert len(revocations) == 1
+
+
+# ---------------------------------------------------------------------------
+# shredded keys are unrecoverable through any cache
+# ---------------------------------------------------------------------------
+
+
+def test_disposal_leaves_no_cached_key_material():
+    store, clock = make_store()
+    store.store(make_note(), author_id="dr-a")
+    handle = store._keys["rec-1"]  # noqa: SLF001
+    # warm every cache: cipher memo + keystream prefixes
+    cipher = store._keystore.cipher_for(handle)  # noqa: SLF001
+    enc_key = cipher._enc_key  # noqa: SLF001
+    store.read("rec-1", actor_id="dr-a")
+    clock.advance_years(8)
+    store.dispose("rec-1")
+
+    from repro.crypto.keys import ShreddedKeyError
+
+    with pytest.raises(ShreddedKeyError):
+        store._keystore.cipher_for(handle)  # noqa: SLF001
+    # the attack: scrape the process-wide keystream cache for material
+    # derived from the shredded key — there must be none
+    cached_keys = {k for k, _ in chacha20._KEYSTREAM_CACHE._entries}  # noqa: SLF001
+    assert enc_key not in cached_keys
+    assert handle.key_id not in store._keystore._cipher_cache  # noqa: SLF001
+
+
+def test_shred_purges_keystream_even_without_warm_memo():
+    """Shredding a key whose cipher was never memoized (or was evicted)
+    must still purge the keystream cache — the keystore rebuilds the
+    derived key from the wrapped material *before* destroying it."""
+    from repro.crypto.keys import KeyStore, ShreddedKeyError
+
+    keystore = KeyStore(MASTER)
+    handle = keystore.create_key(label="cold")
+    cipher = keystore.cipher_for(handle)
+    enc_key = cipher._enc_key  # noqa: SLF001
+    box = cipher.encrypt(b"protected health information")
+    assert cipher.decrypt(box) == b"protected health information"
+    # simulate memo eviction, then shred
+    keystore._cipher_cache.clear()  # noqa: SLF001
+    keystore.shred(handle)
+    with pytest.raises(ShreddedKeyError):
+        keystore.cipher_for(handle)
+    cached_keys = {k for k, _ in chacha20._KEYSTREAM_CACHE._entries}  # noqa: SLF001
+    assert enc_key not in cached_keys

@@ -1,0 +1,110 @@
+"""The keystream cache: continuation correctness, purging, bounds.
+
+The cache may change *when* ChaCha20 blocks are computed, never *what*
+they are — every test here pins cached output against a cold
+recomputation.
+"""
+
+import pytest
+
+from repro.crypto import chacha20
+from repro.crypto.chacha20 import (
+    BLOCK_SIZE,
+    _KeystreamCache,
+    chacha20_keystream,
+    chacha20_xor,
+    clear_keystream_cache,
+    purge_keystream_for_key,
+)
+from repro.errors import CryptoError
+from repro.util.metrics import METRICS
+
+KEY = bytes(range(32))
+NONCE = bytes(range(12))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_keystream_cache()
+    yield
+    clear_keystream_cache()
+
+
+def _cold(length, counter=1):
+    """Keystream with no cache involved (explicit counter bypasses it)."""
+    cache = _KeystreamCache()
+    return cache.keystream(KEY, NONCE, length) if counter == 1 else None
+
+
+def test_cached_keystream_matches_cold_generation():
+    first = chacha20_keystream(KEY, NONCE, 300)
+    again = chacha20_keystream(KEY, NONCE, 300)
+    assert first == again == _cold(300)
+
+
+def test_counter_continuation_extends_not_recomputes():
+    expected = _cold(5 * BLOCK_SIZE + 7)
+    short = chacha20_keystream(KEY, NONCE, 10)
+    METRICS.reset()
+    longer = chacha20_keystream(KEY, NONCE, 5 * BLOCK_SIZE + 7)
+    assert longer[:10] == short
+    assert longer == expected
+    # the prefix block was reused: one miss (the extension), no rebuild
+    assert METRICS.get("keystream_cache_misses") == 1
+
+
+def test_prefix_requests_hit_cache():
+    expected = _cold(100)
+    clear_keystream_cache()
+    chacha20_keystream(KEY, NONCE, 4 * BLOCK_SIZE)
+    METRICS.reset()
+    assert chacha20_keystream(KEY, NONCE, 100) == expected
+    assert METRICS.get("keystream_cache_hits") == 1
+    assert METRICS.get("keystream_cache_misses") == 0
+
+
+def test_explicit_counter_bypasses_cache():
+    streamed = chacha20_keystream(KEY, NONCE, BLOCK_SIZE, counter=2)
+    # counter=2 output equals the second block of the counter=1 stream
+    reference = chacha20_keystream(KEY, NONCE, 2 * BLOCK_SIZE)
+    assert streamed == reference[BLOCK_SIZE:]
+
+
+def test_xor_roundtrip_through_cache():
+    plaintext = b"the record said cancer" * 40
+    box = chacha20_xor(KEY, NONCE, plaintext)
+    assert chacha20_xor(KEY, NONCE, box) == plaintext
+
+
+def test_purge_key_removes_only_that_key():
+    other_key = bytes(reversed(range(32)))
+    chacha20_keystream(KEY, NONCE, 64)
+    chacha20_keystream(other_key, NONCE, 64)
+    assert purge_keystream_for_key(KEY) == 1
+    cached = {k for k, _ in chacha20._KEYSTREAM_CACHE._entries}
+    assert KEY not in cached
+    assert other_key in cached
+    # purging again finds nothing
+    assert purge_keystream_for_key(KEY) == 0
+
+
+def test_cache_capacity_bounded():
+    cache = _KeystreamCache(capacity=4)
+    for i in range(10):
+        nonce = i.to_bytes(12, "big")
+        cache.keystream(KEY, nonce, 16)
+    assert len(cache) == 4
+
+
+def test_oversized_requests_not_cached_beyond_limit():
+    cache = _KeystreamCache(capacity=4, max_entry_bytes=2 * BLOCK_SIZE)
+    big = cache.keystream(KEY, NONCE, 5 * BLOCK_SIZE)
+    # correctness first: identical to an unbounded cache's answer
+    assert big == _KeystreamCache().keystream(KEY, NONCE, 5 * BLOCK_SIZE)
+    # only the capped prefix is retained
+    assert len(cache._entries[(KEY, NONCE)]) == 2 * BLOCK_SIZE
+
+
+def test_negative_length_rejected():
+    with pytest.raises(CryptoError):
+        chacha20_keystream(KEY, NONCE, -1)

@@ -1,0 +1,55 @@
+"""Incremental Merkle roots must equal the RFC 6962 recursive rebuild."""
+
+from repro.crypto.merkle import (
+    EMPTY_ROOT,
+    MerkleTree,
+    verify_consistency,
+    verify_inclusion,
+)
+
+
+def _leaves(n):
+    return [f"event-{i}".encode() for i in range(n)]
+
+
+def test_incremental_root_matches_rebuild_at_every_size():
+    incremental = MerkleTree()
+    assert incremental.root() == EMPTY_ROOT
+    for i, leaf in enumerate(_leaves(33)):
+        incremental.append(leaf)
+        rebuilt = MerkleTree(_leaves(i + 1))
+        assert incremental.root() == rebuilt.root(), f"size {i + 1}"
+        # root_at recomputes from leaf hashes; it must agree too
+        assert incremental.root_at(i + 1) == incremental.root()
+
+
+def test_forest_stays_logarithmic():
+    tree = MerkleTree(_leaves(1000))
+    # 1000 = 0b1111101000 -> one perfect subtree per set bit
+    assert len(tree._forest) == bin(1000).count("1")
+
+
+def test_inclusion_proofs_verify_against_incremental_root():
+    tree = MerkleTree(_leaves(21))
+    root = tree.root()
+    for index in (0, 7, 15, 20):
+        proof = tree.prove_inclusion(index)
+        verify_inclusion(_leaves(21)[index], proof, root)
+
+
+def test_consistency_proof_spans_incremental_appends():
+    tree = MerkleTree(_leaves(12))
+    old_root = tree.root()
+    for leaf in _leaves(20)[12:]:
+        tree.append(leaf)
+    proof = tree.prove_consistency(12)
+    verify_consistency(old_root, tree.root(), 12, 20, proof)
+
+
+def test_historical_proof_after_more_appends():
+    tree = MerkleTree(_leaves(10))
+    anchored_root = tree.root()
+    for leaf in _leaves(17)[10:]:
+        tree.append(leaf)
+    proof = tree.prove_inclusion_at(3, 10)
+    verify_inclusion(_leaves(10)[3], proof, anchored_root)

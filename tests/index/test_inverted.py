@@ -64,8 +64,39 @@ def test_remove_document():
     index.add_document("doc-1", "cancer")
     index.remove_document("doc-1", "cancer")
     assert index.search("cancer") == []
-    with pytest.raises(IndexError_):
-        index.remove_document("doc-1", "cancer")
+    # Idempotent: removing again is a no-op, not an error.
+    index.remove_document("doc-1", "cancer")
+    assert index.search("cancer") == []
+
+
+def test_remove_document_tolerates_absent_terms():
+    # Regression: removal text may mention terms the add never indexed
+    # (corrected records, retokenized text) — each must be skipped, not
+    # crash, and must not disturb other documents' postings.
+    index = InvertedIndex()
+    index.add_document("doc-1", "cancer")
+    index.add_document("doc-2", "remission")
+    index.remove_document("doc-1", "cancer remission unknownterm")
+    assert index.search("cancer") == []
+    assert index.search("remission") == ["doc-2"]
+    assert index.search("unknownterm") == []
+
+
+def test_remove_document_journals_only_actual_removals():
+    index = InvertedIndex()
+    index.add_document("doc-1", "cancer")
+    entries_before = len(index._journal)  # noqa: SLF001
+    index.remove_document("doc-1", "cancer neverindexed")
+    # one "del" entry for cancer; nothing for the absent term
+    assert len(index._journal) == entries_before + 1  # noqa: SLF001
+    assert b"neverindexed" not in index.device.raw_dump()
+
+
+def test_remove_unknown_document_is_noop():
+    index = InvertedIndex()
+    index.add_document("doc-1", "cancer")
+    index.remove_document("ghost", "cancer")
+    assert index.search("cancer") == ["doc-1"]
 
 
 def test_vocabulary_is_exposed():
