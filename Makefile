@@ -1,0 +1,28 @@
+# Repro convenience targets.  PY overrides the interpreter.
+PY ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test verify sweep conformance bench-gate
+
+# Tier-1: the full unit/integration suite.
+test:
+	$(PY) -m pytest -x -q
+
+# The PR gate: tier-1, a bounded crash-consistency sweep + differential
+# conformance, and the E2 throughput regression gate.
+verify: test
+	$(PY) -m repro verify --limit 12
+	$(PY) -m pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest -q
+	$(PY) benchmarks/check_regression.py
+
+# The exhaustive sweep: every write boundary, clean + torn.  ~30s.
+sweep:
+	$(PY) -m repro verify --skip-conformance
+
+conformance:
+	$(PY) -m repro verify --skip-sweep
+
+bench-gate:
+	$(PY) -m pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest -q
+	$(PY) benchmarks/check_regression.py

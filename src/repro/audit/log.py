@@ -151,6 +151,22 @@ class AuditLog:
         self._journal.append_many(pending)
         return len(pending)
 
+    def flush_batch(self) -> int:
+        """Journal everything buffered so far WITHOUT closing the batch;
+        returns how many entries were flushed.
+
+        The anchoring path needs this: an anchor commits a Merkle root
+        to an external witness, so every event under that root must be
+        durable *before* the anchor exists — otherwise a crash leaves
+        the witness attesting to events the device never saw, and honest
+        recovery reads as truncation.  No-op outside a batch.
+        """
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        self._journal.append_many(pending)
+        return len(pending)
+
     @property
     def in_batch(self) -> bool:
         return self._pending is not None

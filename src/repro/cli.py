@@ -10,6 +10,8 @@ Commands:
   operational-findings report.
 * ``metrics`` — ingest a small workload both ways (looped vs batched)
   and print the performance counters.
+* ``verify`` — crash-consistency sweep plus differential conformance
+  across all six models; non-zero exit on any violation/divergence.
 * ``info`` — library version and subsystem inventory.
 """
 
@@ -182,6 +184,33 @@ def _metrics(_args) -> int:
     return 0
 
 
+def _verify(args) -> int:
+    from repro.verify import render_conformance, run_conformance, run_crash_sweep
+
+    status = 0
+
+    if not args.skip_sweep:
+        limit = args.limit if args.limit and args.limit > 0 else None
+        scope = f"{limit} sampled crash points" if limit else "every write boundary"
+        print(f"crash-consistency sweep ({scope}, clean + torn variants)...")
+        report = run_crash_sweep(limit=limit)
+        print(report.summary())
+        if not report.ok:
+            status = 1
+        print()
+
+    if not args.skip_conformance:
+        print("differential conformance across all six models...")
+        reports = run_conformance()
+        print(render_conformance(reports))
+        if any(not report.conformant for report in reports.values()):
+            status = 1
+
+    print()
+    print("verify:", "PASS" if status == 0 else "FAIL")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +235,22 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "metrics", help="performance counters for looped vs batched ingest"
     ).set_defaults(func=_metrics)
+    verify = sub.add_parser(
+        "verify", help="crash-consistency sweep + differential conformance"
+    )
+    verify.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="sweep only N evenly-spaced crash points (0 = every boundary)",
+    )
+    verify.add_argument(
+        "--skip-sweep", action="store_true", help="skip the crash sweep"
+    )
+    verify.add_argument(
+        "--skip-conformance", action="store_true", help="skip conformance"
+    )
+    verify.set_defaults(func=_verify)
     args = parser.parse_args(argv)
     return args.func(args)
 

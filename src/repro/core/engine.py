@@ -24,6 +24,7 @@ refresh) the examples and experiments use.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any
 
 from repro.access.breakglass import BreakGlassController
@@ -77,6 +78,26 @@ def _record_id_of(object_id: str) -> str:
     return object_id.split("@v")[0]
 
 
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`CuratorStore.recover_from_devices` rebuilt.
+
+    ``disposed`` are records whose data key was shredded before the
+    crash — cryptographically deleted, correctly unrecoverable.
+    ``damaged`` are records whose key survives but whose versions no
+    longer decrypt/verify (torn or tampered data).  ``orphaned`` are
+    WORM objects the directory cannot serve: version objects with no
+    escrowed key, and attachment chunks whose in-memory manifest died
+    with the process (their bytes stay disposition-managed)."""
+
+    records_recovered: int
+    versions_recovered: int
+    audit_events: int
+    disposed: tuple[str, ...] = ()
+    damaged: tuple[str, ...] = ()
+    orphaned: tuple[str, ...] = ()
+
+
 class CuratorStore(StorageModel):
     """The hybrid compliant store (see package docstring)."""
 
@@ -85,8 +106,14 @@ class CuratorStore(StorageModel):
     def __init__(self, config: CuratorConfig) -> None:
         self._config = config
         self._clock = config.clock
-        # crypto / keys
-        self._keystore = KeyStore(config.master_key, clock=self._clock)
+        # crypto / keys — the keystore escrows every wrapped key to its
+        # own device so a restarted engine can rebuild the key hierarchy
+        # from devices + the HSM-held master key (see recover_from_devices)
+        self._keystore = KeyStore(
+            config.master_key,
+            clock=self._clock,
+            device=MemoryDevice("curator-keys", config.device_capacity),
+        )
         self._signer = Signer(config.site_id, bits=config.signature_bits)
         self._trust = TrustStore()
         self._trust.add(self._signer.verifier())
@@ -143,6 +170,8 @@ class CuratorStore(StorageModel):
         # path that changes or destroys a record's current version
         # purges its entry.
         self._read_cache: OrderedDict[str, tuple[int, HealthRecord]] = OrderedDict()
+        # Populated only on engines built by recover_from_devices().
+        self.recovery_report: RecoveryReport | None = None
 
     # ------------------------------------------------------------------
     # principals
@@ -358,6 +387,12 @@ class CuratorStore(StorageModel):
         latest = self._witness.latest()
         unanchored = len(self._audit) - (latest.log_size if latest else 0)
         if unanchored >= self._config.anchor_every_events:
+            # The anchor commits every event under its Merkle root to an
+            # external witness, so events buffered in an open audit batch
+            # must hit the device first — otherwise a crash would leave
+            # the witness attesting to events storage never saw, and an
+            # honest recovery would read as truncation.
+            self._audit.flush_batch()
             if self._quorum is not None:
                 anchor = self._quorum.publish(self._audit, self._signer, self._clock.now())
             else:
@@ -421,13 +456,44 @@ class CuratorStore(StorageModel):
         documents: list[tuple[str, str]] = []
         self._audit.begin_batch()
         try:
+            staged = []
+            items: list[tuple[str, bytes, Any]] = []
             for record in records:
                 self._auto_register_author(author_id, record.patient_id)
                 handle = self._keystore.create_key(label=record.record_id)
                 self._keys[record.record_id] = handle
                 chain = VersionChain(record.record_id)
                 version = chain.append_initial(record, author_id, self._clock.now())
-                self._put_version(version, handle)
+                staged.append((record, chain, version, handle))
+                items.append(
+                    (
+                        _version_object_id(record.record_id, 0),
+                        self._seal_version(version, handle),
+                        self._config.retention_policy.term_for(
+                            record.record_type, self._clock.now()
+                        ),
+                    )
+                )
+            # ONE journal frame for the whole batch: a crash that tears
+            # this write drops every record in the batch at recovery —
+            # there is no surviving prefix, so the acknowledgement below
+            # is all-or-nothing at the durability layer too.
+            metas = self._worm.put_many(items)
+            for (record, chain, version, handle), meta in zip(staged, metas):
+                object_id = meta.object_id
+                self._disposition.register_key_handle(object_id, handle)
+                self._provenance.add_object(object_id)
+                self._provenance.record_custody(
+                    object_id, self._config.site_id, start=self._clock.now()
+                )
+                self._custody.record_origin(
+                    object_id,
+                    self._signer,
+                    meta.content_digest,
+                    self._clock.now(),
+                    reason=version.reason,
+                )
+                self._maybe_anchor()
                 self._chains[record.record_id] = chain
                 documents.append((record.record_id, record.searchable_text()))
                 self._audit.append(
@@ -622,7 +688,10 @@ class CuratorStore(StorageModel):
     # ------------------------------------------------------------------
 
     def devices(self) -> list[BlockDevice]:
-        return [self._worm.device, self._index.index.device, self._audit.device]
+        devices = [self._worm.device, self._index.index.device, self._audit.device]
+        if self._keystore.device is not None:
+            devices.append(self._keystore.device)
+        return devices
 
     def verify_integrity(self) -> list[str]:
         """Digest-check every version object, verify every chain's hash
@@ -873,6 +942,182 @@ class CuratorStore(StorageModel):
             {"objects": report.objects_restored},
         )
         return report
+
+    @classmethod
+    def recover_from_devices(
+        cls,
+        config: CuratorConfig,
+        *,
+        worm_device: BlockDevice,
+        key_device: BlockDevice,
+        audit_device: BlockDevice,
+        witnesses: list[AnchorWitness] | None = None,
+        signer: Signer | None = None,
+    ) -> "CuratorStore":
+        """Restart the engine from surviving device images after a crash.
+
+        Trust model of the restart: devices survive (that is what they
+        are for); the HSM-held material — master key and, optionally,
+        the anchor-signing key — survives; external anchor witnesses
+        survive.  Everything in process memory is gone.
+
+        What is rebuilt, and from where:
+
+        * **keys** — replayed from the escrow journal (wrapped under the
+          master key); physically-destroyed frames recover as shredded;
+        * **records** — the WORM frame walk drops a torn frame whole
+          (so a torn ``store_many`` batch has no surviving prefix) but
+          salvages frames broken by an interrupted authorized shred;
+          versions decrypt under the recovered keys and re-chain;
+        * **audit** — the hash chain replays from its journal and must
+          verify (a log that does not verify raises
+          :class:`~repro.errors.AuditError` rather than being adopted);
+        * **index** — derived data: re-posted from the decrypted current
+          versions, so it is consistent with surviving records by
+          construction;
+        * **retention** — terms re-derived from each version's record
+          type and creation time under the configured policy.
+
+        In-memory-only state is honestly lost: attachment manifests
+        (chunks become ``orphaned`` in the report), the provenance/
+        custody narrative, enrolled users, break-glass grants, consent
+        directives, and the off-site vault binding.
+        """
+        store = cls(config)
+        # keys: replay the escrow under the HSM-held master key
+        store._keystore = KeyStore.recover(
+            config.master_key, key_device, clock=store._clock
+        )
+        store._shredder = SecureShredder(store._keystore, config.shredder_passes)
+        # worm: adopt the surviving medium into a fresh pool
+        store._media_pool = MediaPool(
+            clock=store._clock, default_capacity=config.device_capacity
+        )
+        store._medium = store._media_pool.adopt(worm_device)
+        # The key escrow knows which records were lawfully destroyed; a
+        # broken WORM frame containing one of their objects is a shred
+        # interrupted before its reseal (a certified hole), not a torn
+        # write — worm recovery completes the reseal and keeps the
+        # frame's surviving neighbours instead of dropping the batch.
+        labels = store._keystore.labelled_handles()
+
+        def _certified_hole(object_ids: list[str]) -> bool:
+            for object_id in object_ids:
+                handle = labels.get(_record_id_of(object_id))
+                if handle is not None and store._keystore.is_shredded(handle):
+                    return True
+            return False
+
+        store._worm = WormStore.recover(
+            worm_device, clock=store._clock, salvage_check=_certified_hole
+        )
+        store._disposition = DispositionWorkflow(
+            store._worm, store._shredder, clock=store._clock
+        )
+        # audit: replay + verify the hash chain
+        store._audit = AuditLog.recover(audit_device, clock=store._clock)
+        # external infrastructure that survives a process crash
+        if signer is not None:
+            store._signer = signer
+            store._trust.add(signer.verifier())
+        if witnesses:
+            store._witnesses = list(witnesses)
+            store._witness = store._witnesses[0]
+            store._quorum = (
+                WitnessQuorum(
+                    store._witnesses, threshold=len(store._witnesses) // 2 + 1
+                )
+                if len(store._witnesses) > 1
+                else None
+            )
+        # record directory: decrypt WORM versions under recovered keys
+        version_ids: dict[str, dict[int, str]] = {}
+        chunk_ids: list[str] = []
+        for object_id in store._worm.object_ids():
+            if "#att/" in object_id:
+                chunk_ids.append(object_id)
+                continue
+            record_id, _, tail = object_id.partition("@v")
+            version_ids.setdefault(record_id, {})[int(tail)] = object_id
+        disposed: list[str] = []
+        damaged: list[str] = []
+        orphaned: list[str] = []
+        documents: list[tuple[str, str]] = []
+        versions_recovered = 0
+        for record_id in sorted(version_ids):
+            numbered = version_ids[record_id]
+            handle = labels.get(record_id)
+            if handle is None:
+                orphaned.extend(numbered[n] for n in sorted(numbered))
+                continue
+            store._keys[record_id] = handle
+            if store._keystore.is_shredded(handle):
+                # Cryptographic deletion did its job: the ciphertext may
+                # survive but the record is gone — record the disposal
+                # and restore the tombstones (the shredder zeroed the
+                # extents, so these objects must never be served again).
+                store._disposed.add(record_id)
+                disposed.append(record_id)
+                for n in sorted(numbered):
+                    try:
+                        store._worm.delete(numbered[n])
+                    except Exception:  # noqa: BLE001 — hold/missing: leave as-is
+                        pass
+                continue
+            try:
+                stored = [
+                    store._open_version(record_id, n) for n in sorted(numbered)
+                ]
+                chain = VersionChain.from_versions(record_id, stored)
+            except Exception:  # noqa: BLE001 — torn/tampered data
+                damaged.append(record_id)
+                continue
+            store._chains[record_id] = chain
+            versions_recovered += len(stored)
+            documents.append((record_id, chain.latest().record.searchable_text()))
+            for n in sorted(numbered):
+                object_id = numbered[n]
+                store._disposition.register_key_handle(object_id, handle)
+                store._provenance.add_object(object_id)
+                reference = chain.version(n)
+                term = config.retention_policy.term_for(
+                    reference.record.record_type, reference.created_at
+                )
+                if (
+                    term.expires_at
+                    > store._worm.retention.term_for(object_id).expires_at
+                ):
+                    store._worm.retention.extend_term(object_id, term.expires_at)
+        # attachment chunks: bytes + keys survive but the manifests were
+        # process memory — keep them disposition-managed, report the loss
+        for object_id in chunk_ids:
+            record_id = _record_id_of(object_id)
+            handle = store._keys.get(record_id)
+            if handle is not None:
+                store._disposition.register_key_handle(object_id, handle)
+                chain = store._chains.get(record_id)
+                if chain is not None:
+                    reference = chain.latest()
+                    term = config.retention_policy.term_for(
+                        reference.record.record_type, reference.created_at
+                    )
+                    if (
+                        term.expires_at
+                        > store._worm.retention.term_for(object_id).expires_at
+                    ):
+                        store._worm.retention.extend_term(object_id, term.expires_at)
+            orphaned.append(object_id)
+        # index: derived data, re-posted from the recovered records
+        store._index.add_documents(documents)
+        store.recovery_report = RecoveryReport(
+            records_recovered=len(store._chains),
+            versions_recovered=versions_recovered,
+            audit_events=len(store._audit),
+            disposed=tuple(disposed),
+            damaged=tuple(damaged),
+            orphaned=tuple(orphaned),
+        )
+        return store
 
     @property
     def vault(self) -> BackupVault:

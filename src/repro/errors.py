@@ -54,6 +54,22 @@ class WormViolationError(StorageError):
     """An attempt was made to overwrite or erase write-once data."""
 
 
+class CrashError(DeviceError):
+    """The simulated process/power crash: a crash-point device reached
+    its armed write and the process model is dead.  Raised by the
+    verification substrate (:mod:`repro.verify.crashpoint`), never by
+    production storage.
+
+    ``partial`` optionally carries the prefix of the killed write that
+    reached the medium before power died (a torn write); ``None`` means
+    the write vanished whole.
+    """
+
+    def __init__(self, message: str, partial: bytes | None = None) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
 class RetentionError(CuratorError):
     """A retention rule forbade the operation (early deletion, missing
     retention term, litigation hold in force)."""

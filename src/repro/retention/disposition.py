@@ -145,6 +145,10 @@ class DispositionWorkflow:
             extents=[(self._store.device, offset, size)],
             authorized=True,
         )
+        # Certified destruction re-seals the containing journal frame so
+        # crash recovery reads the zeroed extent as an intentional hole,
+        # not a torn write (which would discard batch neighbours).
+        self._store.reseal_shredded(object_id)
         ticket.state = DispositionState.DESTROYED
         certificate = DispositionCertificate(
             object_id=object_id,

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.errors import DeviceError
+from repro.errors import CrashError, DeviceError
 
 
 @dataclass
@@ -59,6 +59,7 @@ class BlockDevice:
         self._write_protected = False
         self._next_offset = 0
         self._detached = False
+        self._write_hook = None
 
     # -- state flags ---------------------------------------------------
 
@@ -101,6 +102,68 @@ class BlockDevice:
         self._next_offset += size
         return offset
 
+    def truncate_to(self, offset: int) -> None:
+        """Roll the allocator back to *offset* (recovery/fault-injection
+        API: the owner of the device declares everything past *offset*
+        dead).  Bytes beyond are untouched — only allocation moves."""
+        if offset < 0 or offset > self.capacity:
+            raise DeviceError(
+                f"truncate_to({offset}) out of range on {self.device_id} "
+                f"(capacity {self.capacity})"
+            )
+        self._next_offset = offset
+
+    def reset_allocation(self, offset: int = 0) -> None:
+        """Reposition the allocator to *offset* in either direction.
+
+        ``reset_allocation(0)`` presents the device as empty (media
+        re-use); ``reset_allocation(capacity)`` marks the whole device
+        allocated, which is how recovery adopts a raw image whose true
+        extent is unknown until a scan finds the valid tail.
+        """
+        if offset < 0 or offset > self.capacity:
+            raise DeviceError(
+                f"reset_allocation({offset}) out of range on {self.device_id} "
+                f"(capacity {self.capacity})"
+            )
+        self._next_offset = offset
+
+    # -- fault injection -------------------------------------------------
+
+    def install_write_hook(self, hook) -> None:
+        """Interpose *hook* on every media commit (checked and raw).
+
+        The hook is called as ``hook(device, offset, data)`` after all
+        validity checks pass and immediately before the bytes reach the
+        medium; it returns the bytes to actually commit (normally
+        *data*, possibly a torn prefix) or raises to abort the write
+        with nothing committed.  This is the seam the crash-consistency
+        sweep uses (:mod:`repro.verify.crashpoint`); production code
+        never installs hooks.
+        """
+        self._write_hook = hook
+
+    def clear_write_hook(self) -> None:
+        self._write_hook = None
+
+    def _commit(self, offset: int, data: bytes) -> int:
+        """Run the write hook (if any), then store; returns bytes stored.
+
+        A hook that raises :class:`~repro.errors.CrashError` kills the
+        write — but if the error carries ``partial`` bytes, that prefix
+        reaches the medium first: the torn write a power loss leaves
+        behind.
+        """
+        if self._write_hook is not None:
+            try:
+                data = self._write_hook(self, offset, data)
+            except CrashError as crash:
+                if crash.partial:
+                    self._store(offset, crash.partial)
+                raise
+        self._store(offset, data)
+        return len(data)
+
     # -- checked I/O (the software stack's path) ------------------------
 
     def write(self, offset: int, data: bytes) -> None:
@@ -109,9 +172,9 @@ class BlockDevice:
         if self._write_protected:
             raise DeviceError(f"device {self.device_id} is write-protected")
         self._check_bounds(offset, len(data))
-        self._store(offset, data)
+        stored = self._commit(offset, data)
         self.stats.writes += 1
-        self.stats.bytes_written += len(data)
+        self.stats.bytes_written += stored
 
     def read(self, offset: int, size: int) -> bytes:
         """Read through the software path."""
@@ -138,9 +201,14 @@ class BlockDevice:
         return data
 
     def raw_write(self, offset: int, data: bytes) -> None:
-        """Direct media tampering: bypasses write protection."""
+        """Direct media tampering: bypasses write protection.
+
+        Still subject to the write hook: the crash sweep must be able to
+        kill the process model mid-shred or mid-reseal, and those paths
+        commit through ``raw_write``.
+        """
         self._check_bounds(offset, len(data))
-        self._store(offset, data)
+        self._commit(offset, data)
         self.stats.raw_writes += 1
 
     def raw_dump(self) -> bytes:

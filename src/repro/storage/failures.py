@@ -76,7 +76,7 @@ class FaultInjector:
         lost = min(lost_bytes, device.used)
         start = device.used - lost
         device.raw_write(start, bytes(lost))
-        device._next_offset = start  # noqa: SLF001 - injector owns the device
+        device.truncate_to(start)
         self._log.append(InjectedFault("crash_truncate", device.device_id, start, lost))
         return device.used
 

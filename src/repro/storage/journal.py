@@ -122,6 +122,35 @@ class Journal:
         offset, payload_len = self._entries[sequence]
         return self._read_at(offset, payload_len)
 
+    def offset_of(self, sequence: int) -> int:
+        """Device offset of entry *sequence*'s frame header (layers above
+        compute payload extents from it, e.g. for shredding)."""
+        if sequence < 0 or sequence >= len(self._entries):
+            raise StorageError(f"journal entry {sequence} does not exist")
+        return self._entries[sequence][0]
+
+    def reseal(self, sequence: int) -> None:
+        """Recompute entry *sequence*'s stored checksum over its CURRENT
+        device bytes.
+
+        For exactly one caller: authorized physical destruction.  The
+        shredder zeroes an object's extent inside a frame; without a
+        reseal, crash recovery would read the hole as accidental damage
+        — and since the frame checksum covers the whole payload, a
+        strict prefix scan would also drop every innocent neighbour in
+        a batch frame plus everything appended later.  Resealing marks
+        the hole as intentional so recovery keeps walking.  (The
+        checksum guards against accidents, not adversaries — tamper
+        detection lives in the keyed/off-device layers above.)
+        """
+        if sequence < 0 or sequence >= len(self._entries):
+            raise StorageError(f"journal entry {sequence} does not exist")
+        offset, payload_len = self._entries[sequence]
+        payload = self._device.raw_read(offset + _HEADER.size, payload_len)
+        self._device.raw_write(
+            offset, _HEADER.pack(_MAGIC, payload_len, sha256(payload)[:8])
+        )
+
     def _read_at(self, offset: int, payload_len: int) -> bytes:
         blob = self._device.read(offset, _HEADER.size + payload_len)
         magic, length, checksum = _HEADER.unpack(blob[: _HEADER.size])
@@ -178,6 +207,32 @@ class Journal:
             offset += _HEADER.size + length
 
     @staticmethod
+    def walk_frames(device: BlockDevice, end: int | None = None):
+        """Lenient raw-device frame walk: yield ``(offset, payload,
+        checksum_ok)`` for every frame whose header (magic + in-bounds
+        length) is intact, *continuing past* frames whose payload fails
+        its checksum.
+
+        This is the recovery primitive for journals that legitimately
+        contain destroyed frames mid-log (e.g. the key-escrow journal
+        after a shred physically overwrites a wrapped key): a strict
+        prefix scan (:meth:`recover`) would declare everything after the
+        first hole dead, while this walk skips the hole and keeps going.
+        The walk stops at the first unparseable header — a crash-torn
+        tail or the unwritten region.
+        """
+        offset = 0
+        limit = device.used if end is None else end
+        while offset + _HEADER.size <= limit:
+            header = device.raw_read(offset, _HEADER.size)
+            magic, length, checksum = _HEADER.unpack(header)
+            if magic != _MAGIC or offset + _HEADER.size + length > limit:
+                return
+            payload = device.raw_read(offset + _HEADER.size, length)
+            yield offset, payload, sha256(payload)[:8] == checksum
+            offset += _HEADER.size + length
+
+    @staticmethod
     def forge_frame(device: BlockDevice, offset: int, payload: bytes) -> None:
         """Rewrite the frame at *offset* with *payload* (same length) and
         a freshly computed checksum — the smart insider's tamper."""
@@ -216,5 +271,5 @@ class Journal:
                 break
             journal._entries.append((offset, length))
             offset += _HEADER.size + length
-        device._next_offset = offset  # noqa: SLF001 - recovery owns the device
+        device.truncate_to(offset)
         return journal

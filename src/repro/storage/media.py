@@ -155,7 +155,7 @@ class Medium:
                 f"medium {self.medium_id} is {self._state.value}"
             )
         # Reset the allocator: the medium presents as empty.
-        self.device._next_offset = 0  # noqa: SLF001 - lifecycle owns the device
+        self.device.reset_allocation(0)
         self.device.set_write_protected(False)
         self._state = MediaState.ACTIVE
         self._record("recommissioned")
@@ -214,6 +214,23 @@ class MediaPool:
         device = MemoryDevice(
             f"med-{self._counter:04d}", capacity or self._default_capacity
         )
+        medium = Medium(
+            device,
+            clock=self._clock,
+            media_type=self._media_type,
+            service_life_years=self._service_life_years,
+        )
+        self._media[medium.medium_id] = medium
+        return medium
+
+    def adopt(self, device: BlockDevice) -> Medium:
+        """Commission a medium around an *existing* device (the crash-
+        recovery path: the image survived, the Medium object did not).
+        The adopted medium joins the pool's accountability record."""
+        if device.device_id in self._media:
+            raise MediaLifecycleError(
+                f"medium {device.device_id} is already in the pool"
+            )
         medium = Medium(
             device,
             clock=self._clock,

@@ -1,0 +1,97 @@
+"""Deterministic crash-point injection over block devices.
+
+A :class:`CrashController` interposes on every media commit of an
+engine's devices (checked *and* raw — shred passes and frame reseals
+must be killable too) through the write-hook seam in
+:class:`~repro.storage.block.BlockDevice`.  Armed at write K, it lets
+writes 1..K-1 through, then kills write K:
+
+* **clean** — the K-th write vanishes whole (power died before the
+  controller cached anything);
+* **torn** — the first half of the K-th write reaches the medium, the
+  rest does not (power died mid-transfer).
+
+Either way the controller raises :class:`~repro.errors.CrashError` and
+the process model is dead: every later write on any attached device
+refuses with the same error, so a workload driver that swallows the
+first crash cannot accidentally keep mutating "post-mortem" state.
+
+What survives a crash is the media image, not the Python objects —
+:func:`surviving_image` clones a device's raw bytes into a fresh
+:class:`~repro.storage.block.MemoryDevice` whose allocator is parked at
+capacity (the true extent died with the process; recovery scans find
+the valid tail themselves).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CrashError
+from repro.storage.block import BlockDevice, MemoryDevice
+
+
+class CrashController:
+    """Shared write counter + kill switch across one engine's devices."""
+
+    def __init__(self) -> None:
+        self._writes = 0
+        self._crash_at: int | None = None
+        self._torn = False
+        self.crashed = False
+        self._devices: list[BlockDevice] = []
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, devices: list[BlockDevice]) -> None:
+        """Install the hook on every device; the counter is shared, so
+        K indexes the engine's global write sequence, not one device's."""
+        for device in devices:
+            device.install_write_hook(self._hook)
+            self._devices.append(device)
+
+    def detach(self) -> None:
+        for device in self._devices:
+            device.clear_write_hook()
+        self._devices = []
+
+    def arm(self, crash_at: int, torn: bool = False) -> None:
+        """Kill the ``crash_at``-th write from now (1-based)."""
+        if crash_at < 1:
+            raise ValueError("crash_at is 1-based: the first write is 1")
+        self._crash_at = crash_at
+        self._torn = torn
+
+    @property
+    def writes_observed(self) -> int:
+        """Writes that committed (a dry run's total = the sweep range)."""
+        return self._writes
+
+    # -- the hook --------------------------------------------------------
+
+    def _hook(self, device: BlockDevice, offset: int, data: bytes) -> bytes:
+        if self.crashed:
+            raise CrashError(
+                f"write to {device.device_id} after the crash: "
+                "the process model is dead"
+            )
+        if self._crash_at is not None and self._writes + 1 >= self._crash_at:
+            self.crashed = True
+            partial = bytes(data[: len(data) // 2]) if self._torn else None
+            kind = "torn" if partial else "clean"
+            raise CrashError(
+                f"simulated {kind} crash at write {self._crash_at} "
+                f"({device.device_id}, offset {offset}, {len(data)} bytes)",
+                partial=partial,
+            )
+        self._writes += 1
+        return data
+
+
+def surviving_image(device: BlockDevice) -> MemoryDevice:
+    """What a restart finds on the medium: the raw bytes, and nothing
+    else.  Allocator position, hooks, stats, write-protect latches were
+    process state — the clone's allocator is parked at capacity so
+    recovery scans see the whole medium and locate the valid tail."""
+    image = MemoryDevice(device.device_id, device.capacity)
+    image.raw_write(0, device.raw_read(0, device.capacity))
+    image.reset_allocation(image.capacity)
+    return image

@@ -1,0 +1,130 @@
+"""The pure-python reference model for differential conformance.
+
+A few dictionaries and sets — no devices, no crypto, no journals —
+that compute what each scripted operation *should* observably do.  The
+reference is feature-aware: it is parameterized by the feature set the
+model under test declares (plus two capability probes read off the
+model's interface), because the conformance question is not "does every
+model behave like the curator" but "does every model behave exactly as
+its declared feature set implies".  A plain WORM store *refusing* a
+correction is conformant; silently accepting one would be a divergence.
+
+Outcome vocabulary (shared with the runner in
+:mod:`repro.verify.conformance`):
+
+====================  ====================================================
+``ok``                the operation succeeded; detail carries the payload
+``unsupported``       :class:`~repro.baselines.interface.UnsupportedOperation`
+``denied``            :class:`~repro.errors.AccessDeniedError`
+``retention-refused`` :class:`~repro.errors.RetentionError`
+``not-found``         :class:`~repro.errors.RecordNotFoundError`
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One comparable behaviour sample: (operation, outcome, detail)."""
+
+    op: str
+    outcome: str
+    detail: str = ""
+
+
+class ReferenceModel:
+    """Feature-parameterized oracle of observable storage behaviour."""
+
+    def __init__(
+        self,
+        features: frozenset[str],
+        *,
+        has_version_history: bool,
+        has_break_glass: bool,
+    ) -> None:
+        self._features = features
+        self._has_history = has_version_history
+        self._has_break_glass = has_break_glass
+        self._versions: dict[str, list[str]] = {}  # record_id -> texts
+        self._live: set[str] = set()
+        self._expired = False  # set once the script advances past terms
+
+    # -- state helpers ---------------------------------------------------
+
+    def _text(self, record_id: str) -> str:
+        return self._versions[record_id][-1]
+
+    def _search_hits(self, term: str) -> list[str]:
+        return sorted(
+            record_id
+            for record_id in self._live
+            if term in self._text(record_id).split()
+        )
+
+    # -- the op vocabulary ----------------------------------------------
+
+    def store(self, op: str, record_id: str, text: str) -> Observation:
+        self._versions[record_id] = [text]
+        self._live.add(record_id)
+        return Observation(op, "ok")
+
+    def store_many(self, op: str, items: list[tuple[str, str]]) -> Observation:
+        for record_id, text in items:
+            self._versions[record_id] = [text]
+            self._live.add(record_id)
+        return Observation(op, "ok", str(len(items)))
+
+    def read(self, op: str, record_id: str) -> Observation:
+        if record_id not in self._live:
+            return Observation(op, "not-found")
+        return Observation(op, "ok", self._text(record_id))
+
+    def read_probe(self, op: str, record_id: str) -> Observation:
+        """Read as an unauthorized actor the probe prepared."""
+        if "access_control" in self._features:
+            return Observation(op, "denied")
+        return self.read(op, record_id)
+
+    def correct(self, op: str, record_id: str, text: str) -> Observation:
+        if "correct" not in self._features:
+            return Observation(op, "unsupported")
+        if record_id not in self._live:
+            return Observation(op, "not-found")
+        self._versions[record_id].append(text)
+        return Observation(op, "ok")
+
+    def read_version(self, op: str, record_id: str, version: int) -> Observation:
+        if not self._has_history:
+            return Observation(op, "unsupported")
+        return Observation(op, "ok", self._versions[record_id][version])
+
+    def search(self, op: str, term: str) -> Observation:
+        return Observation(op, "ok", ",".join(self._search_hits(term)))
+
+    def advance_years(self, op: str) -> Observation:
+        self._expired = True
+        return Observation(op, "ok")
+
+    def dispose(self, op: str, record_id: str) -> Observation:
+        if record_id not in self._live:
+            return Observation(op, "not-found")
+        if "retention" in self._features and not self._expired:
+            return Observation(op, "retention-refused")
+        self._live.discard(record_id)
+        return Observation(op, "ok")
+
+    def break_glass_read(self, op: str, record_id: str) -> Observation:
+        if not self._has_break_glass:
+            return Observation(op, "unsupported")
+        return Observation(op, "ok", f"denied-then:{self._text(record_id)}")
+
+    def audit_check(self, op: str) -> Observation:
+        if "audit" in self._features:
+            return Observation(op, "ok", "verify=True,events=some")
+        return Observation(op, "ok", "verify=None,events=none")
+
+    def integrity_check(self, op: str) -> Observation:
+        return Observation(op, "ok", "")

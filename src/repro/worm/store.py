@@ -32,7 +32,7 @@ from repro.errors import (
 from repro.storage.block import BlockDevice, MemoryDevice
 from repro.storage.journal import HEADER_SIZE, Journal
 from repro.util.clock import Clock, WallClock
-from repro.util.encoding import canonical_bytes
+from repro.util.encoding import canonical_bytes, canonical_loads
 from repro.worm.retention_lock import RetentionLock, RetentionTerm
 
 
@@ -46,6 +46,7 @@ class StoredObject:
     written_at: float
     journal_sequence: int
     payload_offset: int  # device offset of the object bytes (for shredding)
+    data_start: int = 0  # offset of the object bytes within the frame payload
     deleted: bool = False
 
 
@@ -91,23 +92,85 @@ class WormStore:
             raise WormViolationError(
                 f"object {object_id} already written (WORM is write-once)"
             )
+        written_at = self._clock.now()
         header = canonical_bytes(
-            {"object_id": object_id, "size": len(data), "digest": sha256(data)}
+            {
+                "object_id": object_id,
+                "size": len(data),
+                "digest": sha256(data),
+                "written_at": written_at,
+            }
         )
         entry = self._journal.append(header + b"\x00" + data)
-        payload_offset = entry.offset + HEADER_SIZE + len(header) + 1
         meta = StoredObject(
             object_id=object_id,
             size=len(data),
             content_digest=sha256(data),
-            written_at=self._clock.now(),
+            written_at=written_at,
             journal_sequence=entry.sequence,
-            payload_offset=payload_offset,
+            payload_offset=entry.offset + HEADER_SIZE + len(header) + 1,
+            data_start=len(header) + 1,
         )
         self._objects[object_id] = meta
-        term = retention or RetentionTerm(start=self._clock.now(), duration_seconds=0.0)
+        term = retention or RetentionTerm(start=written_at, duration_seconds=0.0)
         self.retention.set_term(object_id, term)
         return meta
+
+    def put_many(
+        self,
+        items: list[tuple[str, bytes, RetentionTerm | None]],
+    ) -> list[StoredObject]:
+        """Write a batch of objects as ONE journal frame.
+
+        The batch is all-or-nothing at the durability layer: a single
+        frame carries a single checksum, so a crash that tears the write
+        drops the *entire* batch at recovery — there is no prefix of a
+        batch that survives.  This is what gives the engine's
+        ``store_many`` its atomic acknowledgement semantics.
+        """
+        if not items:
+            return []
+        seen: set[str] = set()
+        for object_id, _, _ in items:
+            if object_id in self._objects or object_id in seen:
+                raise WormViolationError(
+                    f"object {object_id} already written (WORM is write-once)"
+                )
+            seen.add(object_id)
+        written_at = self._clock.now()
+        manifest = [
+            {
+                "object_id": object_id,
+                "size": len(data),
+                "digest": sha256(data),
+                "written_at": written_at,
+            }
+            for object_id, data, _ in items
+        ]
+        header = canonical_bytes({"batch": manifest})
+        blob = bytearray(header)
+        blob += b"\x00"
+        starts = []
+        for _, data, _ in items:
+            starts.append(len(blob))
+            blob += data
+        entry = self._journal.append(bytes(blob))
+        metas = []
+        for (object_id, data, retention), data_start in zip(items, starts):
+            meta = StoredObject(
+                object_id=object_id,
+                size=len(data),
+                content_digest=sha256(data),
+                written_at=written_at,
+                journal_sequence=entry.sequence,
+                payload_offset=entry.offset + HEADER_SIZE + data_start,
+                data_start=data_start,
+            )
+            self._objects[object_id] = meta
+            term = retention or RetentionTerm(start=written_at, duration_seconds=0.0)
+            self.retention.set_term(object_id, term)
+            metas.append(meta)
+        return metas
 
     # -- read ----------------------------------------------------------------
 
@@ -136,10 +199,15 @@ class WormStore:
 
     @staticmethod
     def _extract_data(payload: bytes, meta: StoredObject) -> bytes:
-        # The canonical-JSON header contains no NUL byte, so the first
-        # NUL is the header/data separator.
-        separator = payload.index(b"\x00")
-        data = payload[separator + 1 :]
+        # Objects are sliced by extent: a frame may hold one object or a
+        # whole batch, and concatenated object bytes may contain NULs, so
+        # the first-NUL heuristic only locates the header boundary.
+        start = meta.data_start
+        if start == 0:
+            # Legacy metadata (no recorded extent): the canonical-JSON
+            # header contains no NUL byte, so the first NUL separates it.
+            start = payload.index(b"\x00") + 1
+        data = payload[start : start + meta.size]
         if len(data) != meta.size:
             raise IntegrityError(
                 f"object {meta.object_id}: stored size {len(data)} != {meta.size}"
@@ -180,6 +248,7 @@ class WormStore:
             written_at=meta.written_at,
             journal_sequence=meta.journal_sequence,
             payload_offset=meta.payload_offset,
+            data_start=meta.data_start,
             deleted=True,
         )
         self._objects[object_id] = tombstoned
@@ -190,6 +259,97 @@ class WormStore:
         the shredder for physical overwrite after logical deletion."""
         meta = self._meta(object_id)
         return meta.payload_offset, meta.size
+
+    def reseal_shredded(self, object_id: str) -> None:
+        """Recompute the containing frame's checksum after the shredder
+        zeroed *object_id*'s extent.  Certified destruction punches an
+        intentional hole; resealing keeps crash recovery from reading it
+        as a torn write and discarding the frame's surviving neighbours
+        (batch frames hold many objects) and the journal tail."""
+        meta = self._meta(object_id)
+        self._journal.reseal(meta.journal_sequence)
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        device: BlockDevice,
+        clock: Clock | None = None,
+        salvage_check=None,
+    ) -> "WormStore":
+        """Rebuild the object table from a surviving device image.
+
+        A frame that fails its checksum is dropped *whole* — and because
+        a ``put_many`` batch is one frame, a crash-torn batch write
+        drops the batch whole: there is never a surviving prefix of an
+        acknowledged-atomic batch.
+
+        One legitimate exception: authorized destruction zeroes an
+        object's extent inside a frame and then re-seals the frame's
+        checksum (:meth:`reseal_shredded`).  A crash *between* the zero
+        passes and the reseal leaves a broken frame that is a certified
+        hole, not a torn write — dropping it would take the shredded
+        object's innocent batch neighbours with it.  ``salvage_check``
+        (object_ids → bool), wired by the engine to the key escrow's
+        shred tombstones, identifies those frames; recovery completes
+        the interrupted reseal and keeps the frame.  Without a
+        ``salvage_check``, every broken frame is treated as torn.
+
+        Retention terms are restored as zero-duration terms anchored at
+        the recorded write time; the layer that granted longer terms
+        re-extends them (see ``CuratorStore.recover_from_devices``).
+        """
+        store = cls.__new__(cls)
+        store._clock = clock or WallClock()
+        store._objects = {}
+        store.retention = RetentionLock()
+        journal = Journal.__new__(Journal)
+        journal._device = device
+        journal._entries = []
+        journal._flush_count = 0
+        store._journal = journal
+        end = 0
+        for frame_offset, payload, checksum_ok in Journal.walk_frames(device):
+            separator = payload.find(b"\x00")
+            manifest = None
+            if separator != -1:
+                try:
+                    header = canonical_loads(payload[:separator])
+                    manifest = header["batch"] if "batch" in header else [header]
+                except Exception:  # noqa: BLE001 — damaged or foreign header
+                    manifest = None
+            if manifest is None:
+                continue  # torn/foreign frame: never registered
+            if not checksum_ok:
+                ids = [item["object_id"] for item in manifest]
+                if salvage_check is None or not salvage_check(ids):
+                    continue  # torn write: drop the frame whole
+                # A shred was interrupted before its reseal — finish it,
+                # so the frame's surviving neighbours stay readable.
+                Journal.forge_frame(device, frame_offset, payload)
+            sequence = len(journal._entries)
+            journal._entries.append((frame_offset, len(payload)))
+            end = frame_offset + HEADER_SIZE + len(payload)
+            data_start = separator + 1
+            for item in manifest:
+                meta = StoredObject(
+                    object_id=item["object_id"],
+                    size=item["size"],
+                    content_digest=item["digest"],
+                    written_at=item.get("written_at", 0.0),
+                    journal_sequence=sequence,
+                    payload_offset=frame_offset + HEADER_SIZE + data_start,
+                    data_start=data_start,
+                )
+                store._objects[meta.object_id] = meta
+                store.retention.set_term(
+                    meta.object_id,
+                    RetentionTerm(start=meta.written_at, duration_seconds=0.0),
+                )
+                data_start += meta.size
+        device.truncate_to(end)
+        return store
 
     def attempt_overwrite(self, object_id: str, data: bytes) -> None:
         """Explicitly attempt an in-place overwrite; always raises.

@@ -77,7 +77,7 @@ def test_verify_localizes_first_tampered_event():
 def test_verify_detects_truncation_against_memory_head():
     log = make_log(10)
     offset, _ = log._journal._entries[7]
-    log.device._next_offset = offset  # crude truncation
+    log.device.truncate_to(offset)  # crude truncation
     log._journal._entries = log._journal._entries[:7]
     verification = log.verify_chain()
     assert not verification.ok

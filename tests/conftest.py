@@ -1,0 +1,9 @@
+"""Shared pytest configuration for the whole suite."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "crash_sweep: crash-consistency sweep cases (slower; the full "
+        "sweep lives behind `python -m repro verify`)",
+    )

@@ -36,7 +36,7 @@ def test_journal_recovery_after_truncation_keeps_a_prefix(items, lost):
     lost = min(lost, device.used)
     start = device.used - lost
     device.raw_write(start, bytes(lost))
-    device._next_offset = start
+    device.truncate_to(start)
     recovered = Journal.recover(device)
     assert len(recovered) <= len(items)
     assert recovered.read_all() == items[: len(recovered)]

@@ -28,7 +28,7 @@ def test_journal_survives_reopen(tmp_path):
         journal.append(f"entry-{i}".encode())
 
     reopened = FileBackedDevice("fj", CAPACITY, path)
-    reopened._next_offset = device.used  # simulate superblock bookkeeping
+    reopened.reset_allocation(device.used)  # simulate superblock bookkeeping
     recovered = Journal.recover(reopened)
     assert recovered.read_all() == [f"entry-{i}".encode() for i in range(6)]
 
@@ -43,7 +43,7 @@ def test_audit_log_survives_reopen(tmp_path):
     head = log.head_digest
 
     reopened = FileBackedDevice("fa", CAPACITY, path)
-    reopened._next_offset = device.used
+    reopened.reset_allocation(device.used)
     recovered = AuditLog.recover(reopened, clock=clock)
     assert recovered.head_digest == head
     assert len(recovered) == 8

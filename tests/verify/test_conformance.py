@@ -1,0 +1,54 @@
+"""Differential conformance: all six models must match the
+feature-aware reference, and the harness must actually catch drift."""
+
+from repro.baselines import RelationalStore
+from repro.verify import render_conformance, run_conformance
+from repro.verify.conformance import run_model_conformance
+
+
+def test_all_six_models_are_conformant():
+    reports = run_conformance()
+    assert set(reports) == {
+        "relational", "encrypted", "hippocratic",
+        "objectstore", "plainworm", "curator",
+    }
+    for name, report in reports.items():
+        assert report.conformant, f"{name}: {report.divergences}"
+        assert report.ops_run >= 15
+
+
+def test_render_lists_every_model_with_a_verdict():
+    rendered = render_conformance(run_conformance())
+    for name in ("curator", "plainworm", "relational"):
+        assert name in rendered
+    assert rendered.count("CONFORMANT") == 6
+    assert "DIVERGENCES" not in rendered
+
+
+class _TamperingStore(RelationalStore):
+    """Serves the wrong bytes on read — the drift the diff must catch."""
+
+    def read(self, record_id, actor_id="system"):
+        record = super().read(record_id, actor_id=actor_id)
+        record.body["text"] = record.body.get("text", "") + " tampered"
+        return record
+
+
+class _OverreachingStore(RelationalStore):
+    """Exposes ``read_version`` (so the capability probe expects real
+    history) but serves the current text whatever version is asked."""
+
+    def read_version(self, record_id, version):
+        return super().read(record_id)
+
+
+def test_served_text_drift_is_a_divergence():
+    report = run_model_conformance(_TamperingStore(), None)
+    assert not report.conformant
+    assert any("tampered" in d.actual for d in report.divergences)
+
+
+def test_wrong_version_served_is_a_divergence():
+    report = run_model_conformance(_OverreachingStore(), None)
+    assert not report.conformant
+    assert any("read_version" in d.op for d in report.divergences)

@@ -1,0 +1,169 @@
+"""Unit tests for the crash-injection seam: the block-device write
+hook, the :class:`CrashController`, surviving images, and the public
+allocation API the sweep is built on."""
+
+import pytest
+
+from repro.errors import CrashError, DeviceError
+from repro.storage.block import MemoryDevice
+from repro.verify.crashpoint import CrashController, surviving_image
+
+
+def make_device(capacity=1 << 12):
+    return MemoryDevice("dev", capacity)
+
+
+# -- the write-hook seam -------------------------------------------------
+
+
+def test_hook_sees_checked_and_raw_writes():
+    device = make_device()
+    seen = []
+    device.install_write_hook(lambda dev, off, data: (seen.append((off, data)), data)[1])
+    offset = device.allocate(4)
+    device.write(offset, b"abcd")
+    device.raw_write(offset, b"WXYZ")
+    assert seen == [(offset, b"abcd"), (offset, b"WXYZ")]
+    device.clear_write_hook()
+    device.raw_write(offset, b"abcd")
+    assert len(seen) == 2  # cleared hook no longer fires
+
+
+def test_hook_abort_commits_nothing():
+    device = make_device()
+    offset = device.allocate(4)
+    device.write(offset, b"abcd")
+
+    def deny(dev, off, data):
+        raise CrashError("no")
+
+    device.install_write_hook(deny)
+    with pytest.raises(CrashError):
+        device.raw_write(offset, b"WXYZ")
+    device.clear_write_hook()
+    assert device.read(offset, 4) == b"abcd"
+
+
+def test_hook_torn_crash_commits_exactly_the_prefix():
+    device = make_device()
+    offset = device.allocate(8)
+    device.write(offset, b"\x00" * 8)
+
+    def tear(dev, off, data):
+        raise CrashError("torn", partial=data[:3])
+
+    device.install_write_hook(tear)
+    with pytest.raises(CrashError):
+        device.raw_write(offset, b"ABCDEFGH")
+    device.clear_write_hook()
+    assert device.read(offset, 8) == b"ABC" + b"\x00" * 5
+
+
+# -- the controller ------------------------------------------------------
+
+
+def test_controller_counts_across_devices_and_kills_at_k():
+    first, second = make_device(), make_device()
+    controller = CrashController()
+    controller.attach([first, second])
+    controller.arm(3)
+    a = first.allocate(2)
+    b = second.allocate(2)
+    first.write(a, b"11")
+    second.write(b, b"22")
+    with pytest.raises(CrashError):
+        first.raw_write(a, b"33")
+    assert controller.crashed
+    assert first.read(a, 2) == b"11"  # clean crash: write 3 vanished whole
+
+
+def test_controller_dead_process_refuses_all_later_writes():
+    device = make_device()
+    controller = CrashController()
+    controller.attach([device])
+    controller.arm(1)
+    offset = device.allocate(2)
+    with pytest.raises(CrashError):
+        device.write(offset, b"xx")
+    with pytest.raises(CrashError, match="dead"):
+        device.raw_write(offset, b"yy")
+
+
+def test_controller_torn_variant_leaves_half_the_write():
+    device = make_device()
+    controller = CrashController()
+    controller.attach([device])
+    controller.arm(1, torn=True)
+    offset = device.allocate(4)
+    with pytest.raises(CrashError):
+        device.write(offset, b"ABCD")
+    controller.detach()
+    assert device.read(offset, 4) == b"AB\x00\x00"
+
+
+def test_controller_arm_is_one_based():
+    with pytest.raises(ValueError):
+        CrashController().arm(0)
+
+
+def test_controller_dry_run_counts_boundaries():
+    device = make_device()
+    controller = CrashController()
+    controller.attach([device])
+    offset = device.allocate(6)
+    device.write(offset, b"aa")
+    device.raw_write(offset + 2, b"bb")
+    device.write(offset + 4, b"cc")
+    assert controller.writes_observed == 3
+    assert not controller.crashed
+
+
+# -- surviving images ----------------------------------------------------
+
+
+def test_surviving_image_keeps_bytes_drops_process_state():
+    device = make_device(64)
+    offset = device.allocate(8)
+    device.write(offset, b"persists")
+    controller = CrashController()
+    controller.attach([device])
+    image = surviving_image(device)
+    assert image.raw_read(0, 64) == device.raw_read(0, 64)
+    assert image.used == image.capacity  # allocator parked for recovery scans
+    assert image._write_hook is None  # hooks were process state
+    image.truncate_to(8)
+    extra = image.allocate(4)
+    image.write(extra, b"more")  # the clone accepts fresh writes
+    assert device.raw_read(8, 4) == b"\x00" * 4  # original untouched
+
+
+# -- public allocation API (replaces device._next_offset pokes) ----------
+
+
+def test_truncate_to_rolls_allocator_back_without_touching_bytes():
+    device = make_device(64)
+    offset = device.allocate(8)
+    device.write(offset, b"ABCDEFGH")
+    device.truncate_to(4)
+    assert device.used == 4
+    assert device.raw_read(0, 8) == b"ABCDEFGH"
+    again = device.allocate(4)
+    assert again == 4
+
+
+@pytest.mark.parametrize("bad", [-1, 65])
+def test_allocation_api_rejects_out_of_range(bad):
+    device = make_device(64)
+    with pytest.raises(DeviceError):
+        device.truncate_to(bad)
+    with pytest.raises(DeviceError):
+        device.reset_allocation(bad)
+
+
+def test_reset_allocation_moves_in_both_directions():
+    device = make_device(64)
+    device.allocate(10)
+    device.reset_allocation(64)
+    assert device.free == 0
+    device.reset_allocation(0)
+    assert device.used == 0
