@@ -10,10 +10,11 @@ test:
 	$(PY) -m pytest -x -q
 
 # The PR gate: tier-1, a bounded crash-consistency sweep + differential
-# conformance, and the E2 throughput regression gate.
+# conformance + detection equivalence, and the E2/E8 regression gates.
 verify: test
 	$(PY) -m repro verify --limit 12
 	$(PY) -m pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest -q
+	$(PY) -m pytest benchmarks/bench_e8_audit_scaling.py::test_e8_incremental_fast_path -q
 	$(PY) benchmarks/check_regression.py
 
 # The exhaustive sweep: every write boundary, clean + torn.  ~30s.
@@ -25,4 +26,5 @@ conformance:
 
 bench-gate:
 	$(PY) -m pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest -q
+	$(PY) -m pytest benchmarks/bench_e8_audit_scaling.py::test_e8_incremental_fast_path -q
 	$(PY) benchmarks/check_regression.py

@@ -5,23 +5,35 @@ regulations require extensive logging — so verification must stay
 affordable as the log grows.  Expected shape: full-chain verification
 is linear in log size; Merkle-anchored truncation checking is
 logarithmic-ish per anchor; a bare hash chain misses truncation while
-the anchored log catches it (the headline ablation).
+the anchored log catches it (the headline ablation); and the
+watermarked incremental fast path re-verifies a small delta at a small
+fraction of the full-rescan cost without losing detection power
+(``BENCH_e8.json``, gated by ``check_regression.py``).
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
 from benchmarks.common import new_clock, print_table
 from repro.audit.anchors import AnchorWitness, publish_anchor
+from repro.audit.checkpoint import CheckpointStore
 from repro.audit.events import AuditAction
 from repro.audit.log import AuditLog
 from repro.crypto.rsa import generate_keypair
 from repro.crypto.signatures import Signer
 from repro.errors import AuditError
 from repro.storage.block import MemoryDevice
+from repro.verify.equivalence import run_detection_equivalence
 
 KEYPAIR = generate_keypair(768)
+
+N_EVENTS = 10_000  # archive-scale log for the fast-path measurement
+N_DELTA = 100      # events appended since the last full verification
+
+BENCH_JSON = Path(__file__).parent / "BENCH_e8.json"
 
 
 def _grown_log(n):
@@ -59,6 +71,97 @@ def test_e8_verification_is_linear(benchmark):
     # linear shape: doubling size roughly doubles the cost (generous band)
     ratio = timings[1600] / timings[200]
     assert 3.0 < ratio < 24.0, ratio
+
+
+def _checkpointed_log(n):
+    clock = new_clock()
+    checkpoints = CheckpointStore(
+        device=MemoryDevice("ckpt", 1 << 20),
+        key=b"\x42" * 32,
+        clock=clock,
+    )
+    log = AuditLog(
+        device=MemoryDevice("audit", 1 << 25),
+        clock=clock,
+        checkpoints=checkpoints,
+    )
+    for i in range(n):
+        log.append(AuditAction.RECORD_READ, f"actor-{i % 7}", f"rec-{i % 50}")
+    return clock, log
+
+
+def test_e8_incremental_fast_path(benchmark):
+    """The headline fast-path measurement, written to ``BENCH_e8.json``
+    for the regression checker.
+
+    A full verification of a 10k-event log seals a watermark; the next
+    verification after a 100-event delta replays only the suffix, ties
+    it to the sealed prefix with a Merkle consistency proof, and
+    spot-checks a random prefix sample — and must come in at >= 5x the
+    full rescan.  The speedup is only admissible alongside **zero**
+    detection-equivalence violations, so the tamper oracle runs here
+    too and both numbers land in the same JSON.
+    """
+    clock, log = _checkpointed_log(N_EVENTS)
+
+    start = time.perf_counter()
+    full = log.verify_chain()
+    full_s = time.perf_counter() - start
+    assert full.ok and full.mode == "full"
+    assert full.events_checked == N_EVENTS
+    assert log.watermark is not None and log.watermark.size == N_EVENTS
+
+    for i in range(N_DELTA):
+        log.append(AuditAction.RECORD_READ, f"actor-{i % 7}", f"rec-{i % 50}")
+
+    start = time.perf_counter()
+    incremental = log.verify_chain(incremental=True)
+    incremental_s = time.perf_counter() - start
+    assert incremental.ok and incremental.mode == "incremental"
+    assert not incremental.escalated
+    assert incremental.events_checked == N_DELTA
+
+    # the deep escape hatch still rescans everything on demand
+    deep = log.verify_chain(incremental=True, deep=True)
+    assert deep.ok and deep.mode == "full"
+
+    speedup = full_s / incremental_s
+    equivalence = run_detection_equivalence()
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "E8 incremental fast path (10k events, 100-event delta)",
+        ["arm", "verify ms", "events checked"],
+        [
+            ["full rescan", f"{full_s * 1e3:10.2f}", full.events_checked],
+            [
+                "incremental",
+                f"{incremental_s * 1e3:10.2f}",
+                incremental.events_checked,
+            ],
+            ["speedup", f"{speedup:9.1f}x", ""],
+        ],
+    )
+    print(equivalence.summary())
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "log_size": N_EVENTS,
+                "delta": N_DELTA,
+                "full_ms": round(full_s * 1e3, 3),
+                "incremental_ms": round(incremental_s * 1e3, 3),
+                "speedup": round(speedup, 2),
+                "spot_checked": incremental.spot_checked,
+                "equivalence_cases": len(equivalence.cases),
+                "equivalence_violations": len(equivalence.violations),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert equivalence.ok, equivalence.summary()
+    assert speedup >= 5.0, f"incremental speedup {speedup:.1f}x below 5x bar"
 
 
 def test_e8_ablation_truncation_detection(benchmark):

@@ -1,10 +1,18 @@
-"""Throughput regression gate for the E2 write-path benchmark.
+"""Regression gate for the E2 write-path and E8 verification benchmarks.
 
 Compares a freshly generated ``BENCH_e2.json`` (run
 ``pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest``
 first) against a baseline — by default the copy committed at git HEAD —
 and exits non-zero if any model's single or batched ingest throughput
 dropped by more than the tolerance (30%).
+
+When ``BENCH_e8.json`` is present (run
+``pytest benchmarks/bench_e8_audit_scaling.py::test_e8_incremental_fast_path``)
+it is gated on absolute bars, not a baseline ratio: incremental audit
+verification must be at least 5x faster than the full rescan at 10k
+events, and the detection-equivalence oracle must report **zero**
+violations.  A fast path that trades away detection is a security
+regression no matter how fast it got.
 
 Usage::
 
@@ -26,7 +34,9 @@ import sys
 from pathlib import Path
 
 BENCH_JSON = Path(__file__).parent / "BENCH_e2.json"
+BENCH_E8_JSON = Path(__file__).parent / "BENCH_e8.json"
 DEFAULT_TOLERANCE = 0.30
+MIN_E8_SPEEDUP = 5.0
 _METRICS = ("single_rps", "batched_rps")
 
 
@@ -66,6 +76,28 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def check_e8(path: Path, min_speedup: float) -> list[str]:
+    """Absolute bars for the E8 verification fast path."""
+    if not path.exists():
+        return [f"no E8 results at {path}; run the E8 fast-path benchmark first"]
+    results = json.loads(path.read_text())
+    problems = []
+    speedup = results.get("speedup", 0)
+    if speedup < min_speedup:
+        problems.append(
+            f"e8.speedup: incremental verify only {speedup:.1f}x faster than "
+            f"the full rescan (bar: {min_speedup:.1f}x at "
+            f"{results.get('log_size', '?')} events)"
+        )
+    violations = results.get("equivalence_violations")
+    if violations != 0:
+        problems.append(
+            f"e8.equivalence: {violations} detection-equivalence violations "
+            f"(the fast path must lose no detection power)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -82,6 +114,23 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help="allowed fractional throughput drop (default 0.30)",
     )
+    parser.add_argument(
+        "--current-e8",
+        default=str(BENCH_E8_JSON),
+        help="fresh E8 results JSON path",
+    )
+    parser.add_argument(
+        "--min-e8-speedup",
+        type=float,
+        default=MIN_E8_SPEEDUP,
+        help="required incremental-verify speedup over a full rescan "
+        "(default 5.0)",
+    )
+    parser.add_argument(
+        "--skip-e8",
+        action="store_true",
+        help="gate only the E2 throughput results",
+    )
     args = parser.parse_args(argv)
 
     current_path = Path(args.current)
@@ -93,19 +142,35 @@ def main(argv: list[str] | None = None) -> int:
         baseline = load_baseline(args.baseline)
     except subprocess.CalledProcessError:
         print("no committed baseline at HEAD; nothing to compare against")
-        return 0
+        baseline = None
 
-    problems = compare(current, baseline, args.tolerance)
+    problems = (
+        compare(current, baseline, args.tolerance) if baseline is not None else []
+    )
     if problems:
         print("THROUGHPUT REGRESSION:")
         for problem in problems:
             print(f"  - {problem}")
-        return 1
-    print(
-        f"ok: all models within {args.tolerance * 100:.0f}% of baseline "
-        f"({len(baseline.get('models', {}))} models checked)"
-    )
-    return 0
+    elif baseline is not None:
+        print(
+            f"ok: all models within {args.tolerance * 100:.0f}% of baseline "
+            f"({len(baseline.get('models', {}))} models checked)"
+        )
+
+    if not args.skip_e8:
+        e8_problems = check_e8(Path(args.current_e8), args.min_e8_speedup)
+        if e8_problems:
+            print("VERIFICATION FAST-PATH REGRESSION:")
+            for problem in e8_problems:
+                print(f"  - {problem}")
+            problems.extend(e8_problems)
+        else:
+            print(
+                f"ok: incremental verify >= {args.min_e8_speedup:.1f}x full "
+                f"rescan, 0 detection-equivalence violations"
+            )
+
+    return 1 if problems else 0
 
 
 if __name__ == "__main__":

@@ -21,9 +21,15 @@ The design layers three mechanisms:
 3. **Forensic queries** (:mod:`repro.audit.query`): who touched record
    X, everything actor Y did, all emergency accesses — the questions a
    privacy officer asks after a suspected breach.
+4. **Verified watermarks** (:mod:`repro.audit.checkpoint`): a MAC-sealed
+   checkpoint of the last successful verification, so repeated
+   verification replays only the delta past the watermark instead of the
+   whole archive (with randomized sealed-prefix spot-checks and a forced
+   periodic full rescan preserving tamper detection).
 """
 
 from repro.audit.anchors import AnchorWitness, AuditAnchor, WitnessQuorum
+from repro.audit.checkpoint import CheckpointStore, VerifiedWatermark
 from repro.audit.events import AuditAction, AuditEvent
 from repro.audit.log import AuditLog, ChainVerification
 from repro.audit.query import AuditQuery
@@ -37,4 +43,6 @@ __all__ = [
     "AuditLog",
     "ChainVerification",
     "AuditQuery",
+    "CheckpointStore",
+    "VerifiedWatermark",
 ]

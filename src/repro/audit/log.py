@@ -14,32 +14,52 @@ Verification modes:
 
 * :meth:`AuditLog.verify_chain` — full rescan from storage; detects
   in-place edits, deletions, insertions, and reordering.
+* :meth:`AuditLog.verify_chain` with ``incremental=True`` — O(delta)
+  fast path: replay only events past the sealed verified watermark
+  (see :mod:`repro.audit.checkpoint`), tie them to the sealed prefix
+  with Merkle consistency proofs, and spot-check a randomized sample
+  of sealed-prefix frames; escalates to a forced full rescan on a
+  configurable cadence so silent prefix tampering stays caught.
 * combined with :mod:`repro.audit.anchors` — detects truncation too.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any
 
+from repro.audit.checkpoint import CheckpointStore, VerifiedWatermark
 from repro.audit.events import AuditAction, AuditEvent
 from repro.crypto.hashing import GENESIS_DIGEST, chain_digest
-from repro.crypto.merkle import MerkleTree
+from repro.crypto.merkle import MerkleTree, leaf_hash, verify_consistency
 from repro.errors import AuditError
 from repro.storage.block import BlockDevice, MemoryDevice
 from repro.storage.journal import Journal
 from repro.util.clock import Clock, WallClock
 from repro.util.encoding import canonical_bytes, canonical_dumps, canonical_loads
+from repro.util.metrics import METRICS
 
 
 @dataclass(frozen=True)
 class ChainVerification:
-    """Result of a full chain verification."""
+    """Result of a chain verification (full or incremental).
+
+    ``events_checked`` counts events *replayed from storage*: the whole
+    log for a full pass, only the delta past the watermark for an
+    incremental one (sealed-prefix coverage is ``spot_checked``).
+    ``escalated`` marks an incremental request that was served by a
+    full rescan (missing/invalid watermark, or the forced-rescan
+    cadence coming due).
+    """
 
     ok: bool
     events_checked: int
     first_bad_sequence: int | None = None
     problem: str = ""
+    mode: str = "full"  # "full" | "incremental"
+    spot_checked: int = 0
+    escalated: bool = False
 
     def __bool__(self) -> bool:
         return self.ok
@@ -52,6 +72,10 @@ class AuditLog:
         self,
         device: BlockDevice | None = None,
         clock: Clock | None = None,
+        checkpoints: CheckpointStore | None = None,
+        spot_checks: int = 16,
+        full_rescan_every: int = 64,
+        rng: random.Random | None = None,
     ) -> None:
         self._journal = Journal(device or MemoryDevice("audit-dev", 1 << 24))
         self._clock = clock or WallClock()
@@ -60,6 +84,19 @@ class AuditLog:
         self._tree = MerkleTree()
         # Open batch: buffered journal payloads, or None outside a batch.
         self._pending: list[bytes] | None = None
+        # Incremental-verification state.  The in-memory watermark is
+        # authoritative within a process (process memory is trusted);
+        # the checkpoint store is its MAC-sealed persistent mirror.
+        self._checkpoints = checkpoints
+        self._watermark: VerifiedWatermark | None = (
+            checkpoints.latest() if checkpoints is not None else None
+        )
+        self._spot_checks = spot_checks
+        self._full_rescan_every = full_rescan_every
+        # Unpredictable by default (the adversary must not know which
+        # sealed frames the next spot-check will sample); tests inject
+        # a seeded Random for reproducibility.
+        self._rng = rng or random.Random()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -184,13 +221,60 @@ class AuditLog:
 
     # -- verification -------------------------------------------------------
 
-    def verify_chain(self) -> ChainVerification:
-        """Re-derive the whole chain from persistent storage.
+    @property
+    def watermark(self) -> VerifiedWatermark | None:
+        """The current verified watermark (None before any full verify)."""
+        return self._watermark
 
-        Reads every journaled entry back from the device (so raw-device
-        tampering is caught), recomputes each link, and compares with
-        the stored chain digests and the in-memory head.
+    @property
+    def checkpoints(self) -> CheckpointStore | None:
+        return self._checkpoints
+
+    def adopt_checkpoints(self, checkpoints: CheckpointStore | None) -> None:
+        """Attach a (possibly recovered) checkpoint store after the fact.
+
+        Used by engine recovery: the audit log is replayed from its own
+        device first, then the checkpoint store recovered from *its*
+        device is adopted.  The persisted watermark is loaded but not
+        trusted blindly — :meth:`verify_chain` validates it against the
+        in-memory state and falls back to a full rescan on any mismatch
+        (including the torn-seal case, where recovery already dropped
+        the torn frame and ``latest()`` returns an older seal or None).
         """
+        self._checkpoints = checkpoints
+        self._watermark = checkpoints.latest() if checkpoints is not None else None
+
+    def verify_chain(
+        self, incremental: bool = False, deep: bool = False
+    ) -> ChainVerification:
+        """Re-derive the chain from persistent storage.
+
+        Default (and ``deep=True``): full rescan — read every journaled
+        entry back from the device (so raw-device tampering is caught),
+        recompute each link, and compare with the stored chain digests
+        and the in-memory head.  A successful pass seals a verified
+        watermark.
+
+        ``incremental=True``: replay only events past the watermark,
+        verify the suffix chains from the sealed head to the in-memory
+        head, tie the in-memory Merkle tree to the sealed root with a
+        consistency proof, and spot-check a random sample of sealed-
+        prefix frames against the trusted leaf digests.  Falls back to
+        (``escalated``) full verification when no valid watermark
+        exists or the forced-rescan cadence is due, so sealed-prefix
+        tampering that dodges the sample is still caught within
+        ``full_rescan_every`` incremental runs.
+        """
+        if incremental and not deep:
+            return self._verify_incremental()
+        with METRICS.timer("audit_verify_full_ns"):
+            result = self._verify_full()
+        METRICS.incr("audit_verify_full_runs")
+        if result.ok:
+            self._seal_watermark(incremental_runs=0)
+        return result
+
+    def _verify_full(self, escalated: bool = False) -> ChainVerification:
         head = GENESIS_DIGEST
         try:
             payloads = self._journal.read_all()
@@ -200,41 +284,12 @@ class AuditLog:
                 events_checked=0,
                 first_bad_sequence=self._first_journal_corruption(),
                 problem=f"journal unreadable: {exc}",
+                escalated=escalated,
             )
         for sequence, payload in enumerate(payloads):
-            try:
-                entry = canonical_loads(payload)
-                event = AuditEvent.from_dict(entry["event"])
-            except Exception as exc:
-                return ChainVerification(
-                    ok=False,
-                    events_checked=sequence,
-                    first_bad_sequence=sequence,
-                    problem=f"event {sequence} undecodable: {exc}",
-                )
-            if event.sequence != sequence:
-                return ChainVerification(
-                    ok=False,
-                    events_checked=sequence,
-                    first_bad_sequence=sequence,
-                    problem=f"event {sequence} carries sequence {event.sequence}",
-                )
-            if entry["prev"] != head:
-                return ChainVerification(
-                    ok=False,
-                    events_checked=sequence,
-                    first_bad_sequence=sequence,
-                    problem=f"chain link broken before event {sequence}",
-                )
-            encoded = canonical_bytes({"event": entry["event"], "prev": head})
-            head = chain_digest(head, encoded)
-            if entry["chain"] != head:
-                return ChainVerification(
-                    ok=False,
-                    events_checked=sequence,
-                    first_bad_sequence=sequence,
-                    problem=f"stored chain digest wrong at event {sequence}",
-                )
+            failure, head = self._check_frame(sequence, payload, head, escalated)
+            if failure is not None:
+                return failure
         if head != self._head:
             return ChainVerification(
                 ok=False,
@@ -242,8 +297,217 @@ class AuditLog:
                 first_bad_sequence=len(payloads),
                 problem="storage does not reproduce the in-memory chain head "
                 "(possible truncation or appended forgery)",
+                escalated=escalated,
             )
-        return ChainVerification(ok=True, events_checked=len(payloads))
+        return ChainVerification(
+            ok=True, events_checked=len(payloads), escalated=escalated
+        )
+
+    def _check_frame(
+        self, sequence: int, payload: bytes, head: bytes, escalated: bool = False
+    ) -> tuple[ChainVerification | None, bytes]:
+        """Verify one journaled frame given the chain head before it;
+        returns ``(failure, new_head)`` with ``failure=None`` on success."""
+
+        def bad(problem: str) -> tuple[ChainVerification, bytes]:
+            return (
+                ChainVerification(
+                    ok=False,
+                    events_checked=sequence,
+                    first_bad_sequence=sequence,
+                    problem=problem,
+                    escalated=escalated,
+                ),
+                head,
+            )
+
+        try:
+            entry = canonical_loads(payload)
+            event = AuditEvent.from_dict(entry["event"])
+        except Exception as exc:  # noqa: BLE001 — any decode failure is a finding
+            return bad(f"event {sequence} undecodable: {exc}")
+        if event.sequence != sequence:
+            return bad(f"event {sequence} carries sequence {event.sequence}")
+        if entry["prev"] != head:
+            return bad(f"chain link broken before event {sequence}")
+        encoded = canonical_bytes({"event": entry["event"], "prev": head})
+        new_head = chain_digest(head, encoded)
+        if entry["chain"] != new_head:
+            return bad(f"stored chain digest wrong at event {sequence}")
+        return None, new_head
+
+    def _verify_incremental(self) -> ChainVerification:
+        """The O(delta) fast path (see :meth:`verify_chain`)."""
+        watermark = self._watermark
+        size = len(self._events)
+        if watermark is None:
+            result = self.verify_chain(deep=True)
+            return ChainVerification(
+                ok=result.ok,
+                events_checked=result.events_checked,
+                first_bad_sequence=result.first_bad_sequence,
+                problem=result.problem,
+                escalated=True,
+            )
+        if watermark.incremental_runs + 1 >= self._full_rescan_every:
+            # Forced periodic rescan: probabilistic spot-checking alone
+            # would let a patient adversary wait out the sampler.
+            METRICS.incr("audit_verify_escalations")
+            result = self.verify_chain(deep=True)
+            return ChainVerification(
+                ok=result.ok,
+                events_checked=result.events_checked,
+                first_bad_sequence=result.first_bad_sequence,
+                problem=result.problem,
+                escalated=True,
+            )
+        if watermark.size > size or watermark.size > len(self._journal):
+            # Stale or foreign watermark (e.g. sealed before a tail the
+            # journal no longer has): never trusted — full rescan.
+            self._watermark = None
+            METRICS.incr("audit_verify_escalations")
+            result = self.verify_chain(deep=True)
+            return ChainVerification(
+                ok=result.ok,
+                events_checked=result.events_checked,
+                first_bad_sequence=result.first_bad_sequence,
+                problem=result.problem,
+                escalated=True,
+            )
+        with METRICS.timer("audit_verify_incremental_ns"):
+            result = self._verify_suffix_and_spot_check(watermark, size)
+        METRICS.incr("audit_verify_incremental_runs")
+        if result.ok:
+            self._seal_watermark(incremental_runs=watermark.incremental_runs + 1)
+        return result
+
+    def _verify_suffix_and_spot_check(
+        self, watermark: VerifiedWatermark, size: int
+    ) -> ChainVerification:
+        # 1. The sealed root must still describe the in-memory tree's
+        # prefix, and the current tree must extend it (consistency
+        # proof) — any in-memory fork from the sealed history fails.
+        try:
+            if self._tree.root_at(watermark.size) != watermark.merkle_root:
+                return ChainVerification(
+                    ok=False,
+                    events_checked=0,
+                    first_bad_sequence=None,
+                    problem="in-memory Merkle tree does not reproduce the "
+                    "sealed watermark root (history fork)",
+                    mode="incremental",
+                )
+            verify_consistency(
+                watermark.merkle_root,
+                self._tree.root(),
+                watermark.size,
+                size,
+                self._tree.prove_consistency(watermark.size),
+            )
+        except Exception as exc:  # noqa: BLE001 — IntegrityError et al.
+            return ChainVerification(
+                ok=False,
+                events_checked=0,
+                first_bad_sequence=None,
+                problem=f"consistency with the sealed prefix fails: {exc}",
+                mode="incremental",
+            )
+        # 2. Replay only the suffix from the sealed head.
+        head = watermark.head
+        replayed = 0
+        for sequence in range(watermark.size, size):
+            try:
+                payload = self._journal.read(sequence)
+            except Exception as exc:  # noqa: BLE001 — checksum/torn tail
+                return ChainVerification(
+                    ok=False,
+                    events_checked=replayed,
+                    first_bad_sequence=sequence,
+                    problem=f"event {sequence} unreadable: {exc}",
+                    mode="incremental",
+                )
+            failure, head = self._check_frame(sequence, payload, head)
+            if failure is not None:
+                return ChainVerification(
+                    ok=False,
+                    events_checked=replayed,
+                    first_bad_sequence=failure.first_bad_sequence,
+                    problem=failure.problem,
+                    mode="incremental",
+                )
+            replayed += 1
+        METRICS.incr("audit_verify_events_replayed", replayed)
+        if head != self._head:
+            return ChainVerification(
+                ok=False,
+                events_checked=replayed,
+                first_bad_sequence=size,
+                problem="storage does not reproduce the in-memory chain head "
+                "(possible truncation or appended forgery)",
+                mode="incremental",
+            )
+        # 3. Randomized spot-check of the sealed prefix: each sampled
+        # frame is re-read from the device and must reproduce both the
+        # trusted in-memory leaf digest (pins event + prev bytes) and
+        # its stored chain digest (pinned by those bytes in turn) — a
+        # complete per-frame check without replaying the whole prefix.
+        sample_size = min(self._spot_checks, watermark.size)
+        sampled = (
+            self._rng.sample(range(watermark.size), sample_size)
+            if sample_size
+            else []
+        )
+        for sequence in sorted(sampled):
+            problem = self._spot_check_frame(sequence)
+            if problem is not None:
+                return ChainVerification(
+                    ok=False,
+                    events_checked=replayed,
+                    first_bad_sequence=sequence,
+                    problem=problem,
+                    mode="incremental",
+                    spot_checked=sample_size,
+                )
+        METRICS.incr("audit_verify_spot_checks", sample_size)
+        return ChainVerification(
+            ok=True,
+            events_checked=replayed,
+            mode="incremental",
+            spot_checked=sample_size,
+        )
+
+    def _spot_check_frame(self, sequence: int) -> str | None:
+        """Verify one sealed-prefix frame in isolation; returns a
+        problem string or None."""
+        try:
+            payload = self._journal.read(sequence)
+            entry = canonical_loads(payload)
+            encoded = canonical_bytes(
+                {"event": entry["event"], "prev": entry["prev"]}
+            )
+        except Exception as exc:  # noqa: BLE001
+            return f"sealed event {sequence} unreadable: {exc}"
+        if leaf_hash(encoded) != self._tree.leaf_digest(sequence):
+            return (
+                f"sealed event {sequence} does not match its trusted "
+                "Merkle leaf (prefix tampering)"
+            )
+        if entry["chain"] != chain_digest(entry["prev"], encoded):
+            return f"stored chain digest wrong at sealed event {sequence}"
+        return None
+
+    def _seal_watermark(self, incremental_runs: int) -> None:
+        """Record (and persist, when a checkpoint store is attached)
+        the just-verified state."""
+        self._watermark = VerifiedWatermark(
+            size=len(self._events),
+            head=self._head,
+            merkle_root=self._tree.root(),
+            verified_at=self._clock.now(),
+            incremental_runs=incremental_runs,
+        )
+        if self._checkpoints is not None:
+            self._checkpoints.seal(self._watermark)
 
     def _first_journal_corruption(self) -> int | None:
         corrupted = self._journal.scan_corruption()
@@ -252,7 +516,13 @@ class AuditLog:
     # -- recovery ----------------------------------------------------------
 
     @classmethod
-    def recover(cls, device: BlockDevice, clock: Clock | None = None) -> "AuditLog":
+    def recover(
+        cls,
+        device: BlockDevice,
+        clock: Clock | None = None,
+        spot_checks: int = 16,
+        full_rescan_every: int = 64,
+    ) -> "AuditLog":
         """Rebuild an audit log from its device after a restart/crash.
 
         Replays the journal, re-deriving the hash chain and the Merkle
@@ -268,6 +538,11 @@ class AuditLog:
         log._events = []
         log._tree = MerkleTree()
         log._pending = None
+        log._checkpoints = None  # adopt_checkpoints() re-attaches one
+        log._watermark = None
+        log._spot_checks = spot_checks
+        log._full_rescan_every = full_rescan_every
+        log._rng = random.Random()
         for sequence, payload in enumerate(log._journal.read_all()):
             try:
                 entry = canonical_loads(payload)

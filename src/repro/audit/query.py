@@ -7,7 +7,14 @@ how many denials did each actor accumulate.  :class:`AuditQuery` wraps
 an :class:`~repro.audit.log.AuditLog` with those questions.
 
 All queries verify the chain first by default — forensic conclusions
-drawn from a tampered log are worse than none.
+drawn from a tampered log are worse than none.  Verification is
+**proof-carrying and per-session**: the first query of a session runs a
+verification (incremental when the log holds a sealed watermark, which
+escalates to a full rescan otherwise), and subsequent queries reuse
+that result until the log grows.  :meth:`AuditQuery.evidence` exposes
+what the session's conclusions rest on, and :meth:`AuditQuery.prove`
+turns any returned event into a third-party-checkable Merkle inclusion
+proof.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from collections import Counter
 from typing import Callable
 
 from repro.audit.events import AuditAction, AuditEvent
-from repro.audit.log import AuditLog
+from repro.audit.log import AuditLog, ChainVerification
 from repro.errors import AuditError
 
 _ACCESS_ACTIONS = frozenset(
@@ -32,20 +39,66 @@ _ACCESS_ACTIONS = frozenset(
 
 
 class AuditQuery:
-    """Read-only forensic interface over an audit log."""
+    """Read-only forensic interface over an audit log.
 
-    def __init__(self, log: AuditLog, verify_first: bool = True) -> None:
+    ``incremental=False`` restores the old behaviour (a full rescan
+    before every single query) for callers that want it.
+    """
+
+    def __init__(
+        self, log: AuditLog, verify_first: bool = True, incremental: bool = True
+    ) -> None:
         self._log = log
         self._verify_first = verify_first
+        self._incremental = incremental
+        self._verification: ChainVerification | None = None
+        self._verified_size: int | None = None
 
     def _events(self) -> list[AuditEvent]:
         if self._verify_first:
-            verification = self._log.verify_chain()
-            if not verification:
-                raise AuditError(
-                    f"refusing to query a tampered audit log: {verification.problem}"
+            size = len(self._log)
+            if self._verification is None or self._verified_size != size:
+                verification = self._log.verify_chain(
+                    incremental=self._incremental
                 )
+                if not verification:
+                    raise AuditError(
+                        "refusing to query a tampered audit log: "
+                        f"{verification.problem}"
+                    )
+                self._verification = verification
+                self._verified_size = size
         return self._log.events()
+
+    @property
+    def verification(self) -> ChainVerification | None:
+        """The verification this session's answers rest on (None until
+        the first verified query runs)."""
+        return self._verification
+
+    def evidence(self) -> dict:
+        """What backs this session's conclusions: the verification mode
+        and coverage, plus the chain head and Merkle root the verified
+        log commits to.  Attach it to a forensic report so a reviewer
+        can see *how* the log was checked, not just that it was."""
+        verification = self._verification
+        return {
+            "verified": verification.ok if verification else False,
+            "mode": verification.mode if verification else None,
+            "escalated": verification.escalated if verification else False,
+            "events_checked": verification.events_checked if verification else 0,
+            "spot_checked": verification.spot_checked if verification else 0,
+            "log_size": self._verified_size,
+            "chain_head": self._log.head_digest,
+            "merkle_root": self._log.merkle_root(),
+        }
+
+    def prove(self, sequence: int):
+        """Merkle inclusion proof for one returned event — lets the
+        officer hand a single event to a court or patient with proof it
+        belongs to the (anchored) log.  Returns ``(event, chain_prev,
+        proof)``; see :func:`repro.audit.log.verify_event_proof`."""
+        return self._log.prove_event(sequence)
 
     def filter(self, predicate: Callable[[AuditEvent], bool]) -> list[AuditEvent]:
         """Generic filtered view."""

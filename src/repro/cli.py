@@ -10,8 +10,11 @@ Commands:
   operational-findings report.
 * ``metrics`` — ingest a small workload both ways (looped vs batched)
   and print the performance counters.
-* ``verify`` — crash-consistency sweep plus differential conformance
-  across all six models; non-zero exit on any violation/divergence.
+* ``verify`` — crash-consistency sweep, differential conformance
+  across all six models, and the incremental-vs-full detection-
+  equivalence oracle; ``--incremental``/``--deep`` demo the
+  watermarked verification fast path; non-zero exit on any
+  violation/divergence.
 * ``info`` — library version and subsystem inventory.
 """
 
@@ -185,9 +188,22 @@ def _metrics(_args) -> int:
 
 
 def _verify(args) -> int:
-    from repro.verify import render_conformance, run_conformance, run_crash_sweep
+    from repro.verify import (
+        render_conformance,
+        run_conformance,
+        run_crash_sweep,
+        run_detection_equivalence,
+    )
 
     status = 0
+
+    if args.incremental or args.deep:
+        # A live verification pass on a demo engine showing the two
+        # modes side by side; --deep forces the full rescan through the
+        # incremental entry point (the escape hatch operators use when
+        # they stop trusting the watermark).
+        status = max(status, _verify_modes(deep=args.deep))
+        print()
 
     if not args.skip_sweep:
         limit = args.limit if args.limit and args.limit > 0 else None
@@ -205,10 +221,61 @@ def _verify(args) -> int:
         print(render_conformance(reports))
         if any(not report.conformant for report in reports.values()):
             status = 1
+        print()
+
+    if not args.skip_equivalence:
+        print("detection equivalence (incremental vs full verification)...")
+        equivalence = run_detection_equivalence()
+        print(equivalence.summary())
+        if not equivalence.ok:
+            status = 1
 
     print()
     print("verify:", "PASS" if status == 0 else "FAIL")
     return status
+
+
+def _verify_modes(deep: bool) -> int:
+    from repro import CuratorConfig, CuratorStore
+    from repro.records import ClinicalNote
+    from repro.util import SimulatedClock
+    from repro.util.metrics import METRICS
+
+    clock = SimulatedClock(start=1.17e9)
+    store = CuratorStore(
+        CuratorConfig(master_key=secrets.token_bytes(32), clock=clock)
+    )
+    for n in range(24):
+        store.store(
+            ClinicalNote.create(
+                record_id=f"rec-{n}",
+                patient_id=f"pat-{n % 6}",
+                created_at=clock.now(),
+                author="dr-verify",
+                specialty="cardiology",
+                text=f"verification demo note {n}",
+            ),
+            author_id="dr-verify",
+        )
+    METRICS.reset()
+    full = store.audit_log.verify_chain()  # seals the watermark
+    for n in range(4):
+        store.read(f"rec-{n}", actor_id="dr-verify")
+    result = store.audit_log.verify_chain(incremental=True, deep=deep)
+    label = "deep (forced full rescan)" if deep else "incremental"
+    print(
+        f"audit verification [{label}]: mode={result.mode} "
+        f"ok={result.ok} events_checked={result.events_checked} "
+        f"spot_checked={result.spot_checked} escalated={result.escalated}"
+    )
+    print(
+        f"  full pass: {full.events_checked} events; timers: "
+        f"full={METRICS.ms('audit_verify_full_ns'):.2f}ms "
+        f"incremental={METRICS.ms('audit_verify_incremental_ns'):.2f}ms"
+    )
+    integrity = store.verify_integrity(incremental=not deep)
+    print(f"  integrity failures: {integrity or 'none'}")
+    return 0 if (full.ok and result.ok and not integrity) else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -249,6 +316,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     verify.add_argument(
         "--skip-conformance", action="store_true", help="skip conformance"
+    )
+    verify.add_argument(
+        "--skip-equivalence",
+        action="store_true",
+        help="skip the incremental-vs-full detection-equivalence oracle",
+    )
+    verify.add_argument(
+        "--incremental",
+        action="store_true",
+        help="also demo the watermarked incremental verification fast path",
+    )
+    verify.add_argument(
+        "--deep",
+        action="store_true",
+        help="force a full rescan through the incremental entry point",
     )
     verify.set_defaults(func=_verify)
     args = parser.parse_args(argv)

@@ -29,6 +29,13 @@ class CuratorConfig:
     signature_bits: int = 768  # simulation-scale; see crypto.rsa docs
     auto_register_authors: bool = True
     read_cache_size: int = 128  # decrypted-read LRU entries; 0 disables
+    # Incremental-verification knobs (see DESIGN.md "Verification cost
+    # model"): sealed-prefix spot-check sample per incremental audit
+    # verify, forced full-rescan cadence, and the rotating clean-object
+    # sample per incremental integrity pass.
+    audit_spot_checks: int = 16
+    audit_full_rescan_every: int = 64
+    integrity_clean_sample: int = 8
 
     def __post_init__(self) -> None:
         if len(self.master_key) != 32:
@@ -41,3 +48,9 @@ class CuratorConfig:
             raise ConfigurationError("witness_count must be >= 1")
         if self.read_cache_size < 0:
             raise ConfigurationError("read_cache_size must be >= 0")
+        if self.audit_spot_checks < 0:
+            raise ConfigurationError("audit_spot_checks must be >= 0")
+        if self.audit_full_rescan_every < 1:
+            raise ConfigurationError("audit_full_rescan_every must be >= 1")
+        if self.integrity_clean_sample < 0:
+            raise ConfigurationError("integrity_clean_sample must be >= 0")

@@ -32,6 +32,7 @@ from repro.access.policies import ConsentRegistry, minimum_necessary_view
 from repro.access.principals import Role, User
 from repro.access.rbac import AccessContext, Permission, Purpose, RbacEngine
 from repro.audit.anchors import AnchorWitness, WitnessQuorum, publish_anchor
+from repro.audit.checkpoint import CheckpointStore
 from repro.audit.events import AuditAction
 from repro.audit.log import AuditLog
 from repro.audit.query import AuditQuery
@@ -128,10 +129,20 @@ class CuratorStore(StorageModel):
         self._index = SecureDeletionIndex(
             TrustworthyIndex(index_key, device=MemoryDevice("curator-idx", config.device_capacity))
         )
-        # audit
+        # audit — the checkpoint store persists verified watermarks on
+        # its own device, MAC-sealed under a key derived from the HSM-
+        # held master key (forge-proof against the raw-device insider)
+        self._checkpoints = CheckpointStore(
+            device=MemoryDevice("curator-ckpt", config.device_capacity),
+            key=derive_key(config.master_key, "curator/audit-checkpoint"),
+            clock=self._clock,
+        )
         self._audit = AuditLog(
             device=MemoryDevice("curator-audit", config.device_capacity),
             clock=self._clock,
+            checkpoints=self._checkpoints,
+            spot_checks=config.audit_spot_checks,
+            full_rescan_every=config.audit_full_rescan_every,
         )
         self._witnesses = [
             AnchorWitness(self._signer.verifier())
@@ -170,6 +181,11 @@ class CuratorStore(StorageModel):
         # path that changes or destroys a record's current version
         # purges its entry.
         self._read_cache: OrderedDict[str, tuple[int, HealthRecord]] = OrderedDict()
+        # Records touched since the last full verify_integrity — the
+        # incremental integrity path re-chains these plus a rotating
+        # sample of clean records.
+        self._dirty_records: set[str] = set()
+        self._integrity_cursor = 0
         # Populated only on engines built by recover_from_devices().
         self.recovery_report: RecoveryReport | None = None
 
@@ -425,6 +441,7 @@ class CuratorStore(StorageModel):
         version = chain.append_initial(record, author_id, self._clock.now())
         self._put_version(version, handle)
         self._chains[record.record_id] = chain
+        self._dirty_records.add(record.record_id)
         self._index.add_document(record.record_id, record.searchable_text())
         self._audit.append(
             AuditAction.RECORD_CREATED, author_id, record.record_id,
@@ -495,6 +512,7 @@ class CuratorStore(StorageModel):
                 )
                 self._maybe_anchor()
                 self._chains[record.record_id] = chain
+                self._dirty_records.add(record.record_id)
                 documents.append((record.record_id, record.searchable_text()))
                 self._audit.append(
                     AuditAction.RECORD_CREATED, author_id, record.record_id,
@@ -568,13 +586,27 @@ class CuratorStore(StorageModel):
         role = next(iter(sorted(user.roles, key=lambda r: r.value)))
         return minimum_necessary_view(record, role)
 
-    def read_version(self, record_id: str, version: int) -> HealthRecord:
+    def read_version(
+        self, record_id: str, version: int, actor_id: str = "system"
+    ) -> HealthRecord:
+        """Read one historical version, under the same authorization as
+        :meth:`read` (the ``"system"`` default serves internal callers;
+        application code should pass the real actor so the audit trail
+        attributes the access correctly)."""
         chain = self._chain_for(record_id)
         if version < 0 or version >= len(chain):
             raise RecordError(f"record {record_id} has no version {version}")
+        patient_id = chain.latest().record.patient_id
+        self._authorize(
+            actor_id,
+            Permission.READ_RECORD,
+            patient_id,
+            self._default_purpose(actor_id),
+            record_id,
+        )
         stored = self._open_version(record_id, version)
         self._audit.append(
-            AuditAction.RECORD_READ, "system", record_id, {"version": version}
+            AuditAction.RECORD_READ, actor_id, record_id, {"version": version}
         )
         return stored.record
 
@@ -590,6 +622,7 @@ class CuratorStore(StorageModel):
         )
         version = chain.append_correction(corrected, author_id, reason, self._clock.now())
         self._put_version(version, self._keys[corrected.record_id])
+        self._dirty_records.add(corrected.record_id)
         # The cached entry is now a superseded version — purge it.
         self._read_cache.pop(corrected.record_id, None)
         # Re-index: the record's current text changes; old terms must not
@@ -655,6 +688,7 @@ class CuratorStore(StorageModel):
         if not self._vault.destroyed:
             self._vault.shred_key(handle.key_id)
         self._disposed.add(record_id)
+        self._dirty_records.discard(record_id)
         self._audit.append(
             AuditAction.RECORD_DISPOSED, "system", record_id,
             {"versions": len(object_ids), "certificates": len(certificates)},
@@ -691,24 +725,71 @@ class CuratorStore(StorageModel):
         devices = [self._worm.device, self._index.index.device, self._audit.device]
         if self._keystore.device is not None:
             devices.append(self._keystore.device)
+        devices.append(self._checkpoints.device)
         return devices
 
-    def verify_integrity(self) -> list[str]:
-        """Digest-check every version object, verify every chain's hash
-        linkage, and authenticate every posting list; returns the record
-        ids implicated by any failure."""
+    def _check_record_chain(self, record_id: str) -> bool:
+        """Decrypt + re-chain every version of one record."""
+        chain = self._chains[record_id]
+        try:
+            stored = [self._open_version(record_id, n) for n in range(len(chain))]
+            VersionChain.from_versions(record_id, stored)
+            return True
+        except Exception:  # noqa: BLE001 — any failure implicates the record
+            return False
+
+    def verify_integrity(self, incremental: bool = False) -> list[str]:
+        """Returns the record ids implicated by any integrity failure.
+
+        Full mode digest-checks every version object, verifies every
+        chain's hash linkage, and authenticates every posting list.
+        ``incremental=True`` checks only objects/records touched since
+        the last full pass, plus a rotating sample of clean ones
+        (``config.integrity_clean_sample`` per pass) so silent bit-rot
+        in already-verified data is still revisited on a bounded cycle.
+        """
         failures: set[str] = set()
-        for object_id in self._worm.verify_all():
-            failures.add(_record_id_of(object_id))
-        for record_id in self.record_ids():
-            chain = self._chains[record_id]
-            try:
-                stored = [
-                    self._open_version(record_id, n) for n in range(len(chain))
-                ]
-                VersionChain.from_versions(record_id, stored)
-            except Exception:
-                failures.add(record_id)
+        if incremental:
+            with METRICS.timer("engine_integrity_incremental_ns"):
+                for object_id in self._worm.verify_dirty(
+                    clean_sample=self._config.integrity_clean_sample
+                ):
+                    failures.add(_record_id_of(object_id))
+                live = self.record_ids()
+                dirty = [r for r in live if r in self._dirty_records]
+                clean = [r for r in live if r not in self._dirty_records]
+                to_check = list(dirty)
+                if clean and self._config.integrity_clean_sample > 0:
+                    count = min(self._config.integrity_clean_sample, len(clean))
+                    to_check += [
+                        clean[(self._integrity_cursor + step) % len(clean)]
+                        for step in range(count)
+                    ]
+                    self._integrity_cursor = (
+                        self._integrity_cursor + count
+                    ) % len(clean)
+                for record_id in to_check:
+                    if self._check_record_chain(record_id):
+                        self._dirty_records.discard(record_id)
+                    else:
+                        failures.add(record_id)
+                        self._dirty_records.add(record_id)
+                METRICS.incr("engine_integrity_records_checked", len(to_check))
+            METRICS.incr("engine_integrity_incremental_runs")
+        else:
+            with METRICS.timer("engine_integrity_full_ns"):
+                for object_id in self._worm.verify_all():
+                    failures.add(_record_id_of(object_id))
+                for record_id in self.record_ids():
+                    if not self._check_record_chain(record_id):
+                        failures.add(record_id)
+                METRICS.incr(
+                    "engine_integrity_records_checked", len(self.record_ids())
+                )
+            METRICS.incr("engine_integrity_full_runs")
+            # A clean full pass verified everything; failures stay dirty.
+            self._dirty_records = {r for r in failures if r in self._chains}
+            self._integrity_cursor = 0
         if self._index.index.verify():
             failures.add("<index>")
         return sorted(failures)
@@ -719,8 +800,8 @@ class CuratorStore(StorageModel):
     def audit_devices(self) -> list[BlockDevice]:
         return [self._audit.device]
 
-    def verify_audit_trail(self) -> bool | None:
-        if not self._audit.verify_chain():
+    def verify_audit_trail(self, incremental: bool = False) -> bool:
+        if not self._audit.verify_chain(incremental=incremental):
             return False
         try:
             if self._quorum is not None:
@@ -937,6 +1018,9 @@ class CuratorStore(StorageModel):
         self._disposition = DispositionWorkflow(
             self._worm, self._shredder, clock=self._clock
         )
+        # A restore rewrites the whole archive: every record is dirty
+        # until the next integrity pass re-verifies it.
+        self._dirty_records = set(self._chains) - self._disposed
         self._audit.append(
             AuditAction.BACKUP_RESTORED, "system", snapshot_id,
             {"objects": report.objects_restored},
@@ -951,6 +1035,7 @@ class CuratorStore(StorageModel):
         worm_device: BlockDevice,
         key_device: BlockDevice,
         audit_device: BlockDevice,
+        checkpoint_device: BlockDevice | None = None,
         witnesses: list[AnchorWitness] | None = None,
         signer: Signer | None = None,
     ) -> "CuratorStore":
@@ -1015,7 +1100,23 @@ class CuratorStore(StorageModel):
             store._worm, store._shredder, clock=store._clock
         )
         # audit: replay + verify the hash chain
-        store._audit = AuditLog.recover(audit_device, clock=store._clock)
+        store._audit = AuditLog.recover(
+            audit_device,
+            clock=store._clock,
+            spot_checks=config.audit_spot_checks,
+            full_rescan_every=config.audit_full_rescan_every,
+        )
+        # verified watermarks: recover the MAC-sealed checkpoint journal
+        # (a seal torn by the crash is dropped whole, so verification
+        # falls back to an older watermark or a full rescan — never a
+        # torn one); without a surviving image, start a fresh store
+        if checkpoint_device is not None:
+            store._checkpoints = CheckpointStore.recover(
+                checkpoint_device,
+                key=derive_key(config.master_key, "curator/audit-checkpoint"),
+                clock=store._clock,
+            )
+        store._audit.adopt_checkpoints(store._checkpoints)
         # external infrastructure that survives a process crash
         if signer is not None:
             store._signer = signer
@@ -1109,6 +1210,9 @@ class CuratorStore(StorageModel):
             orphaned.append(object_id)
         # index: derived data, re-posted from the recovered records
         store._index.add_documents(documents)
+        # Everything recovered came off an untrusted device: dirty until
+        # the next integrity pass clears it.
+        store._dirty_records = set(store._chains)
         store.recovery_report = RecoveryReport(
             records_recovered=len(store._chains),
             versions_recovered=versions_recovered,
@@ -1152,6 +1256,8 @@ class CuratorStore(StorageModel):
             if handle is not None:
                 self._disposition.register_key_handle(object_id, handle)
         old_medium.dispose(sanitize_first=True)
+        # The archive now lives on fresh media: re-verify everything.
+        self._dirty_records = set(self._chains) - self._disposed
         self._audit.append(
             AuditAction.MIGRATION_COMPLETED, "system", new_medium.medium_id,
             {"from": old_medium.medium_id, "objects": result.copied},
@@ -1198,6 +1304,16 @@ class CuratorStore(StorageModel):
     @property
     def audit_log(self) -> AuditLog:
         return self._audit
+
+    @property
+    def checkpoints(self) -> CheckpointStore:
+        """The MAC-sealed watermark store backing incremental verify."""
+        return self._checkpoints
+
+    def dirty_record_ids(self) -> list[str]:
+        """Records awaiting re-verification by the incremental
+        integrity path."""
+        return sorted(self._dirty_records)
 
     @property
     def witness(self) -> AnchorWitness:

@@ -34,6 +34,16 @@ def _leaf_hash(data: bytes) -> bytes:
     return hashlib.sha256(_LEAF + data).digest()
 
 
+def leaf_hash(data: bytes) -> bytes:
+    """The RFC 6962 leaf hash of *data* (``H(0x00 || data)``).
+
+    Public so verifiers can compare independently derived bytes against
+    a tree's stored leaf digests (see :meth:`MerkleTree.leaf_digest`)
+    without rebuilding any tree structure.
+    """
+    return _leaf_hash(data)
+
+
 def _node_hash(left: bytes, right: bytes) -> bytes:
     return hashlib.sha256(_NODE + left + right).digest()
 
@@ -145,7 +155,23 @@ class MerkleTree:
             raise ValidationError(f"size {size} out of range 0..{len(self._leaf_hashes)}")
         if size == 0:
             return EMPTY_ROOT
+        if size == len(self._leaf_hashes):
+            return self.root()  # O(log n) forest fold, not an O(n) rebuild
         return _subtree_root(self._leaf_hashes[:size])
+
+    def leaf_digest(self, index: int) -> bytes:
+        """The stored leaf hash at *index* (already leaf-hashed).
+
+        Incremental audit verification compares device-derived bytes
+        against these trusted in-memory digests: a sealed-prefix frame
+        whose re-derived :func:`leaf_hash` disagrees has been tampered
+        with on the raw device.
+        """
+        if index < 0 or index >= len(self._leaf_hashes):
+            raise ValidationError(
+                f"leaf index {index} out of range 0..{len(self._leaf_hashes) - 1}"
+            )
+        return self._leaf_hashes[index]
 
     def prove_inclusion(self, index: int) -> MerkleProof:
         """Produce an inclusion proof for the leaf at *index*."""

@@ -55,6 +55,11 @@ class Metrics:
         finally:
             self.incr(name, time.perf_counter_ns() - start)
 
+    def ms(self, name: str) -> float:
+        """A ``_ns`` accumulator read back in milliseconds (0.0 if
+        never touched) — for benchmark tables and CLI reporting."""
+        return self._counters.get(name, 0) / 1e6
+
     def snapshot(self) -> dict[str, int]:
         """All counters, sorted by name (a plain, serializable dict)."""
         return dict(sorted(self._counters.items()))

@@ -11,7 +11,11 @@ and by the tier-1 tests:
 * :mod:`repro.verify.reference` / :mod:`repro.verify.conformance` —
   replay one scripted workload through the curator and all five
   baselines, diffing each model's observable behaviour against a pure-
-  python reference parameterized by the model's declared features.
+  python reference parameterized by the model's declared features;
+* :mod:`repro.verify.equivalence` — plant raw-device tampering and
+  assert the incremental verification fast path (watermarks, dirty
+  sets, spot-checks, escalation) loses no detection power against a
+  full rescan.
 """
 
 from repro.verify.conformance import (
@@ -21,6 +25,11 @@ from repro.verify.conformance import (
     run_conformance,
 )
 from repro.verify.crashpoint import CrashController, surviving_image
+from repro.verify.equivalence import (
+    EquivalenceCase,
+    EquivalenceReport,
+    run_detection_equivalence,
+)
 from repro.verify.oracle import CrashSweepReport, Violation, run_crash_sweep
 from repro.verify.reference import ReferenceModel
 from repro.verify.workload import WorkloadRun, run_seeded_workload
@@ -30,12 +39,15 @@ __all__ = [
     "CrashController",
     "CrashSweepReport",
     "Divergence",
+    "EquivalenceCase",
+    "EquivalenceReport",
     "ReferenceModel",
     "Violation",
     "WorkloadRun",
     "render_conformance",
     "run_conformance",
     "run_crash_sweep",
+    "run_detection_equivalence",
     "run_seeded_workload",
     "surviving_image",
 ]

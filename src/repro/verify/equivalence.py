@@ -1,0 +1,368 @@
+"""Detection-equivalence oracle for incremental verification.
+
+The incremental fast path (watermarked audit verification, dirty-set
+integrity checks) is only admissible if it gives up **no detection
+power**: every tampering a raw-device insider plants must still be
+caught — either directly by an incremental pass, or by the escalation
+machinery (missing/forged watermarks force a full rescan; the forced-
+rescan cadence bounds how long probabilistic spot-checking may miss;
+the rotating clean sample bounds how long clean-object rot may hide).
+
+This oracle states that as an executable property.  For each tamper
+case it:
+
+1. builds a small engine, verifies it fully (sealing a watermark and
+   clearing the dirty sets — the adversary strikes *after* the system
+   believes itself clean, the hardest case for an incremental checker);
+2. plants the tampering on the raw devices;
+3. runs the **bounded incremental policy**: up to ``full_rescan_every``
+   incremental passes (modelling successive operational health checks)
+   followed by one full pass (the forced rescan the cadence guarantees);
+4. runs an unconditional full verification at the end.
+
+A case **violates** detection equivalence when the full pass detects
+the tampering but the bounded policy never did — or, for the
+no-tamper control, when the incremental path reports a problem that
+does not exist (false positive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.checkpoint import CheckpointStore
+from repro.core.config import CuratorConfig
+from repro.core.engine import CuratorStore
+from repro.crypto.kdf import derive_key
+from repro.storage.journal import Journal
+from repro.util.clock import SimulatedClock
+from repro.util.encoding import canonical_bytes, canonical_loads
+from repro.records.model import ClinicalNote
+
+_FULL_RESCAN_EVERY = 4
+_SPOT_CHECKS = 6
+_CLEAN_SAMPLE = 4
+
+
+@dataclass(frozen=True)
+class EquivalenceCase:
+    """Outcome of one tamper scenario."""
+
+    name: str
+    tampered: bool  # the tamper actually landed on a device
+    incremental_detects: bool  # the bounded policy caught it
+    full_detects: bool  # an unconditional full pass catches it
+    caught_by: str  # "incremental" | "escalation" | "none" | "n/a"
+    attempts: int  # passes the bounded policy ran before detection
+
+    @property
+    def violation(self) -> bool:
+        if not self.tampered:
+            # control case: incremental must not cry wolf
+            return self.incremental_detects or self.full_detects
+        return self.full_detects and not self.incremental_detects
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of the whole suite."""
+
+    cases: tuple[EquivalenceCase, ...]
+
+    @property
+    def violations(self) -> list[EquivalenceCase]:
+        return [case for case in self.cases if case.violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"detection equivalence: {len(self.cases)} cases, "
+            f"{len(self.violations)} violations"
+        ]
+        for case in self.cases:
+            status = "VIOLATION" if case.violation else "ok"
+            lines.append(
+                f"  [{status}] {case.name}: caught_by={case.caught_by} "
+                f"attempts={case.attempts} full_detects={case.full_detects}"
+            )
+        return "\n".join(lines)
+
+
+def _build(master_key: bytes) -> CuratorStore:
+    clock = SimulatedClock(start=1.17e9)
+    config = CuratorConfig(
+        master_key=master_key,
+        clock=clock,
+        device_capacity=1 << 20,
+        audit_spot_checks=_SPOT_CHECKS,
+        audit_full_rescan_every=_FULL_RESCAN_EVERY,
+        integrity_clean_sample=_CLEAN_SAMPLE,
+    )
+    store = CuratorStore(config)
+    for n in range(6):
+        store.store(
+            ClinicalNote.create(
+                record_id=f"rec-{n}",
+                patient_id=f"pat-{n}",
+                created_at=clock.now(),
+                author="dr-eq",
+                specialty="cardiology",
+                text=f"equivalence seed note {n} with distinctive text",
+            ),
+            author_id="dr-eq",
+        )
+    for n in range(3):
+        store.read(f"rec-{n}", actor_id="dr-eq")
+    # The system believes itself clean: watermark sealed, dirty sets
+    # empty.  Tampering lands on top of this state.
+    assert store.verify_audit_trail() is True
+    assert store.verify_integrity() == []
+    return store
+
+
+def _append_delta(store: CuratorStore, reads: int = 2) -> None:
+    """Grow the log past the watermark (the incremental delta)."""
+    for n in range(reads):
+        store.read(f"rec-{n % 6}", actor_id="dr-eq")
+
+
+def _checkpoint_key(store: CuratorStore) -> bytes:
+    return derive_key(store._config.master_key, "curator/audit-checkpoint")  # noqa: SLF001
+
+
+# -- tamper behaviours (each returns True when the tamper landed) --------
+
+
+def _tamper_audit_frame(store: CuratorStore, index: int, mutate) -> bool:
+    device = store.audit_log.device
+    for position, (offset, payload) in enumerate(
+        Journal.iter_device_frames(device)
+    ):
+        if position != index:
+            continue
+        forged = mutate(payload)
+        if forged is None or forged == payload:
+            return False
+        Journal.forge_frame(device, offset, forged)
+        return True
+    return False
+
+
+def _rewrite_actor(payload: bytes) -> bytes | None:
+    if b"dr-eq" not in payload:
+        return None
+    return payload.replace(b"dr-eq", b"xr-eq", 1)
+
+
+def _flip_chain_digest(payload: bytes) -> bytes | None:
+    entry = canonical_loads(payload)
+    chain = entry["chain"]
+    entry["chain"] = chain[:-1] + bytes([chain[-1] ^ 0x01])
+    return canonical_bytes(entry)
+
+
+def _tamper_prefix(store: CuratorStore) -> bool:
+    watermark = store.audit_log.watermark
+    assert watermark is not None and watermark.size > 3
+    ok = _tamper_audit_frame(store, 2, _rewrite_actor)
+    _append_delta(store)
+    return ok
+
+
+def _tamper_suffix(store: CuratorStore) -> bool:
+    watermark = store.audit_log.watermark
+    assert watermark is not None
+    _append_delta(store)
+    return _tamper_audit_frame(store, watermark.size, _rewrite_actor)
+
+
+def _tamper_chain_field(store: CuratorStore) -> bool:
+    ok = _tamper_audit_frame(store, 1, _flip_chain_digest)
+    _append_delta(store)
+    return ok
+
+
+def _truncate_tail(store: CuratorStore) -> bool:
+    _append_delta(store)
+    device = store.audit_log.device
+    last_offset = None
+    for offset, _payload in Journal.iter_device_frames(device):
+        last_offset = offset
+    if last_offset is None:
+        return False
+    device.raw_write(last_offset, b"\x00" * 8)  # smash the frame header
+    return True
+
+
+def _destroy_watermarks(store: CuratorStore) -> bool:
+    """Prefix tamper + wipe every persisted seal + process restart.
+
+    The adversary cannot forge a seal (MAC) but can destroy them all.
+    The in-memory watermark dies with the process; on restart the log
+    adopts whatever the wiped checkpoint journal still holds — nothing —
+    and the first incremental request must escalate to a full rescan.
+    """
+    ok = _tamper_audit_frame(store, 2, _rewrite_actor)
+    device = store.checkpoints.device
+    device.raw_write(0, b"\x00" * device.capacity)
+    store.audit_log.adopt_checkpoints(
+        CheckpointStore.recover(device, key=_checkpoint_key(store))
+    )
+    return ok
+
+
+def _forge_watermark(store: CuratorStore) -> bool:
+    """Prefix tamper + a forged seal claiming the tampered state clean.
+
+    The forged frame carries no valid MAC (the adversary lacks the
+    derived key), so on restart ``latest()`` must skip it and fall back
+    to the genuine older seal — the tamper stays catchable by the
+    spot-check/cadence machinery.  If the forgery were trusted, the
+    suffix replay would start past the tampering and detection could be
+    laundered away entirely.
+    """
+    ok = _tamper_audit_frame(store, 2, _rewrite_actor)
+    log = store.audit_log
+    forged = canonical_bytes(
+        {
+            "size": len(log),
+            "head": log.head_digest,
+            "merkle_root": log.merkle_root(),
+            "verified_at": 0.0,
+            "incremental_runs": 0,
+        }
+    )
+    device = store.checkpoints.device
+    journal = Journal.recover(device)
+    journal.append(b"\x11" * 32 + forged)  # tag the adversary cannot compute
+    store.audit_log.adopt_checkpoints(
+        CheckpointStore.recover(device, key=_checkpoint_key(store))
+    )
+    return ok
+
+
+def _rot_worm_object(store: CuratorStore, object_id: str) -> bool:
+    device = store.worm.device
+    marker = object_id.encode("utf-8")
+    for offset, payload in Journal.iter_device_frames(device):
+        if marker not in payload:
+            continue
+        forged = payload[:-1] + bytes([payload[-1] ^ 0x5A])
+        Journal.forge_frame(device, offset, forged)
+        return True
+    return False
+
+
+def _rot_dirty_object(store: CuratorStore) -> bool:
+    store.store(
+        ClinicalNote.create(
+            record_id="rec-dirty",
+            patient_id="pat-dirty",
+            created_at=store._clock.now(),  # noqa: SLF001 — test substrate
+            author="dr-eq",
+            specialty="cardiology",
+            text="written after the last full sweep",
+        ),
+        author_id="dr-eq",
+    )
+    return _rot_worm_object(store, "rec-dirty@v0")
+
+
+def _rot_clean_object(store: CuratorStore) -> bool:
+    return _rot_worm_object(store, "rec-0@v0")
+
+
+# -- the bounded policy ---------------------------------------------------
+
+
+def _run_policy(incremental_check, full_check) -> tuple[bool, str, int]:
+    """Up to ``full_rescan_every`` incremental passes, then one full.
+
+    Returns ``(detected, caught_by, attempts)``.  ``caught_by`` is
+    ``"incremental"`` when a pass before the final forced full caught it
+    (including internal escalations the cadence itself triggered),
+    ``"escalation"`` when only the terminal full rescan did.
+    """
+    for attempt in range(1, _FULL_RESCAN_EVERY + 1):
+        if incremental_check():
+            return True, "incremental", attempt
+    if full_check():
+        return True, "escalation", _FULL_RESCAN_EVERY + 1
+    return False, "none", _FULL_RESCAN_EVERY + 1
+
+
+def _audit_case(name: str, tamper) -> EquivalenceCase:
+    store = _build(bytes(range(32)))
+    tampered = tamper(store)
+    detected, caught_by, attempts = _run_policy(
+        lambda: store.verify_audit_trail(incremental=True) is False,
+        lambda: store.verify_audit_trail() is False,
+    )
+    full_detects = store.verify_audit_trail() is False
+    return EquivalenceCase(
+        name=name,
+        tampered=tampered,
+        incremental_detects=detected,
+        full_detects=full_detects or detected,
+        caught_by=caught_by if tampered else "n/a",
+        attempts=attempts,
+    )
+
+
+def _integrity_case(name: str, tamper) -> EquivalenceCase:
+    store = _build(bytes(range(32)))
+    tampered = tamper(store)
+    detected, caught_by, attempts = _run_policy(
+        lambda: bool(store.verify_integrity(incremental=True)),
+        lambda: bool(store.verify_integrity()),
+    )
+    full_detects = bool(store.verify_integrity())
+    return EquivalenceCase(
+        name=name,
+        tampered=tampered,
+        incremental_detects=detected,
+        full_detects=full_detects or detected,
+        caught_by=caught_by if tampered else "n/a",
+        attempts=attempts,
+    )
+
+
+def _control_case() -> EquivalenceCase:
+    store = _build(bytes(range(32)))
+    _append_delta(store)
+    audit_fp = any(
+        store.verify_audit_trail(incremental=True) is False
+        for _ in range(_FULL_RESCAN_EVERY)
+    )
+    integrity_fp = any(
+        bool(store.verify_integrity(incremental=True))
+        for _ in range(_FULL_RESCAN_EVERY)
+    )
+    full_fp = store.verify_audit_trail() is False or bool(store.verify_integrity())
+    return EquivalenceCase(
+        name="no_tamper_control",
+        tampered=False,
+        incremental_detects=audit_fp or integrity_fp,
+        full_detects=full_fp,
+        caught_by="n/a",
+        attempts=_FULL_RESCAN_EVERY,
+    )
+
+
+def run_detection_equivalence() -> EquivalenceReport:
+    """Run every tamper case; see the module docstring for the policy."""
+    cases = [
+        _control_case(),
+        _audit_case("audit_prefix_rewrite", _tamper_prefix),
+        _audit_case("audit_suffix_rewrite", _tamper_suffix),
+        _audit_case("audit_chain_field_edit", _tamper_chain_field),
+        _audit_case("audit_truncation", _truncate_tail),
+        _audit_case("watermark_destruction", _destroy_watermarks),
+        _audit_case("watermark_forgery", _forge_watermark),
+        _integrity_case("worm_dirty_object_rot", _rot_dirty_object),
+        _integrity_case("worm_clean_object_rot", _rot_clean_object),
+    ]
+    return EquivalenceReport(cases=tuple(cases))

@@ -33,6 +33,7 @@ from repro.storage.block import BlockDevice, MemoryDevice
 from repro.storage.journal import HEADER_SIZE, Journal
 from repro.util.clock import Clock, WallClock
 from repro.util.encoding import canonical_bytes, canonical_loads
+from repro.util.metrics import METRICS
 from repro.worm.retention_lock import RetentionLock, RetentionTerm
 
 
@@ -62,6 +63,11 @@ class WormStore:
         self._clock = clock or WallClock()
         self._objects: dict[str, StoredObject] = {}
         self.retention = RetentionLock()
+        # Objects written since the last full digest sweep — the
+        # incremental integrity path re-checks these plus a rotating
+        # sample of clean ones (see verify_dirty).
+        self._dirty: set[str] = set()
+        self._clean_cursor = 0
 
     @property
     def device(self) -> BlockDevice:
@@ -112,6 +118,7 @@ class WormStore:
             data_start=len(header) + 1,
         )
         self._objects[object_id] = meta
+        self._dirty.add(object_id)
         term = retention or RetentionTerm(start=written_at, duration_seconds=0.0)
         self.retention.set_term(object_id, term)
         return meta
@@ -167,6 +174,7 @@ class WormStore:
                 data_start=data_start,
             )
             self._objects[object_id] = meta
+            self._dirty.add(object_id)
             term = retention or RetentionTerm(start=written_at, duration_seconds=0.0)
             self.retention.set_term(object_id, term)
             metas.append(meta)
@@ -223,14 +231,65 @@ class WormStore:
         )
 
     def verify_all(self) -> list[str]:
-        """Digest-check every live object; returns ids that fail."""
+        """Digest-check every live object; returns ids that fail.
+
+        A clean full sweep resets the dirty set — everything has just
+        been read back and checked.  Failing objects stay dirty so the
+        incremental path keeps reporting them.
+        """
         failures = []
         for object_id in self.object_ids():
             try:
                 self.get(object_id)
             except IntegrityError:
                 failures.append(object_id)
+        METRICS.incr("worm_integrity_objects_checked", len(self))
+        self._dirty = set(failures)
+        self._clean_cursor = 0
         return failures
+
+    def dirty_ids(self) -> list[str]:
+        """Objects written (or found failing) since the last full sweep."""
+        return sorted(self._dirty)
+
+    def verify_dirty(self, clean_sample: int = 8) -> list[str]:
+        """Digest-check only dirty objects plus a rotating sample of
+        clean ones; returns ids that fail.
+
+        The dirty set covers everything that *changed* since the last
+        full sweep; the rotating clean sample bounds how long silent
+        bit-rot in already-verified objects can hide — every clean
+        object is revisited within ``ceil(clean / clean_sample)``
+        incremental passes.  Verified dirty objects become clean;
+        failures stay (or become) dirty.
+        """
+        failures = []
+        checked = 0
+        for object_id in sorted(self._dirty):
+            meta = self._objects.get(object_id)
+            if meta is None or meta.deleted:
+                self._dirty.discard(object_id)
+                continue
+            checked += 1
+            try:
+                self.get(object_id)
+                self._dirty.discard(object_id)
+            except IntegrityError:
+                failures.append(object_id)
+        clean = [oid for oid in self.object_ids() if oid not in self._dirty]
+        if clean and clean_sample > 0:
+            count = min(clean_sample, len(clean))
+            for step in range(count):
+                object_id = clean[(self._clean_cursor + step) % len(clean)]
+                checked += 1
+                try:
+                    self.get(object_id)
+                except IntegrityError:
+                    failures.append(object_id)
+                    self._dirty.add(object_id)
+            self._clean_cursor = (self._clean_cursor + count) % len(clean)
+        METRICS.incr("worm_integrity_objects_checked", checked)
+        return sorted(failures)
 
     # -- delete -----------------------------------------------------------------
 
@@ -349,6 +408,10 @@ class WormStore:
                 )
                 data_start += meta.size
         device.truncate_to(end)
+        # Post-crash the device is maximally untrusted: every recovered
+        # object is dirty until a digest check clears it.
+        store._dirty = set(store._objects)
+        store._clean_cursor = 0
         return store
 
     def attempt_overwrite(self, object_id: str, data: bytes) -> None:

@@ -40,7 +40,9 @@ def note(record_id, clock, text):
 
 
 def recover(store, read_cache_size=128):
-    worm_device, _index_device, audit_device, key_device = store.devices()
+    worm_device, _index_device, audit_device, key_device, ckpt_device = (
+        store.devices()
+    )
     config = CuratorConfig(
         master_key=MASTER,
         clock=store._clock,
@@ -52,6 +54,7 @@ def recover(store, read_cache_size=128):
         worm_device=surviving_image(worm_device),
         key_device=surviving_image(key_device),
         audit_device=surviving_image(audit_device),
+        checkpoint_device=surviving_image(ckpt_device),
         witnesses=[store.witness],
         signer=store.signer,
     )

@@ -1,0 +1,78 @@
+"""The detection-equivalence oracle: the incremental fast path loses no
+detection power against a full rescan."""
+
+from repro.verify.equivalence import (
+    EquivalenceCase,
+    run_detection_equivalence,
+)
+
+EXPECTED_CASES = {
+    "no_tamper_control",
+    "audit_prefix_rewrite",
+    "audit_suffix_rewrite",
+    "audit_chain_field_edit",
+    "audit_truncation",
+    "watermark_destruction",
+    "watermark_forgery",
+    "worm_dirty_object_rot",
+    "worm_clean_object_rot",
+}
+
+
+def make_case(**overrides):
+    base = dict(
+        name="case",
+        tampered=True,
+        incremental_detects=True,
+        full_detects=True,
+        caught_by="incremental",
+        attempts=1,
+    )
+    base.update(overrides)
+    return EquivalenceCase(**base)
+
+
+def test_violation_when_full_detects_but_the_policy_missed():
+    assert make_case(incremental_detects=False, caught_by="none").violation
+
+
+def test_no_violation_when_the_policy_caught_it():
+    assert not make_case().violation
+    assert not make_case(caught_by="escalation", attempts=5).violation
+
+
+def test_no_violation_when_neither_path_detects():
+    # tampering that genuinely leaves no trace in either mode is not an
+    # equivalence gap (there is nothing the fast path gave up)
+    assert not make_case(
+        incremental_detects=False, full_detects=False, caught_by="none"
+    ).violation
+
+
+def test_control_case_flags_any_false_positive():
+    clean = make_case(
+        name="control",
+        tampered=False,
+        incremental_detects=False,
+        full_detects=False,
+        caught_by="n/a",
+    )
+    assert not clean.violation
+    assert make_case(
+        name="control", tampered=False, full_detects=False, caught_by="n/a"
+    ).violation
+
+
+def test_suite_runs_clean_end_to_end():
+    report = run_detection_equivalence()
+    assert {case.name for case in report.cases} == EXPECTED_CASES
+    assert report.ok, report.summary()
+    assert report.violations == []
+    # every tamper behaviour actually landed on a device
+    for case in report.cases:
+        if case.name != "no_tamper_control":
+            assert case.tampered, f"{case.name} tamper never landed"
+            assert case.full_detects, f"{case.name} invisible to a full pass"
+            assert case.caught_by in ("incremental", "escalation")
+    summary = report.summary()
+    assert "9 cases, 0 violations" in summary
