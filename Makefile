@@ -3,19 +3,16 @@ PY ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify sweep conformance bench-gate
+.PHONY: test verify sweep conformance bench-gate verify-cluster
 
 # Tier-1: the full unit/integration suite.
 test:
 	$(PY) -m pytest -x -q
 
 # The PR gate: tier-1, a bounded crash-consistency sweep + differential
-# conformance + detection equivalence, and the E2/E8 regression gates.
-verify: test
+# conformance + detection equivalence, and the E2/E8/E9 regression gates.
+verify: test bench-gate
 	$(PY) -m repro verify --limit 12
-	$(PY) -m pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest -q
-	$(PY) -m pytest benchmarks/bench_e8_audit_scaling.py::test_e8_incremental_fast_path -q
-	$(PY) benchmarks/check_regression.py
 
 # The exhaustive sweep: every write boundary, clean + torn.  ~30s.
 sweep:
@@ -27,4 +24,13 @@ conformance:
 bench-gate:
 	$(PY) -m pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest -q
 	$(PY) -m pytest benchmarks/bench_e8_audit_scaling.py::test_e8_incremental_fast_path -q
+	$(PY) -m pytest benchmarks/bench_e9_cluster_scaling.py::test_e9_cluster_scaling -q
 	$(PY) benchmarks/check_regression.py
+
+# Cluster-only gate: the sharded router's tests, the cross-shard
+# detection-equivalence oracle, and the E9 scaling bar.
+verify-cluster:
+	$(PY) -m pytest tests/cluster -q
+	$(PY) -m repro verify --skip-sweep --skip-conformance --shards 2
+	$(PY) -m pytest benchmarks/bench_e9_cluster_scaling.py::test_e9_cluster_scaling -q
+	$(PY) benchmarks/check_regression.py --skip-e8

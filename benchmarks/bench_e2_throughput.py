@@ -162,9 +162,10 @@ def test_e2_batched_ingest(benchmark):
         }
         # Security properties survive the fast path.
         assert sorted(model.record_ids()) == sorted(r.record_id for r in records)
-        if model.verify_audit_trail() is not None:
-            assert model.verify_audit_trail() is True
-        assert model.verify_integrity() == []
+        audit = model.verify_audit_trail()
+        if audit is not None:
+            assert audit.ok
+        assert model.verify_integrity().ok
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     print_table(

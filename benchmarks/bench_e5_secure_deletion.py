@@ -43,7 +43,7 @@ def test_e5_disposal_residue(benchmark):
     def dispose_one():
         model, clock, generator, stored = seeded_model("curator", n_records=5)
         clock.advance(31 * SECONDS_PER_YEAR)
-        model.dispose(stored[0].record.record_id)
+        model.dispose(stored[0].record.record_id, actor_id="records-manager")
 
     benchmark.pedantic(dispose_one, rounds=1, iterations=1)
 

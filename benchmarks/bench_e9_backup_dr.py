@@ -27,13 +27,15 @@ def _archive():
 def test_e9_backup_and_disaster_restore(benchmark):
     store, clock = _archive()
 
-    snapshot = benchmark.pedantic(store.create_backup, rounds=1, iterations=1)
+    snapshot = benchmark.pedantic(
+        lambda: store.create_backup(actor_id="backup-operator"), rounds=1, iterations=1
+    )
     assert len(snapshot.objects) == N_RECORDS
 
     before = {r: store.read(r) for r in store.record_ids()}
     # Disaster: the primary device is destroyed.
     FaultInjector(DeterministicRng(5)).destroy_device(store.worm.device)
-    report = store.restore_from_backup(snapshot.snapshot_id)
+    report = store.restore_from_backup(snapshot.snapshot_id, actor_id="backup-operator")
     assert report.verified
     after = {r: store.read(r) for r in store.record_ids()}
     assert after == before  # exact copy, decryptable
@@ -52,7 +54,7 @@ def test_e9_backup_and_disaster_restore(benchmark):
 
 def test_e9_incremental_delta_size(benchmark):
     store, clock = _archive()
-    store.create_backup()
+    store.create_backup(actor_id="backup-operator")
     generator = WorkloadGenerator(10, clock)
     generator.create_population(3)
     new_records = 6
@@ -60,7 +62,9 @@ def test_e9_incremental_delta_size(benchmark):
         store.store(g.record, g.author_id)
 
     snapshot = benchmark.pedantic(
-        lambda: store.create_backup(incremental=True), rounds=1, iterations=1
+        lambda: store.create_backup(incremental=True, actor_id="backup-operator"),
+        rounds=1,
+        iterations=1,
     )
     assert len(snapshot.objects) == new_records
     print(f"\nE9b: incremental snapshot carried {len(snapshot.objects)} objects "
@@ -74,10 +78,10 @@ def test_e9_double_disaster_is_fatal(benchmark):
     from repro.errors import BackupError
 
     store, clock = _archive()
-    store.create_backup()
+    store.create_backup(actor_id="backup-operator")
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     FaultInjector(DeterministicRng(6)).destroy_device(store.worm.device)
     store.vault.destroy_site()
     with pytest.raises(BackupError):
-        store.restore_from_backup("snap-full-00001")
+        store.restore_from_backup("snap-full-00001", actor_id="backup-operator")
     print("\nE9c: double-site loss is unrecoverable, as expected")

@@ -1,0 +1,214 @@
+"""E9b — cluster scaling without losing detection (paper §4 Discussion).
+
+The paper's compliant store is specified as a single trusted engine;
+a hospital group runs many sites and needs horizontal scale.  This
+experiment measures what the patient-sharded
+:class:`~repro.cluster.router.CuratorCluster` actually buys, and what
+it must not give up:
+
+* **Throughput.**  A mixed concurrent workload — point reads,
+  patient-scoped disclosure accounting, cross-shard searches, batched
+  ``store_many`` ingests, issued by several client threads — runs
+  through a 1-shard cluster and a 4-shard cluster via the identical
+  router harness.  The scaling lever is *per-request work proportional
+  to local state*, not CPU parallelism (CPython threads share the
+  GIL): each shard's decrypted-read cache is node memory, so a working
+  set that thrashes one node's cache is served from four nodes'
+  aggregate, and every audited op appends to (and periodically
+  Merkle-anchors) an audit log a quarter of the monolith's length;
+  likewise a HIPAA accounting-of-disclosures verifies the chain it
+  answers from, so the monolith re-verifies the whole site's log per
+  query while the cluster touches only the owning shard's.  Bar:
+  >= 2.5x, gated by ``check_regression.py``.
+* **Detection.**  The speedup is only admissible with **zero**
+  cluster detection-equivalence violations: every raw-device tamper
+  planted on any single shard must surface through the cluster's
+  merged fan-out verification exactly as it would on one engine.
+
+Both numbers land in ``BENCH_e9.json``.
+"""
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from benchmarks.common import MASTER_KEY, new_clock, print_table
+from repro.cluster import CuratorCluster, HashRing
+from repro.core.config import CuratorConfig
+from repro.crypto.rsa import generate_keypair
+from repro.records.model import ClinicalNote
+from repro.util.metrics import METRICS
+from repro.verify.equivalence import run_cluster_detection_equivalence
+
+SHARDS = 4
+RECORDS = 256          # working set: one record per patient
+READ_CACHE = 64        # per-engine node memory; 4 nodes hold the set, 1 cannot
+WARM_PASSES = 3        # archive-shaped audit logs before timing starts
+CLIENT_THREADS = 4
+TIMED_OPS = 320
+INGEST_EVERY = 160     # rare batched store_many (archives are read-mostly)
+
+KEYPAIR = generate_keypair(768)  # one HSM-held site identity for every arm
+
+BENCH_JSON = Path(__file__).parent / "BENCH_e9.json"
+
+
+def _balanced_patients(ring: HashRing, per_shard: int) -> list[str]:
+    """Patient ids the ring spreads exactly evenly — the benchmark
+    controls placement so both arms serve the same per-record work."""
+    quota = {shard: per_shard for shard in range(ring.shard_count)}
+    patients: list[str] = []
+    candidate = 0
+    while any(quota.values()):
+        patient_id = f"pat-{candidate:04d}"
+        shard = ring.shard_for(patient_id)
+        if quota[shard] > 0:
+            quota[shard] -= 1
+            patients.append(patient_id)
+        candidate += 1
+    return patients
+
+
+def _note(
+    record_id: str,
+    patient_id: str,
+    created_at: float,
+    text: str | None = None,
+) -> ClinicalNote:
+    return ClinicalNote.create(
+        record_id=record_id,
+        patient_id=patient_id,
+        created_at=created_at,
+        author="dr-bench",
+        specialty="cardiology",
+        text=text or f"cluster benchmark note {record_id} with tachycardia finding",
+    )
+
+
+def _build_cluster(shards: int) -> tuple[CuratorCluster, list[str], list[str]]:
+    clock = new_clock()
+    config = CuratorConfig(
+        master_key=MASTER_KEY,
+        clock=clock,
+        read_cache_size=READ_CACHE,
+        signing_keypair=KEYPAIR,
+    )
+    cluster = CuratorCluster(config, shards=shards)
+    patients = _balanced_patients(HashRing(SHARDS), RECORDS // SHARDS)
+    records = [
+        _note(f"rec-{n:04d}", patient_id, clock.now())
+        for n, patient_id in enumerate(patients)
+    ]
+    cluster.store_many(records, "dr-bench")
+    record_ids = [record.record_id for record in records]
+    # warm both arms identically: read passes grow the audit logs to
+    # the archive shape the compliance queries will verify against
+    for _ in range(WARM_PASSES):
+        for record_id in record_ids:
+            cluster.read(record_id, actor_id="dr-bench")
+    return cluster, record_ids, patients
+
+
+def _run_mixed_workload(
+    cluster: CuratorCluster, record_ids: list[str], patients: list[str]
+) -> float:
+    """The timed op stream, split across client threads; returns ops/sec."""
+    clock = cluster.shards[0]._clock  # noqa: SLF001 — bench harness
+    extra = iter(range(10_000))
+
+    def one_op(i: int) -> None:
+        if i % INGEST_EVERY == INGEST_EVERY - 1:
+            # fresh admissions carry their own vocabulary: indexing a new
+            # note touches that note's posting lists, not the whole corpus
+            batch = [
+                _note(f"xtra-{n:04d}", f"xpat-{n:04d}", clock.now(),
+                      text=f"admission intake triage entry xtra{n:04d}")
+                for n in (next(extra) for _ in range(4))
+            ]
+            cluster.store_many(batch, "dr-bench")
+        elif i % 64 == 7:
+            cluster.search("tachycardia", actor_id="dr-bench")
+        elif i % 32 == 3:
+            # the signature compliance op: verifies + scans the owning
+            # shard's audit chain, a quarter of the site-wide log
+            cluster.accounting_of_disclosures(
+                patients[(i * 5) % len(patients)], actor_id="system"
+            )
+        else:
+            # stride through the whole working set: cyclic access is the
+            # LRU's worst case, so an undersized cache gets zero hits
+            cluster.read(record_ids[(i * 7) % len(record_ids)],
+                         actor_id="dr-bench")
+
+    def client(worker: int) -> None:
+        for i in range(worker, TIMED_OPS, CLIENT_THREADS):
+            one_op(i)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        list(pool.map(client, range(CLIENT_THREADS)))
+    elapsed = time.perf_counter() - start
+    return TIMED_OPS / elapsed
+
+
+def test_e9_cluster_scaling(benchmark):
+    """The headline cluster measurement, written to ``BENCH_e9.json``."""
+    METRICS.reset()
+    single, single_ids, single_patients = _build_cluster(1)
+    single_ops = _run_mixed_workload(single, single_ids, single_patients)
+    single_hits = METRICS.get("read_cache_hits")
+    single_misses = METRICS.get("read_cache_misses")
+
+    METRICS.reset()
+    cluster, cluster_ids, cluster_patients = _build_cluster(SHARDS)
+    cluster_ops = _run_mixed_workload(cluster, cluster_ids, cluster_patients)
+    cluster_hits = METRICS.get("read_cache_hits")
+    cluster_misses = METRICS.get("read_cache_misses")
+    per_shard_reads = METRICS.labelled("cluster_reads")
+
+    speedup = cluster_ops / single_ops
+
+    # scaled, but did it still catch every single-shard tamper?
+    equivalence = run_cluster_detection_equivalence(shards=2)
+
+    # both arms must serve the same records and stay verifiable
+    assert cluster.record_ids() == single.record_ids()
+    assert cluster.verify_integrity().ok
+    assert cluster.verify_audit_trail().ok
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        f"E9b cluster scaling ({RECORDS} records, cache {READ_CACHE}/node, "
+        f"{CLIENT_THREADS} client threads)",
+        ["arm", "ops/s", "cache hits", "cache misses"],
+        [
+            ["1 shard", f"{single_ops:8.1f}", single_hits, single_misses],
+            [f"{SHARDS} shards", f"{cluster_ops:8.1f}", cluster_hits,
+             cluster_misses],
+            ["speedup", f"{speedup:7.2f}x", "", ""],
+        ],
+    )
+    print("per-shard routed reads:", per_shard_reads)
+    print(equivalence.summary())
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "shards": SHARDS,
+                "records": RECORDS,
+                "read_cache_size": READ_CACHE,
+                "client_threads": CLIENT_THREADS,
+                "timed_ops": TIMED_OPS,
+                "single_shard_ops_per_sec": round(single_ops, 1),
+                "cluster_ops_per_sec": round(cluster_ops, 1),
+                "speedup": round(speedup, 2),
+                "equivalence_cases": len(equivalence.cases),
+                "equivalence_violations": len(equivalence.violations),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert equivalence.ok, equivalence.summary()
+    assert speedup >= 2.5, f"cluster speedup {speedup:.2f}x below the 2.5x bar"

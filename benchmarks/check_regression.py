@@ -1,4 +1,5 @@
-"""Regression gate for the E2 write-path and E8 verification benchmarks.
+"""Regression gate for the E2 write-path, E8 verification, and E9
+cluster-scaling benchmarks.
 
 Compares a freshly generated ``BENCH_e2.json`` (run
 ``pytest benchmarks/bench_e2_throughput.py::test_e2_batched_ingest``
@@ -13,6 +14,13 @@ verification must be at least 5x faster than the full rescan at 10k
 events, and the detection-equivalence oracle must report **zero**
 violations.  A fast path that trades away detection is a security
 regression no matter how fast it got.
+
+``BENCH_e9.json`` (run
+``pytest benchmarks/bench_e9_cluster_scaling.py``) is gated the same
+way: the 4-shard cluster must sustain at least 2.5x the single-engine
+throughput on the mixed workload, with **zero** cluster
+detection-equivalence violations — scale bought by skipping
+verification does not count.
 
 Usage::
 
@@ -35,8 +43,10 @@ from pathlib import Path
 
 BENCH_JSON = Path(__file__).parent / "BENCH_e2.json"
 BENCH_E8_JSON = Path(__file__).parent / "BENCH_e8.json"
+BENCH_E9_JSON = Path(__file__).parent / "BENCH_e9.json"
 DEFAULT_TOLERANCE = 0.30
 MIN_E8_SPEEDUP = 5.0
+MIN_E9_SPEEDUP = 2.5
 _METRICS = ("single_rps", "batched_rps")
 
 
@@ -98,6 +108,28 @@ def check_e8(path: Path, min_speedup: float) -> list[str]:
     return problems
 
 
+def check_e9(path: Path, min_speedup: float) -> list[str]:
+    """Absolute bars for the E9 cluster scaling measurement."""
+    if not path.exists():
+        return [f"no E9 results at {path}; run the E9 cluster benchmark first"]
+    results = json.loads(path.read_text())
+    problems = []
+    speedup = results.get("speedup", 0)
+    if speedup < min_speedup:
+        problems.append(
+            f"e9.speedup: {results.get('shards', '?')}-shard cluster only "
+            f"{speedup:.2f}x the single engine (bar: {min_speedup:.1f}x on "
+            f"the mixed workload)"
+        )
+    violations = results.get("equivalence_violations")
+    if violations != 0:
+        problems.append(
+            f"e9.equivalence: {violations} cluster detection-equivalence "
+            f"violations (sharding must lose no detection power)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -129,7 +161,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-e8",
         action="store_true",
-        help="gate only the E2 throughput results",
+        help="skip the E8 fast-path bars",
+    )
+    parser.add_argument(
+        "--current-e9",
+        default=str(BENCH_E9_JSON),
+        help="fresh E9 results JSON path",
+    )
+    parser.add_argument(
+        "--min-e9-speedup",
+        type=float,
+        default=MIN_E9_SPEEDUP,
+        help="required cluster speedup over the single engine (default 2.5)",
+    )
+    parser.add_argument(
+        "--skip-e9",
+        action="store_true",
+        help="skip the E9 cluster-scaling bars",
     )
     args = parser.parse_args(argv)
 
@@ -168,6 +216,19 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"ok: incremental verify >= {args.min_e8_speedup:.1f}x full "
                 f"rescan, 0 detection-equivalence violations"
+            )
+
+    if not args.skip_e9:
+        e9_problems = check_e9(Path(args.current_e9), args.min_e9_speedup)
+        if e9_problems:
+            print("CLUSTER SCALING REGRESSION:")
+            for problem in e9_problems:
+                print(f"  - {problem}")
+            problems.extend(e9_problems)
+        else:
+            print(
+                f"ok: cluster >= {args.min_e9_speedup:.1f}x single engine, "
+                f"0 cluster detection-equivalence violations"
             )
 
     return 1 if problems else 0

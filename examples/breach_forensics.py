@@ -48,8 +48,8 @@ def main() -> None:
     print(f"record tamper:      {result.outcome.value} -- {result.detail}")
     result = erase_audit_trail(curator, "dr-house")
     print(f"audit erasure:      {result.outcome.value} -- {result.detail}")
-    print(f"integrity scan:     {curator.verify_integrity() or 'clean'}")
-    print(f"audit verification: {curator.verify_audit_trail()}")
+    print(f"integrity scan:     {curator.verify_integrity().violations or 'clean'}")
+    print(f"audit verification: {curator.verify_audit_trail().summary()}")
     print("\nCurator's verdict: the harm is loud, localized, and provable —")
     print("exactly the tamper-evidence the paper's integrity requirement asks for.")
 
@@ -58,12 +58,12 @@ def seed_and_report(model):
     observation = seed(model)
     result = tamper_record(model, "rec-troponin", INSIDER)
     print(f"record tamper:      {result.outcome.value} -- {result.detail}")
-    current = model.read("rec-troponin")
+    current = model.read("rec-troponin", actor_id="dr-house")
     changed = current.body != observation.body
     print(f"stored result now differs from what the physician wrote: {changed}")
     result = erase_audit_trail(model, "dr-house")
     print(f"audit erasure:      {result.outcome.value} -- {result.detail}")
-    print(f"integrity scan:     {model.verify_integrity() or 'nothing detected'}")
+    print(f"integrity scan:     {model.verify_integrity().violations or 'nothing detected'}")
     return model
 
 

@@ -87,7 +87,7 @@ def main() -> None:
     print("accesses to rec-note-1:")
     for event in query.accesses_to("rec-note-1"):
         print(f"  {event.action.value:<18} by {event.actor_id}")
-    print("\naudit trail verifies:", store.verify_audit_trail())
+    print("\naudit trail verifies:", store.verify_audit_trail().summary())
 
 
 if __name__ == "__main__":

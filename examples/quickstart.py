@@ -48,7 +48,7 @@ def main() -> None:
 
     # 3. Keyword search works — but the keywords never touch the disk in
     #    plaintext (check the raw device yourself):
-    print("search 'palpitations':", store.search("palpitations"))
+    print("search 'palpitations':", store.search("palpitations", actor_id="dr-lovelace"))
     leaked = b"palpitations" in store.worm.device.raw_dump()
     print("plaintext on device?", leaked)
 
@@ -62,15 +62,15 @@ def main() -> None:
     )
     store.correct(corrected, author_id="dr-lovelace", reason="cuff placement error")
     print("current value:", store.read("rec-bp-1", actor_id="dr-lovelace").body["value"])
-    print("original value (preserved):", store.read_version("rec-bp-1", 0).body["value"])
+    print("original value (preserved):", store.read_version("rec-bp-1", 0, actor_id="dr-lovelace").body["value"])
 
     # 5. Everything above is in the tamper-evident audit trail.
     print("\naudit trail:")
     for event in store.audit_events():
         print(f"  [{event['sequence']:03d}] {event['action']:<20} "
               f"actor={event['actor_id']:<14} subject={event['subject_id']}")
-    print("\naudit trail verifies:", store.verify_audit_trail())
-    print("store integrity:", "clean" if not store.verify_integrity() else "TAMPERED")
+    print("\naudit trail verifies:", store.verify_audit_trail().summary())
+    print("store integrity:", "clean" if store.verify_integrity().ok else "TAMPERED")
 
 
 if __name__ == "__main__":

@@ -56,7 +56,7 @@ def main() -> None:
         if e["action"] in ("migration_completed", "media_disposed", "record_disposed")
     ]
     print(f"\nhardware/disposal accountability events: {len(media_events)}")
-    print("audit trail verifies:", store.verify_audit_trail())
+    print("audit trail verifies:", store.verify_audit_trail().summary())
 
     # The fleet's lifecycle history is the HIPAA accountability report.
     print("\nmedia fleet history:")

@@ -27,10 +27,19 @@ constructed evaluation (the paper, being a position paper, has none of
 its own).
 """
 
+from repro.cluster import ClusterManifest, CuratorCluster, HashRing
 from repro.core.config import CuratorConfig
 from repro.core.engine import CuratorStore
 from repro.core.lifecycle import ArchiveLifecycle
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["CuratorConfig", "CuratorStore", "ArchiveLifecycle", "__version__"]
+__all__ = [
+    "ArchiveLifecycle",
+    "ClusterManifest",
+    "CuratorCluster",
+    "CuratorConfig",
+    "CuratorStore",
+    "HashRing",
+    "__version__",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import secrets
 
-from repro.baselines.interface import StorageModel
+from repro.baselines.interface import StorageModel, VerificationReport
 from repro.crypto.chacha20 import chacha20_xor
 from repro.crypto.kdf import derive_key
 from repro.errors import RecordNotFoundError, ValidationError
@@ -90,7 +90,7 @@ class EncryptedStore(StorageModel):
     def search(self, term: str, actor_id: str = "system") -> list[str]:
         return self._index.search(term)
 
-    def dispose(self, record_id: str) -> None:
+    def dispose(self, record_id: str, *, actor_id: str = "system") -> None:
         record = self.read(record_id)
         self._index.remove_document(record_id, record.searchable_text())
         del self._rows[record_id]
@@ -103,7 +103,7 @@ class EncryptedStore(StorageModel):
     def devices(self) -> list[BlockDevice]:
         return [self._journal.device, self._index.device]
 
-    def verify_integrity(self) -> list[str]:
+    def verify_integrity(self) -> VerificationReport:
         """Unauthenticated encryption detects nothing: decrypting
         tampered ciphertext just yields different plaintext.  The best
         this model can report is rows that no longer *parse*."""
@@ -113,7 +113,9 @@ class EncryptedStore(StorageModel):
                 self._open(self._journal.read(sequence))
             except Exception:
                 failures.append(record_id)
-        return failures
+        return VerificationReport.from_violations(
+            failures, mode="none", coverage="rows decrypt+parse; unauthenticated"
+        )
 
     def declared_features(self) -> frozenset[str]:
         return frozenset({"correct", "dispose", "search", "encryption"})

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.baselines.interface import StorageModel
+from repro.baselines.interface import StorageModel, VerificationReport
 from repro.errors import AccessDeniedError, RecordNotFoundError
 from repro.index.inverted import InvertedIndex
 from repro.records.model import HealthRecord, RecordType
@@ -134,14 +134,14 @@ class HippocraticStore(StorageModel):
         self._log(actor_id, "search", term)
         return visible
 
-    def dispose(self, record_id: str) -> None:
+    def dispose(self, record_id: str, *, actor_id: str = "system") -> None:
         sequence = self._row_directory.get(record_id)
         if sequence is None:
             raise RecordNotFoundError(f"no row {record_id}")
         record = self._load_row(sequence)
         self._index.remove_document(record_id, record.searchable_text())
         del self._row_directory[record_id]
-        self._log("system", "delete", record_id)
+        self._log(actor_id, "delete", record_id)
 
     def record_ids(self) -> list[str]:
         return sorted(self._row_directory)
@@ -151,14 +151,16 @@ class HippocraticStore(StorageModel):
     def devices(self) -> list[BlockDevice]:
         return [self._journal.device, self._audit_journal.device, self._index.device]
 
-    def verify_integrity(self) -> list[str]:
+    def verify_integrity(self) -> VerificationReport:
         failures = []
         for record_id, sequence in sorted(self._row_directory.items()):
             try:
                 self._load_row(sequence)
             except Exception:
                 failures.append(record_id)
-        return failures
+        return VerificationReport.from_violations(
+            failures, mode="none", coverage="rows parse; no integrity evidence"
+        )
 
     def audit_events(self) -> list[dict[str, Any]]:
         """Read back from the audit table on disk — which is exactly
@@ -171,15 +173,20 @@ class HippocraticStore(StorageModel):
     def audit_devices(self) -> list[BlockDevice]:
         return [self._audit_journal.device]
 
-    def verify_audit_trail(self) -> bool | None:
+    def verify_audit_trail(self) -> VerificationReport | None:
         """The audit table has no integrity protection beyond the unkeyed
         frame checksum a smart insider recomputes — rereading succeeds
         whatever an insider wrote there."""
         try:
             self._audit_journal.read_all()
         except Exception:
-            return False  # only clumsy (checksum-breaking) tampering shows
-        return True
+            # only clumsy (checksum-breaking) tampering shows
+            return VerificationReport.failed(
+                ["audit-table"], mode="none", coverage="frame checksums only"
+            )
+        return VerificationReport.passed(
+            mode="none", coverage="frame checksums only"
+        )
 
     def prepare_access_probe(self, actor_id: str) -> None:
         """The probe actor gets the restrictive 'research' policy role —

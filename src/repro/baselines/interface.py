@@ -19,6 +19,7 @@ and is flagged by :func:`verify_persistence`).
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import CuratorError
@@ -28,6 +29,102 @@ from repro.storage.block import BlockDevice
 
 class UnsupportedOperation(CuratorError):
     """The storage model does not provide this operation."""
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Uniform outcome of any verification pass.
+
+    Historically ``verify_integrity`` returned a ``list[str]`` (truthy
+    meant *violations found*) while ``verify_audit_trail`` returned a
+    ``bool`` (truthy meant *clean*) — opposite truthiness conventions
+    one typo apart.  Both now return this report; ``ok`` and
+    ``violations`` always agree (``ok == not violations``).
+
+    ``mode`` records which pass ran (``"full"``, ``"incremental"``, or
+    ``"none"`` for models without the machinery — whose empty violation
+    list *is* the finding, not a clean bill).  ``coverage`` is a short
+    human-readable statement of what the pass actually looked at, so a
+    clean report can be read at the right strength.
+    """
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    mode: str = "full"
+    coverage: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ok != (not self.violations):
+            raise ValueError(
+                "VerificationReport invariant broken: ok must equal "
+                f"(not violations); got ok={self.ok} violations={self.violations}"
+            )
+
+    def __bool__(self) -> bool:
+        # Refuse truthiness outright: under the old API
+        # ``bool(verify_integrity())`` meant "tampered" while
+        # ``bool(verify_audit_trail())`` meant "clean".  Any call site
+        # still branching on the bare return value is a latent inverted
+        # check — force it to say ``.ok`` or ``.violations``.
+        raise TypeError(
+            "VerificationReport has no truth value; test .ok or .violations"
+        )
+
+    @classmethod
+    def passed(cls, mode: str = "full", coverage: str = "") -> "VerificationReport":
+        return cls(ok=True, violations=[], mode=mode, coverage=coverage)
+
+    @classmethod
+    def failed(
+        cls, violations: list[str], mode: str = "full", coverage: str = ""
+    ) -> "VerificationReport":
+        if not violations:
+            raise ValueError("a failed report needs at least one violation")
+        return cls(ok=False, violations=sorted(violations), mode=mode, coverage=coverage)
+
+    @classmethod
+    def from_violations(
+        cls, violations: list[str], mode: str = "full", coverage: str = ""
+    ) -> "VerificationReport":
+        """Report derived purely from a violation list (the old
+        ``verify_integrity`` contract)."""
+        return cls(
+            ok=not violations, violations=sorted(violations), mode=mode,
+            coverage=coverage,
+        )
+
+    @classmethod
+    def merge(
+        cls, labelled: dict[str, "VerificationReport"]
+    ) -> "VerificationReport":
+        """Combine per-shard (or per-subsystem) reports into one, with
+        every violation prefixed by the label it came from."""
+        violations = [
+            f"{label}:{violation}"
+            for label, report in sorted(labelled.items())
+            for violation in report.violations
+        ]
+        modes = {report.mode for report in labelled.values()}
+        coverage = "; ".join(
+            f"{label}: {report.coverage}" if report.coverage else label
+            for label, report in sorted(labelled.items())
+        )
+        return cls(
+            ok=not violations,
+            violations=violations,
+            mode=modes.pop() if len(modes) == 1 else "mixed",
+            coverage=coverage,
+        )
+
+    def summary(self) -> str:
+        """One-line rendering for CLIs and logs."""
+        verdict = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        line = f"[{self.mode}] {verdict}"
+        if self.coverage:
+            line += f" ({self.coverage})"
+        if self.violations:
+            line += ": " + ", ".join(self.violations)
+        return line
 
 
 class StorageModel(abc.ABC):
@@ -71,8 +168,12 @@ class StorageModel(abc.ABC):
         """Keyword search; returns record ids."""
 
     @abc.abstractmethod
-    def dispose(self, record_id: str) -> None:
-        """End-of-retention disposal of a record."""
+    def dispose(self, record_id: str, *, actor_id: str = "system") -> None:
+        """End-of-retention disposal of a record, attributed to the
+        workforce member who approved it.  Baselines keep the
+        ``"system"`` default (most have no audit trail to attribute
+        into); the curator engine requires a real principal and shims
+        the legacy unattributed call behind a DeprecationWarning."""
 
     @abc.abstractmethod
     def record_ids(self) -> list[str]:
@@ -85,10 +186,11 @@ class StorageModel(abc.ABC):
         """Every persistent device the model writes (adversary surface)."""
 
     @abc.abstractmethod
-    def verify_integrity(self) -> list[str]:
-        """Record ids whose stored state fails the model's own integrity
-        checks.  A model with no integrity machinery returns [] even
-        when tampered — that *is* the finding."""
+    def verify_integrity(self) -> VerificationReport:
+        """Re-check stored state against the model's own integrity
+        machinery; ``report.violations`` carries the implicated record
+        ids.  A model with no integrity machinery returns a clean report
+        with ``mode="none"`` even when tampered — that *is* the finding."""
 
     def audit_events(self) -> list[dict[str, Any]]:
         """The model's audit trail as plain dicts (empty if none kept)."""
@@ -98,16 +200,18 @@ class StorageModel(abc.ABC):
         """Devices holding the audit trail (empty if none kept)."""
         return []
 
-    def verify_audit_trail(self) -> bool | None:
+    def verify_audit_trail(self) -> VerificationReport | None:
         """Re-verify the audit trail from persistent storage.
 
-        Returns ``None`` when the model keeps no audit trail, ``True``
-        when the trail verifies, ``False`` when tampering is detected.
-        The default (no audit machinery) is ``None``.
+        Returns ``None`` when the model keeps no audit trail, otherwise
+        a :class:`VerificationReport` (``ok=False`` when tampering is
+        detected).  The default (no audit machinery) is ``None``.
         """
         return None
 
-    def read_version(self, record_id: str, version: int) -> HealthRecord:
+    def read_version(
+        self, record_id: str, version: int, *, actor_id: str = "system"
+    ) -> HealthRecord:
         """Read a historical version of a record.  Models without
         version history raise :class:`UnsupportedOperation`."""
         raise UnsupportedOperation(

@@ -16,7 +16,11 @@ no audit trail.
 
 from __future__ import annotations
 
-from repro.baselines.interface import StorageModel, UnsupportedOperation
+from repro.baselines.interface import (
+    StorageModel,
+    UnsupportedOperation,
+    VerificationReport,
+)
 from repro.crypto.hashing import sha256
 from repro.errors import RecordNotFoundError
 from repro.index.inverted import InvertedIndex
@@ -70,7 +74,7 @@ class ObjectStore(StorageModel):
     def search(self, term: str, actor_id: str = "system") -> list[str]:
         return self._index.search(term)
 
-    def dispose(self, record_id: str) -> None:
+    def dispose(self, record_id: str, *, actor_id: str = "system") -> None:
         """Drops the reference — unconditional, and the object bytes stay
         in the CAS (another record might share them)."""
         record = self.read(record_id)
@@ -85,7 +89,7 @@ class ObjectStore(StorageModel):
     def devices(self) -> list[BlockDevice]:
         return [self._journal.device, self._index.device]
 
-    def verify_integrity(self) -> list[str]:
+    def verify_integrity(self) -> VerificationReport:
         """Re-hash every referenced object — the CAS party trick."""
         failures = []
         for record_id in self.record_ids():
@@ -93,7 +97,9 @@ class ObjectStore(StorageModel):
                 self.read(record_id)
             except Exception:
                 failures.append(record_id)
-        return failures
+        return VerificationReport.from_violations(
+            failures, coverage="content addresses re-hashed"
+        )
 
     def declared_features(self) -> frozenset[str]:
         return frozenset({"dispose", "search", "integrity"})

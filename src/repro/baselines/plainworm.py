@@ -19,7 +19,11 @@ and it lacks, reproducing the paper's criticisms:
 
 from __future__ import annotations
 
-from repro.baselines.interface import StorageModel, UnsupportedOperation
+from repro.baselines.interface import (
+    StorageModel,
+    UnsupportedOperation,
+    VerificationReport,
+)
 from repro.index.inverted import InvertedIndex
 from repro.records.model import HealthRecord
 from repro.retention.policy import STANDARD_POLICY, RetentionPolicy
@@ -65,8 +69,9 @@ class PlainWormStore(StorageModel):
     def search(self, term: str, actor_id: str = "system") -> list[str]:
         return self._index.search(term)
 
-    def dispose(self, record_id: str) -> None:
-        """Retention-gated tombstoning; the bytes stay on the medium."""
+    def dispose(self, record_id: str, *, actor_id: str = "system") -> None:
+        """Retention-gated tombstoning; the bytes stay on the medium
+        (and there is no audit trail to attribute *actor_id* into)."""
         record = self.read(record_id)
         self._worm.delete(record_id)  # raises RetentionError inside term
         self._index.remove_document(record_id, record.searchable_text())
@@ -79,8 +84,10 @@ class PlainWormStore(StorageModel):
     def devices(self) -> list[BlockDevice]:
         return [self._worm.device, self._index.device]
 
-    def verify_integrity(self) -> list[str]:
-        return self._worm.verify_all()
+    def verify_integrity(self) -> VerificationReport:
+        return VerificationReport.from_violations(
+            self._worm.verify_all(), coverage="per-object digests"
+        )
 
     def declared_features(self) -> frozenset[str]:
         return frozenset({"dispose", "search", "integrity", "retention"})

@@ -18,7 +18,7 @@ Characteristics the paper calls out (§4):
 
 from __future__ import annotations
 
-from repro.baselines.interface import StorageModel
+from repro.baselines.interface import StorageModel, VerificationReport
 from repro.errors import RecordNotFoundError
 from repro.index.inverted import InvertedIndex
 from repro.records.model import HealthRecord
@@ -72,7 +72,7 @@ class RelationalStore(StorageModel):
     def search(self, term: str, actor_id: str = "system") -> list[str]:
         return self._index.search(term)
 
-    def dispose(self, record_id: str) -> None:
+    def dispose(self, record_id: str, *, actor_id: str = "system") -> None:
         """DELETE — unconditional, no retention check, bytes remain in
         the journal history."""
         record = self.read(record_id)
@@ -88,7 +88,7 @@ class RelationalStore(StorageModel):
     def devices(self) -> list[BlockDevice]:
         return [self._journal.device, self._index.device]
 
-    def verify_integrity(self) -> list[str]:
+    def verify_integrity(self) -> VerificationReport:
         """A plain RDBMS has no record-level integrity evidence; the best
         it can do is report rows that no longer parse at all."""
         failures = []
@@ -97,7 +97,9 @@ class RelationalStore(StorageModel):
                 self._load_row(sequence)
             except Exception:
                 failures.append(record_id)
-        return failures
+        return VerificationReport.from_violations(
+            failures, mode="none", coverage="rows parse; no integrity evidence"
+        )
 
     def declared_features(self) -> frozenset[str]:
         return frozenset({"correct", "dispose", "search"})

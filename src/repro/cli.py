@@ -13,8 +13,12 @@ Commands:
 * ``verify`` — crash-consistency sweep, differential conformance
   across all six models, and the incremental-vs-full detection-
   equivalence oracle; ``--incremental``/``--deep`` demo the
-  watermarked verification fast path; non-zero exit on any
-  violation/divergence.
+  watermarked verification fast path; ``--shards N`` additionally
+  runs the cross-shard detection-equivalence oracle against an
+  N-shard cluster; non-zero exit on any violation/divergence.
+* ``cluster-demo`` — build a sharded :class:`CuratorCluster`, route a
+  workload across it, and print per-shard counters and the merged
+  verification reports.
 * ``info`` — library version and subsystem inventory.
 """
 
@@ -57,7 +61,11 @@ def _quickstart() -> int:
         text="patient reports palpitations; echocardiogram ordered",
     )
     store.store(note, author_id="dr-demo")
-    print("stored rec-1;", "search('palpitations') ->", store.search("palpitations"))
+    print(
+        "stored rec-1;",
+        "search('palpitations') ->",
+        store.search("palpitations", actor_id="dr-demo"),
+    )
     corrected = HealthRecord(
         record_id="rec-1",
         record_type=note.record_type,
@@ -67,7 +75,7 @@ def _quickstart() -> int:
     )
     store.correct(corrected, author_id="dr-demo", reason="result appended")
     print("versions:", store.version_count("rec-1"))
-    print("audit verifies:", store.verify_audit_trail())
+    print("audit verifies:", store.verify_audit_trail().summary())
     for event in store.audit_events():
         print(f"  [{event['sequence']:03d}] {event['action']:<18} {event['actor_id']}")
     return 0
@@ -127,7 +135,7 @@ def _thirty_years(_args) -> int:
           f"{report.backups_taken} backups, "
           f"{report.records_disposed} records disposed, "
           f"{len(report.integrity_failures)} integrity failures")
-    print("audit trail verifies:", store.verify_audit_trail())
+    print("audit trail verifies:", store.verify_audit_trail().summary())
     return 0
 
 
@@ -170,8 +178,8 @@ def _metrics(_args) -> int:
     for generated in batch:
         store.store(generated.record, generated.author_id)
     for record_id in store.record_ids()[:4]:
-        store.read(record_id)
-        store.read(record_id)  # second read exercises the LRU
+        store.read(record_id, actor_id="system")
+        store.read(record_id, actor_id="system")  # second read hits the LRU
     looped = METRICS.snapshot()
 
     METRICS.reset()
@@ -185,6 +193,46 @@ def _metrics(_args) -> int:
     for name in names:
         print(f"{name:<{width}}  {looped.get(name, 0):>12}  {batched.get(name, 0):>12}")
     return 0
+
+
+def _cluster_demo(args) -> int:
+    from repro import CuratorCluster, CuratorConfig
+    from repro.records import ClinicalNote
+    from repro.util import SimulatedClock
+    from repro.util.metrics import METRICS
+
+    clock = SimulatedClock(start=1.17e9)
+    cluster = CuratorCluster(
+        CuratorConfig(master_key=secrets.token_bytes(32), clock=clock),
+        shards=args.shards,
+    )
+    METRICS.reset()
+    for n in range(12):
+        cluster.store(
+            ClinicalNote.create(
+                record_id=f"rec-{n:02d}",
+                patient_id=f"pat-{n % 8}",
+                created_at=clock.now(),
+                author="dr-demo",
+                specialty="cardiology",
+                text=f"cluster demo note {n}: sinus rhythm",
+            ),
+            author_id="dr-demo",
+        )
+    for n in range(12):
+        cluster.read(f"rec-{n:02d}", actor_id="dr-demo")
+    hits = cluster.search("rhythm", actor_id="dr-demo")
+
+    print(f"cluster {cluster.manifest.cluster_id}: "
+          f"{cluster.shard_count} shards, {len(cluster.record_ids())} records")
+    print(f"merged search('rhythm') -> {len(hits)} records")
+    for name in ("cluster_stores", "cluster_reads", "cluster_searches"):
+        print(f"  {name}: {METRICS.labelled(name)}")
+    integrity = cluster.verify_integrity()
+    audit = cluster.verify_audit_trail()
+    print("integrity:", integrity.summary())
+    print("audit:    ", audit.summary())
+    return 0 if (integrity.ok and audit.ok) else 1
 
 
 def _verify(args) -> int:
@@ -228,6 +276,17 @@ def _verify(args) -> int:
         equivalence = run_detection_equivalence()
         print(equivalence.summary())
         if not equivalence.ok:
+            status = 1
+
+    if args.shards:
+        from repro.verify import run_cluster_detection_equivalence
+
+        print()
+        print(f"cluster detection equivalence ({args.shards} shards, "
+              f"tamper re-run per shard)...")
+        cluster_eq = run_cluster_detection_equivalence(shards=args.shards)
+        print(cluster_eq.summary())
+        if not cluster_eq.ok:
             status = 1
 
     print()
@@ -274,8 +333,8 @@ def _verify_modes(deep: bool) -> int:
         f"incremental={METRICS.ms('audit_verify_incremental_ns'):.2f}ms"
     )
     integrity = store.verify_integrity(incremental=not deep)
-    print(f"  integrity failures: {integrity or 'none'}")
-    return 0 if (full.ok and result.ok and not integrity) else 1
+    print(f"  integrity: {integrity.summary()}")
+    return 0 if (full.ok and result.ok and integrity.ok) else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -332,7 +391,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="force a full rescan through the incremental entry point",
     )
+    verify.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="also run the cross-shard detection-equivalence oracle "
+        "against an N-shard cluster (0 = skip)",
+    )
     verify.set_defaults(func=_verify)
+    cluster_demo = sub.add_parser(
+        "cluster-demo",
+        help="route a workload across a sharded cluster and verify it",
+    )
+    cluster_demo.add_argument(
+        "--shards", type=int, default=4, help="shard count (default 4)"
+    )
+    cluster_demo.set_defaults(func=_cluster_demo)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -1,0 +1,14 @@
+"""Sharded deployment of the curator engine.
+
+* :mod:`repro.cluster.ring` — deterministic SHA-256 patient placement;
+* :mod:`repro.cluster.manifest` — the HMAC-sealed topology manifest
+  recovery refuses to proceed without;
+* :mod:`repro.cluster.router` — :class:`CuratorCluster`, the
+  thread-safe actor-attributed frontend over N independent engines.
+"""
+
+from repro.cluster.manifest import ClusterManifest
+from repro.cluster.ring import HashRing
+from repro.cluster.router import CuratorCluster
+
+__all__ = ["ClusterManifest", "CuratorCluster", "HashRing"]

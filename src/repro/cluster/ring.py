@@ -1,0 +1,55 @@
+"""Deterministic record placement for the sharded cluster.
+
+Placement must be a pure function of the patient identifier and the
+shard count — never of process state.  Two independently restarted
+routers (or a router and the recovery path) must agree on where every
+patient lives, so the ring hashes with SHA-256 under a fixed domain
+label.  Python's builtin ``hash()`` is per-process salted
+(``PYTHONHASHSEED``) and is therefore exactly the wrong tool; using it
+would scatter a recovered cluster's routing table.
+
+Sharding by *patient* (not by record) keeps every record of one
+patient — versions, attachments, disclosures, break-glass grants — on
+a single engine, so per-patient invariants (version chains, consent,
+accounting of disclosures) never span shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+_DOMAIN = b"curator/cluster-ring\x00"
+
+
+@dataclass(frozen=True)
+class HashRing:
+    """A stable ``patient_id -> shard index`` map for a fixed shard count."""
+
+    shard_count: int
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ConfigurationError(
+                f"a cluster needs at least one shard, got {self.shard_count}"
+            )
+
+    def shard_for(self, patient_id: str) -> int:
+        """The shard index owning *patient_id* (stable across processes)."""
+        digest = hashlib.sha256(_DOMAIN + patient_id.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.shard_count
+
+    def shard_id(self, index: int) -> str:
+        """The canonical name of shard *index* (``shard-00`` ...)."""
+        if not 0 <= index < self.shard_count:
+            raise ConfigurationError(
+                f"shard index {index} out of range for {self.shard_count} shards"
+            )
+        return f"shard-{index:02d}"
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        """All shard names, in index order."""
+        return tuple(self.shard_id(i) for i in range(self.shard_count))

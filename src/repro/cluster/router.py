@@ -1,0 +1,596 @@
+"""The sharded cluster frontend: N independent curator engines behind
+one actor-attributed API.
+
+:class:`CuratorCluster` presents the same surface as a single
+:class:`~repro.core.engine.CuratorStore` while spreading patients
+across independent engines.  The design commitments:
+
+* **Placement is by patient.**  The :class:`~repro.cluster.ring.HashRing`
+  maps ``patient_id`` to a shard deterministically (SHA-256, never the
+  process-salted builtin ``hash``), so every record, version,
+  attachment, break-glass grant and disclosure of one patient lives on
+  exactly one engine and per-patient invariants never span shards.
+* **Shards are full engines, not partitions of one.**  Each shard has
+  its own WORM medium, key escrow, hash-chained audit log, checkpoint
+  store and trustworthy index, under a per-shard master key derived
+  from the cluster's HSM-held master key.  A raw-device insider on one
+  shard learns nothing about, and can tamper with nothing on, the
+  others.  The anchor-signing keypair is shared (it models one HSM-held
+  site identity and avoids per-shard keygen cost).
+* **Thread-safe routing.**  Every delegated call runs under its shard's
+  lock; requests to different shards proceed concurrently, and the
+  fan-out operations (``search``, ``store_many``, verification,
+  sweeps) run the shards in parallel.
+* **Merged verification keeps per-shard blame.**  ``verify_integrity``
+  and ``verify_audit_trail`` return one
+  :class:`~repro.baselines.interface.VerificationReport` merged from
+  the per-shard reports, every violation prefixed with the shard that
+  raised it.
+* **Recovery refuses to shrink silently.**  The sealed
+  :class:`~repro.cluster.manifest.ClusterManifest` pins the topology;
+  :meth:`CuratorCluster.recover_from_devices` raises
+  :class:`~repro.errors.ClusterError` naming any shard whose devices
+  are missing instead of reassembling a smaller cluster.
+
+Attribution: the cluster is a new API and carries no legacy callers,
+so unlike the engine (which keeps one-release deprecation shims) every
+PHI-touching method here simply *requires* ``actor_id`` as a keyword.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Callable, TypeVar
+
+from repro.baselines.interface import StorageModel, VerificationReport
+from repro.cluster.manifest import ClusterManifest
+from repro.cluster.ring import HashRing
+from repro.core.config import CuratorConfig
+from repro.core.engine import CuratorStore
+from repro.crypto.kdf import derive_key
+from repro.crypto.rsa import generate_keypair
+from repro.errors import ClusterError, RecordNotFoundError
+from repro.records.model import HealthRecord
+from repro.util.metrics import METRICS
+
+T = TypeVar("T")
+
+
+def _shard_config(
+    base: CuratorConfig, keypair: object, shard_id: str
+) -> CuratorConfig:
+    """The per-shard engine config: derived master key, scoped site id,
+    shared signing identity; every other knob inherited from the base."""
+    return replace(
+        base,
+        master_key=derive_key(base.master_key, f"curator/cluster/{shard_id}"),
+        site_id=f"{base.site_id}/{shard_id}",
+        signing_keypair=keypair,
+    )
+
+
+class CuratorCluster(StorageModel):
+    """A patient-sharded cluster of curator engines (see module docstring)."""
+
+    model_name = "curator-cluster"
+
+    def __init__(
+        self,
+        config: CuratorConfig,
+        *,
+        shards: int = 4,
+        cluster_id: str | None = None,
+        _engines: list[CuratorStore] | None = None,
+    ) -> None:
+        self._config = config
+        self._ring = HashRing(shards)
+        self._cluster_id = cluster_id or f"{config.site_id}-cluster"
+        self._keypair = config.signing_keypair or generate_keypair(
+            config.signature_bits
+        )
+        if _engines is None:
+            self._engines = [
+                CuratorStore(_shard_config(config, self._keypair, shard_id))
+                for shard_id in self._ring.shard_ids
+            ]
+        else:
+            if len(_engines) != shards:
+                raise ClusterError(
+                    f"expected {shards} recovered engines, got {len(_engines)}"
+                )
+            self._engines = list(_engines)
+        self._locks = [threading.RLock() for _ in range(shards)]
+        self._state_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._owner: dict[str, int] = {}
+        self._grants: dict[str, int] = {}
+        self._snapshots: dict[str, int] = {}
+        self._manifest = ClusterManifest(
+            cluster_id=self._cluster_id,
+            site_id=config.site_id,
+            shard_ids=self._ring.shard_ids,
+        ).sealed(config.master_key)
+        for index, engine in enumerate(self._engines):
+            for record_id in engine.record_ids():
+                self._owner[record_id] = index
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    @property
+    def manifest(self) -> ClusterManifest:
+        """The sealed topology manifest (escrow it off-site)."""
+        return self._manifest
+
+    @property
+    def shard_count(self) -> int:
+        return self._ring.shard_count
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return self._ring.shard_ids
+
+    @property
+    def shards(self) -> tuple[CuratorStore, ...]:
+        """The shard engines, in ring order (read-only introspection;
+        going around the router bypasses its locks)."""
+        return tuple(self._engines)
+
+    def shard_for(self, patient_id: str) -> int:
+        """The shard index the ring assigns to *patient_id*."""
+        return self._ring.shard_for(patient_id)
+
+    def shard_of_record(self, record_id: str) -> int:
+        """The shard index holding *record_id* (routed at store time)."""
+        try:
+            return self._owner[record_id]
+        except KeyError:
+            raise RecordNotFoundError(
+                f"record {record_id!r} is not stored on any shard"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # routing plumbing
+    # ------------------------------------------------------------------
+
+    def _on_shard(self, index: int, fn: Callable[[CuratorStore], T]) -> T:
+        with self._locks[index]:
+            return fn(self._engines[index])
+
+    def _route_patient(
+        self, patient_id: str, fn: Callable[[CuratorStore], T]
+    ) -> T:
+        return self._on_shard(self._ring.shard_for(patient_id), fn)
+
+    def _route_record(self, record_id: str, fn: Callable[[CuratorStore], T]) -> T:
+        return self._on_shard(self.shard_of_record(record_id), fn)
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The router's long-lived fan-out pool, created on first use.
+
+        A pool per call would cost more in thread startup than a whole
+        shard-local query; the router amortizes it across the cluster's
+        lifetime instead (idle workers are reaped at interpreter exit)."""
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._ring.shard_count,
+                        thread_name_prefix=f"{self._cluster_id}-fanout",
+                    )
+        return self._pool
+
+    def _fan_out(self, fn: Callable[[CuratorStore], T]) -> list[T]:
+        """Run *fn* on every shard (in parallel when there are several),
+        returning per-shard results in ring order."""
+        if self._ring.shard_count == 1:
+            return [self._on_shard(0, fn)]
+        pool = self._executor()
+        futures = [
+            pool.submit(self._on_shard, index, fn)
+            for index in range(self._ring.shard_count)
+        ]
+        return [future.result() for future in futures]
+
+    def _count(self, name: str, index: int) -> None:
+        METRICS.incr_labelled(name, self._ring.shard_id(index))
+
+    # ------------------------------------------------------------------
+    # principals
+    # ------------------------------------------------------------------
+
+    def register_user(self, user) -> None:
+        """Replicate the principal to every shard: authorization must
+        give one answer no matter where the patient hashed."""
+        for index in range(self._ring.shard_count):
+            self._on_shard(index, lambda engine: engine.register_user(user))
+
+    def prepare_access_probe(self, actor_id: str) -> None:
+        for index in range(self._ring.shard_count):
+            self._on_shard(
+                index, lambda engine: engine.prepare_access_probe(actor_id)
+            )
+
+    def break_glass(self, actor_id: str, patient_id: str, justification: str):
+        """Emergency access on whichever shard holds the patient."""
+        index = self._ring.shard_for(patient_id)
+        grant = self._on_shard(
+            index,
+            lambda engine: engine.break_glass(actor_id, patient_id, justification),
+        )
+        with self._state_lock:
+            self._grants[grant.grant_id] = index
+        return grant
+
+    def revoke_break_glass(self, grant_id: str):
+        with self._state_lock:
+            index = self._grants.get(grant_id)
+        if index is None:
+            raise ClusterError(f"unknown break-glass grant {grant_id!r}")
+        return self._on_shard(
+            index, lambda engine: engine.revoke_break_glass(grant_id)
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def _replicate_author(self, author_id: str, home: int) -> None:
+        """Documenting care makes the author a known principal on a
+        single engine *engine-wide*; mirror that cluster-wide so e.g. a
+        fan-out search does not die on a shard the author never wrote
+        to.  Shards that already know the author keep their own view
+        (their local treating lists are the authoritative ones)."""
+        user = self._on_shard(home, lambda engine: engine.principal(author_id))
+        if user is None:
+            return
+        for index in range(self._ring.shard_count):
+            if index == home:
+                continue
+            self._on_shard(
+                index,
+                lambda engine: (
+                    None
+                    if engine.principal(author_id) is not None
+                    else engine.register_user(user)
+                ),
+            )
+
+    def store(self, record: HealthRecord, author_id: str) -> None:
+        index = self._ring.shard_for(record.patient_id)
+        self._on_shard(index, lambda engine: engine.store(record, author_id))
+        with self._state_lock:
+            self._owner[record.record_id] = index
+        self._count("cluster_stores", index)
+        self._replicate_author(author_id, index)
+
+    def store_many(self, records: list[HealthRecord], author_id: str) -> int:
+        """Batched ingest, grouped per shard and run in parallel.
+
+        Each shard's sub-batch keeps the engine's atomic batch
+        semantics; atomicity across shards is per-shard, not global —
+        a crash can land with some shards' sub-batches durable and
+        others absent, which recovery reports per shard.
+        """
+        groups: dict[int, list[HealthRecord]] = {}
+        for record in records:
+            groups.setdefault(self._ring.shard_for(record.patient_id), []).append(
+                record
+            )
+
+        def ingest(index: int) -> int:
+            stored = self._on_shard(
+                index, lambda engine: engine.store_many(groups[index], author_id)
+            )
+            self._count("cluster_stores", index)
+            return stored
+
+        if len(groups) <= 1:
+            counts = [ingest(index) for index in groups]
+        else:
+            counts = list(self._executor().map(ingest, sorted(groups)))
+        with self._state_lock:
+            for index, group in groups.items():
+                for record in group:
+                    self._owner[record.record_id] = index
+        if groups:
+            self._replicate_author(author_id, next(iter(groups)))
+        return sum(counts)
+
+    def correct(self, corrected: HealthRecord, author_id: str, reason: str) -> None:
+        self._route_record(
+            corrected.record_id,
+            lambda engine: engine.correct(corrected, author_id, reason),
+        )
+
+    def attach(self, record_id: str, attachment_id: str, data: bytes, *,
+               actor_id: str, content_type: str = "application/octet-stream"):
+        return self._route_record(
+            record_id,
+            lambda engine: engine.attach(
+                record_id, attachment_id, data,
+                actor_id=actor_id, content_type=content_type,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read(self, record_id: str, *, actor_id: str, purpose=None) -> HealthRecord:
+        index = self.shard_of_record(record_id)
+        self._count("cluster_reads", index)
+        return self._on_shard(
+            index,
+            lambda engine: engine.read(record_id, actor_id=actor_id, purpose=purpose),
+        )
+
+    def read_view(self, record_id: str, actor_id: str) -> dict[str, Any]:
+        return self._route_record(
+            record_id, lambda engine: engine.read_view(record_id, actor_id)
+        )
+
+    def read_version(
+        self, record_id: str, version: int, *, actor_id: str
+    ) -> HealthRecord:
+        return self._route_record(
+            record_id,
+            lambda engine: engine.read_version(record_id, version, actor_id=actor_id),
+        )
+
+    def read_attachment(
+        self, record_id: str, attachment_id: str, *, actor_id: str
+    ) -> bytes:
+        return self._route_record(
+            record_id,
+            lambda engine: engine.read_attachment(
+                record_id, attachment_id, actor_id=actor_id
+            ),
+        )
+
+    def attachments_of(self, record_id: str) -> list[str]:
+        return self._route_record(
+            record_id, lambda engine: engine.attachments_of(record_id)
+        )
+
+    def version_count(self, record_id: str) -> int:
+        return self._route_record(
+            record_id, lambda engine: engine.version_count(record_id)
+        )
+
+    def search(self, term: str, *, actor_id: str) -> list[str]:
+        """Fan out to every shard, merge and de-duplicate the hits."""
+        for index in range(self._ring.shard_count):
+            self._count("cluster_searches", index)
+        hits = self._fan_out(lambda engine: engine.search(term, actor_id=actor_id))
+        return sorted({record_id for shard_hits in hits for record_id in shard_hits})
+
+    def record_ids(self) -> list[str]:
+        ids = self._fan_out(lambda engine: engine.record_ids())
+        return sorted({record_id for shard_ids in ids for record_id in shard_ids})
+
+    def records_of_patient(self, patient_id: str) -> list[str]:
+        return self._route_patient(
+            patient_id, lambda engine: engine.records_of_patient(patient_id)
+        )
+
+    def records_in_window(self, start: float, end: float) -> list[str]:
+        windows = self._fan_out(
+            lambda engine: engine.records_in_window(start, end)
+        )
+        return sorted({record_id for window in windows for record_id in window})
+
+    def export_deidentified(self, record_id: str, *, actor_id: str) -> HealthRecord:
+        return self._route_record(
+            record_id,
+            lambda engine: engine.export_deidentified(record_id, actor_id=actor_id),
+        )
+
+    def accounting_of_disclosures(self, patient_id: str, *, actor_id: str):
+        """The whole-patient disclosure accounting; single-shard by
+        construction, because placement is by patient."""
+        return self._route_patient(
+            patient_id,
+            lambda engine: engine.accounting_of_disclosures(
+                patient_id, actor_id=actor_id
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # disposal / retention
+    # ------------------------------------------------------------------
+
+    def dispose(self, record_id: str, *, actor_id: str):
+        """Compliant disposal on the owning shard only: certificates
+        come from, and the certified hole lands on, that shard alone."""
+        index = self.shard_of_record(record_id)
+        self._count("cluster_disposals", index)
+        return self._on_shard(
+            index, lambda engine: engine.dispose(record_id, actor_id=actor_id)
+        )
+
+    def retention_sweep(self) -> list[str]:
+        due = self._fan_out(lambda engine: engine.retention_sweep())
+        return sorted({record_id for shard_due in due for record_id in shard_due})
+
+    def place_hold(self, record_id: str, hold_id: str, *, actor_id: str) -> None:
+        self._route_record(
+            record_id,
+            lambda engine: engine.place_hold(record_id, hold_id, actor_id=actor_id),
+        )
+
+    def release_hold(self, record_id: str, hold_id: str, *, actor_id: str) -> None:
+        self._route_record(
+            record_id,
+            lambda engine: engine.release_hold(record_id, hold_id, actor_id=actor_id),
+        )
+
+    # ------------------------------------------------------------------
+    # verification / audit / compliance
+    # ------------------------------------------------------------------
+
+    def _merged(self, reports: list[VerificationReport]) -> VerificationReport:
+        return VerificationReport.merge(
+            dict(zip(self._ring.shard_ids, reports))
+        )
+
+    def verify_integrity(self, incremental: bool = False) -> VerificationReport:
+        return self._merged(
+            self._fan_out(lambda engine: engine.verify_integrity(incremental))
+        )
+
+    def verify_audit_trail(self, incremental: bool = False) -> VerificationReport:
+        return self._merged(
+            self._fan_out(
+                lambda engine: engine.verify_audit_trail(incremental=incremental)
+            )
+        )
+
+    def audit_events(self) -> list[dict[str, Any]]:
+        """Every shard's audit stream, merged in timestamp order (ties
+        broken by shard order, then per-shard sequence)."""
+        streams = self._fan_out(lambda engine: engine.audit_events())
+        merged = [
+            (event["timestamp"], index, event["sequence"], event)
+            for index, stream in enumerate(streams)
+            for event in stream
+        ]
+        return [event for *_key, event in sorted(merged, key=lambda e: e[:3])]
+
+    def audit_devices(self):
+        devices = []
+        for shard_devices in self._fan_out(lambda engine: engine.audit_devices()):
+            devices.extend(shard_devices)
+        return devices
+
+    def devices(self):
+        devices = []
+        for shard_devices in self._fan_out(lambda engine: engine.devices()):
+            devices.extend(shard_devices)
+        return devices
+
+    def compliance_findings(self) -> dict[str, list]:
+        """Operational compliance findings, per shard."""
+        from repro.compliance.operations import operational_findings
+
+        findings = self._fan_out(operational_findings)
+        return dict(zip(self._ring.shard_ids, findings))
+
+    def declared_features(self) -> frozenset[str]:
+        return self._engines[0].declared_features()
+
+    # ------------------------------------------------------------------
+    # backup / recovery
+    # ------------------------------------------------------------------
+
+    def create_backup(self, *, incremental: bool = False, actor_id: str):
+        """Per-shard snapshots, keyed by shard id."""
+        snapshots = self._fan_out(
+            lambda engine: engine.create_backup(
+                incremental=incremental, actor_id=actor_id
+            )
+        )
+        with self._state_lock:
+            for index, snapshot in enumerate(snapshots):
+                self._snapshots[snapshot.snapshot_id] = index
+        return dict(zip(self._ring.shard_ids, snapshots))
+
+    def restore_from_backup(self, snapshot_id: str, *, actor_id: str):
+        with self._state_lock:
+            index = self._snapshots.get(snapshot_id)
+        if index is None:
+            raise ClusterError(
+                f"snapshot {snapshot_id!r} was not taken through this cluster"
+            )
+        return self._on_shard(
+            index,
+            lambda engine: engine.restore_from_backup(snapshot_id, actor_id=actor_id),
+        )
+
+    def device_sets(self) -> dict[str, dict[str, Any]]:
+        """Each shard's recovery-relevant devices, keyed by shard id —
+        the hand-off format :meth:`recover_from_devices` expects."""
+        sets: dict[str, dict[str, Any]] = {}
+        for index, engine in enumerate(self._engines):
+            worm, _index_dev, audit, keys, checkpoints = engine.devices()
+            sets[self._ring.shard_id(index)] = {
+                "worm_device": worm,
+                "key_device": keys,
+                "audit_device": audit,
+                "checkpoint_device": checkpoints,
+            }
+        return sets
+
+    @classmethod
+    def recover_from_devices(
+        cls,
+        config: CuratorConfig,
+        manifest: ClusterManifest,
+        device_sets: dict[str, dict[str, Any]],
+        *,
+        witnesses: dict[str, list] | None = None,
+    ) -> "CuratorCluster":
+        """Restart the whole cluster from surviving per-shard devices.
+
+        The sealed *manifest* is the source of truth for topology: it
+        must verify under the HSM-held master key, and a device set
+        must be present for **every** shard it names — recovery raises
+        :class:`ClusterError` listing what is missing rather than
+        silently reassembling a smaller cluster.  Per-shard recovery
+        then follows :meth:`CuratorStore.recover_from_devices`.
+
+        For anchor-witness continuity across the restart, pin the
+        signing keypair in ``config.signing_keypair`` (a cluster built
+        with a generated keypair re-signs under a new identity and
+        pre-crash witness attestations no longer apply).
+        """
+        manifest.verify(config.master_key)
+        missing = [sid for sid in manifest.shard_ids if sid not in device_sets]
+        if missing:
+            raise ClusterError(
+                f"cluster manifest {manifest.cluster_id!r} names "
+                f"{manifest.shard_count} shard(s) but no device set was "
+                f"provided for: {', '.join(missing)}"
+            )
+        unknown = sorted(set(device_sets) - set(manifest.shard_ids))
+        if unknown:
+            raise ClusterError(
+                f"device sets offered for shards the manifest does not "
+                f"name: {', '.join(unknown)}"
+            )
+        keypair = config.signing_keypair or generate_keypair(config.signature_bits)
+        config = replace(config, signing_keypair=keypair)
+        witnesses = witnesses or {}
+        engines = [
+            CuratorStore.recover_from_devices(
+                _shard_config(config, keypair, shard_id),
+                worm_device=device_sets[shard_id]["worm_device"],
+                key_device=device_sets[shard_id]["key_device"],
+                audit_device=device_sets[shard_id]["audit_device"],
+                checkpoint_device=device_sets[shard_id].get("checkpoint_device"),
+                witnesses=witnesses.get(shard_id),
+            )
+            for shard_id in manifest.shard_ids
+        ]
+        return cls(
+            config,
+            shards=manifest.shard_count,
+            cluster_id=manifest.cluster_id,
+            _engines=engines,
+        )
+
+    @property
+    def recovery_reports(self) -> dict[str, Any]:
+        """Per-shard recovery reports (shards built live report None)."""
+        return {
+            self._ring.shard_id(index): engine.recovery_report
+            for index, engine in enumerate(self._engines)
+        }

@@ -92,7 +92,7 @@ def operational_findings(
         )
 
     # 4. Audit trail verification.
-    if store.verify_audit_trail() is not True:
+    if not store.verify_audit_trail().ok:
         findings.append(
             OperationalFinding(
                 severity="violation",
@@ -103,7 +103,7 @@ def operational_findings(
         )
 
     # 5. Store integrity.
-    corrupt = store.verify_integrity()
+    corrupt = store.verify_integrity().violations
     if corrupt:
         findings.append(
             OperationalFinding(

@@ -1,0 +1,117 @@
+"""Actor attribution for the engine's public API.
+
+Every PHI-touching operation on :class:`~repro.core.engine.CuratorStore`
+takes a keyword-only ``actor_id`` naming the principal the operation is
+performed *as* — the identity that authorization decides on and the
+audit trail attributes to.  The old surface let several operations run
+unattributed (``dispose()``, ``search(term)`` defaulting to
+``"system"``), which both breaks the attribution model (every PHI
+operation must carry an accountable principal) and blocks a generic
+multi-shard router from dispatching the whole API uniformly.
+
+The defaults are gone from the engine.  For one release, legacy call
+shapes keep working behind the :func:`attributed` decorator:
+
+* an omitted ``actor_id`` falls back to the ``"system"`` principal and
+  emits a :class:`DeprecationWarning`;
+* an actor (or other tail argument) passed *positionally* where the new
+  signature is keyword-only is mapped onto its keyword and warned about
+  the same way.
+
+New code — and everything inside this repository — passes ``actor_id``
+by keyword; the shims exist only so external callers get one release of
+warnings instead of an immediate ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Any, Callable
+
+
+class _Unattributed:
+    """Sentinel marking an ``actor_id`` the caller never supplied."""
+
+    def __repr__(self) -> str:  # readable in signatures and tracebacks
+        return "<unattributed>"
+
+
+UNATTRIBUTED = _Unattributed()
+
+FALLBACK_ACTOR = "system"
+"""The principal legacy unattributed calls are attributed to."""
+
+
+def attributed(*legacy_tail: str) -> Callable:
+    """Decorate a method whose ``actor_id`` became keyword-only.
+
+    ``legacy_tail`` names, in order, the parameters the *old* signature
+    accepted positionally after the still-positional ones (e.g. the old
+    ``read(record_id, actor_id, purpose)``).  The wrapper:
+
+    1. maps deprecated positional tail arguments onto their keywords
+       (with a :class:`DeprecationWarning`);
+    2. defaults a missing/``UNATTRIBUTED`` ``actor_id`` to
+       :data:`FALLBACK_ACTOR` (with a :class:`DeprecationWarning`);
+    3. calls the wrapped method, which can assume ``actor_id`` is a
+       real string.
+
+    The wrapped method must declare ``actor_id`` keyword-only with
+    default :data:`UNATTRIBUTED`.
+    """
+
+    def decorate(method: Callable) -> Callable:
+        signature = inspect.signature(method)
+        positional = [
+            name
+            for name, parameter in signature.parameters.items()
+            if parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+        ]
+        max_positional = len(positional)  # includes self
+
+        @functools.wraps(method)
+        def wrapper(*args: Any, **kwargs: Any):
+            if len(args) > max_positional:
+                extra = args[max_positional:]
+                args = args[:max_positional]
+                if len(extra) > len(legacy_tail):
+                    raise TypeError(
+                        f"{method.__qualname__}() takes at most "
+                        f"{max_positional - 1} positional arguments plus the "
+                        f"deprecated {legacy_tail} tail; got "
+                        f"{len(extra) - len(legacy_tail)} extra"
+                    )
+                for name, value in zip(legacy_tail, extra):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{method.__qualname__}() got multiple values "
+                            f"for argument {name!r}"
+                        )
+                    kwargs[name] = value
+                warnings.warn(
+                    f"passing {', '.join(legacy_tail[: len(extra)])} "
+                    f"positionally to {method.__qualname__}() is deprecated; "
+                    f"pass keyword arguments",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            if isinstance(kwargs.get("actor_id", UNATTRIBUTED), _Unattributed):
+                kwargs["actor_id"] = FALLBACK_ACTOR
+                warnings.warn(
+                    f"calling {method.__qualname__}() without actor_id is "
+                    f"deprecated; every PHI operation must name the acting "
+                    f"principal (falling back to {FALLBACK_ACTOR!r})",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return method(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

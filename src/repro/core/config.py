@@ -36,6 +36,11 @@ class CuratorConfig:
     audit_spot_checks: int = 16
     audit_full_rescan_every: int = 64
     integrity_clean_sample: int = 8
+    # An HSM-held anchor-signing keypair shared across engines.  None
+    # means each engine generates its own (the single-site default); a
+    # cluster passes one keypair so all shards sign anchors under the
+    # same site identity without paying N keygens.
+    signing_keypair: object | None = None
 
     def __post_init__(self) -> None:
         if len(self.master_key) != 32:

@@ -38,7 +38,8 @@ from repro.audit.log import AuditLog
 from repro.audit.query import AuditQuery
 from repro.backup.manager import BackupManager, RestoreReport
 from repro.backup.vault import BackupVault
-from repro.baselines.interface import StorageModel
+from repro.baselines.interface import StorageModel, VerificationReport
+from repro.core.attribution import UNATTRIBUTED, attributed
 from repro.core.config import CuratorConfig
 from repro.crypto.aead import AeadCiphertext
 from repro.crypto.keys import KeyHandle, KeyStore
@@ -115,7 +116,11 @@ class CuratorStore(StorageModel):
             clock=self._clock,
             device=MemoryDevice("curator-keys", config.device_capacity),
         )
-        self._signer = Signer(config.site_id, bits=config.signature_bits)
+        self._signer = Signer(
+            config.site_id,
+            keypair=config.signing_keypair,
+            bits=config.signature_bits,
+        )
         self._trust = TrustStore()
         self._trust.add(self._signer.verifier())
         # media + worm
@@ -196,6 +201,11 @@ class CuratorStore(StorageModel):
     def register_user(self, user: User) -> None:
         """Enroll a workforce member."""
         self._users[user.user_id] = user
+
+    def principal(self, actor_id: str) -> User | None:
+        """The enrolled workforce member behind *actor_id* (``None`` if
+        unknown here) — lets a frontend replicate enrollment."""
+        return self._resolve_user(actor_id)
 
     def _resolve_user(self, actor_id: str) -> User | None:
         if actor_id == "system":
@@ -543,10 +553,12 @@ class CuratorStore(StorageModel):
             return Purpose.PATIENT_REQUEST
         return Purpose.TREATMENT
 
+    @attributed("actor_id", "purpose")
     def read(
         self,
         record_id: str,
-        actor_id: str = "system",
+        *,
+        actor_id: str = UNATTRIBUTED,
         purpose: Purpose | None = None,
     ) -> HealthRecord:
         chain = self._chain_for(record_id)
@@ -580,19 +592,19 @@ class CuratorStore(StorageModel):
 
     def read_view(self, record_id: str, actor_id: str) -> dict[str, Any]:
         """Read with the minimum-necessary projection for the actor's role."""
-        record = self.read(record_id, actor_id)
+        record = self.read(record_id, actor_id=actor_id)
         user = self._resolve_user(actor_id)
         assert user is not None  # read() would have raised
         role = next(iter(sorted(user.roles, key=lambda r: r.value)))
         return minimum_necessary_view(record, role)
 
+    @attributed("actor_id")
     def read_version(
-        self, record_id: str, version: int, actor_id: str = "system"
+        self, record_id: str, version: int, *, actor_id: str = UNATTRIBUTED
     ) -> HealthRecord:
         """Read one historical version, under the same authorization as
-        :meth:`read` (the ``"system"`` default serves internal callers;
-        application code should pass the real actor so the audit trail
-        attributes the access correctly)."""
+        :meth:`read` and attributed to the same kind of accountable
+        principal."""
         chain = self._chain_for(record_id)
         if version < 0 or version >= len(chain):
             raise RecordError(f"record {record_id} has no version {version}")
@@ -635,7 +647,8 @@ class CuratorStore(StorageModel):
              "previous_digest": version.previous_digest},
         )
 
-    def search(self, term: str, actor_id: str = "system") -> list[str]:
+    @attributed("actor_id")
+    def search(self, term: str, *, actor_id: str = UNATTRIBUTED) -> list[str]:
         # Audit the keyed trapdoor, never the plaintext term: the audit
         # log persists to a device, and a cleartext term there would be
         # exactly the "Cancer" leak the trustworthy index closes.  The
@@ -652,8 +665,12 @@ class CuratorStore(StorageModel):
         self._maybe_anchor()
         return [record_id for record_id in hits if record_id not in self._disposed]
 
-    def dispose(self, record_id: str) -> list[DispositionCertificate]:
-        """Full compliant disposal of every version of a record."""
+    @attributed()
+    def dispose(
+        self, record_id: str, *, actor_id: str = UNATTRIBUTED
+    ) -> list[DispositionCertificate]:
+        """Full compliant disposal of every version of a record,
+        attributed to the workforce member who approved it."""
         chain = self._chain_for(record_id)
         now = self._clock.now()
         object_ids = [
@@ -676,7 +693,7 @@ class CuratorStore(StorageModel):
         certificates = []
         for object_id in object_ids:
             if object_id in self._disposition.pending():
-                self._disposition.approve(object_id, "records-manager")
+                self._disposition.approve(object_id, actor_id)
                 certificates.append(self._disposition.execute(object_id))
         # index must forget the record, verifiably — and so must the
         # read cache: a disposed record served from memory would defeat
@@ -690,12 +707,15 @@ class CuratorStore(StorageModel):
         self._disposed.add(record_id)
         self._dirty_records.discard(record_id)
         self._audit.append(
-            AuditAction.RECORD_DISPOSED, "system", record_id,
+            AuditAction.RECORD_DISPOSED, actor_id, record_id,
             {"versions": len(object_ids), "certificates": len(certificates)},
         )
         return certificates
 
-    def export_deidentified(self, record_id: str, actor_id: str) -> HealthRecord:
+    @attributed("actor_id")
+    def export_deidentified(
+        self, record_id: str, *, actor_id: str = UNATTRIBUTED
+    ) -> HealthRecord:
         """Research export: Safe-Harbor de-identification, audited."""
         chain = self._chain_for(record_id)
         patient_id = chain.latest().record.patient_id
@@ -738,8 +758,10 @@ class CuratorStore(StorageModel):
         except Exception:  # noqa: BLE001 — any failure implicates the record
             return False
 
-    def verify_integrity(self, incremental: bool = False) -> list[str]:
-        """Returns the record ids implicated by any integrity failure.
+    def verify_integrity(self, incremental: bool = False) -> VerificationReport:
+        """Integrity verdict; ``report.violations`` carries the record
+        ids implicated by any failure (plus ``"<index>"`` when the
+        posting lists fail authentication).
 
         Full mode digest-checks every version object, verifies every
         chain's hash linkage, and authenticates every posting list.
@@ -749,6 +771,7 @@ class CuratorStore(StorageModel):
         in already-verified data is still revisited on a bounded cycle.
         """
         failures: set[str] = set()
+        coverage = ""
         if incremental:
             with METRICS.timer("engine_integrity_incremental_ns"):
                 for object_id in self._worm.verify_dirty(
@@ -775,6 +798,10 @@ class CuratorStore(StorageModel):
                         failures.add(record_id)
                         self._dirty_records.add(record_id)
                 METRICS.incr("engine_integrity_records_checked", len(to_check))
+                coverage = (
+                    f"{len(dirty)} dirty + {len(to_check) - len(dirty)} "
+                    f"sampled record(s)"
+                )
             METRICS.incr("engine_integrity_incremental_runs")
         else:
             with METRICS.timer("engine_integrity_full_ns"):
@@ -786,13 +813,20 @@ class CuratorStore(StorageModel):
                 METRICS.incr(
                     "engine_integrity_records_checked", len(self.record_ids())
                 )
+                coverage = (
+                    f"all {len(self.record_ids())} record(s), every worm object"
+                )
             METRICS.incr("engine_integrity_full_runs")
             # A clean full pass verified everything; failures stay dirty.
             self._dirty_records = {r for r in failures if r in self._chains}
             self._integrity_cursor = 0
         if self._index.index.verify():
             failures.add("<index>")
-        return sorted(failures)
+        return VerificationReport.from_violations(
+            sorted(failures),
+            mode="incremental" if incremental else "full",
+            coverage=coverage,
+        )
 
     def audit_events(self) -> list[dict[str, Any]]:
         return [event.to_dict() for event in self._audit.events()]
@@ -800,17 +834,24 @@ class CuratorStore(StorageModel):
     def audit_devices(self) -> list[BlockDevice]:
         return [self._audit.device]
 
-    def verify_audit_trail(self, incremental: bool = False) -> bool:
-        if not self._audit.verify_chain(incremental=incremental):
-            return False
+    def verify_audit_trail(self, incremental: bool = False) -> VerificationReport:
+        violations: list[str] = []
+        chain = self._audit.verify_chain(incremental=incremental)
+        if not chain:
+            violations.append("audit-chain")
         try:
             if self._quorum is not None:
                 self._quorum.check_log(self._audit)
             else:
                 self._witness.check_log(self._audit)
         except Exception:
-            return False
-        return True
+            violations.append("audit-anchors")
+        return VerificationReport.from_violations(
+            violations,
+            mode=chain.mode if incremental else "full",
+            coverage=f"{len(self._audit)} event(s), "
+            f"{len(self._witnesses)} witness(es)",
+        )
 
     def audit_query(self) -> AuditQuery:
         """Forensic query interface (verifies the chain first)."""
@@ -820,12 +861,14 @@ class CuratorStore(StorageModel):
     # binary attachments (imaging, scanned documents)
     # ------------------------------------------------------------------
 
+    @attributed("actor_id", "content_type")
     def attach(
         self,
         record_id: str,
         attachment_id: str,
         data: bytes,
-        actor_id: str = "system",
+        *,
+        actor_id: str = UNATTRIBUTED,
         content_type: str = "application/octet-stream",
     ):
         """Attach a binary payload (e.g. imaging) to a record.
@@ -858,8 +901,9 @@ class CuratorStore(StorageModel):
         )
         return manifest
 
+    @attributed("actor_id")
     def read_attachment(
-        self, record_id: str, attachment_id: str, actor_id: str = "system"
+        self, record_id: str, attachment_id: str, *, actor_id: str = UNATTRIBUTED
     ) -> bytes:
         """Read an attachment with full authorization + verification."""
         from repro.records.attachments import load_attachment
@@ -909,7 +953,10 @@ class CuratorStore(StorageModel):
             if start <= self._chains[record_id].version(0).record.created_at < end
         )
 
-    def accounting_of_disclosures(self, patient_id: str, actor_id: str = "system"):
+    @attributed("actor_id")
+    def accounting_of_disclosures(
+        self, patient_id: str, *, actor_id: str = UNATTRIBUTED
+    ):
         """The HIPAA accounting-of-disclosures report for one patient:
         every access-class event over their record set, from a verified
         audit trail.  The request itself is authorized and audited."""
@@ -967,8 +1014,12 @@ class CuratorStore(StorageModel):
     # operations: backup, media refresh, retention sweeps
     # ------------------------------------------------------------------
 
-    def create_backup(self, incremental: bool = False):
-        """Snapshot the WORM store + wrapped keys to the off-site vault."""
+    @attributed("incremental")
+    def create_backup(
+        self, *, incremental: bool = False, actor_id: str = UNATTRIBUTED
+    ):
+        """Snapshot the WORM store + wrapped keys to the off-site vault,
+        attributed to the operator who ran it."""
         handles = {
             object_id: self._keys[_record_id_of(object_id)]
             for object_id in self._worm.object_ids()
@@ -978,12 +1029,15 @@ class CuratorStore(StorageModel):
         else:
             snapshot = self._backup.create_full(self._worm, self._keystore, handles)
         self._audit.append(
-            AuditAction.BACKUP_CREATED, "system", snapshot.snapshot_id,
+            AuditAction.BACKUP_CREATED, actor_id, snapshot.snapshot_id,
             {"objects": len(snapshot.objects), "kind": snapshot.kind},
         )
         return snapshot
 
-    def restore_from_backup(self, snapshot_id: str) -> RestoreReport:
+    @attributed()
+    def restore_from_backup(
+        self, snapshot_id: str, *, actor_id: str = UNATTRIBUTED
+    ) -> RestoreReport:
         """Disaster recovery: rebuild the WORM store from the vault."""
         medium = self._media_pool.provision()
         new_worm = WormStore(device=medium.device, clock=self._clock)
@@ -1022,7 +1076,7 @@ class CuratorStore(StorageModel):
         # until the next integrity pass re-verifies it.
         self._dirty_records = set(self._chains) - self._disposed
         self._audit.append(
-            AuditAction.BACKUP_RESTORED, "system", snapshot_id,
+            AuditAction.BACKUP_RESTORED, actor_id, snapshot_id,
             {"objects": report.objects_restored},
         )
         return report
@@ -1323,19 +1377,25 @@ class CuratorStore(StorageModel):
     def signer(self) -> Signer:
         return self._signer
 
-    def place_hold(self, record_id: str, hold_id: str) -> None:
+    @attributed()
+    def place_hold(
+        self, record_id: str, hold_id: str, *, actor_id: str = UNATTRIBUTED
+    ) -> None:
         """Litigation hold across every version of a record."""
         chain = self._chain_for(record_id)
         for n in range(len(chain)):
             self._worm.retention.place_hold(_version_object_id(record_id, n), hold_id)
         self._audit.append(
-            AuditAction.RETENTION_HOLD_PLACED, "system", record_id, {"hold": hold_id}
+            AuditAction.RETENTION_HOLD_PLACED, actor_id, record_id, {"hold": hold_id}
         )
 
-    def release_hold(self, record_id: str, hold_id: str) -> None:
+    @attributed()
+    def release_hold(
+        self, record_id: str, hold_id: str, *, actor_id: str = UNATTRIBUTED
+    ) -> None:
         chain = self._chain_for(record_id)
         for n in range(len(chain)):
             self._worm.retention.release_hold(_version_object_id(record_id, n), hold_id)
         self._audit.append(
-            AuditAction.RETENTION_HOLD_RELEASED, "system", record_id, {"hold": hold_id}
+            AuditAction.RETENTION_HOLD_RELEASED, actor_id, record_id, {"hold": hold_id}
         )

@@ -63,20 +63,22 @@ class ArchiveLifecycle:
             self._clock.advance(step * SECONDS_PER_YEAR)
             elapsed += step
             if elapsed >= next_backup:
-                self._store.create_backup()
+                self._store.create_backup(actor_id="archive-lifecycle")
                 report.backups_taken += 1
                 next_backup += self._backup_years
             if self._store.medium.age_years() > self._refresh_years:
                 self._store.refresh_media()
                 report.media_refreshes += 1
-            failures = self._store.verify_integrity()
-            if failures:
-                report.integrity_failures.extend(failures)
+            integrity = self._store.verify_integrity()
+            if integrity.violations:
+                report.integrity_failures.extend(integrity.violations)
             else:
                 report.integrity_checks_passed += 1
             if dispose_expired:
                 for record_id in self._store.retention_sweep():
-                    certificates = self._store.dispose(record_id)
+                    certificates = self._store.dispose(
+                        record_id, actor_id="archive-lifecycle"
+                    )
                     report.records_disposed += 1
                     report.disposal_certificates += len(certificates)
         report.years_simulated = elapsed

@@ -121,6 +121,13 @@ class RecordNotFoundError(RecordError):
     """The requested record or version does not exist."""
 
 
+class ClusterError(CuratorError):
+    """The sharded cluster detected a topology problem: a sealed
+    manifest that does not verify, a recovery attempt missing a
+    shard's devices, or a request routed to a shard that does not
+    exist."""
+
+
 class ComplianceError(CuratorError):
     """A compliance check could not be evaluated."""
 

@@ -85,7 +85,7 @@ def tamper_record(
     name = "insider_tamper"
     if not adversary.raw_device_access:
         return AttackResult(name, AttackOutcome.PREVENTED, "no device access")
-    before = model.read(record_id)
+    before = model.read(record_id, actor_id="system")
     word = _target_word(before)
     store_key = (
         model.insider_keys().get("store_key") if adversary.knows_store_keys else None
@@ -127,9 +127,9 @@ def tamper_record(
         return AttackResult(name, AttackOutcome.PREVENTED, "nothing reachable on disk")
 
     # Assessment: what does the system now believe?
-    flagged = bool(model.verify_integrity())
+    flagged = not model.verify_integrity().ok
     try:
-        after = model.read(record_id)
+        after = model.read(record_id, actor_id="system")
     except CuratorError as exc:
         return AttackResult(
             name, AttackOutcome.DETECTED, f"read rejected tampered data: {exc}"
@@ -167,7 +167,7 @@ def erase_audit_trail(model: StorageModel, actor_to_hide: str) -> AttackResult:
     if rewrote == 0:
         return AttackResult(name, AttackOutcome.PREVENTED, "actor not found in trail")
     verdict = model.verify_audit_trail()
-    if verdict is False:
+    if verdict is not None and not verdict.ok:
         return AttackResult(
             name, AttackOutcome.DETECTED, f"chain verification caught {rewrote} edits"
         )
@@ -180,7 +180,7 @@ def premature_deletion(model: StorageModel, record_id: str) -> AttackResult:
     """Destroy a record before its retention term ends (software path)."""
     name = "premature_deletion"
     try:
-        model.dispose(record_id)
+        model.dispose(record_id, actor_id="system")
     except RetentionError as exc:
         return AttackResult(name, AttackOutcome.PREVENTED, str(exc))
     except UnsupportedOperation as exc:
@@ -282,17 +282,17 @@ def probe_correction(
     remain provable (so update-in-place fails).
     """
     record_id = corrected.record_id
-    original = model.read(record_id)
+    original = model.read(record_id, actor_id="system")
     try:
         model.correct(corrected, author_id, reason="patient-requested amendment")
     except UnsupportedOperation as exc:
         return CorrectionProbeResult(
             supported=False, applied=False, history_preserved=True, detail=str(exc)
         )
-    current = model.read(record_id)
+    current = model.read(record_id, actor_id="system")
     applied = current.body == corrected.body
     try:
-        version_zero = model.read_version(record_id, 0)
+        version_zero = model.read_version(record_id, 0, actor_id="system")
         history = version_zero.body == original.body
         detail = "history retrievable"
     except UnsupportedOperation:
@@ -310,7 +310,7 @@ def disposal_residue_scan(
     for its content."""
     name = "disposal_residue"
     try:
-        model.dispose(record_id)
+        model.dispose(record_id, actor_id="system")
     except (RetentionError, UnsupportedOperation) as exc:
         return AttackResult(name, AttackOutcome.NOT_APPLICABLE, str(exc))
     residue: set[str] = set()

@@ -167,7 +167,7 @@ class ThreatHarness:
 
     def _trustworthy_index(self) -> RequirementVerdict:
         fixture = self._build_fixture()
-        hits = fixture.model.search(fixture.note_term)
+        hits = fixture.model.search(fixture.note_term, actor_id="system")
         if fixture.note_record.record_id not in hits:
             return RequirementVerdict(
                 Requirement.TRUSTWORTHY_INDEX,

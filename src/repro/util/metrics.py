@@ -45,6 +45,24 @@ class Metrics:
         """Current value of *name* (0 if never incremented)."""
         return self._counters.get(name, 0)
 
+    def incr_labelled(self, name: str, label: str, delta: int = 1) -> None:
+        """Add *delta* to the labelled counter ``name{label}`` — the
+        per-shard flavour the cluster router bumps per routed request
+        (``cluster_reads{shard-01}`` ...).  Same cost as :meth:`incr`;
+        the label is folded into the counter name."""
+        self._counters[f"{name}{{{label}}}"] = (
+            self._counters.get(f"{name}{{{label}}}", 0) + delta
+        )
+
+    def labelled(self, name: str) -> dict[str, int]:
+        """All labels recorded under *name*, as ``{label: value}``."""
+        prefix = f"{name}{{"
+        return {
+            key[len(prefix) : -1]: value
+            for key, value in sorted(self._counters.items())
+            if key.startswith(prefix) and key.endswith("}")
+        }
+
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
         """Accumulate the wrapped block's wall time into ``<name>`` in

@@ -28,6 +28,7 @@ from repro.verify.crashpoint import CrashController, surviving_image
 from repro.verify.equivalence import (
     EquivalenceCase,
     EquivalenceReport,
+    run_cluster_detection_equivalence,
     run_detection_equivalence,
 )
 from repro.verify.oracle import CrashSweepReport, Violation, run_crash_sweep
@@ -45,6 +46,7 @@ __all__ = [
     "Violation",
     "WorkloadRun",
     "render_conformance",
+    "run_cluster_detection_equivalence",
     "run_conformance",
     "run_crash_sweep",
     "run_detection_equivalence",

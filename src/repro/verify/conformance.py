@@ -142,7 +142,10 @@ def _execute(
         return _observe(label, lambda: str(model.store_many(notes, "dr-a")))
     if kind == "read":
         return _observe(
-            label, lambda: model.read(args["record_id"]).body.get("text", "")
+            label,
+            lambda: model.read(args["record_id"], actor_id="system").body.get(
+                "text", ""
+            ),
         )
     if kind == "read_probe":
         model.prepare_access_probe("probe-intruder")
@@ -168,27 +171,39 @@ def _execute(
         return _observe(
             label,
             lambda: model.read_version(
-                args["record_id"], args["version"]
+                args["record_id"], args["version"], actor_id="system"
             ).body.get("text", ""),
         )
     if kind == "search":
         return _observe(
-            label, lambda: ",".join(sorted(set(model.search(args["term"]))))
+            label,
+            lambda: ",".join(
+                sorted(set(model.search(args["term"], actor_id="system")))
+            ),
         )
     if kind == "advance_years":
         if clock is not None:
             clock.advance_years(args["years"])
         return Observation(label, "ok", "")
     if kind == "dispose":
-        return _observe(label, lambda: (model.dispose(args["record_id"]), "")[1])
+        return _observe(
+            label,
+            lambda: (
+                model.dispose(args["record_id"], actor_id="records-manager"),
+                "",
+            )[1],
+        )
     if kind == "break_glass_read":
         return _break_glass_read(model, label, args["record_id"])
     if kind == "audit_check":
-        verify = model.verify_audit_trail()
+        report = model.verify_audit_trail()
+        # render the report back to the tri-state the reference scripts
+        # were written against: True / False / None (no audit machinery)
+        verify = report.ok if report is not None else None
         events = "some" if model.audit_events() else "none"
         return Observation(label, "ok", f"verify={verify},events={events}")
     if kind == "integrity_check":
-        return Observation(label, "ok", ",".join(model.verify_integrity()))
+        return Observation(label, "ok", ",".join(model.verify_integrity().violations))
     raise ValueError(f"unknown scripted op {kind!r}")
 
 

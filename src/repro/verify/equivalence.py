@@ -11,9 +11,10 @@ the rotating clean sample bounds how long clean-object rot may hide).
 This oracle states that as an executable property.  For each tamper
 case it:
 
-1. builds a small engine, verifies it fully (sealing a watermark and
-   clearing the dirty sets — the adversary strikes *after* the system
-   believes itself clean, the hardest case for an incremental checker);
+1. builds a small deployment, verifies it fully (sealing a watermark
+   and clearing the dirty sets — the adversary strikes *after* the
+   system believes itself clean, the hardest case for an incremental
+   checker);
 2. plants the tampering on the raw devices;
 3. runs the **bounded incremental policy**: up to ``full_rescan_every``
    incremental passes (modelling successive operational health checks)
@@ -24,16 +25,28 @@ A case **violates** detection equivalence when the full pass detects
 the tampering but the bounded policy never did — or, for the
 no-tamper control, when the incremental path reports a problem that
 does not exist (false positive).
+
+The oracle runs over two *substrates*: a single engine
+(:func:`run_detection_equivalence`) and a sharded
+:class:`~repro.cluster.router.CuratorCluster`
+(:func:`run_cluster_detection_equivalence`), where every tamper case
+is re-run once per shard — the adversary attacks one shard's raw
+devices and detection must surface through the cluster's merged,
+fan-out verification.  Sharding must not dilute detection power.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.audit.checkpoint import CheckpointStore
+from repro.cluster.ring import HashRing
+from repro.cluster.router import CuratorCluster
 from repro.core.config import CuratorConfig
 from repro.core.engine import CuratorStore
 from repro.crypto.kdf import derive_key
+from repro.crypto.rsa import generate_keypair
 from repro.storage.journal import Journal
 from repro.util.clock import SimulatedClock
 from repro.util.encoding import canonical_bytes, canonical_loads
@@ -42,6 +55,10 @@ from repro.records.model import ClinicalNote
 _FULL_RESCAN_EVERY = 4
 _SPOT_CHECKS = 6
 _CLEAN_SAMPLE = 4
+
+# Shared across cluster builds so each tamper case does not pay an RSA
+# keygen (the keypair models one HSM-held site identity anyway).
+_CLUSTER_KEYPAIR = None
 
 
 @dataclass(frozen=True)
@@ -91,10 +108,39 @@ class EquivalenceReport:
         return "\n".join(lines)
 
 
-def _build(master_key: bytes) -> CuratorStore:
+@dataclass
+class _Substrate:
+    """One deployment under attack.
+
+    ``surface`` is the API the operator verifies and works through (an
+    engine, or the whole cluster); ``target`` is the engine whose raw
+    devices the adversary reaches (for a cluster, one shard); the
+    seeded ``records`` and ``dirty_patient`` are guaranteed resident on
+    the target, so every tamper lands where the adversary can write.
+    """
+
+    surface: object
+    target: CuratorStore
+    records: tuple[str, ...]
+    dirty_patient: str
+    clock: SimulatedClock
+
+
+def _seed_note(record_id: str, patient_id: str, clock: SimulatedClock, n: int):
+    return ClinicalNote.create(
+        record_id=record_id,
+        patient_id=patient_id,
+        created_at=clock.now(),
+        author="dr-eq",
+        specialty="cardiology",
+        text=f"equivalence seed note {n} with distinctive text",
+    )
+
+
+def _build_single() -> _Substrate:
     clock = SimulatedClock(start=1.17e9)
     config = CuratorConfig(
-        master_key=master_key,
+        master_key=bytes(range(32)),
         clock=clock,
         device_capacity=1 << 20,
         audit_spot_checks=_SPOT_CHECKS,
@@ -103,41 +149,92 @@ def _build(master_key: bytes) -> CuratorStore:
     )
     store = CuratorStore(config)
     for n in range(6):
-        store.store(
-            ClinicalNote.create(
-                record_id=f"rec-{n}",
-                patient_id=f"pat-{n}",
-                created_at=clock.now(),
-                author="dr-eq",
-                specialty="cardiology",
-                text=f"equivalence seed note {n} with distinctive text",
-            ),
-            author_id="dr-eq",
-        )
+        store.store(_seed_note(f"rec-{n}", f"pat-{n}", clock, n), author_id="dr-eq")
     for n in range(3):
         store.read(f"rec-{n}", actor_id="dr-eq")
     # The system believes itself clean: watermark sealed, dirty sets
     # empty.  Tampering lands on top of this state.
-    assert store.verify_audit_trail() is True
-    assert store.verify_integrity() == []
-    return store
+    assert store.verify_audit_trail().ok
+    assert store.verify_integrity().ok
+    return _Substrate(
+        surface=store,
+        target=store,
+        records=tuple(f"rec-{n}" for n in range(6)),
+        dirty_patient="pat-dirty",
+        clock=clock,
+    )
 
 
-def _append_delta(store: CuratorStore, reads: int = 2) -> None:
-    """Grow the log past the watermark (the incremental delta)."""
+def _patients_on_shard(ring: HashRing, shard: int, count: int, tag: str) -> list[str]:
+    """Deterministic patient ids the ring places on *shard*."""
+    found: list[str] = []
+    candidate = 0
+    while len(found) < count:
+        patient_id = f"pat-{tag}-{candidate}"
+        if ring.shard_for(patient_id) == shard:
+            found.append(patient_id)
+        candidate += 1
+    return found
+
+
+def _build_cluster(shards: int, target_shard: int) -> _Substrate:
+    global _CLUSTER_KEYPAIR
+    if _CLUSTER_KEYPAIR is None:
+        _CLUSTER_KEYPAIR = generate_keypair(768)
+    clock = SimulatedClock(start=1.17e9)
+    config = CuratorConfig(
+        master_key=bytes(range(32)),
+        clock=clock,
+        device_capacity=1 << 20,
+        audit_spot_checks=_SPOT_CHECKS,
+        audit_full_rescan_every=_FULL_RESCAN_EVERY,
+        integrity_clean_sample=_CLEAN_SAMPLE,
+        signing_keypair=_CLUSTER_KEYPAIR,
+    )
+    cluster = CuratorCluster(config, shards=shards)
+    target_records: list[str] = []
+    n = 0
+    # three resident records per shard, stored and read through the
+    # cluster so every shard's audit log grows past the prefix-tamper
+    # minimum before its watermark seals
+    for shard in range(shards):
+        for patient_id in _patients_on_shard(cluster.ring, shard, 3, f"s{shard}"):
+            record_id = f"rec-{shard}-{n}"
+            cluster.store(_seed_note(record_id, patient_id, clock, n), "dr-eq")
+            cluster.read(record_id, actor_id="dr-eq")
+            if shard == target_shard:
+                target_records.append(record_id)
+            n += 1
+    assert cluster.verify_audit_trail().ok
+    assert cluster.verify_integrity().ok
+    return _Substrate(
+        surface=cluster,
+        target=cluster.shards[target_shard],
+        records=tuple(target_records),
+        dirty_patient=_patients_on_shard(
+            cluster.ring, target_shard, 1, "dirty"
+        )[0],
+        clock=clock,
+    )
+
+
+def _append_delta(sub: _Substrate, reads: int = 2) -> None:
+    """Grow the target's log past the watermark (the incremental delta)."""
     for n in range(reads):
-        store.read(f"rec-{n % 6}", actor_id="dr-eq")
+        sub.surface.read(sub.records[n % len(sub.records)], actor_id="dr-eq")
 
 
-def _checkpoint_key(store: CuratorStore) -> bytes:
-    return derive_key(store._config.master_key, "curator/audit-checkpoint")  # noqa: SLF001
+def _checkpoint_key(sub: _Substrate) -> bytes:
+    return derive_key(
+        sub.target._config.master_key, "curator/audit-checkpoint"  # noqa: SLF001
+    )
 
 
 # -- tamper behaviours (each returns True when the tamper landed) --------
 
 
-def _tamper_audit_frame(store: CuratorStore, index: int, mutate) -> bool:
-    device = store.audit_log.device
+def _tamper_audit_frame(sub: _Substrate, index: int, mutate) -> bool:
+    device = sub.target.audit_log.device
     for position, (offset, payload) in enumerate(
         Journal.iter_device_frames(device)
     ):
@@ -164,30 +261,30 @@ def _flip_chain_digest(payload: bytes) -> bytes | None:
     return canonical_bytes(entry)
 
 
-def _tamper_prefix(store: CuratorStore) -> bool:
-    watermark = store.audit_log.watermark
+def _tamper_prefix(sub: _Substrate) -> bool:
+    watermark = sub.target.audit_log.watermark
     assert watermark is not None and watermark.size > 3
-    ok = _tamper_audit_frame(store, 2, _rewrite_actor)
-    _append_delta(store)
+    ok = _tamper_audit_frame(sub, 2, _rewrite_actor)
+    _append_delta(sub)
     return ok
 
 
-def _tamper_suffix(store: CuratorStore) -> bool:
-    watermark = store.audit_log.watermark
+def _tamper_suffix(sub: _Substrate) -> bool:
+    watermark = sub.target.audit_log.watermark
     assert watermark is not None
-    _append_delta(store)
-    return _tamper_audit_frame(store, watermark.size, _rewrite_actor)
+    _append_delta(sub)
+    return _tamper_audit_frame(sub, watermark.size, _rewrite_actor)
 
 
-def _tamper_chain_field(store: CuratorStore) -> bool:
-    ok = _tamper_audit_frame(store, 1, _flip_chain_digest)
-    _append_delta(store)
+def _tamper_chain_field(sub: _Substrate) -> bool:
+    ok = _tamper_audit_frame(sub, 1, _flip_chain_digest)
+    _append_delta(sub)
     return ok
 
 
-def _truncate_tail(store: CuratorStore) -> bool:
-    _append_delta(store)
-    device = store.audit_log.device
+def _truncate_tail(sub: _Substrate) -> bool:
+    _append_delta(sub)
+    device = sub.target.audit_log.device
     last_offset = None
     for offset, _payload in Journal.iter_device_frames(device):
         last_offset = offset
@@ -197,7 +294,7 @@ def _truncate_tail(store: CuratorStore) -> bool:
     return True
 
 
-def _destroy_watermarks(store: CuratorStore) -> bool:
+def _destroy_watermarks(sub: _Substrate) -> bool:
     """Prefix tamper + wipe every persisted seal + process restart.
 
     The adversary cannot forge a seal (MAC) but can destroy them all.
@@ -205,16 +302,16 @@ def _destroy_watermarks(store: CuratorStore) -> bool:
     adopts whatever the wiped checkpoint journal still holds — nothing —
     and the first incremental request must escalate to a full rescan.
     """
-    ok = _tamper_audit_frame(store, 2, _rewrite_actor)
-    device = store.checkpoints.device
+    ok = _tamper_audit_frame(sub, 2, _rewrite_actor)
+    device = sub.target.checkpoints.device
     device.raw_write(0, b"\x00" * device.capacity)
-    store.audit_log.adopt_checkpoints(
-        CheckpointStore.recover(device, key=_checkpoint_key(store))
+    sub.target.audit_log.adopt_checkpoints(
+        CheckpointStore.recover(device, key=_checkpoint_key(sub))
     )
     return ok
 
 
-def _forge_watermark(store: CuratorStore) -> bool:
+def _forge_watermark(sub: _Substrate) -> bool:
     """Prefix tamper + a forged seal claiming the tampered state clean.
 
     The forged frame carries no valid MAC (the adversary lacks the
@@ -224,8 +321,8 @@ def _forge_watermark(store: CuratorStore) -> bool:
     suffix replay would start past the tampering and detection could be
     laundered away entirely.
     """
-    ok = _tamper_audit_frame(store, 2, _rewrite_actor)
-    log = store.audit_log
+    ok = _tamper_audit_frame(sub, 2, _rewrite_actor)
+    log = sub.target.audit_log
     forged = canonical_bytes(
         {
             "size": len(log),
@@ -235,17 +332,17 @@ def _forge_watermark(store: CuratorStore) -> bool:
             "incremental_runs": 0,
         }
     )
-    device = store.checkpoints.device
+    device = sub.target.checkpoints.device
     journal = Journal.recover(device)
     journal.append(b"\x11" * 32 + forged)  # tag the adversary cannot compute
-    store.audit_log.adopt_checkpoints(
-        CheckpointStore.recover(device, key=_checkpoint_key(store))
+    sub.target.audit_log.adopt_checkpoints(
+        CheckpointStore.recover(device, key=_checkpoint_key(sub))
     )
     return ok
 
 
-def _rot_worm_object(store: CuratorStore, object_id: str) -> bool:
-    device = store.worm.device
+def _rot_worm_object(sub: _Substrate, object_id: str) -> bool:
+    device = sub.target.worm.device
     marker = object_id.encode("utf-8")
     for offset, payload in Journal.iter_device_frames(device):
         if marker not in payload:
@@ -256,23 +353,23 @@ def _rot_worm_object(store: CuratorStore, object_id: str) -> bool:
     return False
 
 
-def _rot_dirty_object(store: CuratorStore) -> bool:
-    store.store(
+def _rot_dirty_object(sub: _Substrate) -> bool:
+    sub.surface.store(
         ClinicalNote.create(
             record_id="rec-dirty",
-            patient_id="pat-dirty",
-            created_at=store._clock.now(),  # noqa: SLF001 — test substrate
+            patient_id=sub.dirty_patient,
+            created_at=sub.clock.now(),
             author="dr-eq",
             specialty="cardiology",
             text="written after the last full sweep",
         ),
-        author_id="dr-eq",
+        "dr-eq",
     )
-    return _rot_worm_object(store, "rec-dirty@v0")
+    return _rot_worm_object(sub, "rec-dirty@v0")
 
 
-def _rot_clean_object(store: CuratorStore) -> bool:
-    return _rot_worm_object(store, "rec-0@v0")
+def _rot_clean_object(sub: _Substrate) -> bool:
+    return _rot_worm_object(sub, f"{sub.records[0]}@v0")
 
 
 # -- the bounded policy ---------------------------------------------------
@@ -294,14 +391,14 @@ def _run_policy(incremental_check, full_check) -> tuple[bool, str, int]:
     return False, "none", _FULL_RESCAN_EVERY + 1
 
 
-def _audit_case(name: str, tamper) -> EquivalenceCase:
-    store = _build(bytes(range(32)))
-    tampered = tamper(store)
+def _audit_case(name: str, tamper, build: Callable[[], _Substrate]) -> EquivalenceCase:
+    sub = build()
+    tampered = tamper(sub)
     detected, caught_by, attempts = _run_policy(
-        lambda: store.verify_audit_trail(incremental=True) is False,
-        lambda: store.verify_audit_trail() is False,
+        lambda: not sub.surface.verify_audit_trail(incremental=True).ok,
+        lambda: not sub.surface.verify_audit_trail().ok,
     )
-    full_detects = store.verify_audit_trail() is False
+    full_detects = not sub.surface.verify_audit_trail().ok
     return EquivalenceCase(
         name=name,
         tampered=tampered,
@@ -312,14 +409,16 @@ def _audit_case(name: str, tamper) -> EquivalenceCase:
     )
 
 
-def _integrity_case(name: str, tamper) -> EquivalenceCase:
-    store = _build(bytes(range(32)))
-    tampered = tamper(store)
+def _integrity_case(
+    name: str, tamper, build: Callable[[], _Substrate]
+) -> EquivalenceCase:
+    sub = build()
+    tampered = tamper(sub)
     detected, caught_by, attempts = _run_policy(
-        lambda: bool(store.verify_integrity(incremental=True)),
-        lambda: bool(store.verify_integrity()),
+        lambda: not sub.surface.verify_integrity(incremental=True).ok,
+        lambda: not sub.surface.verify_integrity().ok,
     )
-    full_detects = bool(store.verify_integrity())
+    full_detects = not sub.surface.verify_integrity().ok
     return EquivalenceCase(
         name=name,
         tampered=tampered,
@@ -330,20 +429,23 @@ def _integrity_case(name: str, tamper) -> EquivalenceCase:
     )
 
 
-def _control_case() -> EquivalenceCase:
-    store = _build(bytes(range(32)))
-    _append_delta(store)
+def _control_case(build: Callable[[], _Substrate], name: str) -> EquivalenceCase:
+    sub = build()
+    _append_delta(sub)
     audit_fp = any(
-        store.verify_audit_trail(incremental=True) is False
+        not sub.surface.verify_audit_trail(incremental=True).ok
         for _ in range(_FULL_RESCAN_EVERY)
     )
     integrity_fp = any(
-        bool(store.verify_integrity(incremental=True))
+        not sub.surface.verify_integrity(incremental=True).ok
         for _ in range(_FULL_RESCAN_EVERY)
     )
-    full_fp = store.verify_audit_trail() is False or bool(store.verify_integrity())
+    full_fp = (
+        not sub.surface.verify_audit_trail().ok
+        or not sub.surface.verify_integrity().ok
+    )
     return EquivalenceCase(
-        name="no_tamper_control",
+        name=name,
         tampered=False,
         incremental_detects=audit_fp or integrity_fp,
         full_detects=full_fp,
@@ -352,17 +454,53 @@ def _control_case() -> EquivalenceCase:
     )
 
 
+_TAMPER_CASES: tuple[tuple[str, str, Callable[[_Substrate], bool]], ...] = (
+    ("audit", "audit_prefix_rewrite", _tamper_prefix),
+    ("audit", "audit_suffix_rewrite", _tamper_suffix),
+    ("audit", "audit_chain_field_edit", _tamper_chain_field),
+    ("audit", "audit_truncation", _truncate_tail),
+    ("audit", "watermark_destruction", _destroy_watermarks),
+    ("audit", "watermark_forgery", _forge_watermark),
+    ("integrity", "worm_dirty_object_rot", _rot_dirty_object),
+    ("integrity", "worm_clean_object_rot", _rot_clean_object),
+)
+
+
+def _run_cases(
+    build: Callable[[], _Substrate], prefix: str = ""
+) -> list[EquivalenceCase]:
+    cases = []
+    for kind, name, tamper in _TAMPER_CASES:
+        runner = _audit_case if kind == "audit" else _integrity_case
+        cases.append(runner(f"{prefix}{name}", tamper, build))
+    return cases
+
+
 def run_detection_equivalence() -> EquivalenceReport:
-    """Run every tamper case; see the module docstring for the policy."""
+    """Every tamper case against a single engine (the module policy)."""
+    cases = [_control_case(_build_single, "no_tamper_control")]
+    cases.extend(_run_cases(_build_single))
+    return EquivalenceReport(cases=tuple(cases))
+
+
+def run_cluster_detection_equivalence(shards: int = 2) -> EquivalenceReport:
+    """Every tamper case re-run once per shard of a cluster.
+
+    The adversary writes to one shard's raw devices; the operator only
+    ever calls the cluster's fan-out ``verify_*``.  Zero violations
+    means sharding preserved the single-engine detection guarantees —
+    the cluster acceptance bar for the scaling benchmark.
+    """
     cases = [
-        _control_case(),
-        _audit_case("audit_prefix_rewrite", _tamper_prefix),
-        _audit_case("audit_suffix_rewrite", _tamper_suffix),
-        _audit_case("audit_chain_field_edit", _tamper_chain_field),
-        _audit_case("audit_truncation", _truncate_tail),
-        _audit_case("watermark_destruction", _destroy_watermarks),
-        _audit_case("watermark_forgery", _forge_watermark),
-        _integrity_case("worm_dirty_object_rot", _rot_dirty_object),
-        _integrity_case("worm_clean_object_rot", _rot_clean_object),
+        _control_case(
+            lambda: _build_cluster(shards, 0), "cluster:no_tamper_control"
+        )
     ]
+    for target in range(shards):
+        cases.extend(
+            _run_cases(
+                lambda target=target: _build_cluster(shards, target),
+                prefix=f"shard-{target:02d}:",
+            )
+        )
     return EquivalenceReport(cases=tuple(cases))

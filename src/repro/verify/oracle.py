@@ -95,11 +95,11 @@ def _check_recovery(
     flight_ids = set(run.in_flight.record_ids) if run.in_flight else set()
 
     # clause 3: evidence
-    if recovered.verify_audit_trail() is not True:
+    if not recovered.verify_audit_trail().ok:
         fail("recovered audit chain/anchors do not verify")
     integrity = recovered.verify_integrity()
-    if integrity:
-        fail(f"recovered integrity check flagged {integrity}")
+    if integrity.violations:
+        fail(f"recovered integrity check flagged {integrity.violations}")
 
     # clause 1: acked state
     events = recovered.audit_events()
@@ -118,15 +118,15 @@ def _check_recovery(
             if record_id in live:
                 fail(f"disposed record {record_id} is served after recovery")
             try:
-                recovered.read(record_id)
+                recovered.read(record_id, actor_id="system")
                 fail(f"disposed record {record_id} is readable after recovery")
             except RecordNotFoundError:
                 pass
-            if record_id in recovered.search(exp.term):
+            if record_id in recovered.search(exp.term, actor_id="system"):
                 fail(f"disposed record {record_id} is indexed after recovery")
             continue
         try:
-            record = recovered.read(record_id)
+            record = recovered.read(record_id, actor_id="system")
         except Exception as exc:  # noqa: BLE001 — any failure is a finding
             fail(f"acked record {record_id} unreadable after recovery: {exc!r}")
             continue
@@ -141,7 +141,7 @@ def _check_recovery(
                 f"{recovered.version_count(record_id)} versions, "
                 f"expected {exp.versions}"
             )
-        if record_id not in recovered.search(exp.term):
+        if record_id not in recovered.search(exp.term, actor_id="system"):
             fail(f"acked record {record_id} lost from the index after recovery")
         if record_id not in created:
             fail(f"acked record {record_id} has no record_created audit event")
@@ -157,7 +157,7 @@ def _check_recovery(
             )
         for record_id in present:
             exp = flight.committed[record_id]
-            record = recovered.read(record_id)
+            record = recovered.read(record_id, actor_id="system")
             if record.body.get("text") != exp.text:
                 fail(
                     f"in-flight {flight.kind} surfaced record {record_id} "
@@ -168,7 +168,7 @@ def _check_recovery(
         before = run.expected.get(record_id)
         after = flight.committed[record_id]
         try:
-            record = recovered.read(record_id)
+            record = recovered.read(record_id, actor_id="system")
             versions = recovered.version_count(record_id)
         except Exception as exc:  # noqa: BLE001
             fail(f"record {record_id} lost to an in-flight correction: {exc!r}")
@@ -184,7 +184,7 @@ def _check_recovery(
         (record_id,) = flight.record_ids
         before = run.expected.get(record_id)
         try:
-            record = recovered.read(record_id)
+            record = recovered.read(record_id, actor_id="system")
         except RecordNotFoundError:
             pass  # destruction effectively completed — acceptable
         except Exception as exc:  # noqa: BLE001
@@ -220,7 +220,7 @@ def _check_recovery(
     )
     try:
         recovered.store(probe, "dr-probe")
-        stored = recovered.read("probe-post-crash")
+        stored = recovered.read("probe-post-crash", actor_id="system")
         if stored.body.get("text") != "probe after recovery":
             fail("post-recovery probe write read back wrong bytes")
     except Exception as exc:  # noqa: BLE001

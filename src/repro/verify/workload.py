@@ -119,8 +119,11 @@ def run_seeded_workload(store, clock: SimulatedClock) -> WorkloadRun:
                 "dr-sweep",
             ),
         ),
-        ("read:rec-2", "read", [], {}, lambda: store.read("rec-2")),
-        ("search:bravo", "search", [], {}, lambda: store.search("bravo")),
+        ("read:rec-2", "read", [], {}, lambda: store.read("rec-2", actor_id="system")),
+        (
+            "search:bravo", "search", [], {},
+            lambda: store.search("bravo", actor_id="system"),
+        ),
         (
             "correct:rec-0", "correct", ["rec-0"],
             {"rec-0": ExpectedRecord(text=_CORRECTED_TEXT, versions=2, term="amended")},
@@ -139,13 +142,16 @@ def run_seeded_workload(store, clock: SimulatedClock) -> WorkloadRun:
         (
             "dispose:rec-1", "dispose", ["rec-1"],
             {"rec-1": exp("rec-1", disposed=True)},
-            lambda: (clock.advance_years(8.0), store.dispose("rec-1")),
+            lambda: (
+                clock.advance_years(8.0),
+                store.dispose("rec-1", actor_id="records-manager"),
+            ),
         ),
         (
             "store:rec-4", "store", ["rec-4"], {"rec-4": exp("rec-4")},
             lambda: store.store(_note("rec-4", clock), "dr-sweep"),
         ),
-        ("read:rec-0", "read", [], {}, lambda: store.read("rec-0")),
+        ("read:rec-0", "read", [], {}, lambda: store.read("rec-0", actor_id="system")),
     ]
     for name, kind, ids, committed, op in steps:
         if not run(name, kind, ids, committed, op):

@@ -200,7 +200,7 @@ def test_objectstore_detects_tampering_by_address():
         forged = payload.replace(b"carcinoma", b"xarcinoma")
         if forged != payload:
             Journal.forge_frame(device, offset, forged)
-    assert model.verify_integrity() == [note.record_id]
+    assert model.verify_integrity().violations == [note.record_id]
 
 
 @pytest.mark.parametrize("model", all_models(), ids=lambda m: m.model_name)

@@ -32,7 +32,7 @@ class InMemoryCheat(StorageModel):
     def search(self, term, actor_id="system"):
         return []
 
-    def dispose(self, record_id):
+    def dispose(self, record_id, *, actor_id="system"):
         del self._rows[record_id]
 
     def record_ids(self):
@@ -42,7 +42,9 @@ class InMemoryCheat(StorageModel):
         return []
 
     def verify_integrity(self):
-        return []
+        from repro.baselines.interface import VerificationReport
+
+        return VerificationReport.passed(mode="none")
 
     def declared_features(self):
         return frozenset({"search"})

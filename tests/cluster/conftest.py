@@ -1,0 +1,65 @@
+"""Shared fixtures for the cluster suite.
+
+RSA keygen is the slow part of building an engine; one module-scoped
+keypair plays the HSM-held site identity for every cluster under test,
+mirroring the production setup where shards share the signing HSM.
+"""
+
+import pytest
+
+from repro.cluster import CuratorCluster, HashRing
+from repro.core.config import CuratorConfig
+from repro.crypto.rsa import generate_keypair
+from repro.records.model import ClinicalNote
+from repro.util import SimulatedClock
+
+MASTER_KEY = bytes(range(32))
+
+
+@pytest.fixture(scope="session")
+def keypair():
+    return generate_keypair(768)
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock(start=1.17e9)
+
+
+@pytest.fixture()
+def config(clock, keypair):
+    return CuratorConfig(
+        master_key=MASTER_KEY, clock=clock, signing_keypair=keypair
+    )
+
+
+@pytest.fixture()
+def cluster(config):
+    return CuratorCluster(config, shards=3)
+
+
+def make_note(record_id: str, patient_id: str, created_at: float,
+              text: str = "routine cardiology followup") -> ClinicalNote:
+    return ClinicalNote.create(
+        record_id=record_id,
+        patient_id=patient_id,
+        created_at=created_at,
+        author="dr-cluster",
+        specialty="cardiology",
+        text=text,
+    )
+
+
+def patients_per_shard(shards: int, per_shard: int) -> dict[int, list[str]]:
+    """Deterministic patient ids grouped by the shard the ring puts
+    them on — lets tests target a specific shard on purpose."""
+    ring = HashRing(shards)
+    groups: dict[int, list[str]] = {shard: [] for shard in range(shards)}
+    candidate = 0
+    while any(len(group) < per_shard for group in groups.values()):
+        patient_id = f"pat-{candidate:03d}"
+        shard = ring.shard_for(patient_id)
+        if len(groups[shard]) < per_shard:
+            groups[shard].append(patient_id)
+        candidate += 1
+    return groups

@@ -1,0 +1,17 @@
+"""The cross-shard detection-equivalence oracle: sharding must lose no
+detection power.  Every raw-device tamper from the single-engine oracle
+is re-planted on each shard of a live cluster and must surface through
+the cluster's merged fan-out verification."""
+
+from repro.verify import run_cluster_detection_equivalence
+
+
+def test_cluster_detection_equivalence_holds():
+    report = run_cluster_detection_equivalence(shards=2)
+    assert report.ok, report.summary()
+    # one clean control + every tamper case against each target shard
+    assert len(report.cases) == 1 + 2 * 8
+    control = next(c for c in report.cases if c.name.endswith("no_tamper_control"))
+    assert not control.tampered
+    shard_names = {case.name.split(":")[0] for case in report.cases}
+    assert {"shard-00", "shard-01"} <= shard_names

@@ -1,0 +1,58 @@
+"""The sealed topology manifest: tamper-evident, round-trippable."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterManifest
+from repro.errors import ClusterError
+
+KEY = bytes(range(32))
+OTHER_KEY = bytes(range(1, 33))
+
+
+def _manifest() -> ClusterManifest:
+    return ClusterManifest(
+        cluster_id="site-cluster",
+        site_id="hospital-A",
+        shard_ids=("shard-00", "shard-01"),
+    ).sealed(KEY)
+
+
+def test_sealed_manifest_verifies():
+    _manifest().verify(KEY)
+
+
+def test_unsealed_manifest_rejected():
+    bare = ClusterManifest(
+        cluster_id="c", site_id="s", shard_ids=("shard-00",)
+    )
+    with pytest.raises(ClusterError):
+        bare.verify(KEY)
+
+
+def test_wrong_key_rejected():
+    with pytest.raises(ClusterError):
+        _manifest().verify(OTHER_KEY)
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("cluster_id", "rogue"),
+        ("site_id", "hospital-B"),
+        ("shard_ids", ("shard-00",)),  # a quietly shrunk topology
+        ("algorithm", "md5-ring"),
+    ],
+)
+def test_any_field_edit_breaks_the_seal(field, value):
+    tampered = dataclasses.replace(_manifest(), **{field: value})
+    with pytest.raises(ClusterError):
+        tampered.verify(KEY)
+
+
+def test_bytes_round_trip_preserves_seal():
+    manifest = _manifest()
+    restored = ClusterManifest.from_bytes(manifest.to_bytes())
+    assert restored == manifest
+    restored.verify(KEY)

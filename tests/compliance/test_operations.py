@@ -23,7 +23,7 @@ def make_store():
         text="routine followup visit",
     )
     store.store(note, author_id="dr-a")
-    store.create_backup()
+    store.create_backup(actor_id="backup-operator")
     return store, clock
 
 

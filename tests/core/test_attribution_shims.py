@@ -1,0 +1,88 @@
+"""The one-release deprecation shims on the engine's attributed API.
+
+Legacy call shapes (no ``actor_id``, or the old positional tail) keep
+working but emit :class:`DeprecationWarning` and are attributed to the
+``"system"`` fallback principal.  New code passes ``actor_id`` by
+keyword and triggers no warning.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.attribution import FALLBACK_ACTOR, UNATTRIBUTED, attributed
+from repro.core.config import CuratorConfig
+from repro.core.engine import CuratorStore
+from repro.records.model import ClinicalNote
+from repro.util import SimulatedClock
+
+
+@pytest.fixture()
+def store():
+    clock = SimulatedClock(start=1.17e9)
+    engine = CuratorStore(
+        CuratorConfig(master_key=bytes(range(32)), clock=clock)
+    )
+    engine.store(
+        ClinicalNote.create(
+            record_id="rec-1",
+            patient_id="pat-1",
+            created_at=clock.now(),
+            author="dr-a",
+            specialty="cardiology",
+            text="baseline note with murmur",
+        ),
+        author_id="dr-a",
+    )
+    return engine
+
+
+def test_unattributed_read_warns_and_falls_back_to_system(store):
+    with pytest.warns(DeprecationWarning, match="actor_id"):
+        note = store.read("rec-1")
+    assert note.record_id == "rec-1"
+    assert store.audit_events()[-1]["actor_id"] == FALLBACK_ACTOR
+
+
+def test_legacy_positional_actor_warns_but_attributes_correctly(store):
+    with pytest.warns(DeprecationWarning, match="positionally"):
+        note = store.read("rec-1", "dr-a")
+    assert note.record_id == "rec-1"
+    assert store.audit_events()[-1]["actor_id"] == "dr-a"
+
+
+def test_unattributed_search_and_dispose_paths_warn(store):
+    with pytest.warns(DeprecationWarning):
+        assert store.search("murmur") == ["rec-1"]
+    store._clock.advance_years(8)  # past clinical retention
+    with pytest.warns(DeprecationWarning):
+        certificates = store.dispose("rec-1")
+    assert certificates
+    disposed = [
+        event for event in store.audit_events()
+        if event["action"] == "record_disposed"
+    ]
+    assert disposed and disposed[-1]["actor_id"] == FALLBACK_ACTOR
+
+
+def test_keyword_actor_id_is_silent(store):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        store.read("rec-1", actor_id="dr-a")
+        store.search("murmur", actor_id="dr-a")
+        store.accounting_of_disclosures("pat-1", actor_id="system")
+
+
+def test_decorator_rejects_excess_positional_arguments():
+    class Api:
+        @attributed("actor_id")
+        def op(self, subject: str, *, actor_id: str = UNATTRIBUTED) -> str:
+            return f"{subject}:{actor_id}"
+
+    api = Api()
+    with pytest.warns(DeprecationWarning):
+        assert api.op("s", "alice") == "s:alice"
+    with pytest.raises(TypeError):
+        api.op("s", "alice", "bogus")
+    with pytest.raises(TypeError):
+        api.op("s", "alice", actor_id="alice")

@@ -96,8 +96,8 @@ def test_crash_mid_store_many_never_leaves_a_half_visible_batch():
                 f"batch: {sorted(present)}"
             )
             assert "warm-0" in live  # the acked warm-up store survived
-            assert recovered.verify_audit_trail() is True
-            assert recovered.verify_integrity() == []
+            assert recovered.verify_audit_trail().ok
+            assert recovered.verify_integrity().ok
 
 
 def seeded_store():
@@ -116,13 +116,16 @@ def test_cold_start_reads_identical_with_and_without_read_cache():
     ids = sorted(cached.record_ids())
     assert ids == sorted(uncached.record_ids())
     for record_id in ids:
-        with_cache = cached.read(record_id)
-        without = uncached.read(record_id)
+        with_cache = cached.read(record_id, actor_id="system")
+        without = uncached.read(record_id, actor_id="system")
         assert with_cache.body == without.body
         assert with_cache.record_id == without.record_id
         # a second read through each engine is stable too (LRU hit path
         # vs the always-decrypt path)
-        assert cached.read(record_id).body == uncached.read(record_id).body
+        assert (
+            cached.read(record_id, actor_id="system").body
+            == uncached.read(record_id, actor_id="system").body
+        )
 
 
 def test_clean_image_recovery_round_trips_everything():
@@ -130,6 +133,9 @@ def test_clean_image_recovery_round_trips_everything():
     recovered = recover(store)
     assert sorted(recovered.record_ids()) == sorted(store.record_ids())
     for record_id in store.record_ids():
-        assert recovered.read(record_id).body == store.read(record_id).body
-    assert recovered.verify_audit_trail() is True
-    assert recovered.verify_integrity() == []
+        assert (
+            recovered.read(record_id, actor_id="system").body
+            == store.read(record_id, actor_id="system").body
+        )
+    assert recovered.verify_audit_trail().ok
+    assert recovered.verify_integrity().ok

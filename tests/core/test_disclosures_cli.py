@@ -82,7 +82,7 @@ def test_cli_info_and_demo(capsys):
     assert "repro (Curator)" in out
     assert cli_main(["demo"]) == 0
     out = capsys.readouterr().out
-    assert "audit verifies: True" in out
+    assert "audit verifies: [full] ok" in out
 
 
 def test_cli_audit_ops(capsys):

@@ -119,7 +119,7 @@ def test_correction_creates_version_and_preserves_history():
     )
     store.correct(corrected, author_id="dr-a", reason="pathology revision")
     assert store.read("rec-1", actor_id="dr-a").body["text"].startswith("biopsy benign")
-    assert store.read_version("rec-1", 0) == note
+    assert store.read_version("rec-1", 0, actor_id="dr-a") == note
     assert store.version_count("rec-1") == 2
 
 
@@ -135,14 +135,14 @@ def test_correction_reindexes_securely():
         body={**note.body, "text": "lesion benign on review"},
     )
     store.correct(corrected, author_id="dr-a", reason="revision")
-    assert store.search("benign") == ["rec-1"]
-    assert store.search("carcinoma") == []
+    assert store.search("benign", actor_id="dr-a") == ["rec-1"]
+    assert store.search("carcinoma", actor_id="dr-a") == []
 
 
 def test_search_finds_and_is_audited_without_leaking_term():
     store, _ = make_store()
     store.store(make_note(), author_id="dr-a")
-    assert store.search("carcinoma") == ["rec-1"]
+    assert store.search("carcinoma", actor_id="dr-a") == ["rec-1"]
     assert b"carcinoma" not in store.audit_log.device.raw_dump()
     actions = [e["action"] for e in store.audit_events()]
     assert "record_searched" in actions
@@ -159,7 +159,7 @@ def test_dispose_blocked_inside_retention():
     store, _ = make_store()
     store.store(make_note(), author_id="dr-a")
     with pytest.raises(RetentionError):
-        store.dispose("rec-1")
+        store.dispose("rec-1", actor_id="records-manager")
 
 
 def test_dispose_after_retention_is_complete_and_residue_free():
@@ -167,13 +167,13 @@ def test_dispose_after_retention_is_complete_and_residue_free():
     note = make_note()
     store.store(note, author_id="dr-a")
     clock.advance_years(8)  # clinical notes: 7-year schedule
-    certificates = store.dispose("rec-1")
+    certificates = store.dispose("rec-1", actor_id="records-manager")
     assert len(certificates) == 1
     assert certificates[0].shred_report.key_shredded
     assert "rec-1" not in store.record_ids()
     with pytest.raises(RecordNotFoundError):
-        store.read("rec-1")
-    assert store.search("carcinoma") == []
+        store.read("rec-1", actor_id="dr-a")
+    assert store.search("carcinoma", actor_id="dr-a") == []
     for device in store.devices():
         assert b"carcinoma" not in device.raw_dump()
 
@@ -182,11 +182,11 @@ def test_litigation_hold_blocks_disposal():
     store, clock = make_store()
     store.store(make_note(), author_id="dr-a")
     clock.advance_years(8)
-    store.place_hold("rec-1", "case-42")
+    store.place_hold("rec-1", "case-42", actor_id="counsel")
     with pytest.raises(RetentionError, match="hold"):
-        store.dispose("rec-1")
-    store.release_hold("rec-1", "case-42")
-    assert store.dispose("rec-1")
+        store.dispose("rec-1", actor_id="records-manager")
+    store.release_hold("rec-1", "case-42", actor_id="counsel")
+    assert store.dispose("rec-1", actor_id="records-manager")
 
 
 def test_retention_sweep_lists_due_records():
@@ -200,10 +200,10 @@ def test_retention_sweep_lists_due_records():
 def test_verify_integrity_clean_then_tampered():
     store, _ = make_store()
     store.store(make_note(), author_id="dr-a")
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     offset, size = store.worm.physical_extent("rec-1@v0")
     store.worm.device.raw_write(offset + size // 2, b"\xff\xff")
-    assert "rec-1" in store.verify_integrity()
+    assert "rec-1" in store.verify_integrity().violations
 
 
 def test_audit_trail_verifies_and_anchors():
@@ -211,7 +211,7 @@ def test_audit_trail_verifies_and_anchors():
     config_every = store._config.anchor_every_events
     for i in range(config_every + 5):
         store.store(make_note(f"rec-{i}", text="routine followup visit"), "dr-a")
-    assert store.verify_audit_trail() is True
+    assert store.verify_audit_trail().ok
     assert len(store.witness.anchors) >= 1
 
 
@@ -223,7 +223,7 @@ def test_audit_truncation_detected_via_witness():
     # Simulate history loss beneath the last anchor.
     store._audit._events = store._audit._events[:10]
     store._audit._tree._leaf_hashes = store._audit._tree._leaf_hashes[:10]
-    assert store.verify_audit_trail() is False
+    assert not store.verify_audit_trail().ok
 
 
 def test_export_deidentified_for_research():
@@ -247,23 +247,23 @@ def test_backup_and_disaster_restore():
     store, clock = make_store()
     note = make_note()
     store.store(note, author_id="dr-a")
-    snapshot = store.create_backup()
+    snapshot = store.create_backup(actor_id="backup-operator")
     # Primary site burns down.
     store.worm.device.detach()
-    report = store.restore_from_backup(snapshot.snapshot_id)
+    report = store.restore_from_backup(snapshot.snapshot_id, actor_id="backup-operator")
     assert report.verified
     assert store.read("rec-1", actor_id="dr-a") == note
     # Retention survives the restore.
     with pytest.raises(RetentionError):
-        store.dispose("rec-1")
+        store.dispose("rec-1", actor_id="records-manager")
 
 
 def test_incremental_backup():
     store, _ = make_store()
     store.store(make_note("rec-1"), author_id="dr-a")
-    store.create_backup()
+    store.create_backup(actor_id="backup-operator")
     store.store(make_note("rec-2"), author_id="dr-a")
-    snapshot = store.create_backup(incremental=True)
+    snapshot = store.create_backup(incremental=True, actor_id="backup-operator")
     assert snapshot.kind == "incremental"
     assert set(snapshot.objects) == {"rec-2@v0"}
 
@@ -328,7 +328,7 @@ def test_observation_value_correction_flow():
     )
     store.correct(corrected, author_id="dr-a", reason="cuff error")
     assert store.read("rec-obs", actor_id="dr-a").body["value"] == 120.0
-    assert store.read_version("rec-obs", 0).body["value"] == 210.0
+    assert store.read_version("rec-obs", 0, actor_id="dr-a").body["value"] == 210.0
 
 
 def test_audit_query_interface():

@@ -43,35 +43,35 @@ def test_refresh_media_aborts_on_corrupted_source():
 
 def test_restore_from_backup_rejects_corrupted_vault_copy():
     store, _ = make_store()
-    snapshot = store.create_backup()
+    snapshot = store.create_backup(actor_id="backup-operator")
     # Corrupt the vault's copy behind its back.
     blob = snapshot.objects["rec-1@v0"]
     snapshot.objects["rec-1@v0"] = blob[:-1] + bytes([blob[-1] ^ 1])
     with pytest.raises(IntegrityError):
-        store.restore_from_backup(snapshot.snapshot_id)
+        store.restore_from_backup(snapshot.snapshot_id, actor_id="backup-operator")
 
 
 def test_place_hold_on_unknown_record():
     store, _ = make_store()
     with pytest.raises(RecordNotFoundError):
-        store.place_hold("ghost", "case-1")
+        store.place_hold("ghost", "case-1", actor_id="counsel")
 
 
 def test_release_unknown_hold():
     store, _ = make_store()
-    store.place_hold("rec-1", "case-1")
+    store.place_hold("rec-1", "case-1", actor_id="counsel")
     with pytest.raises(RetentionError):
-        store.release_hold("rec-1", "case-2")
+        store.release_hold("rec-1", "case-2", actor_id="counsel")
 
 
 def test_dispose_unknown_and_disposed_record():
     store, clock = make_store()
     with pytest.raises(RecordNotFoundError):
-        store.dispose("ghost")
+        store.dispose("ghost", actor_id="records-manager")
     clock.advance_years(8)
-    store.dispose("rec-1")
+    store.dispose("rec-1", actor_id="records-manager")
     with pytest.raises(RecordNotFoundError):
-        store.dispose("rec-1")
+        store.dispose("rec-1", actor_id="records-manager")
 
 
 def test_search_by_unauthorized_actor_denied_and_logged():
@@ -109,9 +109,9 @@ def test_read_view_for_billing_on_demographics():
 def test_read_version_out_of_range():
     store, _ = make_store()
     with pytest.raises(Exception):
-        store.read_version("rec-1", 5)
+        store.read_version("rec-1", 5, actor_id="dr-a")
     with pytest.raises(RecordNotFoundError):
-        store.read_version("ghost", 0)
+        store.read_version("ghost", 0, actor_id="dr-a")
 
 
 def test_correct_unknown_record():
@@ -131,14 +131,14 @@ def test_correct_unknown_record():
 def test_disposed_record_invisible_everywhere():
     store, clock = make_store()
     clock.advance_years(8)
-    store.dispose("rec-1")
+    store.dispose("rec-1", actor_id="records-manager")
     assert store.record_ids() == []
     assert store.records_of_patient("pat-1") == []
     with pytest.raises(RecordNotFoundError):
-        store.read("rec-1")
+        store.read("rec-1", actor_id="dr-a")
     with pytest.raises(RecordNotFoundError):
-        store.read_version("rec-1", 0)
-    assert store.search("followup") == []
+        store.read_version("rec-1", 0, actor_id="dr-a")
+    assert store.search("followup", actor_id="dr-a") == []
 
 
 def test_failed_migration_is_audited():
@@ -149,4 +149,4 @@ def test_failed_migration_is_audited():
         store.refresh_media()
     # A failed refresh surfaces in the audit trail one way or another
     # (either migration_failed, or the read failure aborted it first).
-    assert store.verify_audit_trail() is True
+    assert store.verify_audit_trail().ok

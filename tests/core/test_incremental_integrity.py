@@ -1,5 +1,5 @@
 """Engine-level incremental integrity: dirty-set tracking, the rotating
-clean sample, the boolean ``verify_audit_trail`` contract, and
+clean sample, the typed ``VerificationReport`` contract, and
 authorized ``read_version`` access."""
 
 import pytest
@@ -65,7 +65,7 @@ def rot_object(store, object_id):
 def test_fresh_writes_are_dirty_until_a_full_pass():
     store, clock = seeded_store(n=3)
     assert store.dirty_record_ids() == ["rec-0", "rec-1", "rec-2"]
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     assert store.dirty_record_ids() == []
     store.store(make_note("rec-3", clock), author_id="dr-a")
     assert store.dirty_record_ids() == ["rec-3"]
@@ -73,21 +73,21 @@ def test_fresh_writes_are_dirty_until_a_full_pass():
 
 def test_incremental_pass_clears_verified_dirty_records():
     store, clock = seeded_store(n=3)
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     store.store(make_note("rec-3", clock), author_id="dr-a")
-    assert store.verify_integrity(incremental=True) == []
+    assert store.verify_integrity(incremental=True).ok
     assert store.dirty_record_ids() == []
 
 
 def test_incremental_checks_fewer_records_than_full():
     store, clock = seeded_store(n=8, clean_sample=2)
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     store.store(make_note("rec-8", clock), author_id="dr-a")
     METRICS.reset()
-    assert store.verify_integrity(incremental=True) == []
+    assert store.verify_integrity(incremental=True).ok
     incremental_checked = METRICS.get("engine_integrity_records_checked")
     METRICS.reset()
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     full_checked = METRICS.get("engine_integrity_records_checked")
     assert incremental_checked == 3  # 1 dirty + clean sample of 2
     assert full_checked == 9
@@ -95,34 +95,34 @@ def test_incremental_checks_fewer_records_than_full():
 
 def test_dirty_object_rot_is_caught_on_the_first_incremental_pass():
     store, clock = seeded_store(n=3)
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     store.store(make_note("rec-dirty", clock), author_id="dr-a")
     rot_object(store, "rec-dirty@v0")
-    failures = store.verify_integrity(incremental=True)
-    assert "rec-dirty" in failures
+    report = store.verify_integrity(incremental=True)
+    assert "rec-dirty" in report.violations and report.mode == "incremental"
     # a failed record stays dirty: the next pass re-checks it
     assert "rec-dirty" in store.dirty_record_ids()
 
 
 def test_clean_object_rot_is_caught_within_the_rotation_bound():
     store, clock = seeded_store(n=4, clean_sample=2)
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     rot_object(store, "rec-0@v0")
     caught_at = None
     for attempt in range(1, 4):  # 4 clean records / sample 2 => <= 2 passes
         if any(
             failure != "<index>"
-            for failure in store.verify_integrity(incremental=True)
+            for failure in store.verify_integrity(incremental=True).violations
         ):
             caught_at = attempt
             break
     assert caught_at is not None and caught_at <= 2
-    assert "rec-0" in store.verify_integrity()
+    assert "rec-0" in store.verify_integrity().violations
 
 
 def test_corrections_re_dirty_a_record():
     store, clock = seeded_store(n=2)
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     note = store.read("rec-0", actor_id="dr-a")
     store.correct(
         HealthRecord(
@@ -140,25 +140,37 @@ def test_corrections_re_dirty_a_record():
 
 def test_zero_clean_sample_checks_only_dirty_records():
     store, clock = seeded_store(n=4, clean_sample=0)
-    assert store.verify_integrity() == []
+    assert store.verify_integrity().ok
     store.store(make_note("rec-4", clock), author_id="dr-a")
     METRICS.reset()
-    assert store.verify_integrity(incremental=True) == []
+    assert store.verify_integrity(incremental=True).ok
     assert METRICS.get("engine_integrity_records_checked") == 1
 
 
-# -- satellite: verify_audit_trail returns an actual bool -----------------
+# -- satellite: verify_audit_trail returns a typed report -----------------
 
 
-def test_verify_audit_trail_returns_true_on_a_clean_store():
+def test_verify_audit_trail_reports_clean_with_coverage():
     store, _clock = seeded_store(n=2)
     result = store.verify_audit_trail()
-    assert result is True and isinstance(result, bool)
+    assert result.ok and result.violations == []
+    assert result.mode == "full"
+    assert "witness" in result.coverage
     incremental = store.verify_audit_trail(incremental=True)
-    assert incremental is True and isinstance(incremental, bool)
+    assert incremental.ok
 
 
-def test_verify_audit_trail_returns_false_on_tampering():
+def test_verification_reports_refuse_ambient_truthiness():
+    # the legacy APIs had opposite truthiness conventions; the report
+    # forces every caller to say .ok or .violations explicitly
+    store, _clock = seeded_store(n=2)
+    with pytest.raises(TypeError):
+        bool(store.verify_audit_trail())
+    with pytest.raises(TypeError):
+        bool(store.verify_integrity())
+
+
+def test_verify_audit_trail_reports_violations_on_tampering():
     store, _clock = seeded_store(n=2)
     device = store.audit_log.device
     frames = list(Journal.iter_device_frames(device))
@@ -166,7 +178,8 @@ def test_verify_audit_trail_returns_false_on_tampering():
     assert b"dr-a" in payload
     Journal.forge_frame(device, offset, payload.replace(b"dr-a", b"dr-x", 1))
     result = store.verify_audit_trail()
-    assert result is False and isinstance(result, bool)
+    assert not result.ok
+    assert "audit-chain" in result.violations
 
 
 # -- satellite: read_version is an authorized, attributed access ----------
@@ -219,9 +232,10 @@ def test_read_version_denies_a_non_treating_physician():
         store.read_version("rec-0", 0, actor_id="dr-b")
 
 
-def test_read_version_default_actor_still_serves_internal_callers():
+def test_read_version_without_actor_warns_and_falls_back_to_system():
     store = versioned_store()
-    record = store.read_version("rec-0", 1)
+    with pytest.warns(DeprecationWarning, match="actor_id"):
+        record = store.read_version("rec-0", 1)
     assert record.body["text"] == "amended after review"
     assert store.audit_events()[-1]["actor_id"] == "system"
 

@@ -34,7 +34,7 @@ def test_quickstart_demonstrates_the_headline_claims(capsys):
     runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
     out = capsys.readouterr().out
     assert "plaintext on device? False" in out
-    assert "audit trail verifies: True" in out
+    assert "audit trail verifies: [full] ok" in out
     assert "store integrity: clean" in out
 
 

@@ -66,9 +66,9 @@ def test_record_lifetime_story(world):
         body={**note.body, "text": "biopsy benign on pathology re-review"},
     )
     store.correct(corrected, author_id="dr-house", reason="pathology revision")
-    assert store.read_version("rec-1", 0) == note
-    assert store.search("benign") == ["rec-1"]
-    assert store.search("carcinoma") == []
+    assert store.read_version("rec-1", 0, actor_id="dr-house") == note
+    assert store.search("benign", actor_id="dr-house") == ["rec-1"]
+    assert store.search("carcinoma", actor_id="dr-house") == []
 
     # Act 3 — emergency access by an unaffiliated physician.
     store.register_user(User.make("dr-er", "ER Doc", [Role.PHYSICIAN]))
@@ -76,7 +76,7 @@ def test_record_lifetime_story(world):
     assert store.read("rec-1", actor_id="dr-er").body["text"].startswith("biopsy benign")
 
     # Act 4 — operations: backup, media refresh, quorum-anchored audit.
-    snapshot = store.create_backup()
+    snapshot = store.create_backup(actor_id="backup-operator")
     assert snapshot.objects
     store.refresh_media()
     assert store.read_attachment("rec-1", "ct-chest", actor_id="dr-house") == scan
@@ -84,29 +84,29 @@ def test_record_lifetime_story(world):
     for _ in range(20):
         store.read("rec-1", actor_id="dr-house")
     assert any(w.anchors for w in store._witnesses)
-    assert store.verify_audit_trail() is True
+    assert store.verify_audit_trail().ok
 
     # Act 5 — litigation hold trumps expiry; release restores schedule.
     clock.advance_years(8)  # 7-year clinical retention has passed
-    store.place_hold("rec-1", "case-1138")
+    store.place_hold("rec-1", "case-1138", actor_id="counsel")
     with pytest.raises(RetentionError):
-        store.dispose("rec-1")
-    store.release_hold("rec-1", "case-1138")
+        store.dispose("rec-1", actor_id="records-manager")
+    store.release_hold("rec-1", "case-1138", actor_id="counsel")
 
     # Act 6 — certified destruction, everywhere.
-    certificates = store.dispose("rec-1")
+    certificates = store.dispose("rec-1", actor_id="records-manager")
     assert certificates and all(c.shred_report.key_shredded for c in certificates)
     with pytest.raises(RecordNotFoundError):
-        store.read("rec-1")
+        store.read("rec-1", actor_id="dr-house")
     with pytest.raises(RecordNotFoundError):
         store.read_attachment("rec-1", "ct-chest", actor_id="dr-house")
-    assert store.search("benign") == []
+    assert store.search("benign", actor_id="dr-house") == []
     for device in store.devices():
         dump = device.raw_dump()
         assert b"carcinoma" not in dump and b"benign" not in dump
 
     # Epilogue — the audit trail tells the whole story, verifiably.
-    assert store.verify_audit_trail() is True
+    assert store.verify_audit_trail().ok
     actions = {event["action"] for event in store.audit_events()}
     for expected in (
         "record_created", "record_corrected", "emergency_access",
@@ -138,8 +138,8 @@ def test_quorum_store_detects_truncation_with_one_wiped_witness(world):
     assert any(w.anchors for w in store._witnesses)
     # compromise one witness
     store._witnesses[0]._anchors.clear()
-    assert store.verify_audit_trail() is True  # majority still vouches
+    assert store.verify_audit_trail().ok  # majority still vouches
     # truncate beneath the anchors
     store._audit._events = store._audit._events[:5]
     store._audit._tree._leaf_hashes = store._audit._tree._leaf_hashes[:5]
-    assert store.verify_audit_trail() is False
+    assert not store.verify_audit_trail().ok

@@ -148,7 +148,7 @@ def test_engine_attachment_blocks_early_disposal():
     store, clock = engine_with_record()
     store.attach("rec-1", "xray-1", b"image", actor_id="dr-a")
     with pytest.raises(RetentionError):
-        store.dispose("rec-1")
+        store.dispose("rec-1", actor_id="records-manager")
 
 
 def test_engine_attachment_disposed_with_record():
@@ -156,7 +156,7 @@ def test_engine_attachment_disposed_with_record():
     image = DeterministicRng(8).bytes(50_000)
     store.attach("rec-1", "xray-1", image, actor_id="dr-a")
     clock.advance_years(8)
-    certificates = store.dispose("rec-1")
+    certificates = store.dispose("rec-1", actor_id="records-manager")
     assert len(certificates) >= 2  # version object + chunk(s)
     with pytest.raises(RecordNotFoundError):
         store.read_attachment("rec-1", "xray-1", actor_id="dr-a")

@@ -91,7 +91,7 @@ def test_disposal_residue_not_applicable_for_unsupported_dispose():
     class NoDispose(RelationalStore):
         model_name = "nodispose"
 
-        def dispose(self, record_id):
+        def dispose(self, record_id, *, actor_id="system"):
             from repro.baselines.interface import UnsupportedOperation
 
             raise UnsupportedOperation("cannot dispose")
@@ -125,5 +125,5 @@ def test_worm_tamper_localizes_to_specific_record():
     model.store(make_note("rec-2"), author_id="dr-a")
     result = tamper_record(model, "rec-1", INSIDER)
     assert result.outcome is AttackOutcome.DETECTED
-    failures = model.verify_integrity()
+    failures = model.verify_integrity().violations
     assert "rec-1" in failures

@@ -38,7 +38,7 @@ class _OverreachingStore(RelationalStore):
     """Exposes ``read_version`` (so the capability probe expects real
     history) but serves the current text whatever version is asked."""
 
-    def read_version(self, record_id, version):
+    def read_version(self, record_id, version, *, actor_id="system"):
         return super().read(record_id)
 
 
