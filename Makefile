@@ -3,15 +3,21 @@ PY ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify sweep conformance bench-gate verify-cluster
+.PHONY: test verify sweep conformance bench-gate verify-cluster policy-lint
 
 # Tier-1: the full unit/integration suite.
 test:
 	$(PY) -m pytest -x -q
 
-# The PR gate: tier-1, a bounded crash-consistency sweep + differential
-# conformance + detection equivalence, and the E2/E8/E9 regression gates.
-verify: test bench-gate
+# Static analysis of the declarative policy rulesets (dead rules,
+# coverage gaps); non-zero exit on any error-severity finding.
+policy-lint:
+	$(PY) -m repro policy lint
+
+# The PR gate: tier-1, ruleset lint, a bounded crash-consistency sweep +
+# differential conformance + detection equivalence, and the E2/E8/E9
+# regression gates.
+verify: test policy-lint bench-gate
 	$(PY) -m repro verify --limit 12
 
 # The exhaustive sweep: every write boundary, clean + torn.  ~30s.

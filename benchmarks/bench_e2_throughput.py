@@ -38,7 +38,7 @@ def _ingest(name):
     start = time.perf_counter()
     for i in range(N_READS):
         g = stream[i % len(stream)]
-        model.read(g.record.record_id)
+        model.read(g.record.record_id, actor_id="system")
     read_seconds = time.perf_counter() - start
     return ingest_seconds, read_seconds
 

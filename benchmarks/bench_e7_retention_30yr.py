@@ -69,7 +69,7 @@ def test_e7_disposal_schedule_order(benchmark):
         return store
 
     store = benchmark.pedantic(run, rounds=1, iterations=1)
-    remaining = {store.read(r).record_type for r in store.record_ids()}
+    remaining = {store.read(r, actor_id="system").record_type for r in store.record_ids()}
     # 7-year clinical notes are gone at year 10; 30-year OSHA records remain.
     assert RecordType.CLINICAL_NOTE not in remaining
     assert RecordType.EXPOSURE_RECORD in remaining

@@ -32,12 +32,12 @@ def test_e9_backup_and_disaster_restore(benchmark):
     )
     assert len(snapshot.objects) == N_RECORDS
 
-    before = {r: store.read(r) for r in store.record_ids()}
+    before = {r: store.read(r, actor_id="system") for r in store.record_ids()}
     # Disaster: the primary device is destroyed.
     FaultInjector(DeterministicRng(5)).destroy_device(store.worm.device)
     report = store.restore_from_backup(snapshot.snapshot_id, actor_id="backup-operator")
     assert report.verified
-    after = {r: store.read(r) for r in store.record_ids()}
+    after = {r: store.read(r, actor_id="system") for r in store.record_ids()}
     assert after == before  # exact copy, decryptable
 
     print_table(

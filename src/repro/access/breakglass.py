@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 
 from repro.access.principals import User
 from repro.errors import AccessDeniedError
+from repro.policy.model import PolicyContext
 from repro.util.clock import Clock, WallClock
 from repro.util.validation import require_non_empty
 
@@ -50,14 +51,30 @@ class BreakGlassController:
         self._grants: dict[str, BreakGlassGrant] = {}
         self._reviewed: dict[str, str] = {}  # grant_id -> reviewer
         self._counter = 0
+        from repro.policy.compiler import breakglass_ruleset
+        from repro.policy.engine import PolicyEngine
+
+        self._policy = PolicyEngine(breakglass_ruleset())
 
     def invoke(self, user: User, patient_id: str, justification: str) -> BreakGlassGrant:
-        """Break the glass: grant emergency access to one patient."""
+        """Break the glass: grant emergency access to one patient.
+
+        Whether the override is granted is a policy decision over the
+        measured justification fact; issuing the grant (and the review
+        obligation it creates) is this controller's bookkeeping."""
         require_non_empty(patient_id, "patient_id")
-        if not justification or len(justification.strip()) < 10:
-            raise AccessDeniedError(
-                "break-glass requires a substantive justification (>= 10 chars)"
-            )
+        self._policy.decide(
+            user,
+            "invoke_break_glass",
+            patient_id,
+            PolicyContext(
+                facts={
+                    "substantive_justification": bool(
+                        justification and len(justification.strip()) >= 10
+                    )
+                }
+            ),
+        ).require()
         self._counter += 1
         now = self._clock.now()
         grant = BreakGlassGrant(

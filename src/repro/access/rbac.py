@@ -1,17 +1,15 @@
-"""The role-based access policy engine.
+"""The RBAC vocabulary and capability tables.
 
-Decisions combine four rule layers, evaluated in order:
-
-1. **Role capability** — does any of the user's roles carry the
-   requested permission at all?
-2. **Purpose of use** — is the stated purpose allowed for that
-   (role, permission) pair?  (Research never reads identified records;
-   billing reads only for payment.)
-3. **Treating relationship** — clinical reads of identified records
-   require an active treating relationship with the patient (or a
-   break-glass grant, handled by the caller).
-4. **Consent** — the patient's directives are checked by the caller via
-   :mod:`repro.access.policies` (they need the consent registry).
+This module owns the *data*: the permission and purpose enums, the
+role → capability table, the (role, permission) → purpose restrictions,
+and which roles/permissions require a treating relationship.  The
+*decision logic* lives in :mod:`repro.policy` — the tables here are
+compiled into the declarative default ruleset by
+:func:`repro.policy.compiler.compile_rbac_rules`, and the
+:class:`RbacEngine` below is a thin facade over a
+:class:`~repro.policy.engine.PolicyEngine` kept for callers that want
+pure role decisions (no consent, no break-glass) with the legacy
+:class:`AccessDecision` shape.
 
 Every decision is returned with the deciding rule spelled out, because
 HIPAA audits ask *why* access was granted, not just whether.
@@ -124,68 +122,67 @@ class AccessDecision:
 
 
 class RbacEngine:
-    """Stateless policy evaluation over the rule tables above."""
+    """Pure-RBAC facade over the declarative policy engine.
+
+    Evaluates only the compiled role-tier rules (capability, purpose,
+    own-record, treating relationship) — no consent binding, no
+    break-glass fallback, no system override — and answers in the
+    legacy :class:`AccessDecision` shape.  Composite callers (the
+    storage engine) hold a full :class:`~repro.policy.engine.
+    PolicyEngine` over :func:`~repro.policy.compiler.
+    compile_default_ruleset` instead.
+    """
+
+    def __init__(self) -> None:
+        # Imported lazily: repro.policy.compiler imports this module's
+        # tables at import time, so the edge must point one way only.
+        from repro.policy.compiler import compile_rbac_rules
+        from repro.policy.engine import PolicyEngine
+
+        self._policy = PolicyEngine(compile_rbac_rules())
+
+    @property
+    def policy(self):
+        """The underlying :class:`~repro.policy.engine.PolicyEngine`
+        (role-tier rules only)."""
+        return self._policy
 
     def decide(
         self, user: User, permission: Permission, context: AccessContext
     ) -> AccessDecision:
         """Evaluate one request; returns the first ALLOW any role earns,
         or the most specific denial encountered."""
-        best_denial = AccessDecision(
-            allowed=False,
-            rule=f"no role of {user.user_id} grants {permission.value}",
-        )
-        for role in sorted(user.roles, key=lambda r: r.value):
-            decision = self._decide_for_role(user, role, permission, context)
-            if decision.allowed:
-                return decision
-            best_denial = decision if decision.role_used else best_denial
-        return best_denial
+        from repro.policy.model import PolicyContext
 
-    def _decide_for_role(
-        self, user: User, role: Role, permission: Permission, context: AccessContext
-    ) -> AccessDecision:
-        if permission not in _ROLE_PERMISSIONS.get(role, frozenset()):
-            return AccessDecision(
-                allowed=False,
-                rule=f"role {role.value} does not carry {permission.value}",
-            )
-        allowed_purposes = _PURPOSE_RULES.get((role, permission))
-        if allowed_purposes is not None and context.purpose not in allowed_purposes:
-            return AccessDecision(
-                allowed=False,
-                role_used=role,
-                rule=(
-                    f"role {role.value} may use {permission.value} only for "
-                    f"{sorted(p.value for p in allowed_purposes)}, "
-                    f"not {context.purpose.value}"
-                ),
-            )
-        if role is Role.PATIENT and permission is Permission.READ_RECORD:
-            if not context.own_record:
-                return AccessDecision(
-                    allowed=False,
-                    role_used=role,
-                    rule="patients may only read their own records",
-                )
-        if (
-            role in _CLINICAL_ROLES
-            and permission in _TREATING_REQUIRED
-            and context.patient_id
-            and not user.is_treating(context.patient_id)
-            and context.purpose is not Purpose.EMERGENCY
-        ):
-            return AccessDecision(
-                allowed=False,
-                role_used=role,
-                rule=(
-                    f"{user.user_id} has no treating relationship with "
-                    f"patient {context.patient_id}"
-                ),
-            )
+        decision = self._policy.decide(
+            user,
+            permission,
+            context.patient_id,
+            PolicyContext(
+                purpose=context.purpose,
+                patient_id=context.patient_id,
+                own_record=context.own_record,
+            ),
+        )
         return AccessDecision(
-            allowed=True,
-            role_used=role,
-            rule=f"role {role.value} grants {permission.value} "
-            f"for purpose {context.purpose.value}",
+            allowed=decision.allowed,
+            rule=decision.reason,
+            role_used=decision.role_used,
+        )
+
+    def explain(
+        self, user: User, permission: Permission, context: AccessContext
+    ) -> str:
+        """The full decision path (trace included) for one request."""
+        from repro.policy.model import PolicyContext
+
+        return self._policy.explain(
+            user,
+            permission,
+            context.patient_id,
+            PolicyContext(
+                purpose=context.purpose,
+                patient_id=context.patient_id,
+                own_record=context.own_record,
+            ),
         )

@@ -18,6 +18,13 @@ Failed attempts are counted; exceeding the lockout threshold disables
 the account until an administrator resets it (brute-force containment).
 Every transition is returned to the caller for audit logging — the
 engine owns the audit trail, this module owns the crypto.
+
+Allow-or-deny is not decided here: the broker *measures* (token
+signature, expiry clock, lockout set, challenge freshness, response
+validity) and hands the measurements as facts to the session ruleset
+(:func:`repro.policy.compiler.session_ruleset`); the policy engine
+decides, and the broker applies the side effects (failure counting,
+lockout, challenge consumption) keyed on the deciding rule.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from dataclasses import dataclass
 
 from repro.crypto.hmac_utils import constant_time_equal, hmac_sha256
 from repro.errors import AccessDeniedError
+from repro.policy.model import PolicyContext
 from repro.util.clock import Clock, WallClock
 
 DEFAULT_SESSION_SECONDS = 8 * 3600.0
@@ -73,6 +81,29 @@ class Authenticator:
         self._locked: set[str] = set()
         self._pending: dict[str, Challenge] = {}
         self._counter = 0
+        # Imported lazily to keep this module importable below the
+        # policy compiler in the import graph.
+        from repro.policy.compiler import session_ruleset
+        from repro.policy.engine import PolicyEngine
+
+        self._policy = PolicyEngine(session_ruleset())
+
+    def _enforce(self, user_id: str, action: str, **facts) -> None:
+        """One policy decision over measured facts; applies the broker
+        side effects the deciding rule implies, then raises the typed
+        denial."""
+        decision = self._policy.decide(
+            user_id, action, context=PolicyContext(facts=facts)
+        )
+        if decision.allowed:
+            return
+        if decision.rule_id == "deny:session:stale-challenge":
+            self._pending.pop(user_id, None)
+        elif decision.rule_id == "deny:session:bad-response":
+            self._failures[user_id] = self._failures.get(user_id, 0) + 1
+            if self._failures[user_id] >= self._lockout_threshold:
+                self._locked.add(user_id)
+        raise decision.exception()
 
     # -- enrollment ---------------------------------------------------------
 
@@ -98,10 +129,12 @@ class Authenticator:
 
     def request_challenge(self, user_id: str) -> Challenge:
         """Step 1: the client asks to log in."""
-        if user_id not in self._secrets:
-            raise AccessDeniedError(f"unknown user {user_id!r}")
-        if user_id in self._locked:
-            raise AccessDeniedError(f"account {user_id} is locked")
+        self._enforce(
+            user_id,
+            "request_challenge",
+            enrolled=user_id in self._secrets,
+            account_locked=user_id in self._locked,
+        )
         challenge = Challenge(
             user_id=user_id,
             nonce=secrets.token_bytes(16),
@@ -117,21 +150,24 @@ class Authenticator:
 
     def login(self, user_id: str, response: bytes) -> Session:
         """Step 2: verify the response and issue a session."""
-        if user_id in self._locked:
-            raise AccessDeniedError(f"account {user_id} is locked")
         challenge = self._pending.get(user_id)
         secret = self._secrets.get(user_id)
-        if challenge is None or secret is None:
-            raise AccessDeniedError(f"no pending challenge for {user_id!r}")
-        if self._clock.now() - challenge.issued_at > self._challenge_ttl:
-            del self._pending[user_id]
-            raise AccessDeniedError("challenge expired")
-        expected = self.respond(secret, challenge)
-        if not constant_time_equal(expected, response):
-            self._failures[user_id] = self._failures.get(user_id, 0) + 1
-            if self._failures[user_id] >= self._lockout_threshold:
-                self._locked.add(user_id)
-            raise AccessDeniedError("authentication failed")
+        pending = challenge is not None and secret is not None
+        fresh = (
+            pending
+            and self._clock.now() - challenge.issued_at <= self._challenge_ttl
+        )
+        valid = fresh and constant_time_equal(
+            self.respond(secret, challenge), response
+        )
+        self._enforce(
+            user_id,
+            "login",
+            account_locked=user_id in self._locked,
+            challenge_pending=pending,
+            challenge_fresh=not pending or fresh,
+            response_valid=not fresh or valid,
+        )
         del self._pending[user_id]
         self._failures.pop(user_id, None)
         self._counter += 1
@@ -161,12 +197,13 @@ class Authenticator:
         expected = self._token_for(
             session.session_id, session.user_id, session.issued_at, session.expires_at
         )
-        if not constant_time_equal(expected, session.token):
-            raise AccessDeniedError("session token invalid")
-        if self._clock.now() >= session.expires_at:
-            raise AccessDeniedError("session expired")
-        if session.user_id in self._locked:
-            raise AccessDeniedError(f"account {session.user_id} is locked")
+        self._enforce(
+            session.user_id,
+            "use_session",
+            token_valid=constant_time_equal(expected, session.token),
+            session_expired=self._clock.now() >= session.expires_at,
+            account_locked=session.user_id in self._locked,
+        )
         return session.user_id
 
     def failed_attempts(self, user_id: str) -> int:

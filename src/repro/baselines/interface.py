@@ -172,8 +172,8 @@ class StorageModel(abc.ABC):
         """End-of-retention disposal of a record, attributed to the
         workforce member who approved it.  Baselines keep the
         ``"system"`` default (most have no audit trail to attribute
-        into); the curator engine requires a real principal and shims
-        the legacy unattributed call behind a DeprecationWarning."""
+        into); the curator engine requires a real principal on every
+        attributed call."""
 
     @abc.abstractmethod
     def record_ids(self) -> list[str]:

@@ -19,6 +19,12 @@ Commands:
 * ``cluster-demo`` — build a sharded :class:`CuratorCluster`, route a
   workload across it, and print per-shard counters and the merged
   verification reports.
+* ``policy lint`` — static checks (duplicates, shadowing, uncovered
+  actions) over the default declarative rulesets; non-zero exit on any
+  error-severity finding.
+* ``policy explain <actor> <action> [resource]`` — trace one access
+  decision through the compiled default ruleset and print the rules
+  consulted; exit status mirrors allow/deny.
 * ``info`` — library version and subsystem inventory.
 """
 
@@ -337,6 +343,60 @@ def _verify_modes(deep: bool) -> int:
     return 0 if (full.ok and result.ok and integrity.ok) else 1
 
 
+def _policy_lint(_args) -> int:
+    from repro.policy.lint import lint_default_rulesets
+
+    findings = lint_default_rulesets()
+    for finding in findings:
+        print(finding)
+    errors = [f for f in findings if f.severity == "error"]
+    print(
+        f"policy lint: {len(findings)} finding(s), {len(errors)} error(s) "
+        "across default/session/disposition/break-glass rulesets"
+    )
+    return 1 if errors else 0
+
+
+def _policy_explain(args) -> int:
+    from repro.access.principals import User
+    from repro.access.rbac import Purpose, Role
+    from repro.policy import PolicyContext, PolicyEngine, PolicyEnv
+    from repro.policy.compiler import compile_default_ruleset, default_purpose_for
+
+    try:
+        roles = [Role(value) for value in args.roles.split(",") if value]
+    except ValueError as exc:
+        print(f"unknown role: {exc}", file=sys.stderr)
+        return 2
+    if not roles:
+        print("at least one role is required", file=sys.stderr)
+        return 2
+    treating = [p for p in args.treating.split(",") if p]
+    actor = User.make(args.actor, args.actor, roles, treating=treating)
+    if args.purpose is not None:
+        try:
+            purpose = Purpose(args.purpose)
+        except ValueError:
+            print(f"unknown purpose: {args.purpose!r}", file=sys.stderr)
+            return 2
+    else:
+        purpose = default_purpose_for(actor)
+    engine = PolicyEngine(compile_default_ruleset(), env=PolicyEnv())
+    context = PolicyContext(
+        purpose=purpose,
+        patient_id=args.patient or None,
+        own_record=args.own_record,
+    )
+    decision = engine.decide(actor, args.action, args.resource, context)
+    print(
+        f"request: actor={args.actor} roles={sorted(r.value for r in roles)} "
+        f"action={args.action} resource={args.resource!r} "
+        f"purpose={purpose.value}"
+    )
+    print(decision.explain())
+    return 0 if decision.allowed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -407,6 +467,47 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=4, help="shard count (default 4)"
     )
     cluster_demo.set_defaults(func=_cluster_demo)
+    policy = sub.add_parser(
+        "policy", help="inspect the declarative policy rulesets"
+    )
+    policy_sub = policy.add_subparsers(dest="policy_command", required=True)
+    policy_sub.add_parser(
+        "lint",
+        help="static checks over the default rulesets (exit 1 on errors)",
+    ).set_defaults(func=_policy_lint)
+    explain = policy_sub.add_parser(
+        "explain",
+        help="trace one access decision through the default ruleset",
+    )
+    explain.add_argument("actor", help="actor id")
+    explain.add_argument("action", help="permission value, e.g. read_record")
+    explain.add_argument(
+        "resource", nargs="?", default="", help="resource id (optional)"
+    )
+    explain.add_argument(
+        "--roles",
+        default="physician",
+        help="comma-separated role values (default: physician)",
+    )
+    explain.add_argument(
+        "--purpose",
+        default=None,
+        help="purpose-of-use value (default: the actor's role default)",
+    )
+    explain.add_argument(
+        "--patient", default="", help="patient id the resource belongs to"
+    )
+    explain.add_argument(
+        "--own-record",
+        action="store_true",
+        help="the resource is the actor's own record",
+    )
+    explain.add_argument(
+        "--treating",
+        default="",
+        help="comma-separated patient ids the actor treats",
+    )
+    explain.set_defaults(func=_policy_explain)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -32,9 +32,13 @@ across independent engines.  The design commitments:
   :class:`~repro.errors.ClusterError` naming any shard whose devices
   are missing instead of reassembling a smaller cluster.
 
-Attribution: the cluster is a new API and carries no legacy callers,
-so unlike the engine (which keeps one-release deprecation shims) every
-PHI-touching method here simply *requires* ``actor_id`` as a keyword.
+Attribution: every PHI-touching method requires ``actor_id`` as a
+keyword, matching the engine's fully-attributed surface.
+
+Policy: the default declarative ruleset is compiled **once** at cluster
+construction and shared by every shard engine via
+``config.policy_rules`` — authorization must give one answer no matter
+where the patient hashed, and N shards should not pay N compilations.
 """
 
 from __future__ import annotations
@@ -84,6 +88,10 @@ class CuratorCluster(StorageModel):
         cluster_id: str | None = None,
         _engines: list[CuratorStore] | None = None,
     ) -> None:
+        if config.policy_rules is None:
+            from repro.policy.compiler import compile_default_ruleset
+
+            config = replace(config, policy_rules=compile_default_ruleset())
         self._config = config
         self._ring = HashRing(shards)
         self._cluster_id = cluster_id or f"{config.site_id}-cluster"
@@ -137,6 +145,11 @@ class CuratorCluster(StorageModel):
     @property
     def shard_ids(self) -> tuple[str, ...]:
         return self._ring.shard_ids
+
+    @property
+    def policy_ruleset(self) -> tuple:
+        """The compiled declarative ruleset every shard shares."""
+        return self._config.policy_rules
 
     @property
     def shards(self) -> tuple[CuratorStore, ...]:
@@ -568,6 +581,10 @@ class CuratorCluster(StorageModel):
             )
         keypair = config.signing_keypair or generate_keypair(config.signature_bits)
         config = replace(config, signing_keypair=keypair)
+        if config.policy_rules is None:
+            from repro.policy.compiler import compile_default_ruleset
+
+            config = replace(config, policy_rules=compile_default_ruleset())
         witnesses = witnesses or {}
         engines = [
             CuratorStore.recover_from_devices(

@@ -29,8 +29,8 @@ from typing import Any
 
 from repro.access.breakglass import BreakGlassController
 from repro.access.policies import ConsentRegistry, minimum_necessary_view
-from repro.access.principals import Role, User
-from repro.access.rbac import AccessContext, Permission, Purpose, RbacEngine
+from repro.access.principals import User
+from repro.access.rbac import Permission, Purpose, Role
 from repro.audit.anchors import AnchorWitness, WitnessQuorum, publish_anchor
 from repro.audit.checkpoint import CheckpointStore
 from repro.audit.events import AuditAction
@@ -39,7 +39,6 @@ from repro.audit.query import AuditQuery
 from repro.backup.manager import BackupManager, RestoreReport
 from repro.backup.vault import BackupVault
 from repro.baselines.interface import StorageModel, VerificationReport
-from repro.core.attribution import UNATTRIBUTED, attributed
 from repro.core.config import CuratorConfig
 from repro.crypto.aead import AeadCiphertext
 from repro.crypto.keys import KeyHandle, KeyStore
@@ -54,6 +53,8 @@ from repro.index.secure_deletion import SecureDeletionIndex
 from repro.index.trustworthy import TrustworthyIndex
 from repro.crypto.kdf import derive_key
 from repro.migration.engine import MigrationEngine
+from repro.policy import Decision, PolicyContext, PolicyEngine, PolicyEnv
+from repro.policy.compiler import compile_default_ruleset, default_purpose_for
 from repro.provenance.chain import CustodyRegistry
 from repro.provenance.graph import ProvenanceGraph
 from repro.records.model import HealthRecord
@@ -159,17 +160,30 @@ class CuratorStore(StorageModel):
             if config.witness_count > 1
             else None
         )
-        # access control
-        self._rbac = RbacEngine()
+        # access control — one declarative policy engine decides every
+        # allow-or-deny (RBAC, consent, treating relationship, break-
+        # glass) with an explainable trace; the registries below only
+        # answer facts for its conditions
         self._users: dict[str, User] = {}
         self._consent = ConsentRegistry()
         self._breakglass = BreakGlassController(clock=self._clock)
+        self._policy = PolicyEngine(
+            config.policy_rules or compile_default_ruleset(),
+            env=PolicyEnv(
+                consent=self._consent,
+                breakglass=self._breakglass,
+                clock=self._clock,
+            ),
+        )
         # provenance
         self._custody = CustodyRegistry(self._trust)
         self._provenance = ProvenanceGraph()
         self._provenance.add_custodian(config.site_id)
-        # retention / disposal
+        # retention / disposal — destruction decisions purge the policy
+        # decision cache (a shredded record's cached allows must die
+        # with it)
         self._shredder = SecureShredder(self._keystore, config.shredder_passes)
+        self._shredder.bind_policy(self._policy)
         self._disposition = DispositionWorkflow(self._worm, self._shredder, clock=self._clock)
         # backup
         self._vault = BackupVault(f"{config.site_id}-offsite")
@@ -242,8 +256,13 @@ class CuratorStore(StorageModel):
         purpose: Purpose,
         subject_id: str,
     ) -> User:
-        """Decide + audit.  Raises :class:`AccessDeniedError` on denial
-        (after logging it — denials are breach signals)."""
+        """Decide + audit.  One call into the declarative policy engine
+        decides the whole composite (system override, RBAC, consent
+        binding, break-glass fallback); the decision trace — every rule
+        consulted and the deciding rule — lands in the audit chain on
+        every outcome.  Denials are breach signals: they are logged as
+        structured ``ACCESS_DENIED`` events *before* the typed
+        exception is raised."""
         user = self._resolve_user(actor_id)
         if user is None:
             self._audit.append(
@@ -253,46 +272,74 @@ class CuratorStore(StorageModel):
                 {"reason": "unknown principal", "permission": permission.value},
             )
             raise AccessDeniedError(f"unknown principal {actor_id!r}")
-        if user.user_id == "system":
-            self._audit.append(
-                AuditAction.ACCESS_GRANTED, actor_id, subject_id,
-                {"rule": "system principal", "permission": permission.value},
-            )
-            return user
-        context = AccessContext(
-            purpose=purpose,
-            patient_id=patient_id,
-            own_record=(user.user_id == patient_id),
+        decision = self._policy.decide(
+            user,
+            permission,
+            subject_id,
+            PolicyContext(
+                purpose=purpose,
+                patient_id=patient_id,
+                own_record=(user.user_id == patient_id),
+            ),
         )
-        decision = self._rbac.decide(user, permission, context)
-        if not decision.allowed and self._breakglass.has_active_grant(
-            user.user_id, patient_id
-        ):
+        if decision.allowed and decision.emergency:
             self._audit.append(
                 AuditAction.EMERGENCY_ACCESS, actor_id, subject_id,
-                {"permission": permission.value},
+                {"permission": permission.value, "rule_id": decision.rule_id,
+                 "trace": decision.trace_dicts()},
             )
             return user
         if not decision.allowed:
             self._audit.append(
                 AuditAction.ACCESS_DENIED, actor_id, subject_id,
-                {"reason": decision.rule, "permission": permission.value},
+                {"reason": decision.reason, "permission": permission.value,
+                 "rule_id": decision.rule_id, "trace": decision.trace_dicts()},
             )
-            raise AccessDeniedError(decision.rule)
-        if patient_id and decision.role_used is not None:
-            try:
-                self._consent.check_disclosure(patient_id, decision.role_used, purpose)
-            except Exception as exc:
-                self._audit.append(
-                    AuditAction.ACCESS_DENIED, actor_id, subject_id,
-                    {"reason": str(exc), "permission": permission.value},
-                )
-                raise
+            raise decision.exception()
         self._audit.append(
             AuditAction.ACCESS_GRANTED, actor_id, subject_id,
-            {"rule": decision.rule, "permission": permission.value},
+            {"rule": decision.reason, "permission": permission.value,
+             "rule_id": decision.rule_id, "trace": decision.trace_dicts()},
         )
         return user
+
+    @property
+    def policy(self) -> PolicyEngine:
+        """The engine's policy evaluator (the single decision path)."""
+        return self._policy
+
+    def explain_access(
+        self,
+        actor_id: str,
+        permission: Permission,
+        record_id: str = "",
+        purpose: Purpose | None = None,
+    ) -> Decision:
+        """Evaluate (without auditing, without raising) what would
+        happen if *actor_id* attempted *permission* — the ops surface
+        behind ``repro policy explain``."""
+        user = self._resolve_user(actor_id)
+        if user is None:
+            return Decision(
+                allowed=False,
+                rule_id="default:deny",
+                reason=f"unknown principal {actor_id!r}",
+                action=permission.value,
+                resource=record_id,
+            )
+        patient_id = ""
+        if record_id and record_id in self._chains:
+            patient_id = self._chains[record_id].latest().record.patient_id
+        return self._policy.decide(
+            user,
+            permission,
+            record_id,
+            PolicyContext(
+                purpose=purpose or self._default_purpose(actor_id),
+                patient_id=patient_id,
+                own_record=(user.user_id == patient_id and patient_id != ""),
+            ),
+        )
 
     @property
     def authenticator(self):
@@ -536,29 +583,19 @@ class CuratorStore(StorageModel):
         return len(records)
 
     def _default_purpose(self, actor_id: str) -> Purpose:
-        """Infer the purpose of use from the actor's primary role when the
-        caller does not state one (billing reads for payment, researchers
-        for research, patients for their own request, clinicians for
-        treatment)."""
+        """Infer the purpose of use from the actor's primary role when
+        the caller does not state one (the table lives beside the rule
+        compiler in :mod:`repro.policy.compiler`)."""
         user = self._resolve_user(actor_id)
         if user is None:
             return Purpose.TREATMENT
-        if Role.BILLING in user.roles:
-            return Purpose.PAYMENT
-        if Role.RESEARCHER in user.roles:
-            return Purpose.RESEARCH
-        if Role.PRIVACY_OFFICER in user.roles:
-            return Purpose.OPERATIONS
-        if Role.PATIENT in user.roles and len(user.roles) == 1:
-            return Purpose.PATIENT_REQUEST
-        return Purpose.TREATMENT
+        return default_purpose_for(user)
 
-    @attributed("actor_id", "purpose")
     def read(
         self,
         record_id: str,
         *,
-        actor_id: str = UNATTRIBUTED,
+        actor_id: str,
         purpose: Purpose | None = None,
     ) -> HealthRecord:
         chain = self._chain_for(record_id)
@@ -598,9 +635,8 @@ class CuratorStore(StorageModel):
         role = next(iter(sorted(user.roles, key=lambda r: r.value)))
         return minimum_necessary_view(record, role)
 
-    @attributed("actor_id")
     def read_version(
-        self, record_id: str, version: int, *, actor_id: str = UNATTRIBUTED
+        self, record_id: str, version: int, *, actor_id: str
     ) -> HealthRecord:
         """Read one historical version, under the same authorization as
         :meth:`read` and attributed to the same kind of accountable
@@ -647,8 +683,7 @@ class CuratorStore(StorageModel):
              "previous_digest": version.previous_digest},
         )
 
-    @attributed("actor_id")
-    def search(self, term: str, *, actor_id: str = UNATTRIBUTED) -> list[str]:
+    def search(self, term: str, *, actor_id: str) -> list[str]:
         # Audit the keyed trapdoor, never the plaintext term: the audit
         # log persists to a device, and a cleartext term there would be
         # exactly the "Cancer" leak the trustworthy index closes.  The
@@ -665,9 +700,8 @@ class CuratorStore(StorageModel):
         self._maybe_anchor()
         return [record_id for record_id in hits if record_id not in self._disposed]
 
-    @attributed()
     def dispose(
-        self, record_id: str, *, actor_id: str = UNATTRIBUTED
+        self, record_id: str, *, actor_id: str
     ) -> list[DispositionCertificate]:
         """Full compliant disposal of every version of a record,
         attributed to the workforce member who approved it."""
@@ -712,9 +746,8 @@ class CuratorStore(StorageModel):
         )
         return certificates
 
-    @attributed("actor_id")
     def export_deidentified(
-        self, record_id: str, *, actor_id: str = UNATTRIBUTED
+        self, record_id: str, *, actor_id: str
     ) -> HealthRecord:
         """Research export: Safe-Harbor de-identification, audited."""
         chain = self._chain_for(record_id)
@@ -861,14 +894,13 @@ class CuratorStore(StorageModel):
     # binary attachments (imaging, scanned documents)
     # ------------------------------------------------------------------
 
-    @attributed("actor_id", "content_type")
     def attach(
         self,
         record_id: str,
         attachment_id: str,
         data: bytes,
         *,
-        actor_id: str = UNATTRIBUTED,
+        actor_id: str,
         content_type: str = "application/octet-stream",
     ):
         """Attach a binary payload (e.g. imaging) to a record.
@@ -901,9 +933,8 @@ class CuratorStore(StorageModel):
         )
         return manifest
 
-    @attributed("actor_id")
     def read_attachment(
-        self, record_id: str, attachment_id: str, *, actor_id: str = UNATTRIBUTED
+        self, record_id: str, attachment_id: str, *, actor_id: str
     ) -> bytes:
         """Read an attachment with full authorization + verification."""
         from repro.records.attachments import load_attachment
@@ -953,9 +984,8 @@ class CuratorStore(StorageModel):
             if start <= self._chains[record_id].version(0).record.created_at < end
         )
 
-    @attributed("actor_id")
     def accounting_of_disclosures(
-        self, patient_id: str, *, actor_id: str = UNATTRIBUTED
+        self, patient_id: str, *, actor_id: str
     ):
         """The HIPAA accounting-of-disclosures report for one patient:
         every access-class event over their record set, from a verified
@@ -1014,9 +1044,8 @@ class CuratorStore(StorageModel):
     # operations: backup, media refresh, retention sweeps
     # ------------------------------------------------------------------
 
-    @attributed("incremental")
     def create_backup(
-        self, *, incremental: bool = False, actor_id: str = UNATTRIBUTED
+        self, *, incremental: bool = False, actor_id: str
     ):
         """Snapshot the WORM store + wrapped keys to the off-site vault,
         attributed to the operator who ran it."""
@@ -1034,9 +1063,8 @@ class CuratorStore(StorageModel):
         )
         return snapshot
 
-    @attributed()
     def restore_from_backup(
-        self, snapshot_id: str, *, actor_id: str = UNATTRIBUTED
+        self, snapshot_id: str, *, actor_id: str
     ) -> RestoreReport:
         """Disaster recovery: rebuild the WORM store from the vault."""
         medium = self._media_pool.provision()
@@ -1377,9 +1405,8 @@ class CuratorStore(StorageModel):
     def signer(self) -> Signer:
         return self._signer
 
-    @attributed()
     def place_hold(
-        self, record_id: str, hold_id: str, *, actor_id: str = UNATTRIBUTED
+        self, record_id: str, hold_id: str, *, actor_id: str
     ) -> None:
         """Litigation hold across every version of a record."""
         chain = self._chain_for(record_id)
@@ -1389,9 +1416,8 @@ class CuratorStore(StorageModel):
             AuditAction.RETENTION_HOLD_PLACED, actor_id, record_id, {"hold": hold_id}
         )
 
-    @attributed()
     def release_hold(
-        self, record_id: str, hold_id: str, *, actor_id: str = UNATTRIBUTED
+        self, record_id: str, hold_id: str, *, actor_id: str
     ) -> None:
         chain = self._chain_for(record_id)
         for n in range(len(chain)):

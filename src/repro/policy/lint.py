@@ -1,0 +1,200 @@
+"""Static ruleset analysis: unreachable rules, shadowed rules, gaps.
+
+``repro policy lint`` runs these checks over the compiled default
+ruleset (plus the session/disposition/break-glass rulesets) in CI, so a
+rule edit that silently strands another rule — or leaves an action with
+no rule at all — fails the build instead of failing an audit.
+
+Checks:
+
+* **duplicate-id** — two rules share a ``rule_id`` (the engine also
+  rejects this at construction; lint reports it without constructing);
+* **shadowed** — an earlier unconditioned rule in the same tier covers
+  a superset of a later rule's (roles, actions, resources), so the
+  later rule can never decide;
+* **deny-shadows-allow** — an unconditioned ROLE-tier DENY covers an
+  ALLOW for the same (role, action): the allow is dead under
+  deny-overrides;
+* **uncovered-action** — a known action (the RBAC permission
+  vocabulary plus the composite actions) has no rule anywhere: the
+  engine would fall through to the generic default deny with no
+  explainable rule consulted;
+* **wildcard-deny** — an unconditioned DENY on ``*`` roles, actions,
+  and resources denies everything (almost certainly a typo'd rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.policy.model import Effect, PolicyRule, WILDCARD
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint diagnostic (``error`` findings fail the gate)."""
+
+    severity: str  # "error" | "warning"
+    check: str
+    rule_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.check}: {self.rule_id}: {self.message}"
+
+
+def _covers(outer: frozenset[str], inner: frozenset[str]) -> bool:
+    return WILDCARD in outer or inner <= outer
+
+
+def _resources_cover(outer: tuple[str, ...], inner: tuple[str, ...]) -> bool:
+    return WILDCARD in outer or set(inner) <= set(outer)
+
+
+def _shadows(earlier: PolicyRule, later: PolicyRule) -> bool:
+    """Does *earlier* (unconditioned, same tier) make *later* dead?"""
+    if earlier.conditions:
+        return False
+    if earlier.tier is not later.tier:
+        return False
+    return (
+        _covers(earlier.roles, later.roles)
+        and _covers(earlier.actions, later.actions)
+        and _resources_cover(earlier.resources, later.resources)
+    )
+
+
+def known_actions() -> set[str]:
+    """The action vocabulary the default ruleset should cover: the RBAC
+    permission enum.  Composite lifecycle actions live in their own
+    domain rulesets and are checked against those."""
+    from repro.access.rbac import Permission
+
+    return {p.value for p in Permission}
+
+
+def lint_ruleset(
+    rules: Sequence[PolicyRule],
+    actions: Iterable[str] | None = None,
+) -> list[LintFinding]:
+    """All findings for one ruleset, errors first.  ``actions`` is the
+    vocabulary to check coverage against; ``None`` skips the coverage
+    check (partial rulesets like the session set are domain-scoped)."""
+    findings: list[LintFinding] = []
+    rules = tuple(rules)
+
+    seen: dict[str, int] = {}
+    for idx, rule in enumerate(rules):
+        if rule.rule_id in seen:
+            findings.append(
+                LintFinding(
+                    "error",
+                    "duplicate-id",
+                    rule.rule_id,
+                    f"also defined at position {seen[rule.rule_id]}",
+                )
+            )
+        else:
+            seen[rule.rule_id] = idx
+
+    for idx, later in enumerate(rules):
+        for earlier in rules[:idx]:
+            if earlier.effect is later.effect and _shadows(earlier, later):
+                findings.append(
+                    LintFinding(
+                        "error",
+                        "shadowed",
+                        later.rule_id,
+                        f"unreachable: {earlier.rule_id} decides every "
+                        "request this rule covers",
+                    )
+                )
+                break
+
+    for allow in rules:
+        if allow.effect is not Effect.ALLOW:
+            continue
+        for deny in rules:
+            if deny.effect is Effect.DENY and _shadows(deny, allow):
+                findings.append(
+                    LintFinding(
+                        "error",
+                        "deny-shadows-allow",
+                        allow.rule_id,
+                        f"dead under deny-overrides: {deny.rule_id} "
+                        "unconditionally denies the same requests",
+                    )
+                )
+                break
+
+    if actions is not None:
+        # Conditioned wildcard-action rules (the system override, the
+        # break-glass fallback) do not count as covering an action: they
+        # fire only in exceptional circumstances, and the point of the
+        # check is that *normal* requests for the action reach a rule.
+        covered: set[str] = set()
+        for rule in rules:
+            if WILDCARD in rule.actions:
+                if not rule.conditions:
+                    covered = set(actions)
+                    break
+                continue
+            covered |= rule.actions
+        for action in sorted(set(actions) - covered):
+            findings.append(
+                LintFinding(
+                    "error",
+                    "uncovered-action",
+                    "-",
+                    f"no rule covers action {action!r}; requests fall to "
+                    "the generic default deny with no rule consulted",
+                )
+            )
+
+    for rule in rules:
+        if (
+            rule.effect is Effect.DENY
+            and not rule.conditions
+            and WILDCARD in rule.roles
+            and WILDCARD in rule.actions
+            and WILDCARD in rule.resources
+        ):
+            findings.append(
+                LintFinding(
+                    "warning",
+                    "wildcard-deny",
+                    rule.rule_id,
+                    "unconditioned deny over all roles, actions, and resources",
+                )
+            )
+
+    findings.sort(key=lambda f: (f.severity != "error",))
+    return findings
+
+
+def lint_default_rulesets() -> list[LintFinding]:
+    """Lint every shipped ruleset (what ``repro policy lint`` runs),
+    each against its own action vocabulary."""
+    from repro.policy.compiler import (
+        breakglass_ruleset,
+        compile_default_ruleset,
+        disposition_ruleset,
+        session_ruleset,
+    )
+    from repro.policy.model import DESTRUCTION_ACTION
+
+    findings = lint_ruleset(compile_default_ruleset(), actions=known_actions())
+    findings.extend(
+        lint_ruleset(
+            session_ruleset(), actions={"use_session", "request_challenge", "login"}
+        )
+    )
+    findings.extend(
+        lint_ruleset(
+            disposition_ruleset(),
+            actions={"approve_disposition", DESTRUCTION_ACTION},
+        )
+    )
+    findings.extend(lint_ruleset(breakglass_ruleset(), actions={"invoke_break_glass"}))
+    return findings

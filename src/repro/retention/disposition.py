@@ -13,6 +13,13 @@ disposition — not just the ability to delete.  The workflow here:
 
 Skipping a step raises :class:`~repro.errors.DispositionError`.  The
 engine layer audits each transition.
+
+Whether a step may proceed is decided by the disposition ruleset
+(:func:`repro.policy.compiler.disposition_ruleset`): the workflow
+measures ticket facts, the policy engine decides, and the *allow
+decision itself* is the destruction authorization handed to the
+shredder and the WORM tombstone — a forgeable boolean no longer exists
+anywhere on the destruction path.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ from dataclasses import dataclass
 
 from repro.crypto.keys import KeyHandle
 from repro.errors import DispositionError
+from repro.policy.compiler import disposition_ruleset
+from repro.policy.engine import PolicyEngine, PolicyEnv
+from repro.policy.model import DESTRUCTION_ACTION, Decision, PolicyContext
 from repro.retention.shredder import SecureShredder, ShredReport
 from repro.util.clock import Clock, WallClock
 from repro.worm.store import WormStore
@@ -70,6 +80,17 @@ class DispositionWorkflow:
         self._key_handles = key_handle_for if key_handle_for is not None else {}
         self._tickets: dict[str, _Ticket] = {}
         self._certificates: dict[str, DispositionCertificate] = {}
+        self._policy = PolicyEngine(
+            disposition_ruleset(),
+            env=PolicyEnv(retention=store.retention, clock=self._clock),
+        )
+
+    def _decide(self, actor: str, action: str, object_id: str, **facts) -> Decision:
+        """One policy decision over measured ticket facts; raises the
+        typed denial (DispositionError / RetentionError) on deny."""
+        return self._policy.decide(
+            actor, action, object_id, PolicyContext(facts=facts)
+        ).require()
 
     def register_key_handle(self, object_id: str, handle: KeyHandle) -> None:
         """Associate a data key with an object (done at write time)."""
@@ -106,16 +127,17 @@ class DispositionWorkflow:
 
     def approve(self, object_id: str, approver: str) -> None:
         ticket = self._tickets.get(object_id)
-        if ticket is None:
-            raise DispositionError(
-                f"record {object_id} was never identified for disposition"
-            )
-        if ticket.state is not DispositionState.IDENTIFIED:
-            raise DispositionError(
-                f"record {object_id} is {ticket.state.value}, not awaiting approval"
-            )
-        if not approver:
-            raise DispositionError("approval requires a named approver")
+        self._decide(
+            approver or "anonymous",
+            "approve_disposition",
+            object_id,
+            ticket_missing=ticket is None,
+            ticket_not_awaiting=(
+                ticket is not None and ticket.state is not DispositionState.IDENTIFIED
+            ),
+            ticket_state=ticket.state.value if ticket is not None else "absent",
+            approver_named=bool(approver),
+        )
         ticket.state = DispositionState.APPROVED
         ticket.approved_at = self._clock.now()
         ticket.approved_by = approver
@@ -125,25 +147,28 @@ class DispositionWorkflow:
     def execute(self, object_id: str) -> DispositionCertificate:
         """Destroy the record and certify it."""
         ticket = self._tickets.get(object_id)
-        if ticket is None:
-            raise DispositionError(
-                f"record {object_id} was never identified for disposition"
-            )
-        if ticket.state is not DispositionState.APPROVED:
-            raise DispositionError(
-                f"record {object_id} must be approved before destruction "
-                f"(state: {ticket.state.value})"
-            )
-        # Re-check lawfulness at execution time: a hold may have landed
-        # between approval and execution.
-        self._store.retention.check_deletable(object_id, self._clock.now())
+        # One decision covers the whole execution: ticket lifecycle
+        # facts plus the live retention re-check (a hold may have
+        # landed between approval and execution).  The allow decision
+        # is the destruction authorization the tombstone and the
+        # shredder both verify.
+        authorization = self._decide(
+            ticket.approved_by if ticket is not None else "anonymous",
+            DESTRUCTION_ACTION,
+            object_id,
+            ticket_missing=ticket is None,
+            ticket_not_approved=(
+                ticket is not None and ticket.state is not DispositionState.APPROVED
+            ),
+            ticket_state=ticket.state.value if ticket is not None else "absent",
+        )
         offset, size = self._store.physical_extent(object_id)
-        self._store.delete(object_id)
+        self._store.delete(object_id, authorization=authorization)
         report = self._shredder.shred(
             object_id=object_id,
             key_handle=self._key_handles.get(object_id),
             extents=[(self._store.device, offset, size)],
-            authorized=True,
+            authorization=authorization,
         )
         # Certified destruction re-seals the containing journal frame so
         # crash recovery reads the zeroed extent as an intentional hole,

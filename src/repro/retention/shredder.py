@@ -13,16 +13,21 @@ Two independent mechanisms, applied together:
    key-escrow compromises cannot resurrect the record from this medium.
 
 The shredder never decides *whether* destruction is lawful — that's the
-disposition workflow's job; it refuses to run unless handed a
-disposition ticket, keeping the two concerns impossible to shortcut.
+disposition workflow's job; it refuses to run unless handed an *allow*
+:class:`~repro.policy.model.Decision` made for the destruction action
+and covering the object (the old ``authorized=True`` boolean could be
+forged by any call site without leaving a decision trail), keeping the
+two concerns impossible to shortcut.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.crypto.keys import KeyHandle, KeyStore
 from repro.errors import DispositionError
+from repro.policy.model import Decision, ensure_destruction_authorized
 from repro.storage.block import BlockDevice
 
 
@@ -46,25 +51,32 @@ class SecureShredder:
             raise DispositionError("at least one overwrite pass is required")
         self._keystore = keystore
         self._passes = overwrite_passes
+        self._policies: list[Any] = []
+
+    def bind_policy(self, engine: Any) -> None:
+        """Register a policy engine whose decision cache is purged after
+        every successful shred (a destroyed record's cached allows must
+        not outlive it)."""
+        self._policies.append(engine)
 
     def shred(
         self,
         object_id: str,
         key_handle: KeyHandle | None,
         extents: list[tuple[BlockDevice, int, int]],
-        authorized: bool,
+        authorization: Decision | None = None,
     ) -> ShredReport:
         """Destroy one object's key and bytes.
 
         *extents* is a list of (device, offset, size) ranges holding the
-        object's ciphertext.  *authorized* must be True — callers obtain
-        it from the disposition workflow; passing False (or forgetting)
-        raises, which keeps ad-hoc destruction out of the codebase.
+        object's ciphertext.  *authorization* must be an allow
+        :class:`~repro.policy.model.Decision` for the destruction
+        action covering this object — callers obtain it from the
+        disposition workflow; passing ``None`` (or a denial, or a
+        decision about anything else) raises, which keeps ad-hoc
+        destruction out of the codebase.
         """
-        if not authorized:
-            raise DispositionError(
-                f"shredding {object_id} requires disposition authorization"
-            )
+        ensure_destruction_authorized(authorization, object_id)
         shredded_at = None
         if key_handle is not None:
             shredded_at = self._keystore.shred(key_handle)
@@ -78,6 +90,8 @@ class SecureShredder:
             for _ in range(self._passes):
                 device.raw_write(offset, zeros)
             bytes_overwritten += size
+        for engine in self._policies:
+            engine.purge_decisions()
         return ShredReport(
             object_id=object_id,
             key_shredded=key_handle is not None,

@@ -293,12 +293,24 @@ class WormStore:
 
     # -- delete -----------------------------------------------------------------
 
-    def delete(self, object_id: str) -> StoredObject:
+    def delete(self, object_id: str, *, authorization=None) -> StoredObject:
         """Tombstone an object.  Only lawful after retention expiry and
-        with no litigation hold; raises :class:`RetentionError` otherwise."""
+        with no litigation hold; raises :class:`RetentionError` otherwise.
+
+        *authorization*, when provided, must be an allow
+        :class:`~repro.policy.model.Decision` for the destruction
+        action covering this object (the disposition workflow passes
+        its own decision through).  Recovery paths that restore
+        tombstones for records whose keys were already lawfully
+        shredded pass ``None`` — the retention gate above still holds.
+        """
         meta = self._meta(object_id)
         if meta.deleted:
             raise RecordNotFoundError(f"object {object_id} already deleted")
+        if authorization is not None:
+            from repro.policy.model import ensure_destruction_authorized
+
+            ensure_destruction_authorized(authorization, object_id)
         self.retention.check_deletable(object_id, self._clock.now())
         tombstoned = StoredObject(
             object_id=meta.object_id,

@@ -232,12 +232,10 @@ def test_read_version_denies_a_non_treating_physician():
         store.read_version("rec-0", 0, actor_id="dr-b")
 
 
-def test_read_version_without_actor_warns_and_falls_back_to_system():
+def test_read_version_requires_an_actor():
     store = versioned_store()
-    with pytest.warns(DeprecationWarning, match="actor_id"):
-        record = store.read_version("rec-0", 1)
-    assert record.body["text"] == "amended after review"
-    assert store.audit_events()[-1]["actor_id"] == "system"
+    with pytest.raises(TypeError, match="actor_id"):
+        store.read_version("rec-0", 1)
 
 
 def test_read_version_range_check_still_applies():

@@ -1,0 +1,159 @@
+"""The table compiler: the default ruleset mirrors the legacy access
+tables, and the fact-based rulesets mirror the legacy guard clauses."""
+
+import pytest
+
+from repro.access.principals import Role, User
+from repro.access.rbac import _ROLE_PERMISSIONS, Permission, Purpose
+from repro.errors import DispositionError
+from repro.policy.compiler import (
+    breakglass_ruleset,
+    compile_default_ruleset,
+    compile_rbac_rules,
+    default_purpose_for,
+    disposition_ruleset,
+    session_ruleset,
+)
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import Effect, PolicyContext, Tier
+
+
+def test_one_rule_per_capability_pair():
+    rules = compile_rbac_rules()
+    expected = {
+        f"allow:{role.value}:{permission.value}"
+        for role, permissions in _ROLE_PERMISSIONS.items()
+        for permission in permissions
+    }
+    assert {r.rule_id for r in rules} == expected
+    assert all(r.tier is Tier.ROLE and r.effect is Effect.ALLOW for r in rules)
+
+
+def test_default_ruleset_wraps_rbac_with_composite_rules():
+    rules = compile_default_ruleset()
+    by_id = {r.rule_id: r for r in rules}
+    assert by_id["allow:system"].tier is Tier.OVERRIDE
+    assert by_id["deny:consent"].tier is Tier.BINDING
+    assert by_id["deny:consent"].error == "consent"
+    assert by_id["allow:break-glass"].tier is Tier.FALLBACK
+    assert by_id["allow:break-glass"].emergency
+    assert len(rules) == len(compile_rbac_rules()) + 3
+
+
+def test_compiled_ruleset_grants_the_capability_table():
+    engine = PolicyEngine(compile_default_ruleset())
+    nurse = User.make("amy", "amy", [Role.NURSE], treating=["pat-1"])
+    ctx = PolicyContext(purpose=Purpose.TREATMENT, patient_id="pat-1")
+    assert engine.decide(nurse, Permission.READ_RECORD, "rec-1", ctx).allowed
+    denied = engine.decide(nurse, Permission.CORRECT_RECORD, "rec-1", ctx)
+    assert not denied.allowed
+    assert "no role of amy grants correct_record" in denied.reason
+
+
+def test_compiled_purpose_restrictions():
+    engine = PolicyEngine(compile_default_ruleset())
+    billing = User.make("bob", "bob", [Role.BILLING])
+    payment = engine.decide(
+        billing, Permission.READ_RECORD, "rec-1", PolicyContext(purpose=Purpose.PAYMENT)
+    )
+    assert payment.allowed
+    research = engine.decide(
+        billing,
+        Permission.READ_RECORD,
+        "rec-1",
+        PolicyContext(purpose=Purpose.RESEARCH),
+    )
+    assert not research.allowed
+    assert "only for" in research.reason and "payment" in research.reason
+
+
+def test_session_ruleset_orders_denies_like_the_legacy_guards():
+    engine = PolicyEngine(session_ruleset())
+    # Locked accounts fail even with a forged token reported first for
+    # use_session — the forged-token deny is consulted before locked.
+    decision = engine.decide(
+        "mallory",
+        "use_session",
+        context=PolicyContext(
+            facts={
+                "token_valid": False,
+                "session_expired": True,
+                "account_locked": True,
+            }
+        ),
+    )
+    assert decision.rule_id == "deny:session:forged-token"
+    assert decision.reason == "session token invalid"
+    clean = engine.decide(
+        "alice",
+        "login",
+        context=PolicyContext(
+            facts={
+                "account_locked": False,
+                "challenge_pending": True,
+                "challenge_fresh": True,
+                "response_valid": True,
+            }
+        ),
+    )
+    assert clean.allowed
+    assert clean.rule_id == "allow:session:clean"
+
+
+def test_disposition_ruleset_blocks_shortcuts():
+    engine = PolicyEngine(disposition_ruleset())
+    decision = engine.decide(
+        "manager",
+        "execute_disposition",
+        "rec-1",
+        PolicyContext(
+            facts={
+                "ticket_missing": False,
+                "ticket_not_approved": True,
+                "ticket_state": "identified",
+            }
+        ),
+    )
+    assert not decision.allowed
+    assert decision.error == "disposition"
+    assert "must be approved before destruction" in decision.reason
+    with pytest.raises(DispositionError):
+        decision.require()
+
+
+def test_breakglass_ruleset_gates_on_justification():
+    engine = PolicyEngine(breakglass_ruleset())
+    thin = engine.decide(
+        "dr-a",
+        "invoke_break_glass",
+        "pat-1",
+        PolicyContext(facts={"substantive_justification": False}),
+    )
+    assert not thin.allowed
+    assert "substantive justification" in thin.reason
+    ok = engine.decide(
+        "dr-a",
+        "invoke_break_glass",
+        "pat-1",
+        PolicyContext(facts={"substantive_justification": True}),
+    )
+    assert ok.allowed and ok.emergency
+
+
+def test_default_purpose_table():
+    assert default_purpose_for(User.make("b", "b", [Role.BILLING])) is Purpose.PAYMENT
+    assert (
+        default_purpose_for(User.make("r", "r", [Role.RESEARCHER])) is Purpose.RESEARCH
+    )
+    assert (
+        default_purpose_for(User.make("p", "p", [Role.PRIVACY_OFFICER]))
+        is Purpose.OPERATIONS
+    )
+    assert (
+        default_purpose_for(User.make("pt", "pt", [Role.PATIENT]))
+        is Purpose.PATIENT_REQUEST
+    )
+    assert (
+        default_purpose_for(User.make("pt", "pt", [Role.PATIENT, Role.PHYSICIAN]))
+        is Purpose.TREATMENT
+    )

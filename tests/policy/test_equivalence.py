@@ -1,0 +1,227 @@
+"""Decision-equivalence: the compiled default ruleset vs the legacy
+composite.
+
+The oracle below is a verbatim transcription of the pre-refactor logic:
+the table-interpreting ``RbacEngine`` plus the composite ordering the
+core engine's ``_authorize`` implemented inline (system override →
+RBAC → break-glass rescue → consent binding).  Hypothesis drives
+randomized (user, roles, treating set, permission, purpose, patient,
+consent directives, break-glass grants) tuples through both paths and
+asserts identical outcomes — including the exact denial reasons, the
+bound role, and the exception class a denial raises.
+"""
+
+from dataclasses import dataclass
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.access.policies import ConsentDirective, ConsentRegistry
+from repro.access.principals import Role, User
+from repro.access.rbac import (
+    _CLINICAL_ROLES,
+    _PURPOSE_RULES,
+    _ROLE_PERMISSIONS,
+    _TREATING_REQUIRED,
+    Permission,
+    Purpose,
+)
+from repro.errors import AccessDeniedError, ConsentError
+from repro.policy.compiler import compile_default_ruleset
+from repro.policy.engine import PolicyEngine, PolicyEnv
+from repro.policy.model import PolicyContext
+
+SETTINGS = settings(
+    max_examples=300,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+#: Compiled once and shared across examples — the ruleset is immutable;
+#: only the environment (consent, grants) varies per example.
+RULESET = compile_default_ruleset()
+
+ALL_ROLES = sorted(Role, key=lambda r: r.value)
+ALL_PERMISSIONS = sorted(Permission, key=lambda p: p.value)
+ALL_PURPOSES = sorted(Purpose, key=lambda p: p.value)
+PATIENTS = ["pat-1", "pat-2"]
+USER_IDS = ["dr-a", "nurse-b", "pat-1", "system"]
+
+
+# -- the legacy oracle, transcribed verbatim ------------------------------
+
+
+@dataclass(frozen=True)
+class LegacyDecision:
+    allowed: bool
+    rule: str
+    role_used: Role | None = None
+
+
+def legacy_decide_for_role(user, role, permission, purpose, patient_id, own_record):
+    if permission not in _ROLE_PERMISSIONS.get(role, frozenset()):
+        return LegacyDecision(
+            allowed=False,
+            rule=f"role {role.value} does not carry {permission.value}",
+        )
+    allowed_purposes = _PURPOSE_RULES.get((role, permission))
+    if allowed_purposes is not None and purpose not in allowed_purposes:
+        return LegacyDecision(
+            allowed=False,
+            role_used=role,
+            rule=(
+                f"role {role.value} may use {permission.value} only for "
+                f"{sorted(p.value for p in allowed_purposes)}, "
+                f"not {purpose.value}"
+            ),
+        )
+    if role is Role.PATIENT and permission is Permission.READ_RECORD:
+        if not own_record:
+            return LegacyDecision(
+                allowed=False,
+                role_used=role,
+                rule="patients may only read their own records",
+            )
+    if (
+        role in _CLINICAL_ROLES
+        and permission in _TREATING_REQUIRED
+        and patient_id
+        and not user.is_treating(patient_id)
+        and purpose is not Purpose.EMERGENCY
+    ):
+        return LegacyDecision(
+            allowed=False,
+            role_used=role,
+            rule=(
+                f"{user.user_id} has no treating relationship with "
+                f"patient {patient_id}"
+            ),
+        )
+    return LegacyDecision(
+        allowed=True,
+        role_used=role,
+        rule=f"role {role.value} grants {permission.value} "
+        f"for purpose {purpose.value}",
+    )
+
+
+def legacy_rbac_decide(user, permission, purpose, patient_id, own_record):
+    best_denial = LegacyDecision(
+        allowed=False,
+        rule=f"no role of {user.user_id} grants {permission.value}",
+    )
+    for role in sorted(user.roles, key=lambda r: r.value):
+        decision = legacy_decide_for_role(
+            user, role, permission, purpose, patient_id, own_record
+        )
+        if decision.allowed:
+            return decision
+        best_denial = decision if decision.role_used else best_denial
+    return best_denial
+
+
+def legacy_authorize(user, permission, purpose, patient_id, own_record, consent, grants):
+    """The composite the core engine used to inline.  Returns
+    ``(allowed, emergency, reason, role_used, exception_type)``."""
+    if user.user_id == "system":
+        return (True, False, "system principal", None, None)
+    decision = legacy_rbac_decide(user, permission, purpose, patient_id, own_record)
+    if not decision.allowed and (user.user_id, patient_id) in grants:
+        return (True, True, None, None, None)
+    if not decision.allowed:
+        return (False, False, decision.rule, decision.role_used, AccessDeniedError)
+    if patient_id and decision.role_used is not None:
+        try:
+            consent.check_disclosure(patient_id, decision.role_used, purpose)
+        except ConsentError as exc:
+            return (False, False, str(exc), decision.role_used, ConsentError)
+    return (True, False, decision.rule, decision.role_used, None)
+
+
+# -- the randomized request space -----------------------------------------
+
+
+class GrantSet:
+    """A stand-in break-glass controller: active grants as a set."""
+
+    def __init__(self, pairs):
+        self._pairs = frozenset(pairs)
+
+    def has_active_grant(self, user_id, patient_id):
+        return (user_id, patient_id) in self._pairs
+
+
+directives = st.builds(
+    ConsentDirective,
+    directive_id=st.sampled_from(["cd-1", "cd-2"]),
+    blocked_roles=st.frozensets(st.sampled_from(ALL_ROLES), max_size=3),
+    blocked_purposes=st.frozensets(st.sampled_from(ALL_PURPOSES), max_size=3),
+)
+
+requests = st.fixed_dictionaries(
+    {
+        "user_id": st.sampled_from(USER_IDS),
+        "roles": st.lists(
+            st.sampled_from(ALL_ROLES), min_size=1, max_size=3, unique=True
+        ),
+        "treating": st.frozensets(st.sampled_from(PATIENTS), max_size=2),
+        "permission": st.sampled_from(ALL_PERMISSIONS),
+        "purpose": st.sampled_from(ALL_PURPOSES),
+        "patient_id": st.sampled_from(["", *PATIENTS]),
+        "own_record": st.booleans(),
+        "consent": st.dictionaries(
+            st.sampled_from(PATIENTS), directives, max_size=2
+        ),
+        "grants": st.frozensets(
+            st.tuples(st.sampled_from(USER_IDS), st.sampled_from(PATIENTS)),
+            max_size=3,
+        ),
+    }
+)
+
+
+@SETTINGS
+@given(requests)
+def test_compiled_ruleset_is_decision_equivalent_to_the_legacy_composite(req):
+    user = User.make(
+        req["user_id"], req["user_id"], req["roles"], treating=req["treating"]
+    )
+    consent = ConsentRegistry()
+    for patient_id, directive in req["consent"].items():
+        consent.add_directive(patient_id, directive)
+    grants = GrantSet(req["grants"])
+
+    expected = legacy_authorize(
+        user,
+        req["permission"],
+        req["purpose"],
+        req["patient_id"],
+        req["own_record"],
+        consent,
+        req["grants"],
+    )
+
+    engine = PolicyEngine(
+        RULESET, env=PolicyEnv(consent=consent, breakglass=grants)
+    )
+    decision = engine.decide(
+        user,
+        req["permission"],
+        req["patient_id"],
+        PolicyContext(
+            purpose=req["purpose"],
+            patient_id=req["patient_id"],
+            own_record=req["own_record"],
+        ),
+    )
+
+    allowed, emergency, reason, role_used, exc_type = expected
+    assert decision.allowed == allowed
+    assert decision.emergency == emergency
+    if emergency:
+        assert decision.rule_id == "allow:break-glass"
+        assert decision.role_used is None
+    else:
+        assert decision.reason == reason
+        assert decision.role_used == role_used
+    if exc_type is not None:
+        assert isinstance(decision.exception(), exc_type)

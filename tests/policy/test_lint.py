@@ -1,0 +1,121 @@
+"""Ruleset lint: dead rules, coverage gaps, suspicious denies."""
+
+from repro.policy.lint import LintFinding, lint_default_rulesets, lint_ruleset
+from repro.policy.model import (
+    CheckResult,
+    Condition,
+    Effect,
+    PolicyRule,
+    Tier,
+)
+
+
+def guard():
+    return Condition(
+        name="guard",
+        check=lambda *args: CheckResult(True, "", True),
+    )
+
+
+def allow(rule_id, **kw):
+    return PolicyRule(rule_id=rule_id, effect=Effect.ALLOW, **kw)
+
+
+def deny(rule_id, **kw):
+    return PolicyRule(rule_id=rule_id, effect=Effect.DENY, **kw)
+
+
+def checks(findings):
+    return [(f.check, f.rule_id) for f in findings]
+
+
+def test_clean_ruleset_has_no_findings():
+    rules = [
+        allow("allow:a", roles=frozenset({"physician"}), actions=frozenset({"read"})),
+        deny(
+            "deny:b",
+            roles=frozenset({"physician"}),
+            actions=frozenset({"write"}),
+            conditions=(guard(),),
+        ),
+    ]
+    assert lint_ruleset(rules, actions={"read", "write"}) == []
+
+
+def test_duplicate_ids_reported():
+    rules = [allow("r", actions=frozenset({"a"})), deny("r", actions=frozenset({"a"}))]
+    assert ("duplicate-id", "r") in checks(lint_ruleset(rules))
+
+
+def test_shadowed_rule_reported():
+    rules = [
+        allow("allow:broad", actions=frozenset({"read"})),
+        allow(
+            "allow:narrow",
+            roles=frozenset({"nurse"}),
+            actions=frozenset({"read"}),
+        ),
+    ]
+    assert ("shadowed", "allow:narrow") in checks(lint_ruleset(rules))
+
+
+def test_conditioned_rules_do_not_shadow():
+    rules = [
+        allow("allow:broad", actions=frozenset({"read"}), conditions=(guard(),)),
+        allow(
+            "allow:narrow", roles=frozenset({"nurse"}), actions=frozenset({"read"})
+        ),
+    ]
+    assert checks(lint_ruleset(rules)) == []
+
+
+def test_deny_shadowing_an_allow_reported():
+    rules = [
+        allow("allow:read", roles=frozenset({"nurse"}), actions=frozenset({"read"})),
+        deny("deny:read", actions=frozenset({"read"})),
+    ]
+    findings = checks(lint_ruleset(rules))
+    assert ("deny-shadows-allow", "allow:read") in findings
+
+
+def test_uncovered_action_reported():
+    rules = [allow("allow:read", actions=frozenset({"read"}))]
+    findings = lint_ruleset(rules, actions={"read", "write"})
+    assert [(f.check, f.severity) for f in findings] == [("uncovered-action", "error")]
+    assert "write" in findings[0].message
+
+
+def test_conditioned_wildcard_rule_does_not_count_as_coverage():
+    rules = [allow("allow:override", conditions=(guard(),), tier=Tier.OVERRIDE)]
+    findings = lint_ruleset(rules, actions={"read"})
+    assert [f.check for f in findings] == ["uncovered-action"]
+
+
+def test_unconditioned_wildcard_rule_covers_everything():
+    rules = [allow("allow:everything")]
+    assert lint_ruleset(rules, actions={"read", "write"}) == []
+
+
+def test_wildcard_deny_is_a_warning():
+    findings = lint_ruleset([deny("deny:everything")])
+    assert [(f.check, f.severity) for f in findings] == [
+        ("wildcard-deny", "warning")
+    ]
+
+
+def test_errors_sort_before_warnings():
+    rules = [
+        deny("deny:everything"),
+        allow("allow:read", actions=frozenset({"read"})),
+    ]
+    findings = lint_ruleset(rules, actions={"read", "write"})
+    assert [f.severity for f in findings] == ["error", "warning"]
+
+
+def test_finding_renders_as_one_line():
+    finding = LintFinding("error", "shadowed", "allow:x", "unreachable")
+    assert str(finding) == "[error] shadowed: allow:x: unreachable"
+
+
+def test_shipped_rulesets_are_clean():
+    assert lint_default_rulesets() == []

@@ -4,6 +4,8 @@ import pytest
 
 from repro.crypto.keys import KeyStore, ShreddedKeyError
 from repro.errors import DispositionError, RetentionError
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import DESTRUCTION_ACTION, Effect, PolicyRule, Tier
 from repro.retention.disposition import DispositionWorkflow
 from repro.retention.shredder import SecureShredder
 from repro.storage.block import MemoryDevice
@@ -28,17 +30,60 @@ def make_world(retention_seconds=100.0):
     return clock, keystore, store, shredder, workflow, handle
 
 
+def destruction_grant(object_id):
+    """An allow Decision for the destruction action, as the disposition
+    workflow would mint it."""
+    engine = PolicyEngine(
+        (
+            PolicyRule(
+                rule_id="allow:test:destruction",
+                effect=Effect.ALLOW,
+                actions=frozenset({DESTRUCTION_ACTION}),
+                tier=Tier.FALLBACK,
+            ),
+        )
+    )
+    return engine.decide("records-manager", DESTRUCTION_ACTION, object_id)
+
+
 def test_shredder_requires_authorization():
     _, keystore, store, shredder, _, handle = make_world()
     with pytest.raises(DispositionError, match="authorization"):
-        shredder.shred("rec-1", handle, [], authorized=False)
+        shredder.shred("rec-1", handle, [], authorization=None)
+
+
+def test_shredder_rejects_authorization_for_another_object():
+    _, keystore, store, shredder, _, handle = make_world()
+    with pytest.raises(DispositionError, match="authorization"):
+        shredder.shred("rec-1", handle, [], authorization=destruction_grant("rec-9"))
+
+
+def test_shredder_rejects_non_destruction_decision():
+    _, keystore, store, shredder, _, handle = make_world()
+    engine = PolicyEngine(
+        (
+            PolicyRule(
+                rule_id="allow:test:read",
+                effect=Effect.ALLOW,
+                actions=frozenset({"read_record"}),
+                tier=Tier.FALLBACK,
+            ),
+        )
+    )
+    grant = engine.decide("records-manager", "read_record", "rec-1")
+    assert grant.allowed
+    with pytest.raises(DispositionError, match="authorization"):
+        shredder.shred("rec-1", handle, [], authorization=grant)
 
 
 def test_shredder_destroys_key_and_bytes():
     clock, keystore, store, shredder, _, handle = make_world()
     offset, size = store.physical_extent("rec-1")
     report = shredder.shred(
-        "rec-1", handle, [(store.device, offset, size)], authorized=True
+        "rec-1",
+        handle,
+        [(store.device, offset, size)],
+        authorization=destruction_grant("rec-1"),
     )
     assert report.key_shredded
     assert report.bytes_overwritten == size
