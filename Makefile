@@ -3,7 +3,7 @@ PY ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify sweep conformance bench-gate verify-cluster policy-lint
+.PHONY: test verify sweep conformance bench-gate verify-cluster policy-lint profile
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -32,6 +32,12 @@ bench-gate:
 	$(PY) -m pytest benchmarks/bench_e8_audit_scaling.py::test_e8_incremental_fast_path -q
 	$(PY) -m pytest benchmarks/bench_e9_cluster_scaling.py::test_e9_cluster_scaling -q
 	$(PY) benchmarks/check_regression.py
+
+# cProfile of the E2 hot write path (the profile that drives the
+# raw-speed work).  ARGS passes extra flags, e.g.
+# `make profile ARGS="--arm single --sort tottime"`.
+profile:
+	$(PY) benchmarks/profile_e2.py $(ARGS)
 
 # Cluster-only gate: the sharded router's tests, the cross-shard
 # detection-equivalence oracle, and the E9 scaling bar.

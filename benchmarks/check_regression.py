@@ -21,9 +21,16 @@ regression no matter how fast it got.
 ``BENCH_e9.json`` (run
 ``pytest benchmarks/bench_e9_cluster_scaling.py``) is gated the same
 way: the 4-shard cluster must sustain at least 2.5x the single-engine
-throughput on the mixed workload, with **zero** cluster
-detection-equivalence violations — scale bought by skipping
-verification does not count.
+throughput on the mixed workload — and the 8-shard process-pool arm
+at least 5x — with **zero** cluster detection-equivalence violations;
+scale bought by skipping verification does not count.
+
+The curator's batched ingest additionally carries an **absolute** bar:
+at least 2450 records/sec on the E2 batch arm — five times the
+pre-rebuild write path (~490 rps).  The baseline-relative gate catches
+drift; the absolute bar pins the raw-speed rebuild itself (aggregated
+signing, BLAKE2b digests, scattered frames, batch AEAD) so no sequence
+of individually-tolerated regressions can quietly give it back.
 
 Usage::
 
@@ -53,8 +60,14 @@ DEFAULT_TOLERANCE = 0.30
 #: never authorizes), so a drop here means something expensive — like
 #: per-write policy evaluation — leaked onto the write path.
 CURATOR_TOLERANCE = 0.10
+#: Absolute floor for the curator's batched ingest: 5x the write path
+#: as it stood before the raw-speed rebuild (~490 records/sec).
+MIN_CURATOR_BATCHED_RPS = 2450.0
 MIN_E8_SPEEDUP = 5.0
 MIN_E9_SPEEDUP = 2.5
+#: The 8-shard process-pool arm answers from per-shard state an eighth
+#: the size; it must clear a higher bar than the in-process cluster.
+MIN_E9_WORKER_SPEEDUP = 5.0
 _METRICS = ("single_rps", "batched_rps")
 
 
@@ -109,6 +122,20 @@ def compare(
     return problems
 
 
+def check_e2_absolute(current: dict, min_batched_rps: float) -> list[str]:
+    """The absolute floor for the curator's batched ingest."""
+    batched = (
+        current.get("models", {}).get("curator", {}).get("batched_rps", 0.0)
+    )
+    if batched < min_batched_rps:
+        return [
+            f"curator.batched_rps: {batched:.1f} below the absolute "
+            f"{min_batched_rps:.0f} records/sec bar (5x the pre-rebuild "
+            f"write path)"
+        ]
+    return []
+
+
 def check_e8(path: Path, min_speedup: float) -> list[str]:
     """Absolute bars for the E8 verification fast path."""
     if not path.exists():
@@ -131,7 +158,9 @@ def check_e8(path: Path, min_speedup: float) -> list[str]:
     return problems
 
 
-def check_e9(path: Path, min_speedup: float) -> list[str]:
+def check_e9(
+    path: Path, min_speedup: float, min_worker_speedup: float
+) -> list[str]:
     """Absolute bars for the E9 cluster scaling measurement."""
     if not path.exists():
         return [f"no E9 results at {path}; run the E9 cluster benchmark first"]
@@ -143,6 +172,13 @@ def check_e9(path: Path, min_speedup: float) -> list[str]:
             f"e9.speedup: {results.get('shards', '?')}-shard cluster only "
             f"{speedup:.2f}x the single engine (bar: {min_speedup:.1f}x on "
             f"the mixed workload)"
+        )
+    worker_speedup = results.get("worker_speedup", 0)
+    if worker_speedup < min_worker_speedup:
+        problems.append(
+            f"e9.worker_speedup: {results.get('worker_shards', '?')}-shard "
+            f"process-pool cluster only {worker_speedup:.2f}x the single "
+            f"engine (bar: {min_worker_speedup:.1f}x on the mixed workload)"
         )
     violations = results.get("equivalence_violations")
     if violations != 0:
@@ -177,6 +213,13 @@ def main(argv: list[str] | None = None) -> int:
         "(default 0.10; the E2 hot path must stay policy-free)",
     )
     parser.add_argument(
+        "--min-curator-batched-rps",
+        type=float,
+        default=MIN_CURATOR_BATCHED_RPS,
+        help="absolute floor for the curator's batched ingest "
+        "(default 2450; 5x the pre-rebuild write path)",
+    )
+    parser.add_argument(
         "--current-e8",
         default=str(BENCH_E8_JSON),
         help="fresh E8 results JSON path",
@@ -203,6 +246,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=MIN_E9_SPEEDUP,
         help="required cluster speedup over the single engine (default 2.5)",
+    )
+    parser.add_argument(
+        "--min-e9-worker-speedup",
+        type=float,
+        default=MIN_E9_WORKER_SPEEDUP,
+        help="required process-pool cluster speedup over the single engine "
+        "(default 5.0)",
     )
     parser.add_argument(
         "--skip-e9",
@@ -238,6 +288,18 @@ def main(argv: list[str] | None = None) -> int:
             f"batched within {args.curator_tolerance * 100:.0f}%)"
         )
 
+    e2_absolute = check_e2_absolute(current, args.min_curator_batched_rps)
+    if e2_absolute:
+        print("WRITE-PATH REGRESSION:")
+        for problem in e2_absolute:
+            print(f"  - {problem}")
+        problems.extend(e2_absolute)
+    else:
+        print(
+            f"ok: curator batched ingest >= "
+            f"{args.min_curator_batched_rps:.0f} records/sec absolute bar"
+        )
+
     if not args.skip_e8:
         e8_problems = check_e8(Path(args.current_e8), args.min_e8_speedup)
         if e8_problems:
@@ -252,7 +314,11 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if not args.skip_e9:
-        e9_problems = check_e9(Path(args.current_e9), args.min_e9_speedup)
+        e9_problems = check_e9(
+            Path(args.current_e9),
+            args.min_e9_speedup,
+            args.min_e9_worker_speedup,
+        )
         if e9_problems:
             print("CLUSTER SCALING REGRESSION:")
             for problem in e9_problems:
@@ -260,7 +326,8 @@ def main(argv: list[str] | None = None) -> int:
             problems.extend(e9_problems)
         else:
             print(
-                f"ok: cluster >= {args.min_e9_speedup:.1f}x single engine, "
+                f"ok: cluster >= {args.min_e9_speedup:.1f}x single engine "
+                f"(process-pool arm >= {args.min_e9_worker_speedup:.1f}x), "
                 f"0 cluster detection-equivalence violations"
             )
 

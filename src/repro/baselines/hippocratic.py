@@ -97,6 +97,45 @@ class HippocraticStore(StorageModel):
         self._index.add_document(record.record_id, record.searchable_text())
         self._log(author_id, "insert", record.record_id)
 
+    def store_many(self, records: list[HealthRecord], author_id: str) -> int:
+        """Batched insert fast path.
+
+        Same rows, row directory, index postings, and audit rows as the
+        scalar loop — but the row frames, the cleartext index frames,
+        and the audit rows each land in one batched journal flush
+        instead of one device write per row/term/event.
+        """
+        if not records:
+            return 0
+        entries = self._journal.append_many(
+            [
+                canonical_bytes(
+                    {"op": "insert", "row": record.to_dict(), "by": author_id}
+                )
+                for record in records
+            ]
+        )
+        for record, entry in zip(records, entries):
+            self._row_directory[record.record_id] = entry.sequence
+        self._index.add_documents(
+            [(record.record_id, record.searchable_text()) for record in records]
+        )
+        base = len(self._audit_journal)
+        self._audit_journal.append_many(
+            [
+                canonical_bytes(
+                    {
+                        "actor": author_id,
+                        "action": "insert",
+                        "subject": record.record_id,
+                        "seq": base + i,
+                    }
+                )
+                for i, record in enumerate(records)
+            ]
+        )
+        return len(records)
+
     def read(self, record_id: str, actor_id: str = "system") -> HealthRecord:
         sequence = self._row_directory.get(record_id)
         if sequence is None:

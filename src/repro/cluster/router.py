@@ -51,6 +51,7 @@ from typing import Any, Callable, TypeVar
 from repro.baselines.interface import StorageModel, VerificationReport
 from repro.cluster.manifest import ClusterManifest
 from repro.cluster.ring import HashRing
+from repro.cluster.workers import ShardWorkerProxy
 from repro.core.config import CuratorConfig
 from repro.core.engine import CuratorStore
 from repro.crypto.kdf import derive_key
@@ -86,6 +87,7 @@ class CuratorCluster(StorageModel):
         *,
         shards: int = 4,
         cluster_id: str | None = None,
+        workers: int = 0,
         _engines: list[CuratorStore] | None = None,
     ) -> None:
         if config.policy_rules is None:
@@ -98,11 +100,24 @@ class CuratorCluster(StorageModel):
         self._keypair = config.signing_keypair or generate_keypair(
             config.signature_bits
         )
+        self._workers = 0 if _engines is not None else max(0, int(workers))
         if _engines is None:
-            self._engines = [
-                CuratorStore(_shard_config(config, self._keypair, shard_id))
-                for shard_id in self._ring.shard_ids
-            ]
+            if self._workers:
+                # Process-backed shards: one worker process per shard,
+                # each hosting a full engine behind the pipe protocol.
+                # Device-level harnesses (equivalence oracle, crash
+                # sweeps) need workers=0 — raw media cannot cross a pipe.
+                self._engines = [
+                    ShardWorkerProxy(
+                        _shard_config(config, self._keypair, shard_id), shard_id
+                    )
+                    for shard_id in self._ring.shard_ids
+                ]
+            else:
+                self._engines = [
+                    CuratorStore(_shard_config(config, self._keypair, shard_id))
+                    for shard_id in self._ring.shard_ids
+                ]
         else:
             if len(_engines) != shards:
                 raise ClusterError(
@@ -154,8 +169,29 @@ class CuratorCluster(StorageModel):
     @property
     def shards(self) -> tuple[CuratorStore, ...]:
         """The shard engines, in ring order (read-only introspection;
-        going around the router bypasses its locks)."""
+        going around the router bypasses its locks).  With process
+        workers these are :class:`~repro.cluster.workers.ShardWorkerProxy`
+        objects — method calls cross the pipe, internals do not."""
         return tuple(self._engines)
+
+    @property
+    def worker_count(self) -> int:
+        """Number of process-backed shard workers (0 = in-process)."""
+        return self._ring.shard_count if self._workers else 0
+
+    def close(self) -> None:
+        """Shut down process-backed shard workers and the fan-out pool.
+
+        Safe to call on an in-process cluster (only the lazy thread pool
+        is reaped) and idempotent either way.
+        """
+        for engine in self._engines:
+            if isinstance(engine, ShardWorkerProxy):
+                engine.close()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
 
     def shard_for(self, patient_id: str) -> int:
         """The shard index the ring assigns to *patient_id*."""

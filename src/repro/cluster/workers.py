@@ -1,0 +1,182 @@
+"""Process-backed shard workers for the cluster router.
+
+In-process shard engines share one interpreter, so even with the
+router's thread fan-out every cryptographic byte of every shard is
+serialized through a single GIL.  A :class:`ShardWorkerProxy` moves one
+whole engine into a dedicated worker process and speaks a compact
+command protocol over a pipe:
+
+* **request** — ``(method_name, args, kwargs)``, pickled once; the
+  worker resolves ``method_name`` against its private
+  :class:`~repro.core.engine.CuratorStore` and invokes it.
+* **response** — ``(True, result)`` on success or ``(False, exception)``
+  on failure; the proxy re-raises the exception in the caller, so error
+  semantics match the in-process engine call for every picklable error
+  (all of :mod:`repro.errors` is).
+
+The proxy duck-types the engine surface — the router's routing/locking
+code does not know whether a shard is local or a process — with two
+deliberate exceptions that fail fast instead of pretending:
+
+* raw **device access** (``devices``/``audit_devices``/attribute reads
+  like ``_clock``) cannot cross the pipe: a
+  :class:`~repro.storage.block.BlockDevice` proxy would be a copy, and
+  tampering with a copy proves nothing.  Harnesses that need raw media
+  (the detection-equivalence oracle, crash sweeps) must run the cluster
+  with ``workers=0``.
+* the worker compiles its **own policy ruleset**: compiled rules may
+  close over non-picklable condition callables, so the shard spec ships
+  with ``policy_rules=None`` and each worker pays one compilation.
+
+Worker processes are daemons: an abandoned cluster cannot wedge
+interpreter shutdown, but call :meth:`ShardWorkerProxy.close` (via
+``CuratorCluster.close``) for an orderly drain.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import replace
+from functools import partial
+from typing import Any
+
+from repro.core.config import CuratorConfig
+from repro.errors import ClusterError
+
+_SHUTDOWN = "__shutdown__"
+
+
+def _serve(conn, config: CuratorConfig) -> None:
+    """Worker-process main loop: build the shard engine, answer commands."""
+    from repro.core.engine import CuratorStore
+
+    engine = CuratorStore(config)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message == _SHUTDOWN:
+            conn.send((True, None))
+            break
+        method, args, kwargs = message
+        try:
+            result = getattr(engine, method)(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — every error crosses the pipe
+            try:
+                conn.send((False, exc))
+            except Exception:
+                # Unpicklable exception: degrade to a ClusterError that
+                # at least carries the message.
+                conn.send(
+                    (False, ClusterError(f"shard worker {method} failed: {exc}"))
+                )
+        else:
+            try:
+                conn.send((True, result))
+            except Exception as exc:
+                # Connection.send pickles before writing, so a pickling
+                # failure leaves the pipe clean for the error response.
+                conn.send(
+                    (False, ClusterError(f"unpicklable result from {method}: {exc}"))
+                )
+    conn.close()
+
+
+def worker_shard_config(config: CuratorConfig) -> CuratorConfig:
+    """The picklable shard spec shipped to a worker process.
+
+    Identical to the in-process shard config except ``policy_rules`` is
+    stripped: compiled rules may hold non-picklable condition callables,
+    and authorization stays equivalent because the worker recompiles the
+    same default ruleset from the same RBAC tables.
+    """
+    return replace(config, policy_rules=None)
+
+
+class ShardWorkerProxy:
+    """One shard engine hosted in a worker process, behind the engine API.
+
+    Unknown public attribute lookups resolve to remote method calls
+    (memoized per name); private attributes raise ``AttributeError`` so
+    code that reaches into engine internals fails loudly instead of
+    operating on a phantom.
+    """
+
+    def __init__(self, config: CuratorConfig, shard_id: str) -> None:
+        context = multiprocessing.get_context()
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=_serve,
+            args=(child, worker_shard_config(config)),
+            name=f"curator-shard-{shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+        self._shard_id = shard_id
+        self._closed = False
+
+    # -- command protocol ------------------------------------------------
+
+    def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        if self._closed:
+            raise ClusterError(f"shard worker {self._shard_id} is closed")
+        try:
+            self._conn.send((method, args, kwargs))
+            ok, payload = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ClusterError(
+                f"shard worker {self._shard_id} died during {method}: {exc}"
+            ) from exc
+        if not ok:
+            raise payload
+        return payload
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(
+                f"{name!r}: engine internals are not reachable on a "
+                f"process-backed shard (run the cluster with workers=0)"
+            )
+        caller = partial(self._call, name)
+        self.__dict__[name] = caller  # memoize; __getattr__ won't fire again
+        return caller
+
+    # -- the deliberately unsupported surface ----------------------------
+
+    def devices(self):
+        raise ClusterError(
+            "raw device access is not available on a process-backed shard; "
+            "run the cluster with workers=0 for device-level harnesses"
+        )
+
+    def audit_devices(self):
+        raise ClusterError(
+            "raw audit-device access is not available on a process-backed "
+            "shard; run the cluster with workers=0 for device-level harnesses"
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def recovery_report(self):
+        """Worker shards are always built live (recovery needs device
+        hand-off, which cannot cross the pipe)."""
+        return None
+
+    def close(self) -> None:
+        """Orderly shutdown: drain, ack, join; terminate as a last resort."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.send(_SHUTDOWN)
+            self._conn.recv()
+        except (EOFError, OSError):
+            pass
+        self._conn.close()
+        self._process.join(timeout=5)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5)

@@ -41,8 +41,10 @@ from repro.backup.vault import BackupVault
 from repro.baselines.interface import StorageModel, VerificationReport
 from repro.core.config import CuratorConfig
 from repro.crypto.aead import AeadCiphertext
+from repro.crypto.aead import encrypt_many as aead_encrypt_many
 from repro.crypto.keys import KeyHandle, KeyStore
-from repro.crypto.signatures import Signer, TrustStore
+from repro.crypto.ed25519 import purge_ed25519_memo
+from repro.crypto.signatures import Signer, TrustStore, purge_signature_memo
 from repro.errors import (
     AccessDeniedError,
     IntegrityError,
@@ -184,6 +186,11 @@ class CuratorStore(StorageModel):
         # with it)
         self._shredder = SecureShredder(self._keystore, config.shredder_passes)
         self._shredder.bind_policy(self._policy)
+        # Derived-material memos die with every shred too: the verifier's
+        # aggregated-signature root memo and the ed25519 key-expansion
+        # memo both regenerate from material a destruction may cover.
+        self._shredder.bind_cache(purge_signature_memo)
+        self._shredder.bind_cache(purge_ed25519_memo)
         self._disposition = DispositionWorkflow(self._worm, self._shredder, clock=self._clock)
         # backup
         self._vault = BackupVault(f"{config.site_id}-offsite")
@@ -418,6 +425,27 @@ class CuratorStore(StorageModel):
         )
         return box.to_bytes()
 
+    def _seal_versions(
+        self, pairs: list[tuple[RecordVersion, KeyHandle]]
+    ) -> list[bytes]:
+        """Seal many versions in one vectorized AEAD pass — each under
+        its own data key, with byte-format identical to
+        :meth:`_seal_version` (fresh random nonce, same associated
+        data)."""
+        items = []
+        for version, handle in pairs:
+            object_id = _version_object_id(
+                version.record.record_id, version.version_number
+            )
+            items.append(
+                (
+                    self._keystore.cipher_for(handle),
+                    canonical_bytes(version.to_dict()),
+                    object_id.encode("utf-8"),
+                )
+            )
+        return [box.to_bytes() for box in aead_encrypt_many(items)]
+
     def _open_version(self, record_id: str, version_number: int) -> RecordVersion:
         object_id = _version_object_id(record_id, version_number)
         handle = self._keys[record_id]
@@ -531,41 +559,52 @@ class CuratorStore(StorageModel):
         self._audit.begin_batch()
         try:
             staged = []
-            items: list[tuple[str, bytes, Any]] = []
-            for record in records:
+            handles = self._keystore.create_keys(
+                [record.record_id for record in records]
+            )
+            for record, handle in zip(records, handles):
                 self._auto_register_author(author_id, record.patient_id)
-                handle = self._keystore.create_key(label=record.record_id)
                 self._keys[record.record_id] = handle
                 chain = VersionChain(record.record_id)
                 version = chain.append_initial(record, author_id, self._clock.now())
                 staged.append((record, chain, version, handle))
-                items.append(
-                    (
-                        _version_object_id(record.record_id, 0),
-                        self._seal_version(version, handle),
-                        self._config.retention_policy.term_for(
-                            record.record_type, self._clock.now()
-                        ),
-                    )
+            sealed = self._seal_versions(
+                [(version, handle) for _, _, version, handle in staged]
+            )
+            items: list[tuple[str, bytes, Any]] = [
+                (
+                    _version_object_id(record.record_id, 0),
+                    blob,
+                    self._config.retention_policy.term_for(
+                        record.record_type, self._clock.now()
+                    ),
                 )
+                for (record, _, _, _), blob in zip(staged, sealed)
+            ]
             # ONE journal frame for the whole batch: a crash that tears
             # this write drops every record in the batch at recovery —
             # there is no surviving prefix, so the acknowledgement below
             # is all-or-nothing at the durability layer too.
             metas = self._worm.put_many(items)
+            # ONE aggregated custody signature for the batch: each
+            # origin event carries the shared batch-root signature plus
+            # its own inclusion proof, so per-record tamper detection is
+            # exactly what N record_origin calls would give.
+            origin_groups: dict[str, list[tuple[str, bytes]]] = {}
+            for (record, chain, version, handle), meta in zip(staged, metas):
+                origin_groups.setdefault(version.reason, []).append(
+                    (meta.object_id, meta.content_digest)
+                )
+            for reason, entries in origin_groups.items():
+                self._custody.record_origins(
+                    entries, self._signer, self._clock.now(), reason=reason
+                )
             for (record, chain, version, handle), meta in zip(staged, metas):
                 object_id = meta.object_id
                 self._disposition.register_key_handle(object_id, handle)
                 self._provenance.add_object(object_id)
                 self._provenance.record_custody(
                     object_id, self._config.site_id, start=self._clock.now()
-                )
-                self._custody.record_origin(
-                    object_id,
-                    self._signer,
-                    meta.content_digest,
-                    self._clock.now(),
-                    reason=version.reason,
                 )
                 self._maybe_anchor()
                 self._chains[record.record_id] = chain
@@ -1156,6 +1195,8 @@ class CuratorStore(StorageModel):
             config.master_key, key_device, clock=store._clock
         )
         store._shredder = SecureShredder(store._keystore, config.shredder_passes)
+        store._shredder.bind_cache(purge_signature_memo)
+        store._shredder.bind_cache(purge_ed25519_memo)
         # worm: adopt the surviving medium into a fresh pool
         store._media_pool = MediaPool(
             clock=store._clock, default_capacity=config.device_capacity

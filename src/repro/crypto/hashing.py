@@ -1,11 +1,21 @@
-"""SHA-256 hashing helpers.
+"""Hashing helpers.
 
 All integrity mechanisms in the library (audit chains, Merkle trees,
 record digests, migration manifests) bottom out in these functions, so
-they are deliberately tiny and hard to misuse: the only hash exposed is
-SHA-256, inputs are bytes or canonical-encodable values, and chained
-digests use an explicit domain separator so a chain digest can never
-collide with a leaf digest.
+they are deliberately tiny and hard to misuse.  Two primitives:
+
+* **SHA-256** (:func:`sha256`, :func:`hash_chunks`) for content digests
+  and on-device frame checksums — the journal's wire format is pinned
+  to ``sha256[:8]`` and the threat harness recomputes it directly, so
+  those bytes never change.
+* **BLAKE2b-256** (:func:`hash_canonical`, :func:`chain_digest`) for
+  the in-memory integrity loops: audit-chain extension and structured
+  fingerprints hash small (tens to hundreds of bytes) inputs millions
+  of times, where BLAKE2b's lower per-call overhead wins.  Domain
+  separation uses BLAKE2b's *personalization* parameter instead of a
+  prefix byte, so no ``prefix + previous + payload`` concatenation is
+  ever materialized — inputs (including :class:`memoryview`s) stream
+  straight into the hasher.
 """
 
 from __future__ import annotations
@@ -17,8 +27,8 @@ from repro.util.encoding import canonical_bytes
 
 DIGEST_SIZE = 32
 
-_LEAF_PREFIX = b"\x00"
-_CHAIN_PREFIX = b"\x01"
+_LEAF_PERSON = b"repro/leaf"
+_CHAIN_PERSON = b"repro/chain"
 
 
 def sha256(data: bytes) -> bytes:
@@ -27,23 +37,32 @@ def sha256(data: bytes) -> bytes:
 
 
 def hash_canonical(value: Any) -> bytes:
-    """SHA-256 of the canonical encoding of *value*.
+    """BLAKE2b-256 of the canonical encoding of *value*.
 
     This is the standard way to fingerprint a structured object
     (record version, audit event, manifest entry) in the library.
+    Domain-separated from :func:`chain_digest` by personalization.
     """
-    return sha256(_LEAF_PREFIX + canonical_bytes(value))
+    return hashlib.blake2b(
+        canonical_bytes(value), digest_size=DIGEST_SIZE, person=_LEAF_PERSON
+    ).digest()
 
 
 def chain_digest(previous: bytes, payload: bytes) -> bytes:
-    """Extend a hash chain: ``H(0x01 || previous || payload)``.
+    """Extend a hash chain: ``BLAKE2b(previous || payload)`` under the
+    chain personalization.
 
-    The ``0x01`` domain separator keeps chain digests disjoint from the
-    leaf digests produced by :func:`hash_canonical` (``0x00`` prefix).
+    Personalization keeps chain digests disjoint from the leaf digests
+    produced by :func:`hash_canonical`.  *payload* may be any buffer
+    (``bytes``, ``bytearray``, ``memoryview``) — both inputs stream
+    into the hasher, so the chain-update loop never concatenates.
     """
     if len(previous) != DIGEST_SIZE:
         raise ValueError(f"previous digest must be {DIGEST_SIZE} bytes")
-    return sha256(_CHAIN_PREFIX + previous + payload)
+    hasher = hashlib.blake2b(digest_size=DIGEST_SIZE, person=_CHAIN_PERSON)
+    hasher.update(previous)
+    hasher.update(payload)
+    return hasher.digest()
 
 
 GENESIS_DIGEST = bytes(DIGEST_SIZE)

@@ -17,7 +17,9 @@ def hmac_sha256(key: bytes, data: bytes) -> bytes:
     """HMAC-SHA256(key, data)."""
     if not key:
         raise ValueError("HMAC key must not be empty")
-    return _hmac.new(key, data, "sha256").digest()
+    # hmac.digest is the one-shot C fast path — same output as
+    # hmac.new(...).digest() without the streaming-object overhead.
+    return _hmac.digest(key, data, "sha256")
 
 
 def constant_time_equal(left: bytes, right: bytes) -> bool:

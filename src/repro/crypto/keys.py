@@ -28,7 +28,7 @@ import secrets
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.crypto.aead import AeadCipher, AeadCiphertext
+from repro.crypto.aead import AeadCipher, AeadCiphertext, encrypt_many
 from repro.crypto.chacha20 import KEY_SIZE
 from repro.errors import KeyManagementError
 from repro.storage.block import BlockDevice
@@ -134,6 +134,65 @@ class KeyStore:
             wrapped=wrapped, created_at=created_at, label=label
         )
         return KeyHandle(key_id=key_id)
+
+    def create_keys(self, labels: list[str]) -> list[KeyHandle]:
+        """Mint many fresh data keys at once (the ``store_many`` path).
+
+        Semantically N :meth:`create_key` calls — same ids, same escrow
+        frame bytes per key — but all the wraps run through one
+        vectorized AEAD pass and all the escrow frames land in one
+        batched journal flush.  Crash safety is unchanged: the whole
+        batch of wrapped keys is journaled *before* any in-memory entry
+        exists, so a crash mid-escrow loses unused keys, never a
+        used-but-unrecoverable one.
+        """
+        if not labels:
+            return []
+        created_at = self._clock.now()
+        key_ids = []
+        data_keys = []
+        for _ in labels:
+            self._counter += 1
+            key_ids.append(f"key-{self._counter:08d}")
+            data_keys.append(secrets.token_bytes(KEY_SIZE))
+        data_key_by_id = dict(zip(key_ids, data_keys))
+        wrapped_boxes = encrypt_many(
+            [
+                (self._wrapper, data_key, key_id.encode())
+                for key_id, data_key in zip(key_ids, data_keys)
+            ]
+        )
+        if self._escrow is not None:
+            payloads = [
+                canonical_bytes(
+                    {
+                        "kind": "key",
+                        "key_id": key_id,
+                        "label": label,
+                        "created_at": created_at,
+                        "wrapped": wrapped.to_bytes(),
+                    }
+                )
+                for key_id, label, wrapped in zip(key_ids, labels, wrapped_boxes)
+            ]
+            entries = self._escrow.append_many(payloads)
+            for key_id, entry, payload in zip(key_ids, entries, payloads):
+                self._escrow_extents[key_id] = (
+                    entry.offset + HEADER_SIZE,
+                    len(payload),
+                )
+        for key_id, label, wrapped in zip(key_ids, labels, wrapped_boxes):
+            self._entries[key_id] = _KeyEntry(
+                wrapped=wrapped, created_at=created_at, label=label
+            )
+            # Pre-warm the unwrap memo: the plaintext data key is in hand
+            # right now, so the first cipher_for() should not have to
+            # unwrap what we just wrapped.  Identical cache state to a
+            # cipher_for() miss, so shred's invalidation covers it.
+            self._cipher_cache[key_id] = AeadCipher(data_key_by_id[key_id])
+        while len(self._cipher_cache) > _CIPHER_CACHE_CAPACITY:
+            self._cipher_cache.popitem(last=False)
+        return [KeyHandle(key_id=key_id) for key_id in key_ids]
 
     def cipher_for(self, handle: KeyHandle) -> AeadCipher:
         """Unwrap the data key and return an AEAD cipher bound to it.

@@ -89,6 +89,9 @@ class RsaPublicKey:
     modulus: int
     exponent: int
 
+    #: Backend metadata consumed by :class:`repro.crypto.signatures.Signer`.
+    algorithm = "rsa"
+
     @property
     def byte_length(self) -> int:
         return (self.modulus.bit_length() + 7) // 8
@@ -137,6 +140,9 @@ class RsaKeyPair:
     private_exponent: int
     p: int = 0
     q: int = 0
+
+    #: Backend metadata consumed by :class:`repro.crypto.signatures.Signer`.
+    algorithm = "rsa"
 
     def __post_init__(self) -> None:
         # Precompute the CRT constants once; frozen dataclass, so set

@@ -50,6 +50,34 @@ class InvertedIndex:
         self._documents.add(document_id)
         return len(terms)
 
+    def add_documents(self, documents: list[tuple[str, str]]) -> list[int]:
+        """Index a batch of ``(document_id, text)`` pairs.
+
+        Produces the same postings and the same cleartext journal
+        frames as per-document :meth:`add_document` calls, but every
+        (term, doc) frame lands in ONE batched device flush.  Returns
+        the per-document distinct-term counts, in input order.
+        """
+        seen: set[str] = set()
+        for document_id, _ in documents:
+            if document_id in self._documents or document_id in seen:
+                raise IndexError_(f"document {document_id} already indexed")
+            seen.add(document_id)
+        counts: list[int] = []
+        payloads: list[bytes] = []
+        for document_id, text in documents:
+            terms = unique_terms(text)
+            counts.append(len(terms))
+            for term in terms:
+                self._postings.setdefault(term, set()).add(document_id)
+                payloads.append(
+                    canonical_bytes({"op": "add", "term": term, "doc": document_id})
+                )
+            self._documents.add(document_id)
+        if payloads:
+            self._journal.append_many(payloads)
+        return counts
+
     def search(self, term: str) -> list[str]:
         """Documents containing *term* (single-term lookup)."""
         return sorted(self._postings.get(term.lower(), set()))

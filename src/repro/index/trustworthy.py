@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.crypto.aead import AeadCipher, AeadCiphertext
+from repro.crypto.aead import AeadCipher, AeadCiphertext, decrypt_many, encrypt_many
 from repro.crypto.hmac_utils import hmac_sha256
 from repro.crypto.kdf import derive_key
 from repro.errors import IndexError_, IntegrityError
@@ -124,17 +124,40 @@ class TrustworthyIndex:
     def _prepare_list(self, trapdoor: str, documents: list[str]) -> tuple[str, int, bytes]:
         """Encrypt one posting-list version; returns ``(trapdoor,
         version, stored_bytes)`` without touching the journal."""
-        previous = self._current.get(trapdoor)
-        version = previous.version + 1 if previous else 0
-        padded = sorted(documents) + [_PAD_DOC] * (
-            _padded_length(len(documents)) - len(documents)
-        )
-        plaintext = canonical_bytes(padded)
-        box = self._cipher_for(trapdoor).encrypt(
-            plaintext, associated_data=self._associated_data(trapdoor, version)
-        )
-        stored = canonical_bytes({"t": trapdoor, "v": version, "box": box.to_bytes()})
-        return trapdoor, version, stored
+        return self._prepare_lists([(trapdoor, documents)])[0]
+
+    def _prepare_lists(
+        self, lists: list[tuple[str, list[str]]]
+    ) -> list[tuple[str, int, bytes]]:
+        """Encrypt a batch of posting-list versions through ONE
+        vectorized AEAD pass (per-list keys and associated data stay
+        exactly as in the scalar path; only the keystream generation is
+        amortized across lists)."""
+        staged: list[tuple[str, int]] = []
+        items: list[tuple[AeadCipher, bytes, bytes]] = []
+        for trapdoor, documents in lists:
+            previous = self._current.get(trapdoor)
+            version = previous.version + 1 if previous else 0
+            padded = sorted(documents) + [_PAD_DOC] * (
+                _padded_length(len(documents)) - len(documents)
+            )
+            staged.append((trapdoor, version))
+            items.append(
+                (
+                    self._cipher_for(trapdoor),
+                    canonical_bytes(padded),
+                    self._associated_data(trapdoor, version),
+                )
+            )
+        boxes = encrypt_many(items)
+        return [
+            (
+                trapdoor,
+                version,
+                canonical_bytes({"t": trapdoor, "v": version, "box": box.to_bytes()}),
+            )
+            for (trapdoor, version), box in zip(staged, boxes)
+        ]
 
     def _commit_prepared(self, prepared: list[tuple[str, int, bytes]]) -> None:
         """Journal prepared list versions under ONE device write and
@@ -168,6 +191,36 @@ class TrustworthyIndex:
             box, associated_data=self._associated_data(trapdoor, meta.version)
         )
         return [doc for doc in canonical_loads(plaintext) if doc != _PAD_DOC]
+
+    def _read_lists(self, trapdoors: list[str]) -> list[list[str]]:
+        """Batch of :meth:`_read_list`: identical per-list validation
+        (journal checksum, trapdoor/version binding, per-item MAC), but
+        all the posting-list decrypts share one vectorized keystream
+        pass.  Absent trapdoors yield empty lists, as in the scalar
+        path."""
+        results: list[list[str]] = [[] for _ in trapdoors]
+        items = []
+        slots = []
+        for slot, trapdoor in enumerate(trapdoors):
+            meta = self._current.get(trapdoor)
+            if meta is None:
+                continue
+            stored = canonical_loads(self._journal.read(meta.journal_sequence))
+            if stored["t"] != trapdoor or stored["v"] != meta.version:
+                raise IntegrityError(
+                    "posting list substitution detected (trapdoor/version mismatch)"
+                )
+            items.append(
+                (
+                    self._cipher_for(trapdoor),
+                    AeadCiphertext.from_bytes(stored["box"]),
+                    self._associated_data(trapdoor, meta.version),
+                )
+            )
+            slots.append(slot)
+        for slot, plaintext in zip(slots, decrypt_many(items)):
+            results[slot] = [doc for doc in canonical_loads(plaintext) if doc != _PAD_DOC]
+        return results
 
     # -- public API ---------------------------------------------------------------
 
@@ -215,11 +268,12 @@ class TrustworthyIndex:
             term_counts.append(len(terms))
             for term in terms:
                 additions.setdefault(self.trapdoor(term), []).append(document_id)
-        prepared = []
-        for trapdoor, new_ids in additions.items():
-            posting = self._read_list(trapdoor)
-            posting.extend(new_ids)
-            prepared.append(self._prepare_list(trapdoor, posting))
+        trapdoors = list(additions)
+        lists = []
+        for trapdoor, posting in zip(trapdoors, self._read_lists(trapdoors)):
+            posting.extend(additions[trapdoor])
+            lists.append((trapdoor, posting))
+        prepared = self._prepare_lists(lists) if lists else []
         if prepared:
             self._commit_prepared(prepared)
         self._documents.update(seen)

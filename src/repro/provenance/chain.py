@@ -198,6 +198,61 @@ class CustodyRegistry:
         self._chains[object_id] = chain
         return event
 
+    def record_origins(
+        self,
+        entries: list[tuple[str, bytes]],
+        custodian: Signer,
+        timestamp: float,
+        reason: str = "created",
+    ) -> list[CustodyEvent]:
+        """Record origin events for many ``(object_id, digest)`` pairs
+        with ONE aggregated signature over the batch's Merkle root.
+
+        Each event's :class:`~repro.crypto.signatures.AggregateSignedPayload`
+        carries its own inclusion proof, so :meth:`CustodyChain.verify`
+        still detects tampering with any single record — the custody
+        trust model is unchanged, only the private-key cost is amortized
+        (the hot path of the engine's ``store_many``).
+        """
+        if not entries:
+            return []
+        for object_id, _ in entries:
+            if object_id in self._chains:
+                raise ProvenanceError(
+                    f"object {object_id} already has a custody chain"
+                )
+        seen: set[str] = set()
+        for object_id, _ in entries:
+            if object_id in seen:
+                raise ProvenanceError(
+                    f"object {object_id} appears twice in one origin batch"
+                )
+            seen.add(object_id)
+        payloads = [
+            CustodyEvent.payload(
+                object_id, "origin", "", custodian.signer_id, digest, timestamp, reason
+            )
+            for object_id, digest in entries
+        ]
+        signed_batch = custodian.sign_batch(payloads)
+        events = []
+        for (object_id, digest), signed in zip(entries, signed_batch):
+            event = CustodyEvent(
+                object_id=object_id,
+                event_type="origin",
+                from_custodian="",
+                to_custodian=custodian.signer_id,
+                object_digest=digest,
+                timestamp=timestamp,
+                reason=reason,
+                signed=signed,
+            )
+            chain = CustodyChain(object_id)
+            chain.append(event)
+            self._chains[object_id] = chain
+            events.append(event)
+        return events
+
     def record_transfer(
         self,
         object_id: str,

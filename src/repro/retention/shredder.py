@@ -23,7 +23,7 @@ two concerns impossible to shortcut.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.crypto.keys import KeyHandle, KeyStore
 from repro.errors import DispositionError
@@ -52,12 +52,24 @@ class SecureShredder:
         self._keystore = keystore
         self._passes = overwrite_passes
         self._policies: list[Any] = []
+        self._cache_purges: list[Callable[[], Any]] = []
 
     def bind_policy(self, engine: Any) -> None:
         """Register a policy engine whose decision cache is purged after
         every successful shred (a destroyed record's cached allows must
         not outlive it)."""
         self._policies.append(engine)
+
+    def bind_cache(self, purge: Callable[[], Any]) -> None:
+        """Register a derived-material cache to purge after every
+        successful shred.
+
+        Every memo that holds (or can regenerate) material derived from
+        destroyed data — aggregated-signature root memos, ed25519 key
+        expansions, keystream prefixes — must be registered here, so a
+        shred empties them all without any call site having to remember
+        each cache individually."""
+        self._cache_purges.append(purge)
 
     def shred(
         self,
@@ -92,6 +104,8 @@ class SecureShredder:
             bytes_overwritten += size
         for engine in self._policies:
             engine.purge_decisions()
+        for purge in self._cache_purges:
+            purge()
         return ShredReport(
             object_id=object_id,
             key_shredded=key_handle is not None,

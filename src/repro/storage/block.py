@@ -176,6 +176,32 @@ class BlockDevice:
         self.stats.writes += 1
         self.stats.bytes_written += stored
 
+    def writev(self, offset: int, buffers: list[bytes]) -> None:
+        """Scatter write: commit *buffers* contiguously from *offset*
+        under ONE software write, without joining them first.
+
+        Semantically identical to ``write(offset, b"".join(buffers))`` —
+        same bounds/protection checks, same single entry in the I/O
+        stats — but the fast path hands each buffer to the medium
+        directly, so a batched journal flush never materializes the
+        whole frame run in memory.  When a fault-injection write hook is
+        installed the buffers ARE joined and routed through the ordinary
+        commit path: the crash sweep must keep seeing one tearable write
+        per flush.
+        """
+        self._check_attached()
+        if self._write_protected:
+            raise DeviceError(f"device {self.device_id} is write-protected")
+        total = sum(len(buffer) for buffer in buffers)
+        self._check_bounds(offset, total)
+        if self._write_hook is not None:
+            stored = self._commit(offset, b"".join(buffers))
+        else:
+            self._storev(offset, buffers)
+            stored = total
+        self.stats.writes += 1
+        self.stats.bytes_written += stored
+
     def read(self, offset: int, size: int) -> bytes:
         """Read through the software path."""
         self._check_attached()
@@ -232,6 +258,14 @@ class BlockDevice:
     def _store(self, offset: int, data: bytes) -> None:
         raise NotImplementedError
 
+    def _storev(self, offset: int, buffers: list[bytes]) -> None:
+        """Scatter-store fallback: one :meth:`_store` per buffer.
+        Subclasses with real file handles override this to keep the
+        whole run under a single descriptor operation."""
+        for buffer in buffers:
+            self._store(offset, buffer)
+            offset += len(buffer)
+
     def _load(self, offset: int, size: int) -> bytes:
         raise NotImplementedError
 
@@ -274,6 +308,12 @@ class FileBackedDevice(BlockDevice):
         with open(self._path, "r+b") as handle:
             handle.seek(offset)
             handle.write(data)
+
+    def _storev(self, offset: int, buffers: list[bytes]) -> None:
+        with open(self._path, "r+b") as handle:
+            handle.seek(offset)
+            for buffer in buffers:
+                handle.write(buffer)
 
     def _load(self, offset: int, size: int) -> bytes:
         with open(self._path, "rb") as handle:

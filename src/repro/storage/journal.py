@@ -20,7 +20,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.crypto.hashing import sha256
+from repro.crypto.hashing import hash_chunks, sha256
 from repro.errors import IntegrityError, StorageError
 from repro.storage.block import BlockDevice
 from repro.util.metrics import METRICS
@@ -40,6 +40,20 @@ class JournalEntry:
     sequence: int
     offset: int
     payload: bytes
+
+
+@dataclass(frozen=True)
+class ScatteredEntry:
+    """Metadata for an entry committed from scattered chunks.
+
+    Unlike :class:`JournalEntry` it does not carry the payload bytes —
+    materializing them would reintroduce exactly the copy
+    :meth:`Journal.append_scattered` exists to avoid.
+    """
+
+    sequence: int
+    offset: int
+    length: int
 
 
 class Journal:
@@ -89,17 +103,22 @@ class Journal:
         """
         if not payloads:
             return []
-        frames = bytearray()
+        buffers: list[bytes] = []
         staged: list[tuple[int, bytes]] = []  # (relative offset, payload)
+        total = 0
         for payload in payloads:
             if not isinstance(payload, (bytes, bytearray)):
                 raise StorageError("journal payload must be bytes")
             payload = bytes(payload)
-            staged.append((len(frames), payload))
-            frames += _HEADER.pack(_MAGIC, len(payload), sha256(payload)[:8])
-            frames += payload
-        base = self._device.allocate(len(frames))
-        self._device.write(base, bytes(frames))
+            staged.append((total, payload))
+            buffers.append(_HEADER.pack(_MAGIC, len(payload), sha256(payload)[:8]))
+            buffers.append(payload)
+            total += _HEADER.size + len(payload)
+        base = self._device.allocate(total)
+        # One writev-style flush: each preassembled frame buffer goes to
+        # the device by reference — the frame run is never joined into a
+        # single intermediate bytes object.
+        self._device.writev(base, buffers)
         self._flush_count += 1
         METRICS.incr("journal_flush_count")
         METRICS.incr("journal_entries_appended", len(staged))
@@ -114,6 +133,33 @@ class Journal:
                 )
             )
         return entries
+
+    def append_scattered(self, chunks: list[bytes]) -> ScatteredEntry:
+        """Append ONE frame whose payload is the concatenation of
+        *chunks*, committed without ever joining them.
+
+        Framing is byte-identical to ``append(b"".join(chunks))`` — one
+        header, one checksum over the whole payload (computed
+        incrementally), one atomic flush — so recovery and the
+        adversary's frame walk see the same bytes; only the Python-side
+        copies disappear.  This is how the WORM store commits a
+        ``put_many`` batch: header chunk plus each object's sealed bytes,
+        straight to the device.
+        """
+        for chunk in chunks:
+            if not isinstance(chunk, (bytes, bytearray)):
+                raise StorageError("journal payload must be bytes")
+        total = sum(len(chunk) for chunk in chunks)
+        header = _HEADER.pack(_MAGIC, total, hash_chunks(chunks)[:8])
+        offset = self._device.allocate(_HEADER.size + total)
+        self._device.writev(offset, [header, *chunks])
+        self._entries.append((offset, total))
+        self._flush_count += 1
+        METRICS.incr("journal_flush_count")
+        METRICS.incr("journal_entries_appended")
+        return ScatteredEntry(
+            sequence=len(self._entries) - 1, offset=offset, length=total
+        )
 
     def read(self, sequence: int) -> bytes:
         """Read one entry's payload, verifying its checksum."""

@@ -71,13 +71,22 @@ class EquivalenceCase:
     full_detects: bool  # an unconditional full pass catches it
     caught_by: str  # "incremental" | "escalation" | "none" | "n/a"
     attempts: int  # passes the bounded policy ran before detection
+    expected_flag: str = ""  # record the full pass must implicate, alone
+    flagged: tuple[str, ...] = ()  # records the full pass implicated
 
     @property
     def violation(self) -> bool:
         if not self.tampered:
             # control case: incremental must not cry wolf
             return self.incremental_detects or self.full_detects
-        return self.full_detects and not self.incremental_detects
+        if self.full_detects and not self.incremental_detects:
+            return True
+        if self.expected_flag and self.flagged != (self.expected_flag,):
+            # Detection that cannot localize the damage is a weaker
+            # guarantee: a batched write must not smear blame across its
+            # siblings, nor hide the victim in a pile of false flags.
+            return True
+        return False
 
 
 @dataclass
@@ -372,6 +381,67 @@ def _rot_clean_object(sub: _Substrate) -> bool:
     return _rot_worm_object(sub, f"{sub.records[0]}@v0")
 
 
+_BATCH_SIZE = 5
+_BATCH_VICTIM = 2
+
+
+def _rot_batch_extent(sub: _Substrate, object_id: str) -> bool:
+    """Flip one byte inside *object_id*'s extent of a batched WORM frame.
+
+    ``put_many`` writes the whole batch as one scattered frame: a
+    manifest header, a NUL separator, then every member's bytes
+    back-to-back.  A raw-media adversary who knows the layout can target
+    one member's bytes exactly; the manifest locates the extent.
+    """
+    device = sub.target.worm.device
+    for offset, payload in Journal.iter_device_frames(device):
+        separator = payload.find(b"\x00")
+        if separator < 0:
+            continue
+        try:
+            header = canonical_loads(payload[:separator])
+        except Exception:
+            continue
+        if not isinstance(header, dict) or "batch" not in header:
+            continue
+        start = separator + 1
+        for entry in header["batch"]:
+            if entry["object_id"] == object_id:
+                target = start + entry["size"] // 2
+                forged = bytearray(payload)
+                forged[target] ^= 0x5A
+                Journal.forge_frame(device, offset, bytes(forged))
+                return True
+            start += entry["size"]
+    return False
+
+
+def _tamper_batch_member(sub: _Substrate) -> str | None:
+    """Rot exactly one member of a ``store_many`` batch.
+
+    The batched ingest path writes all of a batch's WORM objects through
+    one scattered flush and covers them with a single aggregated custody
+    signature — a shared fate the per-record paths never had.  Detection
+    must still localize: the pass that catches the rot has to implicate
+    the tampered record and *only* the tampered record, or the batch's
+    siblings are collateral damage in every forensic follow-up.
+    """
+    notes = [
+        ClinicalNote.create(
+            record_id=f"rec-batch-{n}",
+            patient_id=sub.dirty_patient,
+            created_at=sub.clock.now(),
+            author="dr-eq",
+            specialty="cardiology",
+            text=f"batched note {n} landing in one scattered flush",
+        )
+        for n in range(_BATCH_SIZE)
+    ]
+    sub.surface.store_many(notes, "dr-eq")
+    victim = f"rec-batch-{_BATCH_VICTIM}"
+    return victim if _rot_batch_extent(sub, f"{victim}@v0") else None
+
+
 # -- the bounded policy ---------------------------------------------------
 
 
@@ -429,6 +499,34 @@ def _integrity_case(
     )
 
 
+def _batch_integrity_case(
+    name: str, tamper, build: Callable[[], _Substrate]
+) -> EquivalenceCase:
+    """Like :func:`_integrity_case`, but also demands exact blame.
+
+    ``flagged`` records what the terminal full pass implicated (cluster
+    shard labels stripped); the case is a violation unless that is
+    precisely the tampered record.
+    """
+    sub = build()
+    victim = tamper(sub)
+    detected, caught_by, attempts = _run_policy(
+        lambda: not sub.surface.verify_integrity(incremental=True).ok,
+        lambda: not sub.surface.verify_integrity().ok,
+    )
+    report = sub.surface.verify_integrity()
+    return EquivalenceCase(
+        name=name,
+        tampered=victim is not None,
+        incremental_detects=detected,
+        full_detects=(not report.ok) or detected,
+        caught_by=caught_by if victim is not None else "n/a",
+        attempts=attempts,
+        expected_flag=victim or "",
+        flagged=tuple(v.rsplit(":", 1)[-1] for v in report.violations),
+    )
+
+
 def _control_case(build: Callable[[], _Substrate], name: str) -> EquivalenceCase:
     sub = build()
     _append_delta(sub)
@@ -463,7 +561,14 @@ _TAMPER_CASES: tuple[tuple[str, str, Callable[[_Substrate], bool]], ...] = (
     ("audit", "watermark_forgery", _forge_watermark),
     ("integrity", "worm_dirty_object_rot", _rot_dirty_object),
     ("integrity", "worm_clean_object_rot", _rot_clean_object),
+    ("batch", "worm_batch_member_rot", _tamper_batch_member),
 )
+
+_CASE_RUNNERS = {
+    "audit": _audit_case,
+    "integrity": _integrity_case,
+    "batch": _batch_integrity_case,
+}
 
 
 def _run_cases(
@@ -471,8 +576,7 @@ def _run_cases(
 ) -> list[EquivalenceCase]:
     cases = []
     for kind, name, tamper in _TAMPER_CASES:
-        runner = _audit_case if kind == "audit" else _integrity_case
-        cases.append(runner(f"{prefix}{name}", tamper, build))
+        cases.append(_CASE_RUNNERS[kind](f"{prefix}{name}", tamper, build))
     return cases
 
 

@@ -145,29 +145,37 @@ class WormStore:
                 )
             seen.add(object_id)
         written_at = self._clock.now()
+        digests = [sha256(data) for _, data, _ in items]
         manifest = [
             {
                 "object_id": object_id,
                 "size": len(data),
-                "digest": sha256(data),
+                "digest": digest,
                 "written_at": written_at,
             }
-            for object_id, data, _ in items
+            for (object_id, data, _), digest in zip(items, digests)
         ]
         header = canonical_bytes({"batch": manifest})
-        blob = bytearray(header)
-        blob += b"\x00"
+        # One scattered frame: the header chunk plus each object's bytes
+        # go to the device by reference — the batch blob is never
+        # materialized, and the single frame checksum still makes the
+        # whole batch all-or-nothing at recovery.
+        chunks: list[bytes] = [header, b"\x00"]
         starts = []
+        data_start = len(header) + 1
         for _, data, _ in items:
-            starts.append(len(blob))
-            blob += data
-        entry = self._journal.append(bytes(blob))
+            starts.append(data_start)
+            chunks.append(data)
+            data_start += len(data)
+        entry = self._journal.append_scattered(chunks)
         metas = []
-        for (object_id, data, retention), data_start in zip(items, starts):
+        for (object_id, data, retention), data_start, digest in zip(
+            items, starts, digests
+        ):
             meta = StoredObject(
                 object_id=object_id,
                 size=len(data),
-                content_digest=sha256(data),
+                content_digest=digest,
                 written_at=written_at,
                 journal_sequence=entry.sequence,
                 payload_offset=entry.offset + HEADER_SIZE + data_start,

@@ -1,0 +1,124 @@
+"""Process-backed shard workers: protocol, equivalence, and the
+deliberately unsupported device surface."""
+
+import pytest
+
+from repro.cluster import CuratorCluster
+from repro.cluster.workers import ShardWorkerProxy, worker_shard_config
+from repro.core.config import CuratorConfig
+from repro.crypto.ed25519 import generate_ed25519_keypair
+from repro.errors import AccessDeniedError, ClusterError, RecordNotFoundError
+from repro.util import SimulatedClock
+
+from tests.cluster.conftest import MASTER_KEY, make_note, patients_per_shard
+
+ED_KEYPAIR = generate_ed25519_keypair(seed=bytes(range(32)))
+
+
+@pytest.fixture()
+def worker_cluster():
+    config = CuratorConfig(
+        master_key=MASTER_KEY,
+        clock=SimulatedClock(start=1.17e9),
+        signing_keypair=ED_KEYPAIR,
+    )
+    cluster = CuratorCluster(config, shards=3, workers=3)
+    yield cluster
+    cluster.close()
+
+
+def test_worker_cluster_reports_workers(worker_cluster):
+    assert worker_cluster.worker_count == 3
+    assert all(
+        isinstance(engine, ShardWorkerProxy) for engine in worker_cluster.shards
+    )
+
+
+def test_store_read_search_round_trip_through_workers(worker_cluster):
+    notes = [
+        make_note(f"rec-{i:02d}", f"pat-{i:02d}", 1.17e9, text="cardiac mri study")
+        for i in range(6)
+    ]
+    assert worker_cluster.store_many(notes, "dr-cluster") == 6
+    note = worker_cluster.read("rec-03", actor_id="dr-cluster")
+    assert note.record_id == "rec-03"
+    assert sorted(worker_cluster.search("cardiac", actor_id="dr-cluster")) == [
+        f"rec-{i:02d}" for i in range(6)
+    ]
+    assert worker_cluster.record_ids() == [f"rec-{i:02d}" for i in range(6)]
+
+
+def test_records_land_on_ring_assigned_worker(worker_cluster):
+    groups = patients_per_shard(3, 2)
+    placed = {}
+    n = 0
+    for shard, patients in groups.items():
+        for patient_id in patients:
+            record_id = f"rec-{n:03d}"
+            worker_cluster.store(make_note(record_id, patient_id, 1.17e9), "dr-cluster")
+            placed.setdefault(shard, []).append(record_id)
+            n += 1
+    for shard, record_ids in placed.items():
+        held = worker_cluster.shards[shard].record_ids()
+        assert set(record_ids) <= set(held)
+        assert all(worker_cluster.shard_of_record(r) == shard for r in record_ids)
+
+
+def test_errors_cross_the_pipe_typed(worker_cluster):
+    worker_cluster.store(make_note("rec-1", "pat-1", 1.17e9), "dr-cluster")
+    with pytest.raises(RecordNotFoundError):
+        worker_cluster.read("no-such-record", actor_id="dr-cluster")
+    with pytest.raises(AccessDeniedError):
+        # An unknown actor is denied by the policy engine inside the
+        # worker process; the typed denial must surface unchanged.
+        worker_cluster.read("rec-1", actor_id="complete-stranger")
+
+
+def test_verification_fans_out_across_workers(worker_cluster):
+    worker_cluster.store_many(
+        [make_note(f"rec-{i}", f"pat-{i}", 1.17e9) for i in range(5)], "dr-cluster"
+    )
+    assert worker_cluster.verify_integrity().ok
+    assert worker_cluster.verify_audit_trail().ok
+
+
+def test_device_surface_refuses_in_worker_mode(worker_cluster):
+    with pytest.raises(ClusterError):
+        worker_cluster.devices()
+    with pytest.raises(ClusterError):
+        worker_cluster.audit_devices()
+
+
+def test_engine_internals_unreachable_through_proxy(worker_cluster):
+    with pytest.raises(AttributeError):
+        worker_cluster.shards[0]._clock
+
+
+def test_close_is_idempotent_and_blocks_further_calls(worker_cluster):
+    worker_cluster.close()
+    worker_cluster.close()
+    with pytest.raises(ClusterError):
+        worker_cluster.shards[0].record_ids()
+
+
+def test_worker_shard_config_strips_policy_rules():
+    from repro.policy.compiler import compile_default_ruleset
+
+    config = CuratorConfig(
+        master_key=MASTER_KEY,
+        signing_keypair=ED_KEYPAIR,
+        policy_rules=compile_default_ruleset(),
+    )
+    assert worker_shard_config(config).policy_rules is None
+
+
+def test_in_process_cluster_close_is_safe(worker_cluster):
+    config = CuratorConfig(
+        master_key=MASTER_KEY,
+        clock=SimulatedClock(start=1.17e9),
+        signing_keypair=ED_KEYPAIR,
+    )
+    local = CuratorCluster(config, shards=2, workers=0)
+    assert local.worker_count == 0
+    local.store(make_note("rec-1", "pat-1", 1.17e9), "dr-cluster")
+    local.close()  # reaps only the lazy thread pool

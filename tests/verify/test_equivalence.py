@@ -16,6 +16,7 @@ EXPECTED_CASES = {
     "watermark_forgery",
     "worm_dirty_object_rot",
     "worm_clean_object_rot",
+    "worm_batch_member_rot",
 }
 
 
@@ -63,6 +64,19 @@ def test_control_case_flags_any_false_positive():
     ).violation
 
 
+def test_exact_blame_required_when_expected_flag_set():
+    # smeared blame across batch siblings is a violation ...
+    assert make_case(
+        expected_flag="rec-batch-2", flagged=("rec-batch-1", "rec-batch-2")
+    ).violation
+    # ... as is flagging the wrong record entirely ...
+    assert make_case(expected_flag="rec-batch-2", flagged=("rec-batch-0",)).violation
+    # ... while exactly the victim is clean
+    assert not make_case(
+        expected_flag="rec-batch-2", flagged=("rec-batch-2",)
+    ).violation
+
+
 def test_suite_runs_clean_end_to_end():
     report = run_detection_equivalence()
     assert {case.name for case in report.cases} == EXPECTED_CASES
@@ -74,5 +88,8 @@ def test_suite_runs_clean_end_to_end():
             assert case.tampered, f"{case.name} tamper never landed"
             assert case.full_detects, f"{case.name} invisible to a full pass"
             assert case.caught_by in ("incremental", "escalation")
+    batch = next(c for c in report.cases if c.name == "worm_batch_member_rot")
+    # the batched-ingest tamper implicated exactly the rotten member
+    assert batch.flagged == (batch.expected_flag,)
     summary = report.summary()
-    assert "9 cases, 0 violations" in summary
+    assert "10 cases, 0 violations" in summary
