@@ -3,7 +3,7 @@ PY ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify sweep conformance bench-gate verify-cluster policy-lint profile
+.PHONY: test verify sweep conformance bench-gate verify-cluster verify-rebalance policy-lint profile
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -15,9 +15,9 @@ policy-lint:
 	$(PY) -m repro policy lint
 
 # The PR gate: tier-1, ruleset lint, a bounded crash-consistency sweep +
-# differential conformance + detection equivalence, and the E2/E8/E9
-# regression gates.
-verify: test policy-lint bench-gate
+# differential conformance + detection equivalence, the E2/E8/E9
+# regression gates, and the online-rebalance (E6b) gate.
+verify: test policy-lint bench-gate verify-rebalance
 	$(PY) -m repro verify --limit 12
 
 # The exhaustive sweep: every write boundary, clean + torn.  ~30s.
@@ -38,6 +38,15 @@ bench-gate:
 # `make profile ARGS="--arm single --sort tottime"`.
 profile:
 	$(PY) benchmarks/profile_e2.py $(ARGS)
+
+# Elastic-resharding gate: the vnode-ring property suite, the
+# rebalancer's functional and crash-sweep tests, the rebalance
+# detection-equivalence oracle, and the E6b online-rebalance arm
+# (p99-under-fire + proof re-verification) gated by check_regression.
+verify-rebalance:
+	$(PY) -m pytest tests/cluster/test_vnode_ring.py tests/cluster/test_rebalancer.py tests/cluster/test_rebalance_crash.py tests/cluster/test_cluster_equivalence.py -q
+	$(PY) -m pytest benchmarks/bench_e6_migration.py::test_e6b_online_rebalance -q
+	$(PY) benchmarks/check_regression.py --skip-e8 --skip-e9
 
 # Cluster-only gate: the sharded router's tests, the cross-shard
 # detection-equivalence oracle, and the E9 scaling bar.

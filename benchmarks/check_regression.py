@@ -25,6 +25,15 @@ throughput on the mixed workload — and the 8-shard process-pool arm
 at least 5x — with **zero** cluster detection-equivalence violations;
 scale bought by skipping verification does not count.
 
+``BENCH_e6.json`` (run
+``pytest benchmarks/bench_e6_migration.py::test_e6b_online_rebalance``)
+gates the online-rebalance arm on absolute bars: p99 read latency
+during the move window at most 2x the steady-state p99 under the same
+concurrent load, every move carrying a verifier-accepted
+MigrationProof, and **zero** rebalance detection-equivalence
+violations.  Elasticity bought with blocked readers or unproven moves
+does not count.
+
 The curator's batched ingest additionally carries an **absolute** bar:
 at least 2450 records/sec on the E2 batch arm — five times the
 pre-rebuild write path (~490 rps).  The baseline-relative gate catches
@@ -54,6 +63,7 @@ from pathlib import Path
 BENCH_JSON = Path(__file__).parent / "BENCH_e2.json"
 BENCH_E8_JSON = Path(__file__).parent / "BENCH_e8.json"
 BENCH_E9_JSON = Path(__file__).parent / "BENCH_e9.json"
+BENCH_E6_JSON = Path(__file__).parent / "BENCH_e6.json"
 DEFAULT_TOLERANCE = 0.30
 #: The curator's batched ingest gets a tighter delta gate than the loose
 #: fleet-wide tolerance: the E2 hot path must stay policy-free (store()
@@ -68,6 +78,9 @@ MIN_E9_SPEEDUP = 2.5
 #: The 8-shard process-pool arm answers from per-shard state an eighth
 #: the size; it must clear a higher bar than the in-process cluster.
 MIN_E9_WORKER_SPEEDUP = 5.0
+#: Online rebalance impact bound: p99 read latency during the move
+#: window may be at most this multiple of the steady-state p99.
+MAX_E6_P99_RATIO = 2.0
 _METRICS = ("single_rps", "batched_rps")
 
 
@@ -189,6 +202,43 @@ def check_e9(
     return problems
 
 
+def check_e6(path: Path, max_p99_ratio: float) -> list[str]:
+    """Absolute bars for the E6b online rebalance arm."""
+    if not path.exists():
+        return [
+            f"no E6 results at {path}; run the E6b online rebalance "
+            "benchmark first"
+        ]
+    online = json.loads(path.read_text()).get("online", {})
+    problems = []
+    ratio = online.get("p99_ratio", float("inf"))
+    if ratio > max_p99_ratio:
+        problems.append(
+            f"e6.p99_ratio: p99 read latency during rebalance is "
+            f"{ratio:.2f}x steady state (bar: {max_p99_ratio:.1f}x; "
+            f"{online.get('p99_rebalance_ms', '?')} ms vs "
+            f"{online.get('p99_steady_ms', '?')} ms)"
+        )
+    moves = online.get("moves", 0)
+    verified = online.get("proofs_verified", -1)
+    failures = online.get("proof_failures")
+    if moves <= 0:
+        problems.append("e6.moves: the rebalance arm moved no patients")
+    if failures != 0 or verified != moves:
+        problems.append(
+            f"e6.proofs: {verified}/{moves} move proofs re-verified with "
+            f"{failures} failures (every move must carry a "
+            f"verifier-accepted MigrationProof)"
+        )
+    violations = online.get("equivalence_violations")
+    if violations != 0:
+        problems.append(
+            f"e6.equivalence: {violations} rebalance detection-equivalence "
+            f"violations (the move window must lose no detection power)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -258,6 +308,23 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-e9",
         action="store_true",
         help="skip the E9 cluster-scaling bars",
+    )
+    parser.add_argument(
+        "--current-e6",
+        default=str(BENCH_E6_JSON),
+        help="fresh E6b online-rebalance results JSON path",
+    )
+    parser.add_argument(
+        "--max-e6-p99-ratio",
+        type=float,
+        default=MAX_E6_P99_RATIO,
+        help="allowed p99 read-latency multiple during an online "
+        "rebalance (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-e6",
+        action="store_true",
+        help="skip the E6b online-rebalance bars",
     )
     args = parser.parse_args(argv)
 
@@ -329,6 +396,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"ok: cluster >= {args.min_e9_speedup:.1f}x single engine "
                 f"(process-pool arm >= {args.min_e9_worker_speedup:.1f}x), "
                 f"0 cluster detection-equivalence violations"
+            )
+
+    if not args.skip_e6:
+        e6_problems = check_e6(Path(args.current_e6), args.max_e6_p99_ratio)
+        if e6_problems:
+            print("ONLINE REBALANCE REGRESSION:")
+            for problem in e6_problems:
+                print(f"  - {problem}")
+            problems.extend(e6_problems)
+        else:
+            print(
+                f"ok: online rebalance p99 <= {args.max_e6_p99_ratio:.1f}x "
+                f"steady state, every move proof re-verified, 0 rebalance "
+                f"detection-equivalence violations"
             )
 
     return 1 if problems else 0

@@ -241,6 +241,69 @@ def _cluster_demo(args) -> int:
     return 0 if (integrity.ok and audit.ok) else 1
 
 
+def _cluster_rebalance(args) -> int:
+    """Demo of online elastic resharding: grow (or shrink) a live
+    seeded cluster, then re-verify every move's MigrationProof and the
+    cluster's own integrity and audit paths."""
+    from repro import CuratorCluster, CuratorConfig
+    from repro.records import ClinicalNote
+    from repro.util import SimulatedClock
+
+    clock = SimulatedClock(start=1.17e9)
+    cluster = CuratorCluster(
+        CuratorConfig(master_key=secrets.token_bytes(32), clock=clock),
+        shards=args.shards,
+        vnodes=args.vnodes,
+    )
+    for n in range(args.patients):
+        cluster.store(
+            ClinicalNote.create(
+                record_id=f"rec-{n:03d}",
+                patient_id=f"pat-{n:03d}",
+                created_at=clock.now(),
+                author="dr-demo",
+                specialty="cardiology",
+                text=f"rebalance demo note {n}: sinus rhythm",
+            ),
+            author_id="dr-demo",
+        )
+        clock.advance(1.0)
+
+    report = cluster.rebalance(target_shards=args.target, actor_id="ops")
+    print(
+        f"rebalanced {len(report.from_shards)} -> {len(report.to_shards)} "
+        f"shards (epoch {report.epoch}): moved {report.moved} of "
+        f"{args.patients} patients"
+    )
+    if report.added:
+        print(f"  added:   {', '.join(report.added)}")
+    if report.removed:
+        print(f"  removed: {', '.join(report.removed)}")
+    failures = 0
+    for proof in report.proofs:
+        try:
+            cluster.verify_move_proof(proof)
+        except Exception as exc:  # surface, then count: the gate is the exit code
+            failures += 1
+            print(f"  proof FAILED {proof.patient_id}: {exc}")
+    print(
+        f"  proofs:  {report.moved - failures}/{report.moved} re-verified "
+        f"({failures} failures)"
+    )
+    for proof in report.proofs[: args.show]:
+        print(
+            f"    {proof.patient_id}: {proof.source_shard} -> "
+            f"{proof.destination_shard}, {proof.object_count} extents, "
+            f"epoch {proof.epoch}"
+        )
+    integrity = cluster.verify_integrity()
+    audit = cluster.verify_audit_trail()
+    print("integrity:", integrity.summary())
+    print("audit:    ", audit.summary())
+    ok = integrity.ok and audit.ok and failures == 0
+    return 0 if ok else 1
+
+
 def _verify(args) -> int:
     from repro.verify import (
         render_conformance,
@@ -467,6 +530,40 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=4, help="shard count (default 4)"
     )
     cluster_demo.set_defaults(func=_cluster_demo)
+    cluster = sub.add_parser(
+        "cluster", help="operate on a sharded cluster"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    rebalance = cluster_sub.add_parser(
+        "rebalance",
+        help="grow/shrink a live seeded cluster and re-verify every "
+        "move's MigrationProof",
+    )
+    rebalance.add_argument(
+        "--shards", type=int, default=4, help="starting shard count (default 4)"
+    )
+    rebalance.add_argument(
+        "--target", type=int, default=8, help="target shard count (default 8)"
+    )
+    rebalance.add_argument(
+        "--patients",
+        type=int,
+        default=24,
+        help="seeded patients, one record each (default 24)",
+    )
+    rebalance.add_argument(
+        "--vnodes",
+        type=int,
+        default=32,
+        help="virtual nodes per shard (default 32)",
+    )
+    rebalance.add_argument(
+        "--show",
+        type=int,
+        default=4,
+        help="print the first N move proofs (default 4)",
+    )
+    rebalance.set_defaults(func=_cluster_rebalance)
     policy = sub.add_parser(
         "policy", help="inspect the declarative policy rulesets"
     )

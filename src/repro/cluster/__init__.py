@@ -1,14 +1,33 @@
 """Sharded deployment of the curator engine.
 
-* :mod:`repro.cluster.ring` — deterministic SHA-256 patient placement;
+* :mod:`repro.cluster.ring` — deterministic SHA-256 patient placement
+  (fixed-modulo :class:`HashRing`, elastic :class:`VNodeRing`);
 * :mod:`repro.cluster.manifest` — the HMAC-sealed topology manifest
   recovery refuses to proceed without;
 * :mod:`repro.cluster.router` — :class:`CuratorCluster`, the
-  thread-safe actor-attributed frontend over N independent engines.
+  thread-safe actor-attributed frontend over N independent engines;
+* :mod:`repro.cluster.rebalancer` — online elastic resharding with a
+  verifier-checked :class:`MigrationProof` per moved patient.
 """
 
 from repro.cluster.manifest import ClusterManifest
-from repro.cluster.ring import HashRing
+from repro.cluster.rebalancer import (
+    MigrationProof,
+    RebalanceReport,
+    Rebalancer,
+    verify_migration_proof,
+)
+from repro.cluster.ring import HashRing, RingDiff, VNodeRing
 from repro.cluster.router import CuratorCluster
 
-__all__ = ["ClusterManifest", "CuratorCluster", "HashRing"]
+__all__ = [
+    "ClusterManifest",
+    "CuratorCluster",
+    "HashRing",
+    "MigrationProof",
+    "RebalanceReport",
+    "Rebalancer",
+    "RingDiff",
+    "VNodeRing",
+    "verify_migration_proof",
+]

@@ -37,6 +37,11 @@ class ClusterManifest:
     site_id: str
     shard_ids: tuple[str, ...]
     algorithm: str = "sha256-ring"
+    #: Monotonic topology generation.  Every reshape bumps the epoch and
+    #: re-seals, so a recovered manifest names not just *a* topology but
+    #: *which* one — a stale pre-rebalance manifest and a lost device
+    #: produce distinguishable errors.
+    epoch: int = 0
     seal: bytes = b""
 
     @property
@@ -50,6 +55,7 @@ class ClusterManifest:
                 "site_id": self.site_id,
                 "shard_ids": list(self.shard_ids),
                 "algorithm": self.algorithm,
+                "epoch": self.epoch,
             }
         )
 
@@ -78,6 +84,7 @@ class ClusterManifest:
                 "site_id": self.site_id,
                 "shard_ids": list(self.shard_ids),
                 "algorithm": self.algorithm,
+                "epoch": self.epoch,
                 "seal": self.seal,
             }
         )
@@ -90,5 +97,7 @@ class ClusterManifest:
             site_id=fields["site_id"],
             shard_ids=tuple(fields["shard_ids"]),
             algorithm=fields["algorithm"],
+            # pre-rebalance escrow copies predate the epoch field
+            epoch=fields.get("epoch", 0),
             seal=fields["seal"],
         )

@@ -1,0 +1,453 @@
+"""Online elastic resharding: move patients between live shards with
+verifiable custody hand-off.
+
+The :class:`Rebalancer` drives the cluster from its current virtual-node
+ring to a target ring while the router keeps serving reads and writes.
+Each displaced patient moves through a fixed stage machine::
+
+    export -> import -> verify -> cutover -> retire -> proof
+
+* **export** — the source packages the patient's full history
+  (:meth:`~repro.core.engine.CuratorStore.export_patient_history`):
+  version plaintexts checked against their chain digests, attachments,
+  retention terms and litigation holds, the patient's audit-chain
+  segment, a signed Merkle manifest over the plaintext digests, and a
+  chain-continuity attestation binding the segment to the source's
+  audit head.
+* **import** — the destination re-seals everything under its own keys
+  in one atomic WORM batch and archives the segment durably.
+* **verify** — the double read: the import's returned digests AND a
+  fresh read-back of the destination's decrypted state must both equal
+  the signed manifest, entry for entry.  Any mismatch aborts the move
+  and the source stays authoritative.
+* **cutover** — under the patient's move ticket the audit tail that
+  accrued mid-move and the consent directives are synced, then routing
+  flips: the destination serves reads before the source copy is gone.
+* **retire** — the source drops its copy behind a durable
+  ``CUSTODY_TRANSFERRED`` marker (expatriated, not destroyed).
+* **proof** — a :class:`MigrationProof` is assembled: the signed
+  manifest, per-entry Merkle inclusion proofs, the destination's
+  re-derived digests, and the chain-continuity attestation.  With
+  ``verify_proofs`` (the default) the proof is checked end-to-end
+  against the live destination before the move counts.
+
+Writes to the moving patient block on the ticket for the duration of
+the move; writes to every other patient, and reads of everything
+including the moving patient, proceed throughout.  A crash at any stage
+boundary (the ``hook`` seam raises
+:class:`~repro.errors.CrashError` in the sweep harness) leaves the
+ticket published; :meth:`CuratorCluster.recover_interrupted_moves`
+resolves it — abort before cutover, complete after — so the patient is
+wholly on exactly one shard either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import MerkleProof, verify_inclusion
+from repro.crypto.signatures import SignedPayload, TrustStore
+from repro.errors import (
+    ClusterError,
+    IntegrityError,
+    MigrationError,
+    RecordNotFoundError,
+)
+from repro.migration.manifest import (
+    MigrationManifest,
+    entry_inclusion_proofs,
+    entry_leaf,
+    verify_manifest,
+)
+from repro.util.encoding import canonical_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.router import CuratorCluster
+
+#: Stage order; a ticket's ``stage`` records the last *completed* stage.
+STAGES = ("export", "import", "verify", "cutover", "retire", "proof")
+
+#: Ticket stages at which the destination holds a (partial or full)
+#: copy but the source is still authoritative — crash recovery aborts.
+_PRE_CUTOVER = ("pending", "exported", "imported", "verified")
+
+
+class MoveTicket:
+    """Per-patient move state: the write gate and the crash record.
+
+    The mover holds ``lock`` for the whole move; writers test it
+    non-blocking (:meth:`held`) — a published ticket whose lock is free
+    means the mover died, and routing state (unchanged before cutover,
+    flipped after) is still correct, so writers may proceed while
+    :meth:`~CuratorCluster.recover_interrupted_moves` cleans up.
+    """
+
+    __slots__ = (
+        "patient_id",
+        "source_slot",
+        "dest_slot",
+        "lock",
+        "record_ids",
+        "stage",
+    )
+
+    def __init__(self, patient_id: str, source_slot: int, dest_slot: int) -> None:
+        self.patient_id = patient_id
+        self.source_slot = source_slot
+        self.dest_slot = dest_slot
+        self.lock = threading.RLock()
+        self.record_ids: tuple[str, ...] = ()
+        self.stage = "pending"
+
+    def held(self) -> bool:
+        """True while a live mover owns the ticket."""
+        if self.lock.acquire(blocking=False):
+            self.lock.release()
+            return False
+        return True
+
+    def wait(self, timeout: float = 1.0) -> None:
+        """Block (bounded) until the mover releases the ticket."""
+        if self.lock.acquire(timeout=timeout):
+            self.lock.release()
+
+    @property
+    def cutover_done(self) -> bool:
+        return self.stage not in _PRE_CUTOVER and self.stage != "aborted"
+
+
+@dataclass(frozen=True)
+class MigrationProof:
+    """The signed, independently checkable evidence for one move."""
+
+    patient_id: str
+    source_shard: str
+    destination_shard: str
+    #: Manifest epoch of the transition topology the move ran under.
+    epoch: int
+    #: Source-signed Merkle manifest over the moved extents' plaintext
+    #: digests.
+    manifest: MigrationManifest
+    #: The digests the destination re-derived after re-sealing.
+    destination_entries: tuple[tuple[str, bytes], ...]
+    #: Per-entry Merkle inclusion proofs against ``manifest.merkle_root``.
+    inclusion_proofs: dict[str, MerkleProof] = field(repr=False)
+    #: Source-signed chain-continuity attestation over the audit segment.
+    attestation: SignedPayload = field(repr=False)
+
+    @property
+    def object_count(self) -> int:
+        return len(self.manifest.entries)
+
+
+def verify_migration_proof(
+    proof: MigrationProof, trust: TrustStore, destination
+) -> None:
+    """Check a move's proof end-to-end against the live destination.
+
+    Raises :class:`~repro.errors.MigrationError` (or
+    :class:`~repro.errors.IntegrityError` from a broken inclusion
+    proof) unless *all* of:
+
+    1. the manifest signature and Merkle root verify against *trust*;
+    2. the destination's re-derived digests equal the manifest entries;
+    3. every entry carries a valid inclusion proof against the root;
+    4. the attestation verifies, names this patient, and its segment
+       digest matches the segment the destination durably archived;
+    5. a fresh decrypting read of the destination's current state still
+       equals the manifest (the verifier's own third read).
+    """
+    verify_manifest(proof.manifest, trust)
+    if tuple(proof.destination_entries) != proof.manifest.entries:
+        raise MigrationError(
+            f"destination digests for {proof.patient_id} do not match "
+            "the signed manifest"
+        )
+    for object_id, digest in proof.manifest.entries:
+        inclusion = proof.inclusion_proofs.get(object_id)
+        if inclusion is None:
+            raise MigrationError(
+                f"no inclusion proof for moved extent {object_id!r}"
+            )
+        verify_inclusion(
+            entry_leaf(object_id, digest), inclusion, proof.manifest.merkle_root
+        )
+    payload = trust.verify(proof.attestation)
+    if (
+        payload.get("kind") != "segment-attestation"
+        or payload.get("patient") != proof.patient_id
+    ):
+        raise MigrationError(
+            f"attestation does not cover patient {proof.patient_id}"
+        )
+    snapshot = destination.imported_segment_snapshot(proof.patient_id)
+    if sha256(canonical_bytes(list(snapshot))) != payload["segment_digest"]:
+        raise MigrationError(
+            f"imported audit segment for {proof.patient_id} does not "
+            "match the source's chain-continuity attestation"
+        )
+    if len(snapshot) != payload["events"]:
+        raise MigrationError(
+            f"imported segment has {len(snapshot)} events, attestation "
+            f"signed {payload['events']}"
+        )
+    live = tuple(destination.patient_history_digests(proof.patient_id))
+    if live != proof.manifest.entries:
+        raise MigrationError(
+            f"destination live contents for {proof.patient_id} do not "
+            "match the signed manifest"
+        )
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one :meth:`CuratorCluster.rebalance` run did."""
+
+    from_shards: tuple[str, ...]
+    to_shards: tuple[str, ...]
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+    #: Final manifest epoch after the reshape.
+    epoch: int
+    #: Patients the ring diff displaced (planned moves).
+    displaced: tuple[str, ...]
+    #: One verified proof per completed move.
+    proofs: tuple[MigrationProof, ...]
+
+    @property
+    def moved(self) -> int:
+        return len(self.proofs)
+
+
+class Rebalancer:
+    """Drives one cluster reshape; see the module docstring."""
+
+    def __init__(
+        self,
+        cluster: "CuratorCluster",
+        *,
+        actor_id: str = "system",
+        hook: Callable[[str, str], None] | None = None,
+        verify_proofs: bool = True,
+        pace_s: float = 0.0,
+    ) -> None:
+        self._cluster = cluster
+        self._actor_id = actor_id
+        self._hook = hook
+        self._verify_proofs = verify_proofs
+        self._pace_s = pace_s
+
+    def _checkpoint(self, stage: str, patient_id: str) -> None:
+        if self._hook is not None:
+            self._hook(stage, patient_id)
+
+    def run(self, final_ring) -> RebalanceReport:
+        cluster = self._cluster
+        if not cluster._rebalance_lock.acquire(blocking=False):
+            raise ClusterError(
+                "a rebalance is already in progress on this cluster"
+            )
+        try:
+            return self._run(final_ring)
+        finally:
+            cluster._rebalance_lock.release()
+
+    def _run(self, final_ring) -> RebalanceReport:
+        cluster = self._cluster
+        old_ids = cluster.shard_ids
+        added = [
+            shard_id
+            for shard_id in final_ring.shard_ids
+            if shard_id not in set(old_ids)
+        ]
+        removed = [
+            shard_id
+            for shard_id in old_ids
+            if shard_id not in set(final_ring.shard_ids)
+        ]
+        pinned = cluster._install_transition(final_ring, added)
+        planned: list[tuple[str, int, int]] = []
+        for patient_id in sorted(pinned):
+            source = cluster._home_slot(patient_id)
+            target = cluster._ring_slot(patient_id)
+            if source != target:
+                planned.append((patient_id, source, target))
+        proofs: list[MigrationProof] = []
+        for patient_id, source, target in planned:
+            if self._pace_s:
+                time.sleep(self._pace_s)
+            proof = self._move(patient_id, source, target)
+            if proof is not None:
+                proofs.append(proof)
+        # Writers that raced the ring swap may have landed patients on a
+        # shard being removed; drain until the doomed shards are empty.
+        for _ in range(4):
+            stragglers: list[tuple[str, int, int]] = []
+            for shard_id in removed:
+                slot = cluster._topo.slots[shard_id]
+                for patient_id in cluster._on_shard(
+                    slot, lambda engine: engine.patient_ids()
+                ):
+                    stragglers.append(
+                        (patient_id, slot, cluster._ring_slot(patient_id))
+                    )
+            if not stragglers:
+                break
+            for patient_id, source, target in stragglers:
+                proof = self._move(patient_id, source, target)
+                if proof is not None:
+                    proofs.append(proof)
+        else:
+            raise ClusterError(
+                f"shards {removed} would not drain; rebalance left in "
+                "transition topology"
+            )
+        cluster._finalize_rebalance(final_ring)
+        return RebalanceReport(
+            from_shards=tuple(old_ids),
+            to_shards=final_ring.shard_ids,
+            added=tuple(added),
+            removed=tuple(removed),
+            epoch=cluster.manifest.epoch,
+            displaced=tuple(patient_id for patient_id, _, _ in planned),
+            proofs=tuple(proofs),
+        )
+
+    def _move(
+        self, patient_id: str, source_slot: int, dest_slot: int
+    ) -> MigrationProof | None:
+        cluster = self._cluster
+        ticket = cluster._publish_move(patient_id, source_slot, dest_slot)
+        try:
+            with ticket.lock:
+                # Snapshot the record set under the source shard lock:
+                # any writer that raced the publish either finished (and
+                # is in the snapshot) or will see the ticket and wait.
+                cluster._register_move_records(ticket)
+                self._checkpoint("export", patient_id)
+                try:
+                    bundle = cluster._on_shard(
+                        source_slot,
+                        lambda engine: engine.export_patient_history(
+                            patient_id, actor_id=self._actor_id
+                        ),
+                    )
+                except RecordNotFoundError:
+                    # disposed to nothing since planning — nothing to move
+                    cluster._retire_move(ticket)
+                    return None
+                ticket.stage = "exported"
+                self._checkpoint("import", patient_id)
+                dest_entries = cluster._on_shard(
+                    dest_slot,
+                    lambda engine: engine.import_patient_history(
+                        bundle, actor_id=self._actor_id
+                    ),
+                )
+                ticket.stage = "imported"
+                self._checkpoint("verify", patient_id)
+                trust = cluster.migration_trust()
+                verify_manifest(bundle.manifest, trust)
+                if tuple(dest_entries) != bundle.manifest.entries:
+                    raise MigrationError(
+                        f"destination re-sealed digests for {patient_id} "
+                        "do not match the signed manifest"
+                    )
+                recheck = cluster._on_shard(
+                    dest_slot,
+                    lambda engine: engine.patient_history_digests(patient_id),
+                )
+                if tuple(recheck) != bundle.manifest.entries:
+                    raise MigrationError(
+                        f"destination read-back for {patient_id} does not "
+                        "match the signed manifest"
+                    )
+                ticket.stage = "verified"
+                self._checkpoint("cutover", patient_id)
+                since = bundle.attestation.payload["log_size"]
+                delta = cluster._on_shard(
+                    source_slot,
+                    lambda engine: engine.export_audit_delta(
+                        patient_id, since=since
+                    ),
+                )
+                if delta:
+                    cluster._on_shard(
+                        dest_slot,
+                        lambda engine: engine.adopt_audit_delta(
+                            patient_id, delta
+                        ),
+                    )
+                directives = cluster._on_shard(
+                    source_slot,
+                    lambda engine: engine.export_consent_directives(patient_id),
+                )
+                if directives:
+                    cluster._on_shard(
+                        dest_slot,
+                        lambda engine: engine.adopt_consent_directives(
+                            patient_id, directives
+                        ),
+                    )
+                cluster._cutover(ticket)
+                ticket.stage = "cutover"
+                self._checkpoint("retire", patient_id)
+                cluster._on_shard(
+                    source_slot,
+                    lambda engine: engine.retire_patient(
+                        patient_id,
+                        actor_id=self._actor_id,
+                        destination_id=cluster.slot_shard_id(dest_slot),
+                    ),
+                )
+                ticket.stage = "retired"
+                self._checkpoint("proof", patient_id)
+                proof = MigrationProof(
+                    patient_id=patient_id,
+                    source_shard=cluster.slot_shard_id(source_slot),
+                    destination_shard=cluster.slot_shard_id(dest_slot),
+                    epoch=cluster.manifest.epoch,
+                    manifest=bundle.manifest,
+                    destination_entries=tuple(dest_entries),
+                    inclusion_proofs=entry_inclusion_proofs(bundle.manifest),
+                    attestation=bundle.attestation,
+                )
+                if self._verify_proofs:
+                    cluster._on_shard(
+                        dest_slot,
+                        lambda engine: verify_migration_proof(
+                            proof, trust, engine
+                        ),
+                    )
+                ticket.stage = "done"
+        except (MigrationError, IntegrityError):
+            if ticket.stage in _PRE_CUTOVER:
+                self._abort(ticket)
+            cluster._retire_move(ticket)
+            raise
+        # A CrashError (or any unexpected error) propagates with the
+        # ticket still published: recover_interrupted_moves() resolves it.
+        cluster._retire_move(ticket)
+        return proof
+
+    def _abort(self, ticket: MoveTicket) -> None:
+        """Undo a failed pre-cutover move: the source keeps custody and
+        any partial destination copy is retired back."""
+        cluster = self._cluster
+        if ticket.stage in ("imported", "verified"):
+            try:
+                cluster._on_shard(
+                    ticket.dest_slot,
+                    lambda engine: engine.retire_patient(
+                        ticket.patient_id,
+                        actor_id=self._actor_id,
+                        destination_id=cluster.slot_shard_id(ticket.source_slot),
+                    ),
+                )
+            except RecordNotFoundError:
+                pass
+        ticket.stage = "aborted"

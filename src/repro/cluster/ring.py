@@ -16,12 +16,23 @@ accounting of disclosures) never span shards.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 
 _DOMAIN = b"curator/cluster-ring\x00"
+#: Virtual-node placement hashes under its own label so a vnode ring and
+#: the legacy modulo ring can never be confused for one another.
+_VNODE_DOMAIN = b"curator/cluster-vnode\x00"
+
+
+def _point(data: bytes) -> int:
+    """A 64-bit position on the hash circle."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -53,3 +64,211 @@ class HashRing:
     def shard_ids(self) -> tuple[str, ...]:
         """All shard names, in index order."""
         return tuple(self.shard_id(i) for i in range(self.shard_count))
+
+    def diff(self, new: "HashRing | VNodeRing") -> "RingDiff":
+        """The topology change from this ring to *new*."""
+        return RingDiff(old=self, new=new)
+
+
+@dataclass(frozen=True)
+class VNodeRing:
+    """Consistent hashing over named shards with virtual nodes.
+
+    Each shard owns ``vnodes`` points on a 64-bit hash circle (more for
+    shards listed in ``weights``); a patient maps to the shard owning
+    the first point at or after the patient's own hash.  Adding one
+    shard to an N-shard ring therefore displaces only the patients whose
+    successor point now belongs to the newcomer — roughly ``1/(N+1)`` of
+    them — where the modulo :class:`HashRing` would reshuffle nearly
+    everything.
+
+    Like :class:`HashRing`, every hash is SHA-256 under a fixed domain
+    label: placement is a pure function of ``(shard_ids, vnodes,
+    weights, patient_id)`` and two independently restarted routers agree
+    on every assignment.
+    """
+
+    shard_ids: tuple[str, ...]
+    vnodes: int = 64
+    #: Optional per-shard vnode overrides, e.g. ``(("shard-02", 128),)``
+    #: gives shard-02 twice the default weight.
+    weights: tuple[tuple[str, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shard_ids", tuple(self.shard_ids))
+        object.__setattr__(
+            self, "weights", tuple((str(s), int(n)) for s, n in self.weights)
+        )
+        if not self.shard_ids:
+            raise ConfigurationError("a cluster needs at least one shard")
+        if len(set(self.shard_ids)) != len(self.shard_ids):
+            raise ConfigurationError(
+                f"duplicate shard ids in ring: {self.shard_ids}"
+            )
+        if self.vnodes < 1:
+            raise ConfigurationError(
+                f"a shard needs at least one virtual node, got {self.vnodes}"
+            )
+        known = set(self.shard_ids)
+        for shard_id, count in self.weights:
+            if shard_id not in known:
+                raise ConfigurationError(
+                    f"weight names unknown shard {shard_id!r}"
+                )
+            if count < 1:
+                raise ConfigurationError(
+                    f"shard {shard_id!r} needs at least one virtual node"
+                )
+
+    @classmethod
+    def for_count(cls, shards: int, vnodes: int = 64) -> "VNodeRing":
+        """A ring over the canonical ``shard-00 .. shard-NN`` names."""
+        if shards < 1:
+            raise ConfigurationError(
+                f"a cluster needs at least one shard, got {shards}"
+            )
+        return cls(
+            shard_ids=tuple(f"shard-{i:02d}" for i in range(shards)),
+            vnodes=vnodes,
+        )
+
+    # -- placement ---------------------------------------------------------
+
+    def vnode_count(self, shard_id: str) -> int:
+        """How many points *shard_id* owns on the circle."""
+        if shard_id not in self._indices:
+            raise ConfigurationError(f"unknown shard {shard_id!r}")
+        return dict(self.weights).get(shard_id, self.vnodes)
+
+    @cached_property
+    def _indices(self) -> dict[str, int]:
+        return {shard_id: i for i, shard_id in enumerate(self.shard_ids)}
+
+    @cached_property
+    def _points(self) -> tuple[list[int], list[str]]:
+        """Sorted circle positions and the shard owning each one."""
+        pairs: list[tuple[int, str]] = []
+        for shard_id in self.shard_ids:
+            for v in range(self.vnode_count(shard_id)):
+                token = f"{shard_id}#{v}".encode("utf-8")
+                pairs.append((_point(_VNODE_DOMAIN + token), shard_id))
+        # ties (astronomically unlikely) break on shard id so the order
+        # is still a pure function of the topology
+        pairs.sort()
+        return [p for p, _ in pairs], [s for _, s in pairs]
+
+    def shard_for(self, patient_id: str) -> int:
+        """The shard index owning *patient_id* (stable across processes)."""
+        return self._indices[self.owner_of(patient_id)]
+
+    def owner_of(self, patient_id: str) -> str:
+        """The shard *id* owning *patient_id*."""
+        keys, owners = self._points
+        point = _point(_DOMAIN + patient_id.encode("utf-8"))
+        slot = bisect.bisect_right(keys, point)
+        if slot == len(keys):  # wrap past the top of the circle
+            slot = 0
+        return owners[slot]
+
+    def shard_id(self, index: int) -> str:
+        """The name of shard *index* (ring order, not necessarily dense)."""
+        if not 0 <= index < len(self.shard_ids):
+            raise ConfigurationError(
+                f"shard index {index} out of range for "
+                f"{len(self.shard_ids)} shards"
+            )
+        return self.shard_ids[index]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_ids)
+
+    # -- topology changes --------------------------------------------------
+
+    def with_added(
+        self, shard_id: str, vnode_count: int | None = None
+    ) -> "VNodeRing":
+        """A new ring with *shard_id* joined (split)."""
+        if shard_id in self._indices:
+            raise ConfigurationError(f"shard {shard_id!r} is already in the ring")
+        weights = self.weights
+        if vnode_count is not None and vnode_count != self.vnodes:
+            weights = weights + ((shard_id, vnode_count),)
+        return VNodeRing(
+            shard_ids=self.shard_ids + (shard_id,),
+            vnodes=self.vnodes,
+            weights=weights,
+        )
+
+    def with_removed(self, shard_id: str) -> "VNodeRing":
+        """A new ring with *shard_id* drained out (merge)."""
+        if shard_id not in self._indices:
+            raise ConfigurationError(f"shard {shard_id!r} is not in the ring")
+        remaining = tuple(s for s in self.shard_ids if s != shard_id)
+        if not remaining:
+            raise ConfigurationError("cannot remove the last shard")
+        return VNodeRing(
+            shard_ids=remaining,
+            vnodes=self.vnodes,
+            weights=tuple((s, n) for s, n in self.weights if s != shard_id),
+        )
+
+    def diff(self, new: "HashRing | VNodeRing") -> "RingDiff":
+        """The topology change from this ring to *new*."""
+        return RingDiff(old=self, new=new)
+
+
+def _owner_name(ring: "HashRing | VNodeRing", patient_id: str) -> str:
+    if isinstance(ring, VNodeRing):
+        return ring.owner_of(patient_id)
+    return ring.shard_id(ring.shard_for(patient_id))
+
+
+@dataclass(frozen=True)
+class RingDiff:
+    """The exact displacement set of a topology change.
+
+    Comparison is by shard *id*, not ring index: renaming a shard's
+    position in the tuple is not a move, and only patients whose owning
+    shard id changes need migration.
+    """
+
+    old: "HashRing | VNodeRing"
+    new: "HashRing | VNodeRing"
+
+    @property
+    def added(self) -> tuple[str, ...]:
+        """Shard ids present only in the new topology."""
+        old_ids = set(self.old.shard_ids)
+        return tuple(s for s in self.new.shard_ids if s not in old_ids)
+
+    @property
+    def removed(self) -> tuple[str, ...]:
+        """Shard ids present only in the old topology."""
+        new_ids = set(self.new.shard_ids)
+        return tuple(s for s in self.old.shard_ids if s not in new_ids)
+
+    def moves(
+        self, patient_ids: Iterable[str]
+    ) -> dict[str, tuple[str, str]]:
+        """``patient_id -> (old_shard_id, new_shard_id)`` for every
+        patient of *patient_ids* the change displaces."""
+        displaced: dict[str, tuple[str, str]] = {}
+        for patient_id in patient_ids:
+            before = _owner_name(self.old, patient_id)
+            after = _owner_name(self.new, patient_id)
+            if before != after:
+                displaced[patient_id] = (before, after)
+        return displaced
+
+    def displaced(self, patient_ids: Iterable[str]) -> tuple[str, ...]:
+        """Just the displaced patient ids, in input order."""
+        moves = self.moves(patient_ids)
+        return tuple(p for p in patient_ids if p in moves)
+
+    def displaced_fraction(self, patient_ids: Iterable[str]) -> float:
+        """The fraction of *patient_ids* the change displaces."""
+        patients = list(patient_ids)
+        if not patients:
+            return 0.0
+        return len(self.moves(patients)) / len(patients)

@@ -33,7 +33,7 @@ from repro.access.principals import User
 from repro.access.rbac import Permission, Purpose, Role
 from repro.audit.anchors import AnchorWitness, WitnessQuorum, publish_anchor
 from repro.audit.checkpoint import CheckpointStore
-from repro.audit.events import AuditAction
+from repro.audit.events import AuditAction, AuditEvent
 from repro.audit.log import AuditLog
 from repro.audit.query import AuditQuery
 from repro.backup.manager import BackupManager, RestoreReport
@@ -45,16 +45,20 @@ from repro.crypto.aead import encrypt_many as aead_encrypt_many
 from repro.crypto.keys import KeyHandle, KeyStore
 from repro.crypto.ed25519 import purge_ed25519_memo
 from repro.crypto.signatures import Signer, TrustStore, purge_signature_memo
+from repro.crypto.hashing import sha256
 from repro.errors import (
     AccessDeniedError,
     IntegrityError,
+    MigrationError,
     RecordError,
     RecordNotFoundError,
 )
 from repro.index.secure_deletion import SecureDeletionIndex
 from repro.index.trustworthy import TrustworthyIndex
 from repro.crypto.kdf import derive_key
+from repro.migration.bundle import AttachmentBundle, PatientBundle, RecordBundle
 from repro.migration.engine import MigrationEngine
+from repro.migration.manifest import build_entries_manifest
 from repro.policy import Decision, PolicyContext, PolicyEngine, PolicyEnv
 from repro.policy.compiler import compile_default_ruleset, default_purpose_for
 from repro.provenance.chain import CustodyRegistry
@@ -68,7 +72,13 @@ from repro.storage.block import BlockDevice, MemoryDevice
 from repro.storage.media import MediaPool, Medium
 from repro.util.encoding import canonical_bytes, canonical_loads
 from repro.util.metrics import METRICS
+from repro.worm.retention_lock import RetentionTerm
 from repro.worm.store import WormStore
+
+#: WORM object ids under this prefix hold a migrated patient's imported
+#: audit-chain segment (plaintext, like the audit device itself) so the
+#: accounting-of-disclosures history survives an engine restart.
+_SEGMENT_PREFIX = "~segment/"
 
 
 def _version_object_id(record_id: str, version: int) -> str:
@@ -101,6 +111,11 @@ class RecoveryReport:
     disposed: tuple[str, ...] = ()
     damaged: tuple[str, ...] = ()
     orphaned: tuple[str, ...] = ()
+    #: Records whose audit log carries a migration export marker with no
+    #: later import: their custody moved to another shard, so the
+    #: recovered bytes stay tombstoned rather than resurrecting a second
+    #: home for the patient.
+    migrated: tuple[str, ...] = ()
 
 
 class CuratorStore(StorageModel):
@@ -200,6 +215,13 @@ class CuratorStore(StorageModel):
         self._keys: dict[str, KeyHandle] = {}
         self._attachments: dict[str, dict[str, Any]] = {}
         self._disposed: set[str] = set()
+        # Audit-chain segments imported with migrated patients: the
+        # events predate this shard's own log but still belong in the
+        # patient's accounting of disclosures.  Each maps patient_id ->
+        # {"events": [...], "delta": [...], "attestation", "source"};
+        # the durable copy lives in WORM objects under _SEGMENT_PREFIX.
+        self._foreign_segments: dict[str, dict[str, Any]] = {}
+        self._segment_objects: dict[str, list[str]] = {}
         self._authenticator = None
         # Decrypted-and-verified current versions (record_id -> (version
         # number, record)).  Authorization and audit always run; only
@@ -1037,7 +1059,27 @@ class CuratorStore(StorageModel):
             f"disclosures:{patient_id}",
         )
         record_ids = self.records_of_patient(patient_id)
-        return self.audit_query().disclosure_accounting(record_ids)
+        local = self.audit_query().disclosure_accounting(record_ids)
+        foreign = self._foreign_segments.get(patient_id)
+        if foreign is None:
+            return local
+        # the patient migrated here: access events that predate this
+        # shard's log arrived as the imported audit-chain segment and
+        # belong in the same accounting
+        from repro.audit.query import _ACCESS_ACTIONS
+
+        wanted = set(record_ids)
+        imported = [
+            event
+            for event in (
+                AuditEvent.from_dict(d)
+                for d in (*foreign["events"], *foreign["delta"])
+            )
+            if event.subject_id in wanted and event.action in _ACCESS_ACTIONS
+        ]
+        return sorted(
+            [*local, *imported], key=lambda e: (e.timestamp, e.sequence)
+        )
 
     def prove_audit_event(self, sequence: int):
         """Third-party-verifiable disclosure of one audit event.
@@ -1056,6 +1098,514 @@ class CuratorStore(StorageModel):
             sequence, at_size=latest.log_size
         )
         return event, chain_prev, proof, latest
+
+    # ------------------------------------------------------------------
+    # patient migration (online cluster rebalancing)
+    # ------------------------------------------------------------------
+
+    def patient_ids(self) -> list[str]:
+        """Every patient with at least one live record on this engine."""
+        return sorted(
+            {
+                self._chains[record_id].latest().record.patient_id
+                for record_id in self.record_ids()
+            }
+        )
+
+    def _segment_events_for(
+        self, patient_id: str, record_ids: list[str]
+    ) -> list[dict]:
+        """The patient's audit-chain segment as event dicts: every local
+        event whose subject is one of the patient's records (or their
+        attachments), preceded by any segment an earlier move brought
+        here — so custody chains across repeated moves."""
+        wanted = set(record_ids)
+
+        def belongs(event: AuditEvent) -> bool:
+            if event.subject_id in wanted:
+                return True
+            head, sep, _ = event.subject_id.partition("#att/")
+            return bool(sep) and head in wanted
+
+        events: list[dict] = []
+        foreign = self._foreign_segments.get(patient_id)
+        if foreign is not None:
+            events.extend(foreign["events"])
+            events.extend(foreign["delta"])
+        events.extend(
+            event.to_dict() for event in self._audit.events() if belongs(event)
+        )
+        return events
+
+    def export_patient_history(
+        self, patient_id: str, *, actor_id: str = "system"
+    ) -> PatientBundle:
+        """Package one patient's full history for migration to another
+        shard: version plaintexts, attachments, retention terms and
+        holds, the audit-chain segment, a signed Merkle manifest over
+        the plaintext digests, and a chain-continuity attestation.
+
+        Read-only apart from the ``MIGRATION_STARTED`` audit event:
+        every version is decrypted straight off the WORM store and
+        checked against its chain digest before it is allowed into the
+        bundle (the first read of the double-read cutover)."""
+        record_ids = self.records_of_patient(patient_id)
+        if not record_ids:
+            raise RecordNotFoundError(
+                f"no live records for patient {patient_id}"
+            )
+        from repro.records.attachments import load_attachment
+
+        entries: list[tuple[str, bytes]] = []
+        records: list[RecordBundle] = []
+        for record_id in record_ids:
+            chain = self._chains[record_id]
+            versions: list[dict] = []
+            terms: list[tuple[str, float, float]] = []
+            holds: list[tuple[str, tuple[str, ...]]] = []
+            for n in range(len(chain)):
+                object_id = _version_object_id(record_id, n)
+                stored = self._open_version(record_id, n)
+                if stored.digest() != chain.version(n).digest():
+                    raise IntegrityError(
+                        f"version {object_id} does not match its chain; "
+                        "refusing to export a tampered history"
+                    )
+                version_dict = stored.to_dict()
+                versions.append(version_dict)
+                entries.append(
+                    (object_id, sha256(canonical_bytes(version_dict)))
+                )
+                term = self._worm.retention.term_for(object_id)
+                terms.append((object_id, term.start, term.duration_seconds))
+                held = self._worm.retention.holds_on(object_id)
+                if held:
+                    holds.append((object_id, tuple(sorted(held))))
+            attachments: list[AttachmentBundle] = []
+            cipher = self._keystore.cipher_for(self._keys[record_id])
+            for attachment_id in sorted(self._attachments.get(record_id, {})):
+                manifest = self._attachments[record_id][attachment_id]
+                data = load_attachment(
+                    manifest,
+                    cipher,
+                    lambda cid: self._worm.get(f"{record_id}#att/{cid}"),
+                )
+                first_chunk = f"{record_id}#att/{manifest.chunk_ids[0]}"
+                term = self._worm.retention.term_for(first_chunk)
+                attachments.append(
+                    AttachmentBundle(
+                        attachment_id=attachment_id,
+                        content_type=manifest.content_type,
+                        data=data,
+                        term=(term.start, term.duration_seconds),
+                    )
+                )
+                entries.append(
+                    (f"{record_id}#att/{attachment_id}", sha256(data))
+                )
+            records.append(
+                RecordBundle(
+                    record_id=record_id,
+                    versions=tuple(versions),
+                    terms=tuple(terms),
+                    holds=tuple(holds),
+                    attachments=tuple(attachments),
+                )
+            )
+        segment = self._segment_events_for(patient_id, record_ids)
+        now = self._clock.now()
+        manifest = build_entries_manifest(entries, self._signer, now)
+        attestation = self._signer.sign(
+            {
+                "kind": "segment-attestation",
+                "patient": patient_id,
+                "source": self._config.site_id,
+                "segment_digest": sha256(canonical_bytes(segment)),
+                "events": len(segment),
+                "chain_head": self._audit.head_digest,
+                "log_size": len(self._audit),
+                "exported_at": now,
+            }
+        )
+        self._audit.append(
+            AuditAction.MIGRATION_STARTED,
+            actor_id,
+            patient_id,
+            {
+                "migration": "export",
+                "patient": patient_id,
+                "records": list(record_ids),
+                "objects": len(entries),
+            },
+        )
+        METRICS.incr("patient_exports")
+        return PatientBundle(
+            patient_id=patient_id,
+            source_id=self._config.site_id,
+            exported_at=now,
+            records=tuple(records),
+            segment=tuple(segment),
+            attestation=attestation,
+            manifest=manifest,
+        )
+
+    def import_patient_history(
+        self, bundle: PatientBundle, *, actor_id: str = "system"
+    ) -> tuple[tuple[str, bytes], ...]:
+        """Adopt a migrated patient: re-seal every version and
+        attachment under this shard's keys, restore the original
+        retention terms and holds, archive the imported audit-chain
+        segment, and append the durable ``MIGRATION_COMPLETED`` import
+        marker.
+
+        The whole patient lands in ONE WORM batch frame alongside the
+        segment archive, so a crash mid-import leaves *nothing* of the
+        patient here — there is no partially-imported state to salvage.
+        Returns the destination's freshly recomputed plaintext digests
+        (the second read of the double-read cutover)."""
+        from repro.records.attachments import store_attachment
+
+        patient_id = bundle.patient_id
+        for record_bundle in bundle.records:
+            if (
+                record_bundle.record_id in self._chains
+                or record_bundle.record_id in self._disposed
+            ):
+                raise MigrationError(
+                    f"record {record_bundle.record_id} already exists on "
+                    "this shard; refusing a dual-home import"
+                )
+        if patient_id in self._foreign_segments:
+            raise MigrationError(
+                f"patient {patient_id} already has an imported segment here"
+            )
+        expected = dict(bundle.manifest.entries)
+        staged_chains: dict[str, VersionChain] = {}
+        for record_bundle in bundle.records:
+            versions = [
+                RecordVersion.from_dict(d) for d in record_bundle.versions
+            ]
+            for version in versions:
+                object_id = _version_object_id(
+                    record_bundle.record_id, version.version_number
+                )
+                digest = sha256(canonical_bytes(version.to_dict()))
+                if expected.get(object_id) != digest:
+                    raise MigrationError(
+                        f"bundle version {object_id} does not match its "
+                        "manifest entry"
+                    )
+            # from_versions re-verifies the hash linkage end to end
+            staged_chains[record_bundle.record_id] = VersionChain.from_versions(
+                record_bundle.record_id, versions
+            )
+        record_order = [rb.record_id for rb in bundle.records]
+        handles = dict(
+            zip(record_order, self._keystore.create_keys(record_order))
+        )
+        sealed_pairs: list[tuple[RecordVersion, KeyHandle]] = []
+        for record_bundle in bundle.records:
+            chain = staged_chains[record_bundle.record_id]
+            for n in range(len(chain)):
+                sealed_pairs.append(
+                    (chain.version(n), handles[record_bundle.record_id])
+                )
+        sealed = iter(self._seal_versions(sealed_pairs))
+        original_terms = {
+            object_id: RetentionTerm(start, duration)
+            for record_bundle in bundle.records
+            for object_id, start, duration in record_bundle.terms
+        }
+        items: list[tuple[str, bytes, Any]] = []
+        for record_bundle in bundle.records:
+            for n in range(len(staged_chains[record_bundle.record_id])):
+                object_id = _version_object_id(record_bundle.record_id, n)
+                items.append((object_id, next(sealed), original_terms[object_id]))
+        # attachments: chunk + seal in memory so the chunks ride the
+        # same all-or-nothing batch frame as the versions
+        attachment_manifests: dict[str, dict[str, Any]] = {}
+        for record_bundle in bundle.records:
+            cipher = self._keystore.cipher_for(handles[record_bundle.record_id])
+            for attachment in record_bundle.attachments:
+                chunks: list[tuple[str, bytes]] = []
+                manifest = store_attachment(
+                    attachment.attachment_id,
+                    attachment.data,
+                    cipher,
+                    lambda cid, blob: chunks.append((cid, blob)),
+                    content_type=attachment.content_type,
+                )
+                term = RetentionTerm(attachment.term[0], attachment.term[1])
+                for chunk_id, blob in chunks:
+                    items.append(
+                        (f"{record_bundle.record_id}#att/{chunk_id}", blob, term)
+                    )
+                attachment_manifests.setdefault(record_bundle.record_id, {})[
+                    attachment.attachment_id
+                ] = manifest
+        segment = [dict(event) for event in bundle.segment]
+        segment_object_id = (
+            f"{_SEGMENT_PREFIX}{patient_id}/{bundle.exported_at:.6f}"
+        )
+        items.append(
+            (
+                segment_object_id,
+                canonical_bytes(
+                    {
+                        "patient": patient_id,
+                        "source": bundle.source_id,
+                        "events": segment,
+                        "attestation": bundle.attestation.to_dict(),
+                    }
+                ),
+                None,
+            )
+        )
+        self._audit.begin_batch()
+        try:
+            metas = self._worm.put_many(items)
+            self._custody.record_origins(
+                [
+                    (meta.object_id, meta.content_digest)
+                    for meta in metas
+                    if not meta.object_id.startswith(_SEGMENT_PREFIX)
+                ],
+                self._signer,
+                self._clock.now(),
+                reason=f"migrated from {bundle.source_id}",
+            )
+            documents: list[tuple[str, str]] = []
+            for record_bundle in bundle.records:
+                record_id = record_bundle.record_id
+                handle = handles[record_id]
+                chain = staged_chains[record_id]
+                self._keys[record_id] = handle
+                self._chains[record_id] = chain
+                for n in range(len(chain)):
+                    object_id = _version_object_id(record_id, n)
+                    self._disposition.register_key_handle(object_id, handle)
+                    self._provenance.add_object(object_id)
+                    self._provenance.record_custody(
+                        object_id, self._config.site_id, start=self._clock.now()
+                    )
+                    # re-establish the treating relationship the record
+                    # documents, so policy decisions survive the move
+                    self._auto_register_author(
+                        chain.version(n).author_id, patient_id
+                    )
+                for attachment in record_bundle.attachments:
+                    manifest = attachment_manifests[record_id][
+                        attachment.attachment_id
+                    ]
+                    for chunk_id in manifest.chunk_ids:
+                        self._disposition.register_key_handle(
+                            f"{record_id}#att/{chunk_id}", handle
+                        )
+                if record_id in attachment_manifests:
+                    self._attachments[record_id] = attachment_manifests[record_id]
+                for object_id, hold_ids in record_bundle.holds:
+                    for hold_id in hold_ids:
+                        self._worm.retention.place_hold(object_id, hold_id)
+                self._dirty_records.add(record_id)
+                documents.append(
+                    (record_id, chain.latest().record.searchable_text())
+                )
+            self._index.add_documents(documents)
+            self._foreign_segments[patient_id] = {
+                "events": segment,
+                "delta": [],
+                "attestation": bundle.attestation,
+                "source": bundle.source_id,
+            }
+            self._segment_objects.setdefault(patient_id, []).append(
+                segment_object_id
+            )
+            self._audit.append(
+                AuditAction.MIGRATION_COMPLETED,
+                actor_id,
+                patient_id,
+                {
+                    "migration": "import",
+                    "patient": patient_id,
+                    "source": bundle.source_id,
+                    "records": record_order,
+                },
+            )
+        finally:
+            self._audit.commit()
+        METRICS.incr("patient_imports")
+        return self.patient_history_digests(patient_id)
+
+    def patient_history_digests(
+        self, patient_id: str
+    ) -> tuple[tuple[str, bytes], ...]:
+        """Freshly recomputed plaintext digests of every extent of one
+        patient's history, decrypted straight off the WORM store — the
+        verification primitive behind the double-read cutover.  The
+        shape matches :class:`~repro.migration.manifest.MigrationManifest`
+        entries exactly."""
+        from repro.records.attachments import load_attachment
+
+        entries: list[tuple[str, bytes]] = []
+        for record_id in self.records_of_patient(patient_id):
+            chain = self._chains[record_id]
+            for n in range(len(chain)):
+                stored = self._open_version(record_id, n)
+                entries.append(
+                    (
+                        _version_object_id(record_id, n),
+                        sha256(canonical_bytes(stored.to_dict())),
+                    )
+                )
+            cipher = self._keystore.cipher_for(self._keys[record_id])
+            for attachment_id in sorted(self._attachments.get(record_id, {})):
+                manifest = self._attachments[record_id][attachment_id]
+                data = load_attachment(
+                    manifest,
+                    cipher,
+                    lambda cid: self._worm.get(f"{record_id}#att/{cid}"),
+                )
+                entries.append(
+                    (f"{record_id}#att/{attachment_id}", sha256(data))
+                )
+        return tuple(sorted(entries))
+
+    def export_audit_delta(
+        self, patient_id: str, *, since: int
+    ) -> list[dict]:
+        """Audit events about the patient's records appended after log
+        size *since* — the tail the cutover syncs to the destination so
+        reads served mid-move still reach the accounting."""
+        record_ids = self.records_of_patient(patient_id)
+        wanted = set(record_ids)
+
+        def belongs(event: AuditEvent) -> bool:
+            if event.subject_id in wanted:
+                return True
+            head, sep, _ = event.subject_id.partition("#att/")
+            return bool(sep) and head in wanted
+
+        return [
+            event.to_dict()
+            for event in self._audit.events()[since:]
+            if belongs(event)
+        ]
+
+    def adopt_audit_delta(self, patient_id: str, events: list[dict]) -> int:
+        """Append cutover-tail events to an imported segment (and its
+        durable WORM archive)."""
+        if patient_id not in self._foreign_segments:
+            raise MigrationError(
+                f"patient {patient_id} has no imported segment here"
+            )
+        events = [dict(event) for event in events]
+        if not events:
+            return 0
+        self._foreign_segments[patient_id]["delta"].extend(events)
+        delta_object_id = (
+            f"{_SEGMENT_PREFIX}{patient_id}/delta/{self._clock.now():.6f}"
+        )
+        self._worm.put(
+            delta_object_id,
+            canonical_bytes({"patient": patient_id, "events": events}),
+        )
+        self._segment_objects.setdefault(patient_id, []).append(delta_object_id)
+        return len(events)
+
+    def imported_segment(self, patient_id: str) -> tuple[dict, ...]:
+        """The audit segment (snapshot + cutover delta) that migrated in
+        with *patient_id* (empty if the patient never moved here)."""
+        foreign = self._foreign_segments.get(patient_id)
+        if foreign is None:
+            return ()
+        return tuple(foreign["events"]) + tuple(foreign["delta"])
+
+    def imported_segment_snapshot(self, patient_id: str) -> tuple[dict, ...]:
+        """Just the export-time snapshot of the imported segment — the
+        portion the source's chain-continuity attestation signs."""
+        foreign = self._foreign_segments.get(patient_id)
+        if foreign is None:
+            return ()
+        return tuple(foreign["events"])
+
+    def segment_attestation(self, patient_id: str):
+        """The source-signed chain-continuity attestation that arrived
+        with *patient_id*'s segment (``None`` if never migrated here)."""
+        foreign = self._foreign_segments.get(patient_id)
+        return None if foreign is None else foreign["attestation"]
+
+    def export_consent_directives(self, patient_id: str) -> tuple:
+        """The patient's consent directives, for transfer at cutover
+        (consent must give one answer no matter where the patient
+        lives)."""
+        return tuple(self._consent.directives_for(patient_id))
+
+    def adopt_consent_directives(self, patient_id: str, directives) -> int:
+        """Adopt consent directives migrated in with a patient; skips
+        directive ids this registry already knows."""
+        known = {
+            directive.directive_id
+            for directive in self._consent.directives_for(patient_id)
+        }
+        adopted = 0
+        for directive in directives:
+            if directive.directive_id in known:
+                continue
+            self._consent.add_directive(patient_id, directive)
+            adopted += 1
+        return adopted
+
+    def retire_patient(
+        self,
+        patient_id: str,
+        *,
+        actor_id: str = "system",
+        destination_id: str = "",
+    ) -> tuple[str, ...]:
+        """Drop this shard's copy of a patient whose custody moved away.
+
+        The durable ``CUSTODY_TRANSFERRED`` export marker hits the audit
+        device *first*: recovery replays the log, so once the marker is
+        down the records below can never resurrect as a second home.
+        The WORM extents are expatriated (tombstoned without a retention
+        check — the data lives on at the destination under its original
+        terms), not destroyed."""
+        record_ids = self.records_of_patient(patient_id)
+        if not record_ids:
+            raise RecordNotFoundError(
+                f"no live records for patient {patient_id}"
+            )
+        self._audit.append(
+            AuditAction.CUSTODY_TRANSFERRED,
+            actor_id,
+            patient_id,
+            {
+                "migration": "export",
+                "patient": patient_id,
+                "records": list(record_ids),
+                "destination": destination_id,
+            },
+        )
+        for record_id in record_ids:
+            chain = self._chains.pop(record_id)
+            for n in range(len(chain)):
+                object_id = _version_object_id(record_id, n)
+                self._worm.expatriate(object_id)
+                self._custody.expatriate(object_id)
+            for manifest in self._attachments.pop(record_id, {}).values():
+                for chunk_id in manifest.chunk_ids:
+                    chunk_object_id = f"{record_id}#att/{chunk_id}"
+                    self._worm.expatriate(chunk_object_id)
+                    self._custody.expatriate(chunk_object_id)
+            self._keys.pop(record_id, None)
+            self._read_cache.pop(record_id, None)
+            self._dirty_records.discard(record_id)
+            self._index.delete_document(record_id)
+        self._foreign_segments.pop(patient_id, None)
+        for object_id in self._segment_objects.pop(patient_id, []):
+            self._worm.expatriate(object_id)
+        METRICS.incr("patient_retires")
+        return tuple(record_ids)
 
     def declared_features(self) -> frozenset[str]:
         return frozenset(
@@ -1254,10 +1804,37 @@ class CuratorStore(StorageModel):
                 if len(store._witnesses) > 1
                 else None
             )
+        # migration markers: the recovered audit log says which records
+        # moved away (CUSTODY_TRANSFERRED export) and which arrived
+        # (MIGRATION_COMPLETED import).  Replayed in sequence order they
+        # yield the set this shard no longer owns — whose recovered
+        # bytes must stay tombstoned, because WORM tombstones are
+        # process memory and a naive replay would resurrect a second
+        # home for every migrated patient.
+        moved_records: set[str] = set()
+        moved_patients: set[str] = set()
+        for event in store._audit.events():
+            detail = event.detail or {}
+            if (
+                event.action is AuditAction.CUSTODY_TRANSFERRED
+                and detail.get("migration") == "export"
+            ):
+                moved_records.update(detail.get("records") or [])
+                moved_patients.add(detail.get("patient") or event.subject_id)
+            elif (
+                event.action is AuditAction.MIGRATION_COMPLETED
+                and detail.get("migration") == "import"
+            ):
+                moved_records.difference_update(detail.get("records") or [])
+                moved_patients.discard(detail.get("patient") or event.subject_id)
         # record directory: decrypt WORM versions under recovered keys
         version_ids: dict[str, dict[int, str]] = {}
         chunk_ids: list[str] = []
+        segment_ids: list[str] = []
         for object_id in store._worm.object_ids():
+            if object_id.startswith(_SEGMENT_PREFIX):
+                segment_ids.append(object_id)
+                continue
             if "#att/" in object_id:
                 chunk_ids.append(object_id)
                 continue
@@ -1266,10 +1843,18 @@ class CuratorStore(StorageModel):
         disposed: list[str] = []
         damaged: list[str] = []
         orphaned: list[str] = []
+        migrated: list[str] = []
         documents: list[tuple[str, str]] = []
         versions_recovered = 0
         for record_id in sorted(version_ids):
             numbered = version_ids[record_id]
+            if record_id in moved_records:
+                # custody moved to another shard: keep the extents
+                # tombstoned, never serve them from here again
+                for n in sorted(numbered):
+                    store._worm.expatriate(numbered[n])
+                migrated.append(record_id)
+                continue
             handle = labels.get(record_id)
             if handle is None:
                 orphaned.extend(numbered[n] for n in sorted(numbered))
@@ -1316,6 +1901,9 @@ class CuratorStore(StorageModel):
         # process memory — keep them disposition-managed, report the loss
         for object_id in chunk_ids:
             record_id = _record_id_of(object_id)
+            if record_id in moved_records:
+                store._worm.expatriate(object_id)
+                continue
             handle = store._keys.get(record_id)
             if handle is not None:
                 store._disposition.register_key_handle(object_id, handle)
@@ -1331,6 +1919,35 @@ class CuratorStore(StorageModel):
                     ):
                         store._worm.retention.extend_term(object_id, term.expires_at)
             orphaned.append(object_id)
+        # imported audit segments: the durable WORM archives written at
+        # import time restore the accounting-of-disclosures history of
+        # migrated-in patients; segments of patients who have since
+        # moved on stay tombstoned with their records
+        for object_id in segment_ids:
+            try:
+                payload = canonical_loads(store._worm.get(object_id))
+                patient_id = payload["patient"]
+            except Exception:  # noqa: BLE001 — torn/tampered archive
+                orphaned.append(object_id)
+                continue
+            if patient_id in moved_patients:
+                store._worm.expatriate(object_id)
+                continue
+            entry = store._foreign_segments.setdefault(
+                patient_id,
+                {"events": [], "delta": [], "attestation": None, "source": ""},
+            )
+            if "/delta/" in object_id:
+                entry["delta"].extend(payload["events"])
+            else:
+                entry["events"] = list(payload["events"])
+                entry["source"] = payload.get("source", "")
+                attestation = payload.get("attestation")
+                if attestation is not None:
+                    from repro.crypto.signatures import SignedPayload
+
+                    entry["attestation"] = SignedPayload.from_dict(attestation)
+            store._segment_objects.setdefault(patient_id, []).append(object_id)
         # index: derived data, re-posted from the recovered records
         store._index.add_documents(documents)
         # Everything recovered came off an untrusted device: dirty until
@@ -1343,6 +1960,7 @@ class CuratorStore(StorageModel):
             disposed=tuple(disposed),
             damaged=tuple(damaged),
             orphaned=tuple(orphaned),
+            migrated=tuple(migrated),
         )
         return store
 

@@ -1,0 +1,76 @@
+"""Per-patient migration bundles for online rebalancing.
+
+A :class:`PatientBundle` is everything one patient's history is made of,
+decoupled from any shard's key hierarchy: version plaintexts (as
+canonical dicts), attachment bytes, the retention state each WORM object
+carried, the patient's audit-chain segment, and two signed artifacts —
+a :class:`~repro.migration.manifest.MigrationManifest` over the moved
+extents' *plaintext* digests, and a chain-continuity attestation binding
+the segment to the source shard's audit head.
+
+The plaintext digests are the point: each shard seals data under its own
+derived master key, so ciphertexts cannot move between shards — but the
+digest of ``canonical_bytes(version.to_dict())`` is key-independent, and
+the destination can recompute it after re-sealing and prove, entry by
+entry, that what it holds is what the source signed.
+
+Bundles cross a process boundary in worker mode, so every field is
+plain-data picklable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.signatures import SignedPayload
+from repro.migration.manifest import MigrationManifest
+
+
+@dataclass(frozen=True)
+class AttachmentBundle:
+    """One attachment's plaintext and the metadata to re-seal it."""
+
+    attachment_id: str
+    content_type: str
+    data: bytes
+    #: (start, duration_seconds) of the retention term the chunks carried.
+    term: tuple[float, float]
+
+
+@dataclass(frozen=True)
+class RecordBundle:
+    """One record's full history, key-independent."""
+
+    record_id: str
+    #: ``RecordVersion.to_dict()`` in version order — linkage is
+    #: re-verified by ``VersionChain.from_versions`` at import.
+    versions: tuple[dict, ...]
+    #: ``(object_id, start, duration_seconds)`` — the exact retention
+    #: term of every version object, re-attached verbatim at import.
+    terms: tuple[tuple[str, float, float], ...]
+    #: ``(object_id, (hold_id, ...))`` — litigation holds survive moves.
+    holds: tuple[tuple[str, tuple[str, ...]], ...]
+    attachments: tuple[AttachmentBundle, ...]
+
+
+@dataclass(frozen=True)
+class PatientBundle:
+    """Everything required to re-home one patient on another shard."""
+
+    patient_id: str
+    source_id: str
+    exported_at: float
+    records: tuple[RecordBundle, ...]
+    #: The patient's audit-chain segment: every source-log event whose
+    #: subject is one of the patient's records (or their attachments),
+    #: plus any segment imported by an earlier move (chained custody).
+    segment: tuple[dict, ...]
+    #: Source-signed binding of the segment digest to the source audit
+    #: chain head and log size at export time.
+    attestation: SignedPayload
+    #: Signed Merkle manifest over the moved extents' plaintext digests.
+    manifest: MigrationManifest
+
+    @property
+    def record_ids(self) -> tuple[str, ...]:
+        return tuple(bundle.record_id for bundle in self.records)

@@ -74,6 +74,51 @@ def build_manifest(
     )
 
 
+def build_entries_manifest(
+    entries: list[tuple[str, bytes]], signer: Signer, timestamp: float
+) -> MigrationManifest:
+    """Sign a manifest over caller-supplied (object_id, digest) pairs.
+
+    The per-patient rebalancer uses this: the moved set is one patient's
+    extents, not a whole store, and the digests commit to the
+    *plaintext* content (version dicts, attachment bytes) so the claim
+    survives re-encryption under the destination shard's keys."""
+    entries = sorted(entries)
+    root = _entries_root(entries)
+    signed = signer.sign(
+        {
+            "source_id": signer.signer_id,
+            "created_at": timestamp,
+            "entries": [[object_id, digest] for object_id, digest in entries],
+            "merkle_root": root,
+        }
+    )
+    return MigrationManifest(
+        source_id=signer.signer_id,
+        created_at=timestamp,
+        entries=tuple(entries),
+        merkle_root=root,
+        signed=signed,
+    )
+
+
+def entry_leaf(object_id: str, digest: bytes) -> bytes:
+    """The Merkle leaf encoding of one manifest entry (shared by the
+    root computation and per-entry inclusion proofs)."""
+    return canonical_bytes({"id": object_id, "digest": digest})
+
+
+def entry_inclusion_proofs(manifest: MigrationManifest) -> dict[str, object]:
+    """``object_id -> MerkleProof`` of membership in the manifest root."""
+    tree = MerkleTree()
+    for object_id, digest in manifest.entries:
+        tree.append(entry_leaf(object_id, digest))
+    return {
+        object_id: tree.prove_inclusion(index)
+        for index, (object_id, _) in enumerate(manifest.entries)
+    }
+
+
 def verify_manifest(manifest: MigrationManifest, trust: TrustStore) -> None:
     """Check the manifest's signature and internal consistency."""
     payload = trust.verify(manifest.signed)

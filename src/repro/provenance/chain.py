@@ -198,6 +198,17 @@ class CustodyRegistry:
         self._chains[object_id] = chain
         return event
 
+    def expatriate(self, object_id: str) -> None:
+        """Drop the chain of an object whose custody left this store.
+
+        Used only by patient retirement after a verified migration: the
+        destination opens a fresh origin chain (reason ``migrated from
+        <source>``) and cross-store continuity is attested by the signed
+        migration manifest plus the transferred audit segment — keeping
+        the stale chain here would let a round-trip move collide with
+        the re-imported copy's new origin."""
+        self._chains.pop(object_id, None)
+
     def record_origins(
         self,
         entries: list[tuple[str, bytes]],

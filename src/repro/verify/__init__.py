@@ -30,6 +30,7 @@ from repro.verify.equivalence import (
     EquivalenceReport,
     run_cluster_detection_equivalence,
     run_detection_equivalence,
+    run_rebalance_detection_equivalence,
 )
 from repro.verify.oracle import CrashSweepReport, Violation, run_crash_sweep
 from repro.verify.reference import ReferenceModel
@@ -50,6 +51,7 @@ __all__ = [
     "run_conformance",
     "run_crash_sweep",
     "run_detection_equivalence",
+    "run_rebalance_detection_equivalence",
     "run_seeded_workload",
     "surviving_image",
 ]

@@ -47,6 +47,7 @@ from repro.core.config import CuratorConfig
 from repro.core.engine import CuratorStore
 from repro.crypto.kdf import derive_key
 from repro.crypto.rsa import generate_keypair
+from repro.errors import CrashError, IntegrityError, MigrationError
 from repro.storage.journal import Journal
 from repro.util.clock import SimulatedClock
 from repro.util.encoding import canonical_bytes, canonical_loads
@@ -442,6 +443,39 @@ def _tamper_batch_member(sub: _Substrate) -> str | None:
     return victim if _rot_batch_extent(sub, f"{victim}@v0") else None
 
 
+def _rot_extent(engine, object_id: str) -> bool:
+    """Flip one byte inside *object_id*'s extent wherever it lives — a
+    single-object frame or one member of a batched flush.  Every frame
+    carrying the id is rotted (a migration round trip can leave several;
+    recovery is last-frame-wins, so only rotting all of them guarantees
+    the live extent is hit)."""
+    device = engine.worm.device
+    landed = False
+    for offset, payload in Journal.iter_device_frames(device):
+        separator = payload.find(b"\x00")
+        if separator < 0:
+            continue
+        try:
+            header = canonical_loads(payload[:separator])
+        except Exception:  # noqa: BLE001 — foreign frame
+            continue
+        if not isinstance(header, dict):
+            continue
+        entries = header["batch"] if "batch" in header else [header]
+        start = separator + 1
+        for entry in entries:
+            if not isinstance(entry, dict) or "object_id" not in entry:
+                break
+            if entry["object_id"] == object_id:
+                forged = bytearray(payload)
+                forged[start + entry["size"] // 2] ^= 0x5A
+                Journal.forge_frame(device, offset, bytes(forged))
+                landed = True
+                break
+            start += entry["size"]
+    return landed
+
+
 # -- the bounded policy ---------------------------------------------------
 
 
@@ -580,10 +614,76 @@ def _run_cases(
     return cases
 
 
+# -- migration-aware cases -------------------------------------------------
+#
+# Verifiable migration (media refresh on one engine, patient moves in a
+# rebalancing cluster) adds a third detector to the incremental/full
+# pair: the migration verifier itself.  The equivalence demand extends
+# naturally — tampering planted *mid-migration* must abort the move with
+# the source still authoritative, tampering planted *post-migration*
+# must be blamed on the record's **current** home, and extents a
+# completed move left behind must never draw blame to the stale home.
+
+
+def _migration_blocks_refresh_case() -> EquivalenceCase:
+    """Rot a source extent, then refresh media: the migration manifest
+    check must refuse to certify the copy (mid-migration detection),
+    and the terminal full pass must blame exactly the rotted record."""
+    sub = _build_single()
+    victim = sub.records[0]
+    tampered = _rot_extent(sub.target, f"{victim}@v0")
+    blocked = False
+    try:
+        sub.target.refresh_media()
+    except IntegrityError:
+        blocked = True
+    detected, caught_by, attempts = _run_policy(
+        lambda: not sub.surface.verify_integrity(incremental=True).ok,
+        lambda: not sub.surface.verify_integrity().ok,
+    )
+    report = sub.surface.verify_integrity()
+    return EquivalenceCase(
+        name="migration_source_rot_blocks_refresh",
+        tampered=tampered,
+        incremental_detects=blocked or detected,
+        full_detects=(not report.ok) or detected,
+        caught_by="migration-verify" if blocked else caught_by,
+        attempts=0 if blocked else attempts,
+        expected_flag=victim,
+        flagged=tuple(report.violations),
+    )
+
+
+def _migration_post_refresh_case() -> EquivalenceCase:
+    """Refresh media cleanly, then rot the *new* medium: detection must
+    follow the data to its current home with exact blame."""
+    sub = _build_single()
+    victim = sub.records[1]
+    sub.target.refresh_media()
+    tampered = _rot_extent(sub.target, f"{victim}@v0")
+    detected, caught_by, attempts = _run_policy(
+        lambda: not sub.surface.verify_integrity(incremental=True).ok,
+        lambda: not sub.surface.verify_integrity().ok,
+    )
+    report = sub.surface.verify_integrity()
+    return EquivalenceCase(
+        name="migration_post_refresh_rot",
+        tampered=tampered,
+        incremental_detects=detected,
+        full_detects=(not report.ok) or detected,
+        caught_by=caught_by,
+        attempts=attempts,
+        expected_flag=victim,
+        flagged=tuple(report.violations),
+    )
+
+
 def run_detection_equivalence() -> EquivalenceReport:
     """Every tamper case against a single engine (the module policy)."""
     cases = [_control_case(_build_single, "no_tamper_control")]
     cases.extend(_run_cases(_build_single))
+    cases.append(_migration_blocks_refresh_case())
+    cases.append(_migration_post_refresh_case())
     return EquivalenceReport(cases=tuple(cases))
 
 
@@ -608,3 +708,247 @@ def run_cluster_detection_equivalence(shards: int = 2) -> EquivalenceReport:
             )
         )
     return EquivalenceReport(cases=tuple(cases))
+
+
+# -- rebalance-aware oracle ------------------------------------------------
+
+_REBALANCE_VNODES = 32
+_REBALANCE_PATIENTS = 10
+
+
+@dataclass
+class _RebalanceSub:
+    """A virtual-node cluster about to be (or just) reshaped."""
+
+    cluster: CuratorCluster
+    clock: SimulatedClock
+    patients: tuple[str, ...]
+    record_of: dict[str, str]
+
+    def mover(self) -> str:
+        """A seeded patient the 2 -> 4 grow will displace."""
+        ring = self.cluster.ring
+        final = ring.with_added("shard-02").with_added("shard-03")
+        displaced = ring.diff(final).displaced(self.patients)
+        assert displaced, "no seeded patient is displaced by the grow"
+        return displaced[0]
+
+    def home_shard_id(self, patient_id: str) -> str:
+        return self.cluster.shard_ids[self.cluster.shard_for(patient_id)]
+
+    def policy(self) -> tuple[bool, str, int]:
+        return _run_policy(
+            lambda: not self.cluster.verify_integrity(incremental=True).ok,
+            lambda: not self.cluster.verify_integrity().ok,
+        )
+
+
+def _build_rebalance() -> _RebalanceSub:
+    global _CLUSTER_KEYPAIR
+    if _CLUSTER_KEYPAIR is None:
+        _CLUSTER_KEYPAIR = generate_keypair(768)
+    clock = SimulatedClock(start=1.17e9)
+    config = CuratorConfig(
+        master_key=bytes(range(32)),
+        clock=clock,
+        device_capacity=1 << 20,
+        audit_spot_checks=_SPOT_CHECKS,
+        audit_full_rescan_every=_FULL_RESCAN_EVERY,
+        integrity_clean_sample=_CLEAN_SAMPLE,
+        signing_keypair=_CLUSTER_KEYPAIR,
+    )
+    cluster = CuratorCluster(config, shards=2, vnodes=_REBALANCE_VNODES)
+    patients, record_of = [], {}
+    for n in range(_REBALANCE_PATIENTS):
+        patient_id, record_id = f"pat-rb-{n}", f"rec-rb-{n}"
+        cluster.store(_seed_note(record_id, patient_id, clock, n), "dr-eq")
+        cluster.read(record_id, actor_id="dr-eq")
+        patients.append(patient_id)
+        record_of[patient_id] = record_id
+        clock.advance(1.0)
+    assert cluster.verify_audit_trail().ok
+    assert cluster.verify_integrity().ok
+    return _RebalanceSub(
+        cluster=cluster,
+        clock=clock,
+        patients=tuple(patients),
+        record_of=record_of,
+    )
+
+
+def _rebalance_control_case() -> EquivalenceCase:
+    """A clean online grow: every move's proof verifies, and neither
+    verification path reports a problem that does not exist."""
+    sub = _build_rebalance()
+    clean = True
+    try:
+        report = sub.cluster.rebalance(target_shards=4, actor_id="oracle")
+        for proof in report.proofs:
+            sub.cluster.verify_move_proof(proof)
+        clean = report.moved > 0
+    except Exception:  # noqa: BLE001 — any failure here is a violation
+        clean = False
+    false_positive = any(
+        not sub.cluster.verify_integrity(incremental=True).ok
+        for _ in range(_FULL_RESCAN_EVERY)
+    ) or not sub.cluster.verify_integrity().ok
+    return EquivalenceCase(
+        name="rebalance:no_tamper_control",
+        tampered=False,
+        incremental_detects=false_positive,
+        full_detects=not clean,
+        caught_by="n/a",
+        attempts=_FULL_RESCAN_EVERY,
+    )
+
+
+def _rebalance_mid_move_source_rot_case() -> EquivalenceCase:
+    """Kill the rebalancer at a victim's cutover boundary, rot the
+    source copy, salvage — detection must blame exactly the record on
+    its **current** (post-salvage: source) shard."""
+    sub = _build_rebalance()
+    victim = sub.mover()
+    record_id = sub.record_of[victim]
+
+    def crash_at_cutover(stage: str, patient_id: str) -> None:
+        if stage == "cutover" and patient_id == victim:
+            raise CrashError(f"oracle crash before cutover of {patient_id}")
+
+    crashed = False
+    try:
+        sub.cluster.rebalance(
+            target_shards=4, actor_id="oracle", hook=crash_at_cutover
+        )
+    except CrashError:
+        crashed = True
+    tampered = crashed and _rot_extent(
+        sub.cluster.shards[sub.cluster.shard_for(victim)], f"{record_id}@v0"
+    )
+    sub.cluster.recover_interrupted_moves(actor_id="oracle")
+    detected, caught_by, attempts = sub.policy()
+    report = sub.cluster.verify_integrity()
+    return EquivalenceCase(
+        name="rebalance:mid_move_source_rot",
+        tampered=tampered,
+        incremental_detects=detected,
+        full_detects=(not report.ok) or detected,
+        caught_by=caught_by if tampered else "n/a",
+        attempts=attempts,
+        expected_flag=f"{sub.home_shard_id(victim)}:{record_id}",
+        flagged=tuple(report.violations),
+    )
+
+
+def _rebalance_post_move_dest_rot_case() -> EquivalenceCase:
+    """Complete the grow, then rot a moved patient's extent at its new
+    home — blame must land on the destination shard, exactly."""
+    sub = _build_rebalance()
+    victim = sub.mover()
+    record_id = sub.record_of[victim]
+    report = sub.cluster.rebalance(target_shards=4, actor_id="oracle")
+    assert any(proof.patient_id == victim for proof in report.proofs)
+    tampered = _rot_extent(
+        sub.cluster.shards[sub.cluster.shard_for(victim)], f"{record_id}@v0"
+    )
+    detected, caught_by, attempts = sub.policy()
+    full = sub.cluster.verify_integrity()
+    return EquivalenceCase(
+        name="rebalance:post_move_dest_rot",
+        tampered=tampered,
+        incremental_detects=detected,
+        full_detects=(not full.ok) or detected,
+        caught_by=caught_by if tampered else "n/a",
+        attempts=attempts,
+        expected_flag=f"{sub.home_shard_id(victim)}:{record_id}",
+        flagged=tuple(full.violations),
+    )
+
+
+def _rebalance_stale_source_rot_case() -> EquivalenceCase:
+    """Rot the expatriated extents a completed move left on the source.
+    The bytes are dead — custody moved with the patient — so *any*
+    detection here is false blame against the stale home (modelled as a
+    control: the case is a violation if anything fires)."""
+    sub = _build_rebalance()
+    victim = sub.mover()
+    record_id = sub.record_of[victim]
+    source_id = sub.home_shard_id(victim)
+    sub.cluster.rebalance(target_shards=4, actor_id="oracle")
+    assert sub.home_shard_id(victim) != source_id
+    source = sub.cluster.shards[sub.cluster.shard_ids.index(source_id)]
+    landed = _rot_extent(source, f"{record_id}@v0")
+    false_positive = any(
+        not sub.cluster.verify_integrity(incremental=True).ok
+        for _ in range(_FULL_RESCAN_EVERY)
+    ) or not sub.cluster.verify_integrity().ok
+    return EquivalenceCase(
+        name="rebalance:stale_source_rot",
+        tampered=not landed,  # must land, as a tombstoned extent
+        incremental_detects=false_positive,
+        full_detects=false_positive,
+        caught_by="n/a",
+        attempts=_FULL_RESCAN_EVERY,
+    )
+
+
+def _rebalance_mid_move_dest_tamper_case() -> EquivalenceCase:
+    """Rot the destination's freshly imported copy before the move's
+    verify stage: the double-read against the signed manifest must
+    abort the move with the source still authoritative and intact."""
+    sub = _build_rebalance()
+    victim = sub.mover()
+    record_id = sub.record_of[victim]
+    source_id = sub.home_shard_id(victim)
+    tampered = {"landed": False}
+
+    def rot_dest_copy(stage: str, patient_id: str) -> None:
+        if stage != "verify" or patient_id != victim:
+            return
+        ticket = sub.cluster._moves.get(patient_id)  # noqa: SLF001
+        if ticket is not None:
+            tampered["landed"] = _rot_extent(
+                sub.cluster.shards[ticket.dest_slot], f"{record_id}@v0"
+            )
+
+    aborted = False
+    try:
+        sub.cluster.rebalance(
+            target_shards=4, actor_id="oracle", hook=rot_dest_copy
+        )
+    except (MigrationError, IntegrityError):
+        aborted = True
+    intact = (
+        sub.home_shard_id(victim) == source_id
+        and sub.cluster.read(record_id, actor_id="dr-eq") is not None
+        and sub.cluster.verify_integrity().ok
+        and sub.cluster.verify_audit_trail().ok
+    )
+    return EquivalenceCase(
+        name="rebalance:mid_move_dest_tamper_aborts",
+        tampered=tampered["landed"],
+        incremental_detects=aborted and intact,
+        full_detects=True,
+        caught_by="migration-verify" if aborted else "none",
+        attempts=1,
+    )
+
+
+def run_rebalance_detection_equivalence() -> EquivalenceReport:
+    """Tamper cases staged around an online elastic rebalance.
+
+    The adversary strikes while (or right after) patients move between
+    shards; zero violations means the move machinery neither loses nor
+    dilutes detection power: mid-move tampering aborts the move or is
+    blamed on the still-authoritative source, post-move tampering is
+    blamed on the new home, and extents the move retired draw no blame
+    at all.  This is the E6b acceptance oracle.
+    """
+    return EquivalenceReport(
+        cases=(
+            _rebalance_control_case(),
+            _rebalance_mid_move_source_rot_case(),
+            _rebalance_post_move_dest_rot_case(),
+            _rebalance_stale_source_rot_case(),
+            _rebalance_mid_move_dest_tamper_case(),
+        )
+    )

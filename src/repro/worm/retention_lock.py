@@ -54,6 +54,13 @@ class RetentionLock:
             )
         self._terms[object_id] = term
 
+    def clear_term(self, object_id: str) -> None:
+        """Drop an object's term entirely.  Only the WORM store's
+        re-admission path uses this: a migration round-trip re-writes an
+        expatriated object id, and the incoming copy carries its own
+        original term."""
+        self._terms.pop(object_id, None)
+
     def term_for(self, object_id: str) -> RetentionTerm:
         term = self._terms.get(object_id)
         if term is None:

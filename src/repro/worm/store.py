@@ -68,6 +68,10 @@ class WormStore:
         # sample of clean ones (see verify_dirty).
         self._dirty: set[str] = set()
         self._clean_cursor = 0
+        # Ids tombstoned by expatriation (custody moved away).  Unlike
+        # disposal tombstones these may be re-admitted: a migration
+        # round-trip brings the same immutable object home again.
+        self._expatriated: set[str] = set()
 
     @property
     def device(self) -> BlockDevice:
@@ -95,9 +99,12 @@ class WormStore:
         write-once: WORM immutability and retention are independent).
         """
         if object_id in self._objects:
-            raise WormViolationError(
-                f"object {object_id} already written (WORM is write-once)"
-            )
+            if object_id in self._expatriated:
+                self._readmit(object_id)
+            else:
+                raise WormViolationError(
+                    f"object {object_id} already written (WORM is write-once)"
+                )
         written_at = self._clock.now()
         header = canonical_bytes(
             {
@@ -138,12 +145,20 @@ class WormStore:
         if not items:
             return []
         seen: set[str] = set()
+        readmit: list[str] = []
         for object_id, _, _ in items:
-            if object_id in self._objects or object_id in seen:
+            if object_id in seen or (
+                object_id in self._objects
+                and object_id not in self._expatriated
+            ):
                 raise WormViolationError(
                     f"object {object_id} already written (WORM is write-once)"
                 )
+            if object_id in self._objects:
+                readmit.append(object_id)
             seen.add(object_id)
+        for object_id in readmit:
+            self._readmit(object_id)
         written_at = self._clock.now()
         digests = [sha256(data) for _, data, _ in items]
         manifest = [
@@ -333,6 +348,44 @@ class WormStore:
         self._objects[object_id] = tombstoned
         return tombstoned
 
+    def expatriate(self, object_id: str) -> StoredObject:
+        """Tombstone an object whose custody moved to another store.
+
+        Unlike :meth:`delete` this bypasses the retention gate: the data
+        is not being destroyed — it lives on, under its original
+        retention term, at the migration destination — so refusing to
+        drop the source copy would leave two authoritative homes for one
+        record, which is the worse compliance failure.  Idempotent, so
+        salvage paths can re-run it after a crash.
+        """
+        meta = self._meta(object_id)
+        if meta.deleted:
+            return meta
+        tombstoned = StoredObject(
+            object_id=meta.object_id,
+            size=meta.size,
+            content_digest=meta.content_digest,
+            written_at=meta.written_at,
+            journal_sequence=meta.journal_sequence,
+            payload_offset=meta.payload_offset,
+            data_start=meta.data_start,
+            deleted=True,
+        )
+        self._objects[object_id] = tombstoned
+        self._dirty.discard(object_id)
+        self._expatriated.add(object_id)
+        return tombstoned
+
+    def _readmit(self, object_id: str) -> None:
+        """Clear an expatriated tombstone so the same object id can be
+        written again.  This is the one sanctioned exception to
+        write-once: the incoming bytes are the *same logical object*
+        (the migration manifest digest-checks that upstream), merely
+        re-sealed by its returning custodian."""
+        self._expatriated.discard(object_id)
+        self.retention.clear_term(object_id)
+        del self._objects[object_id]
+
     def physical_extent(self, object_id: str) -> tuple[int, int]:
         """(device_offset, size) of the object's raw bytes — consumed by
         the shredder for physical overwrite after logical deletion."""
@@ -421,6 +474,11 @@ class WormStore:
                     payload_offset=frame_offset + HEADER_SIZE + data_start,
                     data_start=data_start,
                 )
+                if meta.object_id in store._objects:
+                    # A later frame re-using an id is a WORM re-admission
+                    # (migration round trip re-imported an expatriated
+                    # object): last frame wins, placeholder term included.
+                    store.retention.clear_term(meta.object_id)
                 store._objects[meta.object_id] = meta
                 store.retention.set_term(
                     meta.object_id,
@@ -432,6 +490,7 @@ class WormStore:
         # object is dirty until a digest check clears it.
         store._dirty = set(store._objects)
         store._clean_cursor = 0
+        store._expatriated = set()
         return store
 
     def attempt_overwrite(self, object_id: str, data: bytes) -> None:

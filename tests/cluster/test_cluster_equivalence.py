@@ -3,7 +3,10 @@ detection power.  Every raw-device tamper from the single-engine oracle
 is re-planted on each shard of a live cluster and must surface through
 the cluster's merged fan-out verification."""
 
-from repro.verify import run_cluster_detection_equivalence
+from repro.verify import (
+    run_cluster_detection_equivalence,
+    run_rebalance_detection_equivalence,
+)
 
 
 def test_cluster_detection_equivalence_holds():
@@ -22,3 +25,23 @@ def test_cluster_detection_equivalence_holds():
         # member on the attacked shard — no sibling smear across shards
         assert case.tampered
         assert case.flagged == (case.expected_flag,)
+
+
+def test_rebalance_detection_equivalence_holds():
+    """Tamper staged around an online elastic rebalance: mid-move rot
+    aborts or is blamed on the source, post-move rot is blamed on the
+    destination, and extents the move retired draw no blame at all."""
+    report = run_rebalance_detection_equivalence()
+    assert report.ok, report.summary()
+    by_name = {case.name: case for case in report.cases}
+    assert len(by_name) == 5
+    mid = by_name["rebalance:mid_move_source_rot"]
+    assert mid.tampered and mid.flagged == (mid.expected_flag,)
+    post = by_name["rebalance:post_move_dest_rot"]
+    assert post.tampered and post.flagged == (post.expected_flag,)
+    # blame followed the patient: source shard pre-salvage, new home after
+    assert mid.expected_flag.split(":")[0] != post.expected_flag.split(":")[0]
+    abort = by_name["rebalance:mid_move_dest_tamper_aborts"]
+    assert abort.tampered and abort.caught_by == "migration-verify"
+    stale = by_name["rebalance:stale_source_rot"]
+    assert stale.flagged == ()

@@ -17,6 +17,8 @@ EXPECTED_CASES = {
     "worm_dirty_object_rot",
     "worm_clean_object_rot",
     "worm_batch_member_rot",
+    "migration_source_rot_blocks_refresh",
+    "migration_post_refresh_rot",
 }
 
 
@@ -87,9 +89,11 @@ def test_suite_runs_clean_end_to_end():
         if case.name != "no_tamper_control":
             assert case.tampered, f"{case.name} tamper never landed"
             assert case.full_detects, f"{case.name} invisible to a full pass"
-            assert case.caught_by in ("incremental", "escalation")
+            assert case.caught_by in (
+                "incremental", "escalation", "migration-verify"
+            )
     batch = next(c for c in report.cases if c.name == "worm_batch_member_rot")
     # the batched-ingest tamper implicated exactly the rotten member
     assert batch.flagged == (batch.expected_flag,)
     summary = report.summary()
-    assert "10 cases, 0 violations" in summary
+    assert "12 cases, 0 violations" in summary
