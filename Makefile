@@ -3,7 +3,7 @@ PY ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify sweep conformance bench-gate verify-cluster verify-rebalance policy-lint profile
+.PHONY: test verify sweep conformance bench-gate verify-cluster verify-rebalance verify-archive policy-lint profile
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -16,8 +16,9 @@ policy-lint:
 
 # The PR gate: tier-1, ruleset lint, a bounded crash-consistency sweep +
 # differential conformance + detection equivalence, the E2/E8/E9
-# regression gates, and the online-rebalance (E6b) gate.
-verify: test policy-lint bench-gate verify-rebalance
+# regression gates, the online-rebalance (E6b) gate, and the tiered
+# cold-archive (E7b) gate.
+verify: test policy-lint bench-gate verify-rebalance verify-archive
 	$(PY) -m repro verify --limit 12
 
 # The exhaustive sweep: every write boundary, clean + torn.  ~30s.
@@ -47,6 +48,15 @@ verify-rebalance:
 	$(PY) -m pytest tests/cluster/test_vnode_ring.py tests/cluster/test_rebalancer.py tests/cluster/test_rebalance_crash.py tests/cluster/test_cluster_equivalence.py -q
 	$(PY) -m pytest benchmarks/bench_e6_migration.py::test_e6b_online_rebalance -q
 	$(PY) benchmarks/check_regression.py --skip-e8 --skip-e9
+
+# Tiered-archive gate: the segment/cold-store/tiering suites (incl.
+# the demotion crash sweep), the demote→recall round-trip properties,
+# the cold-residue threat tests, and the E7b arm (footprint, recall
+# p99, incremental-verify bars) gated by check_regression.
+verify-archive:
+	$(PY) -m pytest tests/archive tests/property/test_archive_roundtrip.py tests/threats/test_cold_residue.py -q
+	$(PY) -m pytest benchmarks/bench_e7_retention_30yr.py -q
+	$(PY) benchmarks/check_regression.py --skip-e8 --skip-e9 --skip-e6
 
 # Cluster-only gate: the sharded router's tests, the cross-shard
 # detection-equivalence oracle, and the E9 scaling bar.

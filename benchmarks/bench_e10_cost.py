@@ -96,3 +96,53 @@ def test_e10_horizon_crossover(benchmark):
         rows,
     )
     assert rows[0][3] == "magnetic"  # 5-year horizon: one cheap generation wins
+
+
+def test_e10_tiered_archive_savings(benchmark):
+    """The tiered-archive arm: with the idle share of a 30-year archive
+    compacted cold at the E7b-measured footprint ratio, every
+    capacity-driven line shrinks while personnel — the dominant
+    compliance cost — is untouched."""
+
+    def tiered():
+        rows = []
+        model = CostModel(STANDARD_COSTS["magnetic"])
+        untiered = model.project(
+            ARCHIVE_GB, HORIZON_YEARS, audit_events_per_year=10_000
+        )
+        for cold_fraction in (0.0, 0.5, 0.9):
+            report = model.project_tiered(
+                ARCHIVE_GB,
+                HORIZON_YEARS,
+                cold_fraction=cold_fraction,
+                cold_footprint_ratio=0.38,
+                audit_events_per_year=10_000,
+            )
+            rows.append(
+                [
+                    f"{cold_fraction:.0%} cold",
+                    f"${report.media_dollars:,.0f}",
+                    f"${report.migration_dollars:,.0f}",
+                    f"${report.tiering_savings_dollars:,.0f}",
+                    f"${report.total_dollars:,.0f}",
+                ]
+            )
+        return untiered, rows
+
+    untiered, rows = benchmark.pedantic(tiered, rounds=3, iterations=1)
+    print_table(
+        f"E10 tiered archive: {ARCHIVE_GB:.0f} GB, {HORIZON_YEARS:.0f} years, "
+        "cold footprint 0.38x (E7b)",
+        ["cold share", "media $", "migration $", "saved $", "total $"],
+        rows,
+    )
+    model = CostModel(STANDARD_COSTS["magnetic"])
+    mostly_cold = model.project_tiered(
+        ARCHIVE_GB, HORIZON_YEARS, cold_fraction=0.9,
+        cold_footprint_ratio=0.38, audit_events_per_year=10_000,
+    )
+    # a mostly-cold 30-year archive cuts the capacity bill roughly in half
+    capacity_untiered = untiered.media_dollars + untiered.migration_dollars
+    capacity_tiered = mostly_cold.media_dollars + mostly_cold.migration_dollars
+    assert capacity_tiered < 0.6 * capacity_untiered
+    assert mostly_cold.personnel_dollars == untiered.personnel_dollars

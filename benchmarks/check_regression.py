@@ -25,6 +25,15 @@ throughput on the mixed workload — and the 8-shard process-pool arm
 at least 5x — with **zero** cluster detection-equivalence violations;
 scale bought by skipping verification does not count.
 
+``BENCH_e7.json`` (run
+``pytest benchmarks/bench_e7_retention_30yr.py::test_e7b_tiered_archive_scale``)
+gates the tiered cold archive on absolute bars: cold segments must hold
+a record in at most 0.5x its warm journal+WORM footprint, a verified
+read-through recall p99 at most 10x the warm read p99, and the
+incremental integrity pass over a mostly-cold archive at least 3x
+faster than the full rescan.  A cold tier that is cheap but slow to
+recall — or fast but unverified — does not count.
+
 ``BENCH_e6.json`` (run
 ``pytest benchmarks/bench_e6_migration.py::test_e6b_online_rebalance``)
 gates the online-rebalance arm on absolute bars: p99 read latency
@@ -64,6 +73,7 @@ BENCH_JSON = Path(__file__).parent / "BENCH_e2.json"
 BENCH_E8_JSON = Path(__file__).parent / "BENCH_e8.json"
 BENCH_E9_JSON = Path(__file__).parent / "BENCH_e9.json"
 BENCH_E6_JSON = Path(__file__).parent / "BENCH_e6.json"
+BENCH_E7_JSON = Path(__file__).parent / "BENCH_e7.json"
 DEFAULT_TOLERANCE = 0.30
 #: The curator's batched ingest gets a tighter delta gate than the loose
 #: fleet-wide tolerance: the E2 hot path must stay policy-free (store()
@@ -81,6 +91,12 @@ MIN_E9_WORKER_SPEEDUP = 5.0
 #: Online rebalance impact bound: p99 read latency during the move
 #: window may be at most this multiple of the steady-state p99.
 MAX_E6_P99_RATIO = 2.0
+#: Cold-tier bars: per-record cold footprint vs the warm journal+WORM
+#: bytes, recall p99 vs warm read p99, and the incremental-verify
+#: speedup over a full rescan on a mostly-cold archive.
+MAX_E7_FOOTPRINT_RATIO = 0.5
+MAX_E7_RECALL_P99_RATIO = 10.0
+MIN_E7_VERIFY_SPEEDUP = 3.0
 _METRICS = ("single_rps", "batched_rps")
 
 
@@ -202,6 +218,48 @@ def check_e9(
     return problems
 
 
+def check_e7(
+    path: Path,
+    max_footprint_ratio: float,
+    max_recall_p99_ratio: float,
+    min_verify_speedup: float,
+) -> list[str]:
+    """Absolute bars for the E7b tiered cold archive."""
+    if not path.exists():
+        return [
+            f"no E7 results at {path}; run the E7b tiered-archive "
+            "benchmark first"
+        ]
+    results = json.loads(path.read_text())
+    problems = []
+    footprint = results.get("footprint_ratio", float("inf"))
+    if footprint > max_footprint_ratio:
+        problems.append(
+            f"e7.footprint_ratio: cold tier holds a record in "
+            f"{footprint:.3f}x its warm footprint "
+            f"({results.get('cold_bytes_per_record', '?')} vs "
+            f"{results.get('warm_bytes_per_record', '?')} bytes/record; "
+            f"bar: {max_footprint_ratio:.2f}x)"
+        )
+    recall_ratio = results.get("recall_p99_ratio", float("inf"))
+    if recall_ratio > max_recall_p99_ratio:
+        problems.append(
+            f"e7.recall_p99_ratio: cold recall p99 is {recall_ratio:.2f}x "
+            f"the warm read p99 (bar: {max_recall_p99_ratio:.1f}x; "
+            f"{results.get('cold_recall_p99_ms', '?')} ms vs "
+            f"{results.get('warm_read_p99_ms', '?')} ms)"
+        )
+    speedup = results.get("verify_speedup", 0)
+    if speedup < min_verify_speedup:
+        problems.append(
+            f"e7.verify_speedup: incremental verify only {speedup:.1f}x "
+            f"faster than the full rescan on a mostly-cold archive "
+            f"(bar: {min_verify_speedup:.1f}x at "
+            f"{results.get('n_records', '?')} records)"
+        )
+    return problems
+
+
 def check_e6(path: Path, max_p99_ratio: float) -> list[str]:
     """Absolute bars for the E6b online rebalance arm."""
     if not path.exists():
@@ -310,6 +368,35 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the E9 cluster-scaling bars",
     )
     parser.add_argument(
+        "--current-e7",
+        default=str(BENCH_E7_JSON),
+        help="fresh E7b tiered-archive results JSON path",
+    )
+    parser.add_argument(
+        "--max-e7-footprint-ratio",
+        type=float,
+        default=MAX_E7_FOOTPRINT_RATIO,
+        help="allowed cold-vs-warm per-record footprint ratio (default 0.5)",
+    )
+    parser.add_argument(
+        "--max-e7-recall-p99-ratio",
+        type=float,
+        default=MAX_E7_RECALL_P99_RATIO,
+        help="allowed cold-recall-vs-warm-read p99 multiple (default 10.0)",
+    )
+    parser.add_argument(
+        "--min-e7-verify-speedup",
+        type=float,
+        default=MIN_E7_VERIFY_SPEEDUP,
+        help="required incremental-verify speedup on a mostly-cold "
+        "archive (default 3.0)",
+    )
+    parser.add_argument(
+        "--skip-e7",
+        action="store_true",
+        help="skip the E7b tiered-archive bars",
+    )
+    parser.add_argument(
         "--current-e6",
         default=str(BENCH_E6_JSON),
         help="fresh E6b online-rebalance results JSON path",
@@ -396,6 +483,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"ok: cluster >= {args.min_e9_speedup:.1f}x single engine "
                 f"(process-pool arm >= {args.min_e9_worker_speedup:.1f}x), "
                 f"0 cluster detection-equivalence violations"
+            )
+
+    if not args.skip_e7:
+        e7_problems = check_e7(
+            Path(args.current_e7),
+            args.max_e7_footprint_ratio,
+            args.max_e7_recall_p99_ratio,
+            args.min_e7_verify_speedup,
+        )
+        if e7_problems:
+            print("TIERED ARCHIVE REGRESSION:")
+            for problem in e7_problems:
+                print(f"  - {problem}")
+            problems.extend(e7_problems)
+        else:
+            print(
+                f"ok: cold footprint <= "
+                f"{args.max_e7_footprint_ratio:.2f}x warm, recall p99 <= "
+                f"{args.max_e7_recall_p99_ratio:.1f}x warm reads, "
+                f"incremental verify >= "
+                f"{args.min_e7_verify_speedup:.1f}x full rescan"
             )
 
     if not args.skip_e6:

@@ -1,8 +1,13 @@
-"""Thirty years in thirty seconds: retention, media refresh, disposal.
+"""Thirty years in thirty seconds: tiering, retention, refresh, disposal.
 
 Simulates the OSHA 29 CFR 1910.1020 scenario the paper highlights:
 exposure and medical records retained for 30 years across multiple
-hardware generations, then trustworthily destroyed.
+hardware generations, then trustworthily destroyed.  Most of those 30
+years a record sits untouched, so the archive runs a demotion policy:
+idle records sink from the warm journal+WORM tier into compacted,
+compressed, re-encrypted cold segments; a read against a cold record
+is a verified read-through recall back to the warm tier; disposition
+reaches cold copies through their keys at end of term.
 
 Run:  python examples/thirty_year_archive.py
 """
@@ -10,7 +15,7 @@ Run:  python examples/thirty_year_archive.py
 import secrets
 
 from repro import ArchiveLifecycle, CuratorConfig, CuratorStore
-from repro.records import RecordType
+from repro.archive import DemotionPolicy
 from repro.util import SimulatedClock
 from repro.workload import WorkloadGenerator
 
@@ -34,28 +39,58 @@ def main() -> None:
           f"{store.medium.medium_id}")
 
     # Run the archive for 31 simulated years: media refreshed every 5
-    # years, annual backups, disposal when retention expires.
+    # years, annual backups, idle records demoted cold after two quiet
+    # years, disposal when retention expires.
     lifecycle = ArchiveLifecycle(
-        store, clock, media_refresh_years=5.0, backup_every_years=1.0
+        store, clock, media_refresh_years=5.0, backup_every_years=1.0,
+        demotion_policy=DemotionPolicy(min_age_years=2.0, min_idle_years=1.0),
     )
-    report = lifecycle.run_years(31.0, step_years=1.0, dispose_expired=True)
+    report = lifecycle.run_years(12.0, step_years=1.0, dispose_expired=True)
 
+    stats = store.tier_stats()
     print(f"\nafter {report.years_simulated:.0f} simulated years:")
     print(f"  media refresh migrations : {report.media_refreshes}")
-    print(f"  backups taken            : {report.backups_taken}")
+    print(f"  records demoted cold     : {report.records_demoted}")
+    print(f"  cold segments written    : {report.segments_written}")
     print(f"  integrity checks passed  : {report.integrity_checks_passed}")
-    print(f"  integrity failures       : {len(report.integrity_failures)}")
+    print(f"  records disposed         : {report.records_disposed}")
+    print(f"  warm/cold occupancy      : {stats['warm_records']} warm, "
+          f"{stats['cold_records']} cold "
+          f"({stats['cold_bytes']} cold bytes vs "
+          f"{stats['warm_bytes']} warm bytes on device)")
+
+    # Year 12: an attorney requests one surviving exposure record.  The
+    # read is a verified recall — sealed bytes proven against the
+    # segment's Merkle root, decrypted, and repatriated to the warm tier.
+    survivor = store.cold_record_ids()[0]
+    record = store.read(survivor, actor_id="system")
+    print(f"\nyear 12 recall: {survivor} ({record.record_type.value}) "
+          f"served and repatriated warm")
+    print(f"  now cold: {len(store.cold_record_ids())} records; "
+          f"recall left integrity {'OK' if store.verify_integrity().ok else 'BROKEN'}")
+
+    # Run out the remaining 19 years: the recalled record idles back to
+    # cold, and disposition destroys every copy at end of term.
+    report = lifecycle.run_years(19.0, step_years=1.0, dispose_expired=True)
+    print(f"\nafter 31 simulated years total:")
     print(f"  records disposed         : {report.records_disposed}")
     print(f"  disposal certificates    : {report.disposal_certificates}")
     print(f"  records remaining        : {len(store.record_ids())}")
+    print(f"  cold records remaining   : {len(store.cold_record_ids())}")
 
     # Every disposal produced a certificate chain: retention verified,
-    # approval recorded, key shredded, extents overwritten.
+    # approval recorded, key shredded, extents overwritten — including
+    # the cold segment members, which die with their record keys.
     media_events = [
         e for e in store.audit_events()
         if e["action"] in ("migration_completed", "media_disposed", "record_disposed")
     ]
+    tier_events = [
+        e for e in store.audit_events()
+        if e["action"] in ("record_demoted", "record_recalled")
+    ]
     print(f"\nhardware/disposal accountability events: {len(media_events)}")
+    print(f"tier transition audit events: {len(tier_events)}")
     print("audit trail verifies:", store.verify_audit_trail().summary())
 
     # The fleet's lifecycle history is the HIPAA accountability report.

@@ -1,0 +1,34 @@
+"""Tiered archival: compacted, compressed, re-encrypted cold segments.
+
+Hot (the engine's decrypted read cache) → warm (live journal frames +
+WORM extents) → cold (:class:`ColdStore` segments).  Demotion is
+policy-driven (:class:`DemotionPolicy`), recall is read-through and
+proof-carrying, and disposal still reaches every tier.
+"""
+
+from repro.archive.cold import ColdSegment, ColdStore
+from repro.archive.demotion import DemotionPolicy
+from repro.archive.segment import (
+    MemberManifest,
+    SegmentManifest,
+    build_segment,
+    cold_associated_data,
+    compress_member,
+    decompress_member,
+    parse_segment,
+    reforge_manifest,
+)
+
+__all__ = [
+    "ColdSegment",
+    "ColdStore",
+    "DemotionPolicy",
+    "MemberManifest",
+    "SegmentManifest",
+    "build_segment",
+    "cold_associated_data",
+    "compress_member",
+    "decompress_member",
+    "parse_segment",
+    "reforge_manifest",
+]

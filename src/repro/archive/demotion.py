@@ -1,0 +1,51 @@
+"""Policy-driven demotion: which records move to the cold tier, when.
+
+The policy is evaluated on the archive's own clock (the
+:class:`~repro.core.lifecycle.ArchiveLifecycle` loop advances simulated
+years), against two per-record facts the engine tracks: when the record
+was created and when it was last touched by an accountable actor.
+Records under litigation hold never demote — holds freeze a record in
+the warm tier for fast legal access — and disposition still reaches
+cold copies because each member is sealed under the record's own data
+key (shred the key, kill the copy) and disposal scrubs the extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+_YEAR_SECONDS = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class DemotionPolicy:
+    """Age/idleness rules for moving records hot→warm→cold."""
+
+    #: Minimum age (years since the *latest* version was created) — a
+    #: recently corrected record is active regardless of its origin.
+    min_age_years: float = 2.0
+    #: Minimum idle time (years since the last authorized read/write).
+    min_idle_years: float = 1.0
+    #: Compaction cap: one segment holds at most this many records.
+    max_segment_records: int = 256
+
+    def __post_init__(self) -> None:
+        if self.min_age_years < 0 or self.min_idle_years < 0:
+            raise ValidationError("demotion thresholds must be non-negative")
+        if self.max_segment_records < 1:
+            raise ValidationError("max_segment_records must be >= 1")
+
+    def eligible(self, *, now: float, created_at: float, last_access: float) -> bool:
+        """Is a record with these facts due for the cold tier?"""
+        age = (now - created_at) / _YEAR_SECONDS
+        idle = (now - max(created_at, last_access)) / _YEAR_SECONDS
+        return age >= self.min_age_years and idle >= self.min_idle_years
+
+    def batches(self, record_ids: list[str]) -> list[list[str]]:
+        """Split eligible records into per-segment compaction batches."""
+        return [
+            record_ids[start : start + self.max_segment_records]
+            for start in range(0, len(record_ids), self.max_segment_records)
+        ]

@@ -27,6 +27,11 @@ class AuditAction(enum.Enum):
     RECORD_SEARCHED = "record_searched"
     RECORD_DISPOSED = "record_disposed"
     RECORD_EXPORTED = "record_exported"
+    # tiering: the demotion marker is the durable commit point for a
+    # record's move to the cold tier (recovery replays these, like the
+    # migration markers), the recall marker records its return
+    RECORD_DEMOTED = "record_demoted"
+    RECORD_RECALLED = "record_recalled"
     # access control
     ACCESS_GRANTED = "access_granted"
     ACCESS_DENIED = "access_denied"

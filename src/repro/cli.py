@@ -198,6 +198,42 @@ def _metrics(_args) -> int:
     print(f"{'counter':<{width}}  {'looped':>12}  {'batched':>12}")
     for name in names:
         print(f"{name:<{width}}  {looped.get(name, 0):>12}  {batched.get(name, 0):>12}")
+
+    # tier traffic: age the batch, demote it cold, then serve reads
+    # from each tier so the counters and ratios have something to say
+    from repro.archive import DemotionPolicy
+
+    METRICS.reset()
+    clock = store._clock  # noqa: SLF001 — demo plumbing
+    record_ids = store.record_ids()
+    for record_id in record_ids[:4]:
+        store.read(record_id, actor_id="system")   # warm miss
+        store.read(record_id, actor_id="system")   # hot LRU hit
+    clock.advance_years(3.0)
+    store.demotion_sweep(DemotionPolicy(), actor_id="cli-metrics")
+    store.read(record_ids[0], actor_id="system")    # read-through recall
+    store.read(record_ids[0], actor_id="system")    # hot again post-recall
+
+    tiers = METRICS.snapshot()
+    hot = tiers.get("tier_hot_hits", 0)
+    warm = tiers.get("tier_warm_reads", 0)
+    cold = tiers.get("tier_cold_reads", 0)
+    served = hot + warm + cold
+    stats = store.tier_stats()
+    print()
+    print("tier traffic (post-demotion scenario)")
+    for name in sorted(n for n in tiers if n.startswith("tier_")):
+        print(f"  {name:<24}  {tiers[name]:>8}")
+    if served:
+        print(f"  {'hot hit ratio':<24}  {hot / served:>8.2f}")
+        print(f"  {'warm read ratio':<24}  {warm / served:>8.2f}")
+        print(f"  {'cold recall ratio':<24}  {cold / served:>8.2f}")
+    print(
+        f"  occupancy: {stats['warm_records']} warm / "
+        f"{stats['cold_records']} cold in {stats['cold_segments']} "
+        f"segment(s); {stats['warm_bytes']} warm bytes, "
+        f"{stats['cold_bytes']} cold bytes"
+    )
     return 0
 
 

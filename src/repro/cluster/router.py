@@ -730,6 +730,49 @@ class CuratorCluster(StorageModel):
         )
 
     # ------------------------------------------------------------------
+    # tiering
+    # ------------------------------------------------------------------
+
+    def demotion_sweep(
+        self, policy=None, *, actor_id: str = "archive-tiering"
+    ) -> list[str]:
+        """Run the demotion policy on every shard; each shard compacts
+        its own eligible records into its own cold segments."""
+        demoted = self._fan_out(
+            lambda engine: engine.demotion_sweep(policy, actor_id=actor_id)
+        )
+        return sorted({record_id for shard in demoted for record_id in shard})
+
+    def demote_records(
+        self, record_ids: list[str], *, actor_id: str = "archive-tiering"
+    ) -> list[str]:
+        """Explicit demotion, routed to each record's owning shard."""
+        by_shard: dict[int, list[str]] = {}
+        for record_id in record_ids:
+            by_shard.setdefault(self.shard_of_record(record_id), []).append(record_id)
+        demoted: list[str] = []
+        for index, shard_ids in sorted(by_shard.items()):
+            demoted += self._on_shard(
+                index,
+                lambda engine, ids=shard_ids: engine.demote_records(
+                    ids, actor_id=actor_id
+                ),
+            )
+        return demoted
+
+    def cold_record_ids(self) -> list[str]:
+        cold = self._fan_out(lambda engine: engine.cold_record_ids())
+        return sorted({record_id for shard in cold for record_id in shard})
+
+    def tier_stats(self) -> dict[str, int]:
+        """Cluster-wide tier occupancy: the per-shard stats, summed."""
+        totals: dict[str, int] = {}
+        for stats in self._fan_out(lambda engine: engine.tier_stats()):
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
     # verification / audit / compliance
     # ------------------------------------------------------------------
 
@@ -1260,12 +1303,13 @@ class CuratorCluster(StorageModel):
         topo = self._topo
         sets: dict[str, dict[str, Any]] = {}
         for index, engine in enumerate(topo.engines):
-            worm, _index_dev, audit, keys, checkpoints = engine.devices()
+            worm, _index_dev, audit, keys, checkpoints, cold = engine.devices()
             sets[topo.slot_ids[index]] = {
                 "worm_device": worm,
                 "key_device": keys,
                 "audit_device": audit,
                 "checkpoint_device": checkpoints,
+                "cold_device": cold,
             }
         return sets
 
@@ -1326,6 +1370,7 @@ class CuratorCluster(StorageModel):
                 key_device=device_sets[shard_id]["key_device"],
                 audit_device=device_sets[shard_id]["audit_device"],
                 checkpoint_device=device_sets[shard_id].get("checkpoint_device"),
+                cold_device=device_sets[shard_id].get("cold_device"),
                 witnesses=witnesses.get(shard_id),
             )
             for shard_id in manifest.shard_ids

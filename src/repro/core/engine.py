@@ -31,6 +31,13 @@ from repro.access.breakglass import BreakGlassController
 from repro.access.policies import ConsentRegistry, minimum_necessary_view
 from repro.access.principals import User
 from repro.access.rbac import Permission, Purpose, Role
+from repro.archive import (
+    ColdStore,
+    DemotionPolicy,
+    cold_associated_data,
+    compress_member,
+    decompress_member,
+)
 from repro.audit.anchors import AnchorWitness, WitnessQuorum, publish_anchor
 from repro.audit.checkpoint import CheckpointStore
 from repro.audit.events import AuditAction, AuditEvent
@@ -116,6 +123,9 @@ class RecoveryReport:
     #: recovered bytes stay tombstoned rather than resurrecting a second
     #: home for the patient.
     migrated: tuple[str, ...] = ()
+    #: Records whose demotion marker says the cold tier is authoritative
+    #: and whose cold member verified at recovery.
+    cold_records: tuple[str, ...] = ()
 
 
 class CuratorStore(StorageModel):
@@ -234,6 +244,22 @@ class CuratorStore(StorageModel):
         # sample of clean records.
         self._dirty_records: set[str] = set()
         self._integrity_cursor = 0
+        # cold tier: compacted segments on their own device.  Decrypted
+        # member plaintexts cached there die with every shred, like the
+        # hot read cache and the crypto memos.
+        self._cold = ColdStore(
+            device=MemoryDevice("curator-cold", config.cold_device_capacity),
+            clock=self._clock,
+            cache_size=config.cold_cache_size,
+        )
+        self._shredder.bind_cache(self._cold.purge_cache)
+        # Records whose authoritative copy is cold (warm extents are
+        # expatriated tombstones until recall re-admits them).
+        self._cold_records: set[str] = set()
+        # Last authorized touch per record — what the demotion policy's
+        # idleness rule evaluates.  Honestly process-memory: a recovered
+        # engine starts everything idle.
+        self._last_access: dict[str, float] = {}
         # Populated only on engines built by recover_from_devices().
         self.recovery_report: RecoveryReport | None = None
 
@@ -469,6 +495,11 @@ class CuratorStore(StorageModel):
         return [box.to_bytes() for box in aead_encrypt_many(items)]
 
     def _open_version(self, record_id: str, version_number: int) -> RecordVersion:
+        if record_id in self._cold_records:
+            # Read-through recall: the cold member is verified, its
+            # versions repatriated to warm WORM extents, and the read
+            # below proceeds against the warm tier.
+            self._recall(record_id)
         object_id = _version_object_id(record_id, version_number)
         handle = self._keys[record_id]
         blob = self._worm.get(object_id)
@@ -535,6 +566,236 @@ class CuratorStore(StorageModel):
         return chain
 
     # ------------------------------------------------------------------
+    # cold tier: demotion, recall, member plumbing
+    # ------------------------------------------------------------------
+
+    def _member_plaintext(self, record_id: str, versions: list[RecordVersion]) -> bytes:
+        return canonical_bytes(
+            {
+                "record_id": record_id,
+                "versions": [version.to_dict() for version in versions],
+            }
+        )
+
+    def _open_cold_versions(
+        self, record_id: str, *, use_cache: bool = True
+    ) -> list[RecordVersion]:
+        """Decrypt, decompress, and proof-check a cold member WITHOUT
+        repatriating it (verification must not recall the archive)."""
+        plaintext = self._cold.cached_plaintext(record_id) if use_cache else None
+        if plaintext is None:
+            segment = self._cold.segment_of(record_id)
+            sealed = self._cold.read_sealed(record_id)
+            # the sealed bytes must chain back to the trusted Merkle
+            # root before any of them are decrypted
+            self._cold.verify_sealed(record_id, sealed)
+            cipher = self._keystore.cipher_for(self._keys[record_id])
+            compressed = cipher.decrypt(
+                AeadCiphertext.from_bytes(sealed),
+                associated_data=cold_associated_data(
+                    segment.segment_id, record_id
+                ),
+            )
+            plaintext = decompress_member(compressed)
+            self._cold.cache_plaintext(record_id, plaintext)
+        payload = canonical_loads(plaintext)
+        if payload.get("record_id") != record_id:
+            raise IntegrityError(
+                f"cold member for {record_id} carries the wrong record"
+            )
+        return [RecordVersion.from_dict(data) for data in payload["versions"]]
+
+    def _stored_versions(self, record_id: str) -> list[RecordVersion]:
+        """Every version of a record from its authoritative tier,
+        decrypted and digest-checked (non-mutating)."""
+        if record_id in self._cold_records:
+            return self._open_cold_versions(record_id)
+        chain = self._chains[record_id]
+        return [self._open_version(record_id, n) for n in range(len(chain))]
+
+    def _version_term(self, version: RecordVersion) -> RetentionTerm:
+        return self._config.retention_policy.term_for(
+            version.record.record_type, version.created_at
+        )
+
+    def _recall(self, record_id: str, *, actor_id: str = "system") -> None:
+        """Repatriate a cold record to the warm tier: verified member
+        read (sealed digest + inclusion proof + chain re-link), then
+        each version re-sealed into the WORM store under its original
+        retention term.  The RECORD_RECALLED marker lands *after* the
+        warm write: a crash between leaves the cold member
+        authoritative and recovery simply re-expatriates the partial
+        warm copy."""
+        with METRICS.timer("tier_recall_ns"):
+            segment = self._cold.segment_of(record_id)
+            # never recall from the plaintext cache: what repatriates to
+            # the warm tier must be the device bytes, freshly verified
+            # against the trusted manifest and Merkle root
+            versions = self._open_cold_versions(record_id, use_cache=False)
+            VersionChain.from_versions(record_id, versions)
+            handle = self._keys[record_id]
+            sealed = self._seal_versions([(v, handle) for v in versions])
+            for version, blob in zip(versions, sealed):
+                object_id = _version_object_id(record_id, version.version_number)
+                self._worm.put(object_id, blob, retention=self._version_term(version))
+                self._disposition.register_key_handle(object_id, handle)
+            self._cold_records.discard(record_id)
+            self._cold.mark_repatriated(record_id)
+            # fresh device bytes: re-verify on the next incremental pass
+            self._dirty_records.add(record_id)
+            self._audit.append(
+                AuditAction.RECORD_RECALLED, actor_id, record_id,
+                {"segment": segment.segment_id, "versions": len(versions)},
+            )
+            self._maybe_anchor()
+        METRICS.incr("tier_cold_recalls")
+        METRICS.incr("tier_recalled_versions", len(versions))
+
+    def demote_records(
+        self, record_ids: list[str], *, actor_id: str = "archive-tiering"
+    ) -> list[str]:
+        """Compact *record_ids* into one cold segment.
+
+        Commit protocol: the warm copies are chain-verified first (a
+        segment must never launder tampered data into a fresh trust
+        root), the segment frame is written, then per record a
+        RECORD_DEMOTED marker — the durable commit point recovery
+        replays — and only then are the warm extents expatriated.
+        Records under litigation hold, already cold, or disposed are
+        skipped."""
+        eligible: list[str] = []
+        for record_id in record_ids:
+            if (
+                record_id not in self._chains
+                or record_id in self._disposed
+                or record_id in self._cold_records
+            ):
+                continue
+            chain = self._chains[record_id]
+            if any(
+                self._worm.retention.holds_on(_version_object_id(record_id, n))
+                for n in range(len(chain))
+            ):
+                continue
+            eligible.append(record_id)
+        if not eligible:
+            return []
+        segment_id = self._cold.next_segment_id()
+        staged: list[tuple[str, int, float, tuple]] = []
+        seal_items = []
+        for record_id in eligible:
+            chain = self._chains[record_id]
+            versions = [self._open_version(record_id, n) for n in range(len(chain))]
+            VersionChain.from_versions(record_id, versions)
+            plaintext = self._member_plaintext(record_id, versions)
+            # one provenance entry per version, in order — the version
+            # object ids are derivable so only the warm tier's original
+            # digests and write times are carried
+            provenance = []
+            expires_at = 0.0
+            for n, version in enumerate(versions):
+                meta = self._worm.metadata(_version_object_id(record_id, n))
+                provenance.append(
+                    {
+                        "content_digest": meta.content_digest,
+                        "written_at": meta.written_at,
+                    }
+                )
+                expires_at = max(expires_at, self._version_term(version).expires_at)
+            seal_items.append(
+                (
+                    self._keystore.cipher_for(self._keys[record_id]),
+                    compress_member(plaintext),
+                    cold_associated_data(segment_id, record_id),
+                )
+            )
+            staged.append(
+                (record_id, len(versions), expires_at, tuple(provenance))
+            )
+        boxes = aead_encrypt_many(seal_items)
+        members = [
+            (record_id, box.to_bytes(), version_count, expires_at, provenance)
+            for (record_id, version_count, expires_at, provenance), box
+            in zip(staged, boxes)
+        ]
+        segment = self._cold.write_segment(segment_id, members)
+        root_hex = segment.manifest.merkle_root.hex()[:16]
+        for record_id, version_count, _, _ in staged:
+            # marker first (the commit point), then tombstone the warm
+            # extents — a crash in between is healed by recovery's
+            # marker replay re-expatriating them
+            self._audit.append(
+                AuditAction.RECORD_DEMOTED, actor_id, record_id,
+                {
+                    "segment": segment_id,
+                    "versions": version_count,
+                    "root": root_hex,
+                },
+            )
+            for n in range(version_count):
+                self._worm.expatriate(_version_object_id(record_id, n))
+            self._cold_records.add(record_id)
+            self._read_cache.pop(record_id, None)
+        self._maybe_anchor()
+        METRICS.incr("tier_demotions", len(staged))
+        return [record_id for record_id, *_ in staged]
+
+    def demotion_candidates(self, policy: DemotionPolicy) -> list[str]:
+        """Live warm records the policy says belong in the cold tier."""
+        now = self._clock.now()
+        candidates = []
+        for record_id in self.record_ids():
+            if record_id in self._cold_records:
+                continue
+            chain = self._chains[record_id]
+            latest = chain.latest()
+            if any(
+                self._worm.retention.holds_on(_version_object_id(record_id, n))
+                for n in range(len(chain))
+            ):
+                continue
+            if policy.eligible(
+                now=now,
+                created_at=latest.created_at,
+                last_access=self._last_access.get(record_id, latest.created_at),
+            ):
+                candidates.append(record_id)
+        return candidates
+
+    def demotion_sweep(
+        self,
+        policy: DemotionPolicy | None = None,
+        *,
+        actor_id: str = "archive-tiering",
+    ) -> list[str]:
+        """Evaluate the demotion policy and compact every eligible
+        record into cold segments (one per ``max_segment_records``)."""
+        policy = policy or DemotionPolicy()
+        demoted: list[str] = []
+        for batch in policy.batches(self.demotion_candidates(policy)):
+            demoted += self.demote_records(batch, actor_id=actor_id)
+        return demoted
+
+    @property
+    def cold(self) -> ColdStore:
+        return self._cold
+
+    def cold_record_ids(self) -> list[str]:
+        return sorted(self._cold_records)
+
+    def tier_stats(self) -> dict[str, int]:
+        """Per-tier occupancy and on-device footprint."""
+        live = set(self.record_ids())
+        return {
+            "hot_records": len(self._read_cache),
+            "warm_records": len(live - self._cold_records),
+            "cold_records": len(self._cold_records),
+            "cold_segments": self._cold.segment_count,
+            "warm_bytes": self._worm.device.used,
+            "cold_bytes": self._cold.device.used,
+        }
+
+    # ------------------------------------------------------------------
     # StorageModel interface
     # ------------------------------------------------------------------
 
@@ -549,6 +810,7 @@ class CuratorStore(StorageModel):
         self._put_version(version, handle)
         self._chains[record.record_id] = chain
         self._dirty_records.add(record.record_id)
+        self._last_access[record.record_id] = self._clock.now()
         self._index.add_document(record.record_id, record.searchable_text())
         self._audit.append(
             AuditAction.RECORD_CREATED, author_id, record.record_id,
@@ -631,6 +893,7 @@ class CuratorStore(StorageModel):
                 self._maybe_anchor()
                 self._chains[record.record_id] = chain
                 self._dirty_records.add(record.record_id)
+                self._last_access[record.record_id] = self._clock.now()
                 documents.append((record.record_id, record.searchable_text()))
                 self._audit.append(
                     AuditAction.RECORD_CREATED, author_id, record.record_id,
@@ -673,14 +936,20 @@ class CuratorStore(StorageModel):
         if cached is not None and cached[0] == current:
             self._read_cache.move_to_end(record_id)
             METRICS.incr("read_cache_hits")
+            METRICS.incr("tier_hot_hits")
             record = cached[1]
         else:
             METRICS.incr("read_cache_misses")
+            if record_id in self._cold_records:
+                METRICS.incr("tier_cold_reads")
+            else:
+                METRICS.incr("tier_warm_reads")
             record = self._open_version(record_id, current).record
             if self._config.read_cache_size > 0:
                 self._read_cache[record_id] = (current, record)
                 if len(self._read_cache) > self._config.read_cache_size:
                     self._read_cache.popitem(last=False)
+        self._last_access[record_id] = self._clock.now()
         self._audit.append(
             AuditAction.RECORD_READ, actor_id, record_id,
             {"version": current},
@@ -714,6 +983,7 @@ class CuratorStore(StorageModel):
             record_id,
         )
         stored = self._open_version(record_id, version)
+        self._last_access[record_id] = self._clock.now()
         self._audit.append(
             AuditAction.RECORD_READ, actor_id, record_id, {"version": version}
         )
@@ -729,9 +999,14 @@ class CuratorStore(StorageModel):
             Purpose.TREATMENT,
             corrected.record_id,
         )
+        if corrected.record_id in self._cold_records:
+            # a correction makes the record active again: recall first,
+            # so every version lives in one tier
+            self._recall(corrected.record_id)
         version = chain.append_correction(corrected, author_id, reason, self._clock.now())
         self._put_version(version, self._keys[corrected.record_id])
         self._dirty_records.add(corrected.record_id)
+        self._last_access[corrected.record_id] = self._clock.now()
         # The cached entry is now a superseded version — purge it.
         self._read_cache.pop(corrected.record_id, None)
         # Re-index: the record's current text changes; old terms must not
@@ -765,8 +1040,14 @@ class CuratorStore(StorageModel):
         self, record_id: str, *, actor_id: str
     ) -> list[DispositionCertificate]:
         """Full compliant disposal of every version of a record,
-        attributed to the workforce member who approved it."""
+        attributed to the workforce member who approved it.  A cold
+        record is recalled first so the identify→approve→execute
+        workflow (and its certificates) runs against warm extents, then
+        its cold residue — every segment extent the member ever
+        occupied, plus the member cache — is scrubbed."""
         chain = self._chain_for(record_id)
+        if record_id in self._cold_records:
+            self._recall(record_id, actor_id=actor_id)
         now = self._clock.now()
         object_ids = [
             _version_object_id(record_id, n) for n in range(len(chain))
@@ -799,11 +1080,22 @@ class CuratorStore(StorageModel):
         handle = self._keys[record_id]
         if not self._vault.destroyed:
             self._vault.shred_key(handle.key_id)
+        # cold residue: the key shredding above already killed any
+        # sealed member cryptographically; zero the extents too (and the
+        # bind_cache hook purged the decrypted member cache with it)
+        cold_extents = self._cold.scrub_record(
+            record_id, passes=self._config.shredder_passes
+        )
         self._disposed.add(record_id)
         self._dirty_records.discard(record_id)
+        self._last_access.pop(record_id, None)
         self._audit.append(
             AuditAction.RECORD_DISPOSED, actor_id, record_id,
-            {"versions": len(object_ids), "certificates": len(certificates)},
+            {
+                "versions": len(object_ids),
+                "certificates": len(certificates),
+                "cold_extents": len(cold_extents),
+            },
         )
         return certificates
 
@@ -840,13 +1132,14 @@ class CuratorStore(StorageModel):
         if self._keystore.device is not None:
             devices.append(self._keystore.device)
         devices.append(self._checkpoints.device)
+        devices.append(self._cold.device)
         return devices
 
     def _check_record_chain(self, record_id: str) -> bool:
-        """Decrypt + re-chain every version of one record."""
-        chain = self._chains[record_id]
+        """Decrypt + re-chain every version of one record, from whichever
+        tier holds it (cold members are checked in place, not recalled)."""
         try:
-            stored = [self._open_version(record_id, n) for n in range(len(chain))]
+            stored = self._stored_versions(record_id)
             VersionChain.from_versions(record_id, stored)
             return True
         except Exception:  # noqa: BLE001 — any failure implicates the record
@@ -872,6 +1165,11 @@ class CuratorStore(StorageModel):
                     clean_sample=self._config.integrity_clean_sample
                 ):
                     failures.add(_record_id_of(object_id))
+                failures.update(
+                    self._cold.verify_dirty(
+                        clean_sample=self._config.cold_clean_sample
+                    )
+                )
                 live = self.record_ids()
                 dirty = [r for r in live if r in self._dirty_records]
                 clean = [r for r in live if r not in self._dirty_records]
@@ -901,6 +1199,7 @@ class CuratorStore(StorageModel):
             with METRICS.timer("engine_integrity_full_ns"):
                 for object_id in self._worm.verify_all():
                     failures.add(_record_id_of(object_id))
+                failures.update(self._cold.verify_all())
                 for record_id in self.record_ids():
                     if not self._check_record_chain(record_id):
                         failures.add(record_id)
@@ -1707,6 +2006,7 @@ class CuratorStore(StorageModel):
         key_device: BlockDevice,
         audit_device: BlockDevice,
         checkpoint_device: BlockDevice | None = None,
+        cold_device: BlockDevice | None = None,
         witnesses: list[AnchorWitness] | None = None,
         signer: Signer | None = None,
     ) -> "CuratorStore":
@@ -1813,6 +2113,10 @@ class CuratorStore(StorageModel):
         # home for every migrated patient.
         moved_records: set[str] = set()
         moved_patients: set[str] = set()
+        # Demotion markers replay the same way: a RECORD_DEMOTED with no
+        # later RECORD_RECALLED means the cold member is authoritative
+        # and the recovered warm bytes must stay tombstoned.
+        demoted_records: set[str] = set()
         for event in store._audit.events():
             detail = event.detail or {}
             if (
@@ -1827,6 +2131,10 @@ class CuratorStore(StorageModel):
             ):
                 moved_records.difference_update(detail.get("records") or [])
                 moved_patients.discard(detail.get("patient") or event.subject_id)
+            elif event.action is AuditAction.RECORD_DEMOTED:
+                demoted_records.add(event.subject_id)
+            elif event.action is AuditAction.RECORD_RECALLED:
+                demoted_records.discard(event.subject_id)
         # record directory: decrypt WORM versions under recovered keys
         version_ids: dict[str, dict[int, str]] = {}
         chunk_ids: list[str] = []
@@ -1948,6 +2256,56 @@ class CuratorStore(StorageModel):
 
                     entry["attestation"] = SignedPayload.from_dict(attestation)
             store._segment_objects.setdefault(patient_id, []).append(object_id)
+        # cold tier: adopt the surviving cold device, then place each
+        # recovered member by the audit trail's verdict — demoted and
+        # not since recalled means cold is authoritative (warm copies
+        # re-tombstoned), anything else was repatriated before the
+        # crash, and a shredded key marks certified scrub holes.
+        # Without a surviving cold device, demoted records honestly
+        # recover warm from their surviving (pre-demotion) extents.
+        if cold_device is not None:
+            store._cold = ColdStore.recover(
+                cold_device, clock=store._clock,
+                cache_size=config.cold_cache_size,
+            )
+            store._shredder.bind_cache(store._cold.purge_cache)
+        for record_id in store._cold.record_ids():
+            if record_id in store._disposed:
+                store._cold.mark_scrubbed(record_id)
+                continue
+            if record_id not in demoted_records or record_id in moved_records:
+                store._cold.mark_repatriated(record_id)
+                continue
+            handle = labels.get(record_id)
+            if handle is None:
+                orphaned.append(record_id)
+                store._cold.mark_repatriated(record_id)
+                continue
+            store._keys.setdefault(record_id, handle)
+            try:
+                stored_versions = store._open_cold_versions(record_id)
+                chain = VersionChain.from_versions(record_id, stored_versions)
+            except Exception:  # noqa: BLE001 — torn/tampered cold member
+                if record_id not in store._chains:
+                    damaged.append(record_id)
+                # with an intact warm copy the record falls back warm
+                store._cold.mark_repatriated(record_id)
+                continue
+            if record_id not in store._chains:
+                # the warm copy died with the crash; the cold member
+                # alone restores the record
+                store._chains[record_id] = chain
+                versions_recovered += len(stored_versions)
+                documents.append(
+                    (record_id, chain.latest().record.searchable_text())
+                )
+                if record_id in damaged:
+                    damaged.remove(record_id)
+            for n in range(len(chain)):
+                object_id = _version_object_id(record_id, n)
+                if object_id in store._worm:
+                    store._worm.expatriate(object_id)
+            store._cold_records.add(record_id)
         # index: derived data, re-posted from the recovered records
         store._index.add_documents(documents)
         # Everything recovered came off an untrusted device: dirty until
@@ -1961,6 +2319,7 @@ class CuratorStore(StorageModel):
             damaged=tuple(damaged),
             orphaned=tuple(orphaned),
             migrated=tuple(migrated),
+            cold_records=tuple(sorted(store._cold_records)),
         )
         return store
 
@@ -2013,6 +2372,13 @@ class CuratorStore(StorageModel):
         now = self._clock.now()
         due = []
         for record_id in self.record_ids():
+            if record_id in self._cold_records:
+                # the manifest carries the latest expiry across the
+                # member's versions; holds cannot exist on cold records
+                # (place_hold recalls first, demotion skips held ones)
+                if self._cold.member(record_id).expires_at <= now:
+                    due.append(record_id)
+                continue
             chain = self._chains[record_id]
             object_ids = [_version_object_id(record_id, n) for n in range(len(chain))]
             if all(
@@ -2067,8 +2433,13 @@ class CuratorStore(StorageModel):
     def place_hold(
         self, record_id: str, hold_id: str, *, actor_id: str
     ) -> None:
-        """Litigation hold across every version of a record."""
+        """Litigation hold across every version of a record.  A cold
+        record is recalled first — holds freeze a record in the warm
+        tier for fast legal access, and the demotion policy skips held
+        records until the hold lifts."""
         chain = self._chain_for(record_id)
+        if record_id in self._cold_records:
+            self._recall(record_id, actor_id=actor_id)
         for n in range(len(chain)):
             self._worm.retention.place_hold(_version_object_id(record_id, n), hold_id)
         self._audit.append(

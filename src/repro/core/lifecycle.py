@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.archive import DemotionPolicy
 from repro.core.engine import CuratorStore
 from repro.util.clock import SECONDS_PER_YEAR, SimulatedClock
 
@@ -26,6 +27,8 @@ class LifecycleReport:
     disposal_certificates: int = 0
     integrity_checks_passed: int = 0
     integrity_failures: list[str] = field(default_factory=list)
+    records_demoted: int = 0
+    segments_written: int = 0
 
 
 class ArchiveLifecycle:
@@ -37,11 +40,13 @@ class ArchiveLifecycle:
         clock: SimulatedClock,
         media_refresh_years: float = 5.0,
         backup_every_years: float = 1.0,
+        demotion_policy: DemotionPolicy | None = None,
     ) -> None:
         self._store = store
         self._clock = clock
         self._refresh_years = media_refresh_years
         self._backup_years = backup_every_years
+        self._demotion_policy = demotion_policy
 
     def run_years(
         self,
@@ -52,7 +57,8 @@ class ArchiveLifecycle:
         """Advance simulated time, running scheduled operations.
 
         Each step: advance the clock, back up if due, refresh media if
-        the active medium is past service life, verify integrity, and
+        the active medium is past service life, demote records the
+        tiering policy says have gone cold, verify integrity, and
         (optionally) dispose records past retention.
         """
         report = LifecycleReport()
@@ -69,6 +75,15 @@ class ArchiveLifecycle:
             if self._store.medium.age_years() > self._refresh_years:
                 self._store.refresh_media()
                 report.media_refreshes += 1
+            if self._demotion_policy is not None:
+                segments_before = self._store.tier_stats()["cold_segments"]
+                demoted = self._store.demotion_sweep(
+                    self._demotion_policy, actor_id="archive-lifecycle"
+                )
+                report.records_demoted += len(demoted)
+                report.segments_written += (
+                    self._store.tier_stats()["cold_segments"] - segments_before
+                )
             integrity = self._store.verify_integrity()
             if integrity.violations:
                 report.integrity_failures.extend(integrity.violations)

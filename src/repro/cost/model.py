@@ -14,7 +14,12 @@ here quantifies a deployment over an N-year horizon:
   plus a per-audit-event review cost;
 * **security overhead** — the CPU/storage tax of encryption, hashing,
   and index padding, expressed as a fractional capacity/throughput
-  surcharge.
+  surcharge;
+* **tiering** — :meth:`CostModel.project_tiered` models the cold
+  archive tier: the idle fraction of the population sits in compacted
+  compressed segments at a fraction of its warm footprint (the E7b
+  benchmark measures ~0.38x), shrinking every capacity-driven line
+  (media, migration, security surcharge) for the cold share.
 
 Numbers are parameterized (mid-2000s archival pricing by default) so
 E10 can sweep them; the reproduction target is the *shape* — which
@@ -58,6 +63,11 @@ class CostReport:
     migration_dollars: float
     personnel_dollars: float
     security_overhead_dollars: float
+    #: Fraction of the archive resident in the cold tier (0 = untiered).
+    cold_fraction: float = 0.0
+    #: Capacity-driven dollars the cold tier's compaction saved vs
+    #: keeping the whole archive warm.
+    tiering_savings_dollars: float = 0.0
 
     @property
     def total_dollars(self) -> float:
@@ -70,13 +80,16 @@ class CostReport:
 
     def rows(self) -> list[tuple[str, float]]:
         """(line item, dollars) rows for report rendering."""
-        return [
+        rows = [
             ("media", self.media_dollars),
             ("migration", self.migration_dollars),
             ("personnel", self.personnel_dollars),
             ("security_overhead", self.security_overhead_dollars),
-            ("total", self.total_dollars),
         ]
+        if self.cold_fraction > 0.0:
+            rows.append(("tiering_savings", -self.tiering_savings_dollars))
+        rows.append(("total", self.total_dollars))
+        return rows
 
 
 class CostModel:
@@ -139,6 +152,48 @@ class CostModel:
             migration_dollars=migration_dollars,
             personnel_dollars=personnel,
             security_overhead_dollars=security_overhead,
+        )
+
+    def project_tiered(
+        self,
+        archive_gb: float,
+        horizon_years: float,
+        cold_fraction: float,
+        cold_footprint_ratio: float = 0.38,
+        audit_events_per_year: float = 0.0,
+    ) -> CostReport:
+        """Project cost with the idle *cold_fraction* of the archive
+        compacted into cold segments at *cold_footprint_ratio* of its
+        warm footprint (default from the E7b measurement).
+
+        Personnel cost is untouched — compliance overhead follows the
+        record population, not its encoding — while every
+        capacity-driven line (media rebuys, migration copies, the
+        security surcharge) shrinks with the stored bytes.
+        """
+        if not 0.0 <= cold_fraction <= 1.0:
+            raise ValidationError("cold fraction must be in [0,1]")
+        if not 0.0 < cold_footprint_ratio <= 1.0:
+            raise ValidationError("cold footprint ratio must be in (0,1]")
+        effective_gb = archive_gb * (
+            1.0 - cold_fraction + cold_fraction * cold_footprint_ratio
+        )
+        tiered = self.project(
+            effective_gb, horizon_years, audit_events_per_year=audit_events_per_year
+        )
+        untiered = self.project(
+            archive_gb, horizon_years, audit_events_per_year=audit_events_per_year
+        )
+        savings = untiered.total_dollars - tiered.total_dollars
+        return CostReport(
+            horizon_years=tiered.horizon_years,
+            media_generations=tiered.media_generations,
+            media_dollars=tiered.media_dollars,
+            migration_dollars=tiered.migration_dollars,
+            personnel_dollars=tiered.personnel_dollars,
+            security_overhead_dollars=tiered.security_overhead_dollars,
+            cold_fraction=cold_fraction,
+            tiering_savings_dollars=savings,
         )
 
     def media_generations(self, horizon_years: float) -> int:

@@ -48,7 +48,7 @@ from repro.core.engine import CuratorStore
 from repro.crypto.kdf import derive_key
 from repro.crypto.rsa import generate_keypair
 from repro.errors import CrashError, IntegrityError, MigrationError
-from repro.storage.journal import Journal
+from repro.storage.journal import HEADER_SIZE, Journal
 from repro.util.clock import SimulatedClock
 from repro.util.encoding import canonical_bytes, canonical_loads
 from repro.records.model import ClinicalNote
@@ -382,6 +382,115 @@ def _rot_clean_object(sub: _Substrate) -> bool:
     return _rot_worm_object(sub, f"{sub.records[0]}@v0")
 
 
+# -- cold-tier tampers -------------------------------------------------------
+#
+# The tiered archive adds a fourth attack surface: compacted cold
+# segments on their own device.  The adversary model is the same smart
+# insider as the warm cases — raw device access, knows the segment
+# layout, recomputes the frame checksum after writing — and the demand
+# is the same: the bounded incremental policy must catch what a full
+# pass catches, blaming exactly the tampered record.
+
+_COLD_VICTIM = 1  # seeded record demoted (with one sibling) before tampering
+
+
+def _stage_cold(sub: _Substrate) -> str:
+    """Demote the victim (plus a sibling that must stay unblamed) and
+    verify fully, so the tamper lands on a segment the system already
+    believes clean — the hardest case for the incremental checker."""
+    victim = sub.records[_COLD_VICTIM]
+    sibling = sub.records[_COLD_VICTIM + 1]
+    demoted = sub.target.demote_records([victim, sibling], actor_id="dr-eq")
+    assert set(demoted) == {victim, sibling}
+    assert sub.surface.verify_integrity().ok
+    return victim
+
+
+def _forge_cold_payload(engine, record_id: str, mutate) -> bool:
+    """Rewrite the victim's segment frame the way a raw-media insider
+    would: mutate the payload bytes, then recompute the frame checksum."""
+    segment = engine.cold.segment_of(record_id)
+    device = engine.cold.device
+    payload = bytearray(
+        device.raw_read(segment.frame_offset + HEADER_SIZE, segment.payload_length)
+    )
+    member = segment.manifest.member(record_id)
+    member_start = (
+        segment.member_area - (segment.frame_offset + HEADER_SIZE) + member.offset
+    )
+    if not mutate(payload, member_start, member.length):
+        return False
+    Journal.forge_frame(device, segment.frame_offset, bytes(payload))
+    return True
+
+
+def _cold_body_rot(sub: _Substrate) -> str | None:
+    """Flip one byte in the middle of the victim's sealed member."""
+    victim = _stage_cold(sub)
+
+    def flip(payload: bytearray, start: int, length: int) -> bool:
+        payload[start + length // 2] ^= 0x5A
+        return True
+
+    return victim if _forge_cold_payload(sub.target, victim, flip) else None
+
+
+def _cold_recall_truncation(sub: _Substrate) -> str | None:
+    """Zero the tail half of the victim's member — the shape a torn
+    device leaves.  The sealed bytes no longer match their leaf, so the
+    recall path must refuse to repatriate anything."""
+    victim = _stage_cold(sub)
+
+    def truncate(payload: bytearray, start: int, length: int) -> bool:
+        payload[start + length // 2 : start + length] = bytes(
+            length - length // 2
+        )
+        return True
+
+    if not _forge_cold_payload(sub.target, victim, truncate):
+        return None
+    # the recall path itself must refuse the damaged member
+    recall_refused = False
+    try:
+        sub.surface.read(victim, actor_id="dr-eq")
+    except IntegrityError:
+        recall_refused = True
+    assert recall_refused, "recall repatriated a truncated cold member"
+    return victim
+
+
+def _cold_manifest_rot(sub: _Substrate) -> str | None:
+    """Rewrite the victim's manifest entry in place (same compressed
+    length, recomputed frame checksum).  The member bytes are intact —
+    only the trusted-manifest comparison can catch this, with blame on
+    exactly the forged entry."""
+    from repro.archive.segment import reforge_manifest
+    from repro.crypto.hashing import sha256 as _sha256
+
+    victim = _stage_cold(sub)
+    segment = sub.target.cold.segment_of(victim)
+    device = sub.target.cold.device
+    payload = device.raw_read(
+        segment.frame_offset + HEADER_SIZE, segment.payload_length
+    )
+    for salt in range(64):  # a random digest may compress larger; retry
+        def swap_leaf(manifest: dict, salt=salt) -> dict:
+            for entry in manifest["members"]:
+                if entry["record_id"] == victim:
+                    entry["leaf_digest"] = _sha256(
+                        b"forged-cold-leaf" + bytes([salt])
+                    )
+            return manifest
+
+        try:
+            forged = reforge_manifest(payload, swap_leaf)
+        except Exception:  # noqa: BLE001 — did not fit, retry with new salt
+            continue
+        Journal.forge_frame(device, segment.frame_offset, forged)
+        return victim
+    return None
+
+
 _BATCH_SIZE = 5
 _BATCH_VICTIM = 2
 
@@ -596,6 +705,9 @@ _TAMPER_CASES: tuple[tuple[str, str, Callable[[_Substrate], bool]], ...] = (
     ("integrity", "worm_dirty_object_rot", _rot_dirty_object),
     ("integrity", "worm_clean_object_rot", _rot_clean_object),
     ("batch", "worm_batch_member_rot", _tamper_batch_member),
+    ("batch", "cold_segment_body_rot", _cold_body_rot),
+    ("batch", "cold_manifest_rot", _cold_manifest_rot),
+    ("batch", "cold_recall_truncation", _cold_recall_truncation),
 )
 
 _CASE_RUNNERS = {

@@ -244,9 +244,14 @@ def _run_case(
     if not run.crashed:
         fail("armed crash point was never reached")
         return violations
-    worm_device, _index_device, audit_device, key_device, checkpoint_device = (
-        store.devices()
-    )
+    (
+        worm_device,
+        _index_device,
+        audit_device,
+        key_device,
+        checkpoint_device,
+        cold_device,
+    ) = store.devices()
     recovery_config = CuratorConfig(
         master_key=master_key,
         clock=clock,
@@ -260,6 +265,7 @@ def _run_case(
             key_device=surviving_image(key_device),
             audit_device=surviving_image(audit_device),
             checkpoint_device=surviving_image(checkpoint_device),
+            cold_device=surviving_image(cold_device),
             witnesses=[store.witness],
             signer=store.signer,
         )

@@ -13,18 +13,25 @@ def test_cluster_detection_equivalence_holds():
     report = run_cluster_detection_equivalence(shards=2)
     assert report.ok, report.summary()
     # one clean control + every tamper case against each target shard
-    assert len(report.cases) == 1 + 2 * 9
+    assert len(report.cases) == 1 + 2 * 12
     control = next(c for c in report.cases if c.name.endswith("no_tamper_control"))
     assert not control.tampered
     shard_names = {case.name.split(":")[0] for case in report.cases}
     assert {"shard-00", "shard-01"} <= shard_names
-    batch_cases = [c for c in report.cases if c.name.endswith("worm_batch_member_rot")]
-    assert len(batch_cases) == 2
-    for case in batch_cases:
-        # the merged fan-out report implicated exactly the rotten batch
-        # member on the attacked shard — no sibling smear across shards
-        assert case.tampered
-        assert case.flagged == (case.expected_flag,)
+    exact_blame_suffixes = (
+        "worm_batch_member_rot",
+        "cold_segment_body_rot",
+        "cold_manifest_rot",
+        "cold_recall_truncation",
+    )
+    for suffix in exact_blame_suffixes:
+        cases = [c for c in report.cases if c.name.endswith(suffix)]
+        assert len(cases) == 2
+        for case in cases:
+            # the merged fan-out report implicated exactly the tampered
+            # member on the attacked shard — no sibling smear across shards
+            assert case.tampered
+            assert case.flagged == (case.expected_flag,)
 
 
 def test_rebalance_detection_equivalence_holds():

@@ -40,7 +40,7 @@ def note(record_id, clock, text):
 
 
 def recover(store, read_cache_size=128):
-    worm_device, _index_device, audit_device, key_device, ckpt_device = (
+    worm_device, _index_device, audit_device, key_device, ckpt_device, cold_device = (
         store.devices()
     )
     config = CuratorConfig(
@@ -55,6 +55,7 @@ def recover(store, read_cache_size=128):
         key_device=surviving_image(key_device),
         audit_device=surviving_image(audit_device),
         checkpoint_device=surviving_image(ckpt_device),
+        cold_device=surviving_image(cold_device),
         witnesses=[store.witness],
         signer=store.signer,
     )

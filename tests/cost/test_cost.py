@@ -90,3 +90,40 @@ def test_invalid_parameters_rejected():
         model().project(archive_gb=-1.0, horizon_years=10.0)
     with pytest.raises(ValidationError):
         model().project(archive_gb=1.0, horizon_years=0.0)
+
+
+def test_tiered_projection_shrinks_capacity_lines_only():
+    m = model()
+    untiered = m.project(1000.0, 30.0, audit_events_per_year=10_000)
+    tiered = m.project_tiered(
+        1000.0, 30.0, cold_fraction=0.9, cold_footprint_ratio=0.38,
+        audit_events_per_year=10_000,
+    )
+    # capacity-driven lines shrink with the compacted cold share ...
+    assert tiered.media_dollars < untiered.media_dollars
+    assert tiered.migration_dollars < untiered.migration_dollars
+    assert tiered.security_overhead_dollars < untiered.security_overhead_dollars
+    # ... personnel follows the record population, not its encoding
+    assert tiered.personnel_dollars == untiered.personnel_dollars
+    assert tiered.total_dollars < untiered.total_dollars
+    assert tiered.tiering_savings_dollars == pytest.approx(
+        untiered.total_dollars - tiered.total_dollars
+    )
+    assert ("tiering_savings", -tiered.tiering_savings_dollars) in tiered.rows()
+    # an untiered report renders no tiering row
+    assert all(name != "tiering_savings" for name, _ in untiered.rows())
+
+
+def test_tiered_projection_edges_and_validation():
+    m = model()
+    # cold_fraction 0 is the untiered projection exactly
+    flat = m.project_tiered(100.0, 10.0, cold_fraction=0.0)
+    assert flat.total_dollars == m.project(100.0, 10.0).total_dollars
+    assert flat.tiering_savings_dollars == 0.0
+    # ratio 1.0 compacts nothing and saves nothing
+    lossless = m.project_tiered(100.0, 10.0, cold_fraction=1.0, cold_footprint_ratio=1.0)
+    assert lossless.tiering_savings_dollars == 0.0
+    with pytest.raises(ValidationError):
+        m.project_tiered(100.0, 10.0, cold_fraction=1.5)
+    with pytest.raises(ValidationError):
+        m.project_tiered(100.0, 10.0, cold_fraction=0.5, cold_footprint_ratio=0.0)

@@ -17,6 +17,9 @@ EXPECTED_CASES = {
     "worm_dirty_object_rot",
     "worm_clean_object_rot",
     "worm_batch_member_rot",
+    "cold_segment_body_rot",
+    "cold_manifest_rot",
+    "cold_recall_truncation",
     "migration_source_rot_blocks_refresh",
     "migration_post_refresh_rot",
 }
@@ -95,5 +98,10 @@ def test_suite_runs_clean_end_to_end():
     batch = next(c for c in report.cases if c.name == "worm_batch_member_rot")
     # the batched-ingest tamper implicated exactly the rotten member
     assert batch.flagged == (batch.expected_flag,)
+    # the cold-tier tampers likewise blamed exactly the forged member
+    for name in ("cold_segment_body_rot", "cold_manifest_rot",
+                 "cold_recall_truncation"):
+        case = next(c for c in report.cases if c.name == name)
+        assert case.flagged == (case.expected_flag,)
     summary = report.summary()
-    assert "12 cases, 0 violations" in summary
+    assert "15 cases, 0 violations" in summary
