@@ -3,7 +3,7 @@ PY ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify sweep conformance bench-gate verify-cluster verify-rebalance verify-archive policy-lint profile
+.PHONY: test verify sweep conformance bench-gate verify-cluster verify-rebalance verify-archive verify-service policy-lint profile
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -16,9 +16,9 @@ policy-lint:
 
 # The PR gate: tier-1, ruleset lint, a bounded crash-consistency sweep +
 # differential conformance + detection equivalence, the E2/E8/E9
-# regression gates, the online-rebalance (E6b) gate, and the tiered
-# cold-archive (E7b) gate.
-verify: test policy-lint bench-gate verify-rebalance verify-archive
+# regression gates, the online-rebalance (E6b) gate, the tiered
+# cold-archive (E7b) gate, and the wire-service (E11) gate.
+verify: test policy-lint bench-gate verify-rebalance verify-archive verify-service
 	$(PY) -m repro verify --limit 12
 
 # The exhaustive sweep: every write boundary, clean + torn.  ~30s.
@@ -57,6 +57,15 @@ verify-archive:
 	$(PY) -m pytest tests/archive tests/property/test_archive_roundtrip.py tests/threats/test_cold_residue.py -q
 	$(PY) -m pytest benchmarks/bench_e7_retention_30yr.py -q
 	$(PY) benchmarks/check_regression.py --skip-e8 --skip-e9 --skip-e6
+
+# Wire-service gate: the service suite (wire schema, session
+# lifecycle, admission control, the audit oracle) and the E11
+# closed-loop load arm (200 concurrent sessions, sustained-RPS floor,
+# p99 ceiling, full audit coverage) gated by check_regression.
+verify-service:
+	$(PY) -m pytest tests/service -q
+	$(PY) -m pytest benchmarks/bench_e11_service.py -q
+	$(PY) benchmarks/check_regression.py --skip-e8 --skip-e9 --skip-e6 --skip-e7
 
 # Cluster-only gate: the sharded router's tests, the cross-shard
 # detection-equivalence oracle, and the E9 scaling bar.

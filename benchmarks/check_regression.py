@@ -43,6 +43,16 @@ MigrationProof, and **zero** rebalance detection-equivalence
 violations.  Elasticity bought with blocked readers or unproven moves
 does not count.
 
+``BENCH_e11.json`` (run
+``pytest benchmarks/bench_e11_service.py``) gates the wire-service
+frontend on absolute bars: at least 200 concurrent authenticated
+sessions, a sustained closed-loop floor of 250 requests/sec through the
+full pipeline (sockets, sessions, policy, admission, audit), a p99
+latency ceiling of 5 seconds under that load, zero client-visible
+errors, and the audit-coverage invariant (every wire request left a
+service audit event and the chain still verifies).  Throughput bought
+by shedding authentication or the trustworthy log does not count.
+
 The curator's batched ingest additionally carries an **absolute** bar:
 at least 2450 records/sec on the E2 batch arm — five times the
 pre-rebuild write path (~490 rps).  The baseline-relative gate catches
@@ -74,6 +84,7 @@ BENCH_E8_JSON = Path(__file__).parent / "BENCH_e8.json"
 BENCH_E9_JSON = Path(__file__).parent / "BENCH_e9.json"
 BENCH_E6_JSON = Path(__file__).parent / "BENCH_e6.json"
 BENCH_E7_JSON = Path(__file__).parent / "BENCH_e7.json"
+BENCH_E11_JSON = Path(__file__).parent / "BENCH_e11.json"
 DEFAULT_TOLERANCE = 0.30
 #: The curator's batched ingest gets a tighter delta gate than the loose
 #: fleet-wide tolerance: the E2 hot path must stay policy-free (store()
@@ -97,6 +108,15 @@ MAX_E6_P99_RATIO = 2.0
 MAX_E7_FOOTPRINT_RATIO = 0.5
 MAX_E7_RECALL_P99_RATIO = 10.0
 MIN_E7_VERIFY_SPEEDUP = 3.0
+#: Wire-service bars: the frontend must hold >= 200 concurrent
+#: authenticated sessions at a sustained closed-loop floor with a tail
+#: ceiling — with zero errors and full audit coverage (measured ~650
+#: rps / p99 ~1.5 s on the reference box; the floor and ceiling are
+#: deliberately loose so the gate catches architecture regressions,
+#: not scheduler jitter).
+MIN_E11_SESSIONS = 200
+MIN_E11_RPS = 250.0
+MAX_E11_P99_MS = 5000.0
 _METRICS = ("single_rps", "batched_rps")
 
 
@@ -297,6 +317,50 @@ def check_e6(path: Path, max_p99_ratio: float) -> list[str]:
     return problems
 
 
+def check_e11(
+    path: Path, min_sessions: int, min_rps: float, max_p99_ms: float
+) -> list[str]:
+    """Absolute bars for the E11 wire-service load measurement."""
+    if not path.exists():
+        return [
+            f"no E11 results at {path}; run the E11 service load "
+            "benchmark first"
+        ]
+    results = json.loads(path.read_text())
+    problems = []
+    sessions = results.get("sessions", 0)
+    if sessions < min_sessions:
+        problems.append(
+            f"e11.sessions: only {sessions} concurrent authenticated "
+            f"sessions (bar: {min_sessions})"
+        )
+    rps = results.get("sustained_rps", 0.0)
+    if rps < min_rps:
+        problems.append(
+            f"e11.sustained_rps: {rps:.1f} requests/sec through the full "
+            f"wire pipeline (bar: {min_rps:.0f} with {sessions} closed-loop "
+            f"sessions)"
+        )
+    p99 = results.get("p99_ms", float("inf"))
+    if p99 > max_p99_ms:
+        problems.append(
+            f"e11.p99_ms: {p99:.0f} ms tail latency under load "
+            f"(ceiling: {max_p99_ms:.0f} ms)"
+        )
+    errors = results.get("errors")
+    if errors != 0:
+        problems.append(
+            f"e11.errors: {errors} client-visible errors during the run "
+            f"(the closed loop must complete cleanly)"
+        )
+    if not (results.get("audit_coverage_ok") and results.get("audit_chain_ok")):
+        problems.append(
+            "e11.audit: audit coverage or chain verification failed — "
+            "throughput without the trustworthy log does not count"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -413,6 +477,34 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the E6b online-rebalance bars",
     )
+    parser.add_argument(
+        "--current-e11",
+        default=str(BENCH_E11_JSON),
+        help="fresh E11 wire-service results JSON path",
+    )
+    parser.add_argument(
+        "--min-e11-sessions",
+        type=int,
+        default=MIN_E11_SESSIONS,
+        help="required concurrent authenticated sessions (default 200)",
+    )
+    parser.add_argument(
+        "--min-e11-rps",
+        type=float,
+        default=MIN_E11_RPS,
+        help="required sustained closed-loop requests/sec (default 250)",
+    )
+    parser.add_argument(
+        "--max-e11-p99-ms",
+        type=float,
+        default=MAX_E11_P99_MS,
+        help="allowed p99 wire latency under load, ms (default 5000)",
+    )
+    parser.add_argument(
+        "--skip-e11",
+        action="store_true",
+        help="skip the E11 wire-service bars",
+    )
     args = parser.parse_args(argv)
 
     current_path = Path(args.current)
@@ -518,6 +610,25 @@ def main(argv: list[str] | None = None) -> int:
                 f"ok: online rebalance p99 <= {args.max_e6_p99_ratio:.1f}x "
                 f"steady state, every move proof re-verified, 0 rebalance "
                 f"detection-equivalence violations"
+            )
+
+    if not args.skip_e11:
+        e11_problems = check_e11(
+            Path(args.current_e11),
+            args.min_e11_sessions,
+            args.min_e11_rps,
+            args.max_e11_p99_ms,
+        )
+        if e11_problems:
+            print("WIRE SERVICE REGRESSION:")
+            for problem in e11_problems:
+                print(f"  - {problem}")
+            problems.extend(e11_problems)
+        else:
+            print(
+                f"ok: wire service held >= {args.min_e11_sessions} sessions "
+                f"at >= {args.min_e11_rps:.0f} rps, p99 <= "
+                f"{args.max_e11_p99_ms:.0f} ms, 0 errors, full audit coverage"
             )
 
     return 1 if problems else 0

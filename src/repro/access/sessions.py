@@ -88,6 +88,12 @@ class Authenticator:
 
         self._policy = PolicyEngine(session_ruleset())
 
+    @property
+    def clock(self) -> Clock:
+        """The clock session validity is measured against (boundary
+        layers measure expiry with the same clock the broker uses)."""
+        return self._clock
+
     def _enforce(self, user_id: str, action: str, **facts) -> None:
         """One policy decision over measured facts; applies the broker
         side effects the deciding rule implies, then raises the typed
@@ -188,6 +194,38 @@ class Authenticator:
     ) -> bytes:
         material = f"{session_id}|{user_id}|{issued_at}|{expires_at}".encode("utf-8")
         return hmac_sha256(self._broker_key, material)
+
+    def token_matches(self, session: Session) -> bool:
+        """Measure (don't decide): does the presented token HMAC-verify
+        against the session's fields under the broker key?  Boundary
+        layers that fold extra facts into one policy decision (the wire
+        service adds revocation) use this instead of :meth:`validate`.
+        """
+        expected = self._token_for(
+            session.session_id, session.user_id, session.issued_at, session.expires_at
+        )
+        return constant_time_equal(expected, session.token)
+
+    def reissue(self, session: Session) -> Session:
+        """Mint a fresh session for the same principal (token refresh).
+
+        The caller must have *already validated* the presented session —
+        this is the mechanism half of refresh; the deciding half lives
+        in the caller's policy pass (see
+        :class:`repro.service.auth.SessionBroker`).
+        """
+        self._counter += 1
+        now = self._clock.now()
+        session_id = f"sess-{self._counter:08d}"
+        expires_at = now + self._session_seconds
+        token = self._token_for(session_id, session.user_id, now, expires_at)
+        return Session(
+            session_id=session_id,
+            user_id=session.user_id,
+            issued_at=now,
+            expires_at=expires_at,
+            token=token,
+        )
 
     def validate(self, session: Session) -> str:
         """Validate a presented session; returns the authenticated user id.

@@ -2,7 +2,16 @@
 
 Commands:
 
-* ``demo`` — the quickstart flow: store, search, correct, audit.
+* ``serve`` — run the v1 wire API (asyncio HTTP frontend) over a
+  sharded cluster; ``--seed-demo`` enrolls demo principals and prints
+  their login secrets.
+* ``client`` — talk to a running service over the wire: ``login``,
+  ``store``, ``read``, ``audit-query``, ``verify``, ``break-glass``,
+  ``healthz``.  Every call is authenticated, authorized, and audited
+  server-side; there is no direct-engine path here by design.
+* ``demo`` — the quickstart flow over the wire: serve in-process,
+  login, store, search, read, show the audit trail (including the
+  denial left by an unauthorized probe).
 * ``matrix`` — run the full E1 requirements matrix (slow: probes all
   six models with the attack suite).
 * ``thirty-years`` — the OSHA retention simulation with media refresh.
@@ -50,41 +59,187 @@ def _cmd_info(_args) -> int:
 
 
 def _quickstart() -> int:
-    from repro import CuratorConfig, CuratorStore
-    from repro.records import ClinicalNote, HealthRecord
-    from repro.util import SimulatedClock
+    """The demo now runs over the wire: an in-process server, a real
+    login, and every operation attributed to the authenticated session
+    actor — the direct-engine path the old demo used bypassed exactly
+    the attribution this PR's front door enforces."""
+    from repro import CuratorCluster, CuratorConfig
+    from repro.access import Role, User
+    from repro.records import ClinicalNote
+    from repro.service import (
+        CuratorService,
+        ServiceClient,
+        ServiceClientError,
+        ServiceConfig,
+        ServiceServer,
+    )
 
-    clock = SimulatedClock(start=1.17e9)
-    store = CuratorStore(
-        CuratorConfig(master_key=secrets.token_bytes(32), clock=clock)
+    cluster = CuratorCluster(
+        CuratorConfig(master_key=secrets.token_bytes(32), site_id="demo"), shards=2
     )
-    note = ClinicalNote.create(
-        record_id="rec-1",
-        patient_id="pat-1",
-        created_at=clock.now(),
-        author="dr-demo",
-        specialty="cardiology",
-        text="patient reports palpitations; echocardiogram ordered",
+    service = CuratorService(cluster, ServiceConfig(port=0))
+    secret = service.enroll(
+        User.make("dr-demo", "Dr Demo", [Role.PHYSICIAN], "cardiology",
+                  treating={"pat-1"})
     )
-    store.store(note, author_id="dr-demo")
-    print(
-        "stored rec-1;",
-        "search('palpitations') ->",
-        store.search("palpitations", actor_id="dr-demo"),
-    )
-    corrected = HealthRecord(
-        record_id="rec-1",
-        record_type=note.record_type,
-        patient_id="pat-1",
-        created_at=clock.now(),
-        body={**note.body, "text": note.body["text"] + " echo normal."},
-    )
-    store.correct(corrected, author_id="dr-demo", reason="result appended")
-    print("versions:", store.version_count("rec-1"))
-    print("audit verifies:", store.verify_audit_trail().summary())
-    for event in store.audit_events():
-        print(f"  [{event['sequence']:03d}] {event['action']:<18} {event['actor_id']}")
+    server = ServiceServer(service).start()
+    print(f"in-process service on {server.base_url}")
+    try:
+        client = ServiceClient(server.host, server.port)
+        envelope = client.login("dr-demo", secret)
+        print(f"logged in as {envelope.user_id} (session {envelope.session_id})")
+        note = ClinicalNote.create(
+            record_id="rec-1",
+            patient_id="pat-1",
+            created_at=1.17e9,
+            author="dr-demo",
+            specialty="cardiology",
+            text="patient reports palpitations; echocardiogram ordered",
+        )
+        stored = client.store(note.to_dict())
+        print(f"stored {stored.record_id} (version {stored.versions})")
+        print("search('palpitations') ->", list(client.search("palpitations").record_ids))
+        record = client.read("rec-1")
+        print(f"read {record.record_id}: {record.body['text']!r}")
+        try:  # an unauthorized probe: physicians may not read the audit trail
+            client.audit_query()
+        except ServiceClientError as exc:
+            print(f"audit probe denied: {exc.status} {exc.code} "
+                  f"(rule {exc.rule_id or 'default:deny'})")
+        print("service audit chain (every wire call, including the denial):")
+        for event in service.audit_events():
+            print(f"  [{event.sequence:03d}] {event.action.value:<17} "
+                  f"{event.actor_id:<10} {event.subject_id}")
+        service.verify_service_audit()
+        print("service audit chain verifies")
+    finally:
+        server.stop()
+        cluster.close()
     return 0
+
+
+def _serve(args) -> int:
+    from repro import CuratorCluster, CuratorConfig
+    from repro.access import Role, User
+    from repro.service import CuratorService, ServiceConfig, ServiceServer
+
+    cluster = CuratorCluster(
+        CuratorConfig(master_key=secrets.token_bytes(32), site_id="serve"),
+        shards=args.shards,
+        workers=args.workers,
+        vnodes=args.vnodes,
+    )
+    service = CuratorService(
+        cluster,
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            rate_capacity=args.rate_capacity,
+            rate_refill_per_second=args.rate_refill,
+        ),
+    )
+    if args.seed_demo:
+        demo_users = (
+            User.make("dr-demo", "Dr Demo", [Role.PHYSICIAN], "cardiology",
+                      treating={"pat-1", "pat-2"}),
+            User.make("nurse-demo", "Nurse Demo", [Role.NURSE], "er",
+                      treating={"pat-1"}),
+            User.make("po-demo", "Privacy Officer", [Role.PRIVACY_OFFICER],
+                      "privacy"),
+        )
+        print("seeded demo principals (login with `repro client login`):")
+        for user in demo_users:
+            secret = service.enroll(user)
+            roles = ",".join(sorted(r.value for r in user.roles))
+            print(f"  {user.user_id:<12} roles={roles:<16} secret={secret.hex()}")
+    server = ServiceServer(service)
+    print(f"serving v1 API on http://{args.host}:{args.port} "
+          f"({args.shards} shards, {args.workers} workers); Ctrl-C to stop")
+    try:
+        server.run_forever()
+    finally:
+        cluster.close()
+    return 0
+
+
+def _client(args) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.host, args.port)
+    client.bearer = getattr(args, "token", "") or ""
+    try:
+        return _client_dispatch(args, client)
+    except ServiceClientError as exc:
+        print(f"error: {exc.status} {exc.code}: {exc.error.message}",
+              file=sys.stderr)
+        if exc.rule_id:
+            print(f"  denied by rule {exc.rule_id}", file=sys.stderr)
+            for entry in exc.trace:
+                print(f"    consulted {entry.get('rule', '?')}: "
+                      f"{entry.get('outcome', '?')}", file=sys.stderr)
+        return 1
+
+
+def _client_dispatch(args, client) -> int:
+    import json as _json
+
+    command = args.client_command
+    if command == "login":
+        envelope = client.login(args.user, bytes.fromhex(args.secret))
+        print(f"user: {envelope.user_id}")
+        print(f"session: {envelope.session_id} (expires {envelope.expires_at})")
+        print(f"token: {envelope.token}")
+        return 0
+    if command == "healthz":
+        health = client.healthz()
+        print(f"status: {health.status}")
+        print(f"shards: {', '.join(health.shards)}")
+        print(f"queue: {health.queue_depth}/{health.queue_limit}; "
+              f"sessions: {health.active_sessions}")
+        return 0
+    if command == "store":
+        from repro.records import ClinicalNote
+
+        note = ClinicalNote.create(
+            record_id=args.record_id,
+            patient_id=args.patient_id,
+            created_at=args.created_at,
+            author=args.author or "wire-client",
+            specialty=args.specialty,
+            text=args.text,
+        )
+        stored = client.store(note.to_dict())
+        print(f"stored {stored.record_id} for {stored.patient_id} "
+              f"(version {stored.versions})")
+        return 0
+    if command == "read":
+        record = client.read(args.record_id, purpose=args.purpose)
+        print(_json.dumps(record.to_wire(), indent=2, sort_keys=True))
+        return 0
+    if command == "audit-query":
+        result = client.audit_query(
+            actor_id=args.actor, action=args.action, limit=args.limit
+        )
+        print(f"{result.total} matching event(s); showing {len(result.events)}:")
+        for event in result.events:
+            print(f"  [{event.get('sequence', '?')}] {event.get('action'):<18} "
+                  f"{event.get('actor_id'):<12} {event.get('subject_id')}")
+        return 0
+    if command == "verify":
+        report = client.verify(incremental=args.incremental)
+        print(f"ok: {report.ok}")
+        print(f"integrity: {report.integrity_summary}")
+        print(f"audit:     {report.audit_summary}")
+        for violation in report.violations:
+            print(f"  violation: {violation}")
+        return 0 if report.ok else 1
+    if command == "break-glass":
+        grant = client.break_glass(args.patient_id, args.justification)
+        print(f"grant {grant.grant_id}: {grant.user_id} -> {grant.patient_id}")
+        return 0
+    print(f"unknown client command {command!r}", file=sys.stderr)
+    return 2
 
 
 def _matrix() -> int:
@@ -234,6 +389,57 @@ def _metrics(_args) -> int:
         f"segment(s); {stats['warm_bytes']} warm bytes, "
         f"{stats['cold_bytes']} cold bytes"
     )
+
+    # wire service: serve a short in-process burst (logins, reads, a
+    # denial, an unknown endpoint) so the request/denial/queue counters
+    # have real traffic behind them
+    from repro import CuratorCluster
+    from repro.access import Role, User
+    from repro.records import ClinicalNote
+    from repro.service import (
+        CuratorService,
+        ServiceClient,
+        ServiceClientError,
+        ServiceConfig,
+        ServiceServer,
+    )
+
+    METRICS.reset()
+    cluster = CuratorCluster(
+        CuratorConfig(master_key=bytes(range(32)), site_id="cli-metrics"), shards=2
+    )
+    service = CuratorService(cluster, ServiceConfig(port=0))
+    secret = service.enroll(
+        User.make("dr-m", "Dr M", [Role.PHYSICIAN], "cardio", treating={"pat-1"})
+    )
+    server = ServiceServer(service).start()
+    try:
+        wire = ServiceClient(server.host, server.port)
+        wire.login("dr-m", secret)
+        wire.store(ClinicalNote.create(
+            record_id="rec-m", patient_id="pat-1", created_at=1.17e9,
+            author="dr-m", specialty="cardio", text="metrics demo note",
+        ).to_dict())
+        for _ in range(3):
+            wire.read("rec-m")
+        for call in (wire.audit_query, wire.healthz):  # one denial, one ok
+            try:
+                call()
+            except ServiceClientError:
+                pass
+        try:
+            wire.request("GET", "/v1/nope")
+        except ServiceClientError:
+            pass
+    finally:
+        server.stop()
+        cluster.close()
+    snapshot = METRICS.snapshot()
+    print()
+    print("wire service (in-process burst)")
+    for name in sorted(snapshot):
+        if name.startswith("service_"):
+            print(f"  {name:<36}  {snapshot[name]:>8}")
     return 0
 
 
@@ -505,9 +711,69 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("info", help="version and subsystem inventory").set_defaults(
         func=_cmd_info
     )
-    sub.add_parser("demo", help="store/search/correct/audit walkthrough").set_defaults(
-        func=lambda _a: _quickstart()
+    sub.add_parser(
+        "demo", help="wire-API walkthrough: serve in-process, login, store, audit"
+    ).set_defaults(func=lambda _a: _quickstart())
+    serve = sub.add_parser("serve", help="run the v1 wire API over a cluster")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8471, help="bind port")
+    serve.add_argument("--shards", type=int, default=4, help="shard count")
+    serve.add_argument(
+        "--workers", type=int, default=0, help="process-backed shard workers (0 = in-process)"
     )
+    serve.add_argument(
+        "--vnodes", type=int, default=0, help="virtual nodes per shard (0 = modulo routing)"
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, help="max in-flight requests before 503"
+    )
+    serve.add_argument(
+        "--rate-capacity", type=float, default=50.0, help="per-actor burst budget"
+    )
+    serve.add_argument(
+        "--rate-refill", type=float, default=25.0, help="per-actor sustained requests/s"
+    )
+    serve.add_argument(
+        "--seed-demo",
+        action="store_true",
+        help="enroll demo principals and print their login secrets",
+    )
+    serve.set_defaults(func=_serve)
+    client = sub.add_parser("client", help="call a running service over the wire")
+    client.add_argument("--host", default="127.0.0.1", help="service address")
+    client.add_argument("--port", type=int, default=8471, help="service port")
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+    c_login = client_sub.add_parser("login", help="challenge-response login")
+    c_login.add_argument("--user", required=True, help="enrolled user id")
+    c_login.add_argument("--secret", required=True, help="enrollment secret (hex)")
+    client_sub.add_parser("healthz", help="liveness, shards, queue")
+    c_store = client_sub.add_parser("store", help="store a clinical note")
+    c_store.add_argument("--token", required=True, help="bearer token from login")
+    c_store.add_argument("--record-id", required=True)
+    c_store.add_argument("--patient-id", required=True)
+    c_store.add_argument("--created-at", type=float, default=1.17e9)
+    c_store.add_argument("--author", default="", help="display author (informational)")
+    c_store.add_argument("--specialty", default="general")
+    c_store.add_argument("--text", required=True, help="note text")
+    c_read = client_sub.add_parser("read", help="read one record")
+    c_read.add_argument("--token", required=True)
+    c_read.add_argument("--record-id", required=True)
+    c_read.add_argument("--purpose", default="", help="purpose-of-use value")
+    c_audit = client_sub.add_parser("audit-query", help="query the audit stream")
+    c_audit.add_argument("--token", required=True)
+    c_audit.add_argument("--actor", default="", help="filter by actor id")
+    c_audit.add_argument("--action", default="", help="filter by action")
+    c_audit.add_argument("--limit", type=int, default=20)
+    c_verify = client_sub.add_parser(
+        "verify", help="run integrity + audit verification server-side"
+    )
+    c_verify.add_argument("--token", required=True)
+    c_verify.add_argument("--incremental", action="store_true")
+    c_bg = client_sub.add_parser("break-glass", help="emergency access override")
+    c_bg.add_argument("--token", required=True)
+    c_bg.add_argument("--patient-id", required=True)
+    c_bg.add_argument("--justification", required=True)
+    client.set_defaults(func=_client)
     sub.add_parser("matrix", help="run the E1 requirements matrix (slow)").set_defaults(
         func=lambda _a: _matrix()
     )

@@ -260,6 +260,12 @@ class CuratorCluster(StorageModel):
         return self._config.policy_rules
 
     @property
+    def config(self):
+        """The cluster-wide :class:`~repro.core.config.CuratorConfig`
+        (read-only; the wire service reuses its clock and site id)."""
+        return self._config
+
+    @property
     def shards(self) -> tuple[CuratorStore, ...]:
         """The shard engines, in slot order (read-only introspection;
         going around the router bypasses its locks).  With process

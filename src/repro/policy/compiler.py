@@ -172,6 +172,76 @@ def session_ruleset() -> tuple[PolicyRule, ...]:
     )
 
 
+def service_ruleset() -> tuple[PolicyRule, ...]:
+    """The wire-service rulesets layered over :func:`session_ruleset`.
+
+    The asyncio frontend (:mod:`repro.service`) measures transport
+    facts — is the presented token revoked, is the actor over its
+    token-bucket budget, is the admission queue full — and hands them
+    here so every wire-level rejection is a policy :class:`Decision`
+    with a trace the error body can return.  Session-token validity
+    stays with the session rules; this set adds only what exists at
+    the service boundary.
+    """
+    return session_ruleset() + (
+        PolicyRule(
+            rule_id="deny:service:revoked-token",
+            effect=Effect.DENY,
+            actions=frozenset({"use_session"}),
+            conditions=(
+                cond.fact_true(
+                    "session_revoked",
+                    "session token was revoked (logout or refresh rotation)",
+                ),
+            ),
+            tier=Tier.GLOBAL,
+        ),
+        PolicyRule(
+            rule_id="deny:service:rate-limited",
+            effect=Effect.DENY,
+            actions=frozenset({"admit_request"}),
+            conditions=(
+                cond.fact_true(
+                    "rate_exceeded",
+                    "actor {actor} exhausted its request-rate budget",
+                ),
+            ),
+            tier=Tier.GLOBAL,
+        ),
+        PolicyRule(
+            rule_id="deny:service:queue-full",
+            effect=Effect.DENY,
+            actions=frozenset({"admit_request"}),
+            conditions=(
+                cond.fact_true(
+                    "queue_full",
+                    "admission queue is at capacity; retry with backoff",
+                ),
+            ),
+            tier=Tier.GLOBAL,
+        ),
+        PolicyRule(
+            rule_id="deny:service:draining",
+            effect=Effect.DENY,
+            actions=frozenset({"admit_request"}),
+            conditions=(
+                cond.fact_true(
+                    "draining",
+                    "service is draining for shutdown; no new work admitted",
+                ),
+            ),
+            tier=Tier.GLOBAL,
+        ),
+        PolicyRule(
+            rule_id="allow:service:admit",
+            effect=Effect.ALLOW,
+            actions=frozenset({"admit_request"}),
+            tier=Tier.FALLBACK,
+            reason="request admitted for {actor}",
+        ),
+    )
+
+
 def disposition_ruleset() -> tuple[PolicyRule, ...]:
     """Disposition lifecycle policy over workflow-measured ticket facts
     plus the live retention re-check at execution time."""

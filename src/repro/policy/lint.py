@@ -180,6 +180,7 @@ def lint_default_rulesets() -> list[LintFinding]:
         breakglass_ruleset,
         compile_default_ruleset,
         disposition_ruleset,
+        service_ruleset,
         session_ruleset,
     )
     from repro.policy.model import DESTRUCTION_ACTION
@@ -197,4 +198,10 @@ def lint_default_rulesets() -> list[LintFinding]:
         )
     )
     findings.extend(lint_ruleset(breakglass_ruleset(), actions={"invoke_break_glass"}))
+    findings.extend(
+        lint_ruleset(
+            service_ruleset(),
+            actions={"use_session", "request_challenge", "login", "admit_request"},
+        )
+    )
     return findings

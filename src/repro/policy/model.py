@@ -254,8 +254,15 @@ class Decision:
         return self.allowed
 
     def exception(self) -> CuratorError:
-        """The exception a denial raises (typed by the deciding rule)."""
-        return _ERROR_CLASSES[self.error](self.reason)
+        """The exception a denial raises (typed by the deciding rule).
+
+        The decision rides along as ``exc.decision`` so boundary layers
+        (the wire API) can return the rule id and consultation trace in
+        structured error bodies without re-deciding the request.
+        """
+        exc = _ERROR_CLASSES[self.error](self.reason)
+        exc.decision = self  # type: ignore[attr-defined]
+        return exc
 
     def require(self) -> "Decision":
         """Raise the typed denial unless allowed; returns self."""

@@ -1,0 +1,600 @@
+"""The versioned wire schema: typed requests, responses, error codes.
+
+Everything that crosses the service boundary is declared here — the
+``/v1`` request and response dataclasses with ``to_wire()`` /
+``from_wire()`` round-trip codecs, and the single :data:`ERROR_CODES`
+table mapping every public exception in :mod:`repro.errors` to a stable
+HTTP status plus a machine-readable code.  Nothing else is allowed on
+the wire: no raw tracebacks, no ad-hoc dicts, no internal reprs.
+
+Versioning contract: the ``v1`` shapes are additive-only once shipped.
+A field may be added with a default; a field may never change meaning
+or disappear.  A breaking change mints ``/v2`` beside ``/v1``.
+
+``from_wire`` raises :class:`WireError` (a :class:`ValidationError`,
+so it maps to 400 through the same table) naming the offending field —
+the dispatcher turns that into a structured 400 without ever seeing a
+``KeyError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import (
+    AccessDeniedError,
+    AuditError,
+    AuthenticationError,
+    BackupError,
+    ClusterError,
+    ComplianceError,
+    ConfigurationError,
+    ConsentError,
+    CryptoError,
+    CuratorError,
+    DispositionError,
+    IndexError_,
+    IntegrityError,
+    KeyManagementError,
+    MigrationError,
+    ProvenanceError,
+    RecordError,
+    RecordNotFoundError,
+    RetentionError,
+    ValidationError,
+    WormViolationError,
+)
+
+WIRE_VERSION = "v1"
+
+
+class WireError(ValidationError):
+    """A wire payload failed schema validation (maps to HTTP 400)."""
+
+
+# ---------------------------------------------------------------------------
+# the error-code table
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorCode:
+    """One stable wire mapping: HTTP status + machine-readable code."""
+
+    status: int
+    code: str
+
+
+#: Exception -> wire mapping, most specific class first; the dispatcher
+#: walks it with ``isinstance`` and the FIRST match wins, so a subclass
+#: must appear before every one of its bases.  ``CuratorError`` is the
+#: terminal catch-all: every library exception maps somewhere, and no
+#: handler ever serializes a traceback.
+ERROR_CODES: tuple[tuple[type[CuratorError], ErrorCode], ...] = (
+    (RecordNotFoundError, ErrorCode(404, "record_not_found")),
+    (ConsentError, ErrorCode(403, "consent_denied")),
+    (AccessDeniedError, ErrorCode(403, "access_denied")),
+    (WireError, ErrorCode(400, "malformed_request")),
+    (ValidationError, ErrorCode(400, "validation_error")),
+    (DispositionError, ErrorCode(409, "disposition_conflict")),
+    (RetentionError, ErrorCode(409, "retention_conflict")),
+    (WormViolationError, ErrorCode(409, "worm_violation")),
+    (KeyManagementError, ErrorCode(410, "record_destroyed")),
+    (IntegrityError, ErrorCode(500, "tamper_detected")),
+    (AuthenticationError, ErrorCode(500, "signature_invalid")),
+    (CryptoError, ErrorCode(500, "crypto_failure")),
+    (AuditError, ErrorCode(500, "audit_failure")),
+    (ProvenanceError, ErrorCode(500, "provenance_failure")),
+    (IndexError_, ErrorCode(500, "index_failure")),
+    (BackupError, ErrorCode(500, "backup_failure")),
+    (ComplianceError, ErrorCode(500, "compliance_failure")),
+    (MigrationError, ErrorCode(503, "migration_in_progress")),
+    (ClusterError, ErrorCode(503, "cluster_unavailable")),
+    (RecordError, ErrorCode(422, "record_conflict")),
+    (ConfigurationError, ErrorCode(500, "misconfigured")),
+    (CuratorError, ErrorCode(500, "internal_error")),
+)
+
+#: Service-boundary conditions that never raise a library exception:
+#: admission, authentication transport, and routing outcomes.  Same
+#: stability contract as :data:`ERROR_CODES`.
+SERVICE_CODES: Mapping[str, ErrorCode] = {
+    "unauthorized": ErrorCode(401, "unauthorized"),
+    "session_expired": ErrorCode(401, "session_expired"),
+    "session_revoked": ErrorCode(401, "session_revoked"),
+    "account_locked": ErrorCode(401, "account_locked"),
+    "malformed_token": ErrorCode(401, "malformed_token"),
+    "rate_limited": ErrorCode(429, "rate_limited"),
+    "queue_full": ErrorCode(503, "queue_full"),
+    "service_draining": ErrorCode(503, "service_draining"),
+    "slow_client": ErrorCode(408, "slow_client"),
+    "unknown_endpoint": ErrorCode(404, "unknown_endpoint"),
+    "method_not_allowed": ErrorCode(405, "method_not_allowed"),
+    "malformed_request": ErrorCode(400, "malformed_request"),
+}
+
+#: Session/service policy rule id -> the 401-family code the denial
+#: maps to on the wire (anything unlisted is plain ``unauthorized``).
+RULE_CODES: Mapping[str, str] = {
+    "deny:session:expired": "session_expired",
+    "deny:service:revoked-token": "session_revoked",
+    "deny:session:locked": "account_locked",
+    "deny:service:rate-limited": "rate_limited",
+    "deny:service:queue-full": "queue_full",
+    "deny:service:draining": "service_draining",
+}
+
+
+def code_for_exception(exc: BaseException) -> ErrorCode:
+    """The wire mapping for *exc*: first ``isinstance`` match in
+    :data:`ERROR_CODES`; non-library exceptions are an opaque 500."""
+    for exc_type, code in ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return ErrorCode(500, "internal_error")
+
+
+# ---------------------------------------------------------------------------
+# wire codec plumbing
+# ---------------------------------------------------------------------------
+
+
+def _take(payload: Mapping[str, Any], name: str, kind: type, *, optional: bool = False, default: Any = None) -> Any:
+    if not isinstance(payload, Mapping):
+        raise WireError(f"expected a JSON object, got {type(payload).__name__}")
+    if name not in payload:
+        if optional:
+            return default
+        raise WireError(f"missing required field {name!r}")
+    value = payload[name]
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kind) or (kind is not bool and isinstance(value, bool)):
+        raise WireError(
+            f"field {name!r} must be {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _take_str_list(payload: Mapping[str, Any], name: str) -> tuple[str, ...]:
+    value = _take(payload, name, list, optional=True, default=[])
+    for item in value:
+        if not isinstance(item, str):
+            raise WireError(f"field {name!r} must be a list of strings")
+    return tuple(value)
+
+
+# ---------------------------------------------------------------------------
+# auth
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChallengeRequest:
+    """POST /v1/auth/challenge — step 1 of the login protocol."""
+
+    user_id: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"user_id": self.user_id}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "ChallengeRequest":
+        return cls(user_id=_take(payload, "user_id", str))
+
+
+@dataclass(frozen=True)
+class ChallengeResponse:
+    """The nonce the client must HMAC with its enrollment secret."""
+
+    user_id: str
+    nonce_hex: str
+    issued_at: float
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "nonce": self.nonce_hex,
+            "issued_at": self.issued_at,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "ChallengeResponse":
+        return cls(
+            user_id=_take(payload, "user_id", str),
+            nonce_hex=_take(payload, "nonce", str),
+            issued_at=_take(payload, "issued_at", float),
+        )
+
+
+@dataclass(frozen=True)
+class LoginRequest:
+    """POST /v1/auth/login — step 2: prove possession of the secret."""
+
+    user_id: str
+    response_hex: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"user_id": self.user_id, "response": self.response_hex}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "LoginRequest":
+        return cls(
+            user_id=_take(payload, "user_id", str),
+            response_hex=_take(payload, "response", str),
+        )
+
+
+@dataclass(frozen=True)
+class SessionEnvelope:
+    """A live session: the bearer token plus its public fields."""
+
+    token: str
+    session_id: str
+    user_id: str
+    issued_at: float
+    expires_at: float
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "token": self.token,
+            "session_id": self.session_id,
+            "user_id": self.user_id,
+            "issued_at": self.issued_at,
+            "expires_at": self.expires_at,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "SessionEnvelope":
+        return cls(
+            token=_take(payload, "token", str),
+            session_id=_take(payload, "session_id", str),
+            user_id=_take(payload, "user_id", str),
+            issued_at=_take(payload, "issued_at", float),
+            expires_at=_take(payload, "expires_at", float),
+        )
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreRecordRequest:
+    """POST /v1/records — create one record, attributed to the session
+    actor (there is no author field on the wire: the author is whoever
+    authenticated — that is the point of the front door)."""
+
+    record_id: str
+    patient_id: str
+    record_type: str
+    created_at: float
+    body: Mapping[str, Any]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "record_id": self.record_id,
+            "patient_id": self.patient_id,
+            "record_type": self.record_type,
+            "created_at": self.created_at,
+            "body": dict(self.body),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "StoreRecordRequest":
+        return cls(
+            record_id=_take(payload, "record_id", str),
+            patient_id=_take(payload, "patient_id", str),
+            record_type=_take(payload, "record_type", str),
+            created_at=_take(payload, "created_at", float),
+            body=_take(payload, "body", dict),
+        )
+
+
+@dataclass(frozen=True)
+class StoreRecordResponse:
+    record_id: str
+    patient_id: str
+    versions: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "record_id": self.record_id,
+            "patient_id": self.patient_id,
+            "versions": self.versions,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "StoreRecordResponse":
+        return cls(
+            record_id=_take(payload, "record_id", str),
+            patient_id=_take(payload, "patient_id", str),
+            versions=_take(payload, "versions", int),
+        )
+
+
+@dataclass(frozen=True)
+class RecordEnvelope:
+    """GET /v1/records/{id} — one decrypted, verified record."""
+
+    record_id: str
+    patient_id: str
+    record_type: str
+    created_at: float
+    body: Mapping[str, Any]
+    version: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "record_id": self.record_id,
+            "patient_id": self.patient_id,
+            "record_type": self.record_type,
+            "created_at": self.created_at,
+            "body": dict(self.body),
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "RecordEnvelope":
+        return cls(
+            record_id=_take(payload, "record_id", str),
+            patient_id=_take(payload, "patient_id", str),
+            record_type=_take(payload, "record_type", str),
+            created_at=_take(payload, "created_at", float),
+            body=_take(payload, "body", dict),
+            version=_take(payload, "version", int),
+        )
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    term: str
+    record_ids: tuple[str, ...]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"term": self.term, "record_ids": list(self.record_ids)}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "SearchResponse":
+        return cls(
+            term=_take(payload, "term", str),
+            record_ids=_take_str_list(payload, "record_ids"),
+        )
+
+
+@dataclass(frozen=True)
+class PatientRecordsResponse:
+    patient_id: str
+    record_ids: tuple[str, ...]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"patient_id": self.patient_id, "record_ids": list(self.record_ids)}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "PatientRecordsResponse":
+        return cls(
+            patient_id=_take(payload, "patient_id", str),
+            record_ids=_take_str_list(payload, "record_ids"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# audit / verification / break-glass
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AuditQueryRequest:
+    """GET /v1/audit — filtered slice of the merged audit stream."""
+
+    actor_id: str = ""
+    action: str = ""
+    subject_id: str = ""
+    limit: int = 100
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "actor_id": self.actor_id,
+            "action": self.action,
+            "subject_id": self.subject_id,
+            "limit": self.limit,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "AuditQueryRequest":
+        limit = _take(payload, "limit", int, optional=True, default=100)
+        if limit < 1:
+            raise WireError("field 'limit' must be >= 1")
+        return cls(
+            actor_id=_take(payload, "actor_id", str, optional=True, default=""),
+            action=_take(payload, "action", str, optional=True, default=""),
+            subject_id=_take(payload, "subject_id", str, optional=True, default=""),
+            limit=limit,
+        )
+
+
+@dataclass(frozen=True)
+class AuditEventsResponse:
+    events: tuple[Mapping[str, Any], ...]
+    total: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"events": [dict(e) for e in self.events], "total": self.total}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "AuditEventsResponse":
+        events = _take(payload, "events", list)
+        for item in events:
+            if not isinstance(item, Mapping):
+                raise WireError("field 'events' must be a list of objects")
+        return cls(
+            events=tuple(dict(e) for e in events),
+            total=_take(payload, "total", int),
+        )
+
+
+@dataclass(frozen=True)
+class VerifyResponse:
+    """POST /v1/verify — merged integrity + audit verification."""
+
+    ok: bool
+    integrity_summary: str
+    audit_summary: str
+    violations: tuple[str, ...] = ()
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "integrity": self.integrity_summary,
+            "audit": self.audit_summary,
+            "violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "VerifyResponse":
+        return cls(
+            ok=_take(payload, "ok", bool),
+            integrity_summary=_take(payload, "integrity", str),
+            audit_summary=_take(payload, "audit", str),
+            violations=_take_str_list(payload, "violations"),
+        )
+
+
+@dataclass(frozen=True)
+class BreakGlassRequest:
+    patient_id: str
+    justification: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"patient_id": self.patient_id, "justification": self.justification}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "BreakGlassRequest":
+        justification = _take(payload, "justification", str)
+        if not justification.strip():
+            raise WireError("field 'justification' must not be blank")
+        return cls(
+            patient_id=_take(payload, "patient_id", str),
+            justification=justification,
+        )
+
+
+@dataclass(frozen=True)
+class BreakGlassResponse:
+    grant_id: str
+    patient_id: str
+    user_id: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "grant_id": self.grant_id,
+            "patient_id": self.patient_id,
+            "user_id": self.user_id,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "BreakGlassResponse":
+        return cls(
+            grant_id=_take(payload, "grant_id", str),
+            patient_id=_take(payload, "patient_id", str),
+            user_id=_take(payload, "user_id", str),
+        )
+
+
+@dataclass(frozen=True)
+class HealthzResponse:
+    """GET /v1/healthz — liveness plus shard and queue status."""
+
+    status: str
+    shards: tuple[str, ...]
+    queue_depth: int
+    queue_limit: int
+    active_sessions: int
+    draining: bool
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "shards": list(self.shards),
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "active_sessions": self.active_sessions,
+            "draining": self.draining,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "HealthzResponse":
+        return cls(
+            status=_take(payload, "status", str),
+            shards=_take_str_list(payload, "shards"),
+            queue_depth=_take(payload, "queue_depth", int),
+            queue_limit=_take(payload, "queue_limit", int),
+            active_sessions=_take(payload, "active_sessions", int),
+            draining=_take(payload, "draining", bool),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorBody:
+    """Every non-2xx body: status, stable code, human message, and —
+    when the rejection was a policy decision — the deciding rule id and
+    full consultation trace (HIPAA audits ask *why*)."""
+
+    status: int
+    code: str
+    message: str
+    rule_id: str = ""
+    trace: tuple[Mapping[str, Any], ...] = field(default_factory=tuple)
+
+    def to_wire(self) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "error": {
+                "status": self.status,
+                "code": self.code,
+                "message": self.message,
+            }
+        }
+        if self.rule_id:
+            body["error"]["rule_id"] = self.rule_id
+        if self.trace:
+            body["error"]["trace"] = [dict(t) for t in self.trace]
+        return body
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "ErrorBody":
+        error = _take(payload, "error", dict)
+        trace = error.get("trace", [])
+        if not isinstance(trace, list) or any(
+            not isinstance(t, Mapping) for t in trace
+        ):
+            raise WireError("field 'error.trace' must be a list of objects")
+        return cls(
+            status=_take(error, "status", int),
+            code=_take(error, "code", str),
+            message=_take(error, "message", str),
+            rule_id=_take(error, "rule_id", str, optional=True, default=""),
+            trace=tuple(dict(t) for t in trace),
+        )
+
+
+#: Every wire type, for the round-trip test to enumerate.
+WIRE_TYPES: tuple[type, ...] = (
+    ChallengeRequest,
+    ChallengeResponse,
+    LoginRequest,
+    SessionEnvelope,
+    StoreRecordRequest,
+    StoreRecordResponse,
+    RecordEnvelope,
+    SearchResponse,
+    PatientRecordsResponse,
+    AuditQueryRequest,
+    AuditEventsResponse,
+    VerifyResponse,
+    BreakGlassRequest,
+    BreakGlassResponse,
+    HealthzResponse,
+    ErrorBody,
+)

@@ -1,0 +1,172 @@
+"""Bearer-token sessions for the wire service.
+
+:class:`SessionBroker` wraps the engine's challenge-response
+:class:`~repro.access.sessions.Authenticator` with what a network front
+door additionally needs:
+
+* a **wire codec** — the whole :class:`Session` (id, user, validity
+  window, HMAC) folded into one opaque base64url bearer string, so the
+  client presents a single ``Authorization: Bearer`` header and the
+  broker re-verifies the HMAC on every request (stateless check,
+  stateful revocation);
+* **revocation** — logout and refresh rotation invalidate the old
+  session id, so a replayed pre-refresh token fails with its own rule
+  (``deny:service:revoked-token``), not a generic 401;
+* **one policy decision per validation** — the broker *measures*
+  (token HMAC, expiry clock, lockout set, revocation set) and the
+  :func:`~repro.policy.compiler.service_ruleset` decides, exactly the
+  mechanism/policy split the rest of the codebase uses.  The returned
+  :class:`~repro.policy.model.Decision` rides into the error body.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import threading
+
+from repro.access.sessions import Authenticator, Challenge, Session
+from repro.errors import AccessDeniedError
+from repro.policy.compiler import service_ruleset
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import Decision, PolicyContext
+
+
+class MalformedTokenError(AccessDeniedError):
+    """The bearer string does not decode to a session at all."""
+
+
+def encode_token(session: Session) -> str:
+    """Fold a session into one opaque bearer string."""
+    material = "|".join(
+        (
+            session.session_id,
+            session.user_id,
+            repr(session.issued_at),
+            repr(session.expires_at),
+            session.token.hex(),
+        )
+    ).encode("utf-8")
+    return base64.urlsafe_b64encode(material).decode("ascii")
+
+
+def decode_token(token: str) -> Session:
+    """Unfold a bearer string; raises :class:`MalformedTokenError` on
+    anything that is not five well-typed pipe-joined fields.  No
+    authenticity judgement here — that is the broker's policy pass."""
+    try:
+        material = base64.urlsafe_b64decode(token.encode("ascii")).decode("utf-8")
+        session_id, user_id, issued_at, expires_at, mac_hex = material.split("|")
+        return Session(
+            session_id=session_id,
+            user_id=user_id,
+            issued_at=float(issued_at),
+            expires_at=float(expires_at),
+            token=bytes.fromhex(mac_hex),
+        )
+    except (ValueError, binascii.Error, UnicodeDecodeError) as exc:
+        raise MalformedTokenError(f"bearer token is malformed: {exc}") from None
+
+
+class SessionBroker:
+    """Login, validation, refresh, and revocation over an Authenticator.
+
+    Thread-safe: the revocation and active-session sets are guarded, and
+    the underlying Authenticator is only called from within the lock (it
+    is not itself thread-safe; the service funnels all auth through this
+    broker).
+    """
+
+    def __init__(self, authenticator: Authenticator) -> None:
+        self._auth = authenticator
+        self._policy = PolicyEngine(service_ruleset())
+        self._lock = threading.Lock()
+        self._revoked: set[str] = set()
+        self._active: set[str] = set()
+
+    # -- login protocol (pass-through with bookkeeping) ---------------------
+
+    def request_challenge(self, user_id: str) -> Challenge:
+        with self._lock:
+            return self._auth.request_challenge(user_id)
+
+    def login(self, user_id: str, response: bytes) -> tuple[Session, str]:
+        """Verify the challenge response; returns (session, bearer)."""
+        with self._lock:
+            session = self._auth.login(user_id, response)
+            self._active.add(session.session_id)
+        return session, encode_token(session)
+
+    # -- per-request validation --------------------------------------------
+
+    def validate_bearer(self, bearer: str) -> tuple[str, Decision]:
+        """Authenticate one presented bearer token.
+
+        Returns ``(user_id, decision)`` on allow; raises the decision's
+        typed exception (with ``.decision`` attached) on deny, and
+        :class:`MalformedTokenError` when the string is not a token.
+        One ``decide()`` over all measured facts — the deciding rule id
+        tells the wire layer which 401 code to return.
+        """
+        session = decode_token(bearer)
+        with self._lock:
+            decision = self._decide(session, "use_session")
+        if not decision.allowed:
+            raise decision.exception()
+        return session.user_id, decision
+
+    def _decide(self, session: Session, action: str) -> Decision:
+        # lock held by caller
+        return self._policy.decide(
+            session.user_id,
+            action,
+            resource=session.session_id,
+            context=PolicyContext(
+                facts={
+                    "token_valid": self._auth.token_matches(session),
+                    "session_expired": self._auth.clock.now() >= session.expires_at,
+                    "account_locked": self._auth.is_locked(session.user_id),
+                    "session_revoked": session.session_id in self._revoked,
+                }
+            ),
+        )
+
+    # -- rotation / revocation ---------------------------------------------
+
+    def refresh(self, bearer: str) -> tuple[Session, str]:
+        """Rotate a still-valid session: mint a fresh one, revoke the
+        old id.  A replay of the pre-refresh token is now a
+        ``deny:service:revoked-token`` denial."""
+        session = decode_token(bearer)
+        with self._lock:
+            decision = self._decide(session, "use_session")
+            if not decision.allowed:
+                raise decision.exception()
+            fresh = self._auth.reissue(session)
+            self._revoked.add(session.session_id)
+            self._active.discard(session.session_id)
+            self._active.add(fresh.session_id)
+        return fresh, encode_token(fresh)
+
+    def logout(self, bearer: str) -> str:
+        """Revoke the presented session (idempotent for valid tokens);
+        returns the user id for the audit event."""
+        session = decode_token(bearer)
+        with self._lock:
+            decision = self._decide(session, "use_session")
+            if not decision.allowed:
+                raise decision.exception()
+            self._revoked.add(session.session_id)
+            self._active.discard(session.session_id)
+        return session.user_id
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def active_sessions(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def enroll(self, user_id: str) -> bytes:
+        with self._lock:
+            return self._auth.enroll(user_id)

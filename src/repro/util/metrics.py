@@ -63,6 +63,13 @@ class Metrics:
             if key.startswith(prefix) and key.endswith("}")
         }
 
+    def record_max(self, name: str, value: int) -> None:
+        """Keep the high-water mark of *value* under *name* (e.g. the
+        service's peak admission-queue depth).  Same cost class as
+        :meth:`incr`; the counter is monotone like every other."""
+        if value > self._counters.get(name, 0):
+            self._counters[name] = value
+
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
         """Accumulate the wrapped block's wall time into ``<name>`` in

@@ -82,7 +82,9 @@ def test_cli_info_and_demo(capsys):
     assert "repro (Curator)" in out
     assert cli_main(["demo"]) == 0
     out = capsys.readouterr().out
-    assert "audit verifies: [full] ok" in out
+    # the demo now runs end-to-end through the wire service
+    assert "service audit chain verifies" in out
+    assert "api_rejected" in out  # the denial is audited too
 
 
 def test_cli_audit_ops(capsys):

@@ -1,0 +1,194 @@
+"""The wire schema: round-trips, validation, and the error-code table."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors
+from repro.errors import CuratorError, StorageError, ValidationError
+from repro.service import api
+
+SAMPLES = {
+    api.ChallengeRequest: api.ChallengeRequest(user_id="dr-1"),
+    api.ChallengeResponse: api.ChallengeResponse(
+        user_id="dr-1", nonce_hex="00ff", issued_at=1.17e9
+    ),
+    api.LoginRequest: api.LoginRequest(user_id="dr-1", response_hex="ab"),
+    api.SessionEnvelope: api.SessionEnvelope(
+        token="abc", session_id="sess-1", user_id="dr-1",
+        issued_at=1.0, expires_at=2.0,
+    ),
+    api.StoreRecordRequest: api.StoreRecordRequest(
+        record_id="r-1", patient_id="p-1", record_type="clinical_note",
+        created_at=1.17e9, body={"text": "hi"},
+    ),
+    api.StoreRecordResponse: api.StoreRecordResponse(
+        record_id="r-1", patient_id="p-1", versions=2
+    ),
+    api.RecordEnvelope: api.RecordEnvelope(
+        record_id="r-1", patient_id="p-1", record_type="clinical_note",
+        created_at=1.17e9, body={"text": "hi"}, version=1,
+    ),
+    api.SearchResponse: api.SearchResponse(term="x", record_ids=("r-1", "r-2")),
+    api.PatientRecordsResponse: api.PatientRecordsResponse(
+        patient_id="p-1", record_ids=("r-1",)
+    ),
+    api.AuditQueryRequest: api.AuditQueryRequest(
+        actor_id="dr-1", action="record_read", subject_id="r-1", limit=5
+    ),
+    api.AuditEventsResponse: api.AuditEventsResponse(
+        events=({"sequence": 0, "action": "record_read"},), total=1
+    ),
+    api.VerifyResponse: api.VerifyResponse(
+        ok=False, integrity_summary="full", audit_summary="full",
+        violations=("shard-00: bad",),
+    ),
+    api.BreakGlassRequest: api.BreakGlassRequest(
+        patient_id="p-1", justification="unconscious in ER"
+    ),
+    api.BreakGlassResponse: api.BreakGlassResponse(
+        grant_id="bg-1", patient_id="p-1", user_id="nurse-1"
+    ),
+    api.HealthzResponse: api.HealthzResponse(
+        status="ok", shards=("shard-00",), queue_depth=1, queue_limit=64,
+        active_sessions=3, draining=False,
+    ),
+    api.ErrorBody: api.ErrorBody(
+        status=403, code="access_denied", message="no", rule_id="default:deny",
+        trace=({"rule": "allow:system", "outcome": "skipped"},),
+    ),
+}
+
+
+def test_every_wire_type_has_a_sample():
+    assert set(SAMPLES) == set(api.WIRE_TYPES)
+
+
+@pytest.mark.parametrize("wire_type", api.WIRE_TYPES, ids=lambda t: t.__name__)
+def test_round_trip(wire_type):
+    sample = SAMPLES[wire_type]
+    assert wire_type.from_wire(sample.to_wire()) == sample
+
+
+@pytest.mark.parametrize("wire_type", api.WIRE_TYPES, ids=lambda t: t.__name__)
+def test_missing_required_field_raises_wire_error(wire_type):
+    if wire_type is api.AuditQueryRequest:  # every field is optional
+        pytest.skip("all fields optional by design")
+    wire = SAMPLES[wire_type].to_wire()
+    # drop each top-level key; at least one must be required
+    rejected = 0
+    for key in list(wire):
+        broken = {k: v for k, v in wire.items() if k != key}
+        try:
+            wire_type.from_wire(broken)
+        except api.WireError:
+            rejected += 1
+    assert rejected > 0
+
+
+def test_type_mismatch_raises_wire_error():
+    with pytest.raises(api.WireError):
+        api.LoginRequest.from_wire({"user_id": 42, "response": "ab"})
+    with pytest.raises(api.WireError):
+        api.StoreRecordRequest.from_wire(
+            {**SAMPLES[api.StoreRecordRequest].to_wire(), "body": "not a dict"}
+        )
+    with pytest.raises(api.WireError):
+        api.AuditQueryRequest.from_wire({"limit": 0})
+    with pytest.raises(api.WireError):
+        api.BreakGlassRequest.from_wire({"patient_id": "p", "justification": "  "})
+    with pytest.raises(api.WireError):
+        api.LoginRequest.from_wire("not an object")
+
+
+def test_error_body_omits_empty_rule_and_trace():
+    bare = api.ErrorBody(status=404, code="record_not_found", message="gone")
+    wire = bare.to_wire()
+    assert "rule_id" not in wire["error"] and "trace" not in wire["error"]
+    assert api.ErrorBody.from_wire(wire) == bare
+
+
+# ---------------------------------------------------------------------------
+# the error-code table
+# ---------------------------------------------------------------------------
+
+
+def _library_exceptions():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(repro.errors, inspect.isclass)
+        if issubclass(obj, CuratorError)
+    ]
+
+
+def test_every_library_exception_maps_to_a_code():
+    for exc_type in _library_exceptions():
+        code = api.code_for_exception(exc_type("boom"))
+        assert 400 <= code.status <= 599, exc_type
+        assert code.code and code.code != "internal_error" or exc_type in (
+            CuratorError,
+            repro.errors.ConfigurationError,
+            StorageError,
+            repro.errors.DeviceError,
+            repro.errors.MediaLifecycleError,
+            repro.errors.CrashError,
+            repro.errors.WorkloadError,
+        ), f"{exc_type.__name__} fell through to internal_error"
+
+
+def test_table_order_is_most_specific_first():
+    """Each entry must actually be reachable: constructing its own
+    exception class must map back to its own code (an entry shadowed by
+    an earlier base class would violate this)."""
+    for exc_type, expected in api.ERROR_CODES:
+        assert api.code_for_exception(exc_type("x")) == expected, exc_type
+
+
+def test_non_library_exception_is_opaque_500():
+    code = api.code_for_exception(RuntimeError("secret traceback"))
+    assert (code.status, code.code) == (500, "internal_error")
+
+
+def test_wire_codes_are_unique():
+    codes = [code.code for _exc, code in api.ERROR_CODES]
+    codes += [code.code for code in api.SERVICE_CODES.values()]
+    # the deliberate overlap: a WireError and an unparseable request
+    # both surface as malformed_request
+    codes.remove("malformed_request")
+    assert len(codes) == len(set(codes))
+
+
+def test_rule_codes_point_at_service_codes():
+    for code_name in api.RULE_CODES.values():
+        assert code_name in api.SERVICE_CODES
+
+
+def test_specific_mappings_are_stable():
+    """The wire contract: these pairs are frozen for v1."""
+    expect = {
+        "record_not_found": 404,
+        "consent_denied": 403,
+        "access_denied": 403,
+        "validation_error": 400,
+        "tamper_detected": 500,
+        "record_destroyed": 410,
+        "cluster_unavailable": 503,
+        "rate_limited": 429,
+        "queue_full": 503,
+        "session_expired": 401,
+        "session_revoked": 401,
+        "slow_client": 408,
+    }
+    table = {code.code: code.status for _exc, code in api.ERROR_CODES}
+    table.update({code.code: code.status for code in api.SERVICE_CODES.values()})
+    for code_name, status in expect.items():
+        assert table[code_name] == status, code_name
+
+
+def test_validation_error_subclass_relationship():
+    # WireError must map to 400 through the same isinstance walk
+    assert issubclass(api.WireError, ValidationError)
+    assert api.code_for_exception(api.WireError("x")).code == "malformed_request"
+    assert api.code_for_exception(ValidationError("x")).code == "validation_error"
